@@ -1,0 +1,85 @@
+package main
+
+import (
+	"math/rand/v2"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"fastframe/internal/exact"
+	"fastframe/internal/flights"
+	"fastframe/internal/query"
+	"fastframe/internal/table"
+)
+
+func TestWriteCSVRoundTrip(t *testing.T) {
+	tab, err := flights.Generate(flights.Config{Rows: 5_000, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "flights.csv")
+	if err := writeCSV(tab, path); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	// Reload through the generic CSV path and compare an aggregate.
+	schema := table.MustSchema(
+		table.ColumnSpec{Name: flights.ColDepDelay, Kind: table.Float},
+		table.ColumnSpec{Name: flights.ColOrigin, Kind: table.Categorical},
+		table.ColumnSpec{Name: flights.ColAirline, Kind: table.Categorical},
+	)
+	reloaded, err := table.LoadCSV(f, schema, 25, rand.New(rand.NewPCG(1, 1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reloaded.NumRows() != tab.NumRows() {
+		t.Fatalf("rows %d vs %d", reloaded.NumRows(), tab.NumRows())
+	}
+	q := query.Query{
+		Agg:     query.Aggregate{Kind: query.Avg, Column: flights.ColDepDelay},
+		GroupBy: []string{flights.ColAirline},
+		Stop:    query.Exhaust(),
+	}
+	a, err := exact.Run(tab, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := exact.Run(reloaded, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, g := range a.Groups {
+		got := b.Group(g.Key)
+		if got == nil || got.Count != g.Count {
+			t.Errorf("group %s differs after CSV round trip", g.Key)
+		}
+		// CSV stores 3 decimals; means agree to ~1e-3.
+		if diff := got.Avg - g.Avg; diff > 0.01 || diff < -0.01 {
+			t.Errorf("group %s avg %v vs %v", g.Key, got.Avg, g.Avg)
+		}
+	}
+}
+
+func TestPrintSummary(t *testing.T) {
+	tab, err := flights.Generate(flights.Config{Rows: 2_000, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := printSummary(tab); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSortedByAvg(t *testing.T) {
+	res := &exact.Result{Groups: []exact.GroupValue{
+		{Key: "b", Avg: 5}, {Key: "a", Avg: 1}, {Key: "c", Avg: 3},
+	}}
+	out := sortedByAvg(res)
+	if out[0].Key != "a" || out[1].Key != "c" || out[2].Key != "b" {
+		t.Errorf("sorted order wrong: %+v", out)
+	}
+}

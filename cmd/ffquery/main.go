@@ -1,0 +1,189 @@
+// Command ffquery runs one approximate aggregate query against a
+// synthesized Flights table and prints per-group confidence intervals,
+// alongside the exact answer for comparison:
+//
+//	ffquery -rows 1000000 -agg avg -col DepDelay -where Origin=ORD -rel 0.1
+//	ffquery -agg avg -col DepDelay -group Airline -threshold 8
+//	ffquery -agg avg -col DepDelay -group Origin -topk 3 -bounder hoeffding
+//	ffquery -agg count -wheregt DepTime=1800 -rel 0.2
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"fastframe/internal/ci"
+	"fastframe/internal/core"
+	"fastframe/internal/exact"
+	"fastframe/internal/exec"
+	"fastframe/internal/flights"
+	"fastframe/internal/query"
+)
+
+func main() {
+	var (
+		rows      = flag.Int("rows", 500_000, "synthesized Flights rows")
+		seed      = flag.Uint64("seed", 42, "dataset seed")
+		aggKind   = flag.String("agg", "avg", "aggregate: avg|sum|count")
+		col       = flag.String("col", "DepDelay", "aggregate column")
+		where     = flag.String("where", "", "categorical predicate Column=Value (comma separated)")
+		whereGt   = flag.String("wheregt", "", "numeric predicate Column=Lo meaning Column > Lo")
+		group     = flag.String("group", "", "GROUP BY columns (comma separated)")
+		rel       = flag.Float64("rel", 0, "stop at relative error")
+		abs       = flag.Float64("abs", 0, "stop at absolute CI width")
+		threshold = flag.String("threshold", "", "stop when every group decided vs this value")
+		topk      = flag.Int("topk", 0, "stop when top-K separated")
+		bottomk   = flag.Int("bottomk", 0, "stop when bottom-K separated")
+		ordered   = flag.Bool("ordered", false, "stop when groups fully ordered")
+		bounder   = flag.String("bounder", "bernstein+rt", "hoeffding|hoeffding+rt|bernstein|bernstein+rt|anderson")
+		strategy  = flag.String("strategy", "active-peek", "scan|active-sync|active-peek")
+		delta     = flag.Float64("delta", exec.DefaultDelta, "error probability")
+	)
+	flag.Parse()
+
+	q, err := buildQuery(*aggKind, *col, *where, *whereGt, *group, *rel, *abs, *threshold, *topk, *bottomk, *ordered)
+	if err != nil {
+		fatal(err)
+	}
+	b, err := pickBounder(*bounder)
+	if err != nil {
+		fatal(err)
+	}
+	st, err := pickStrategy(*strategy)
+	if err != nil {
+		fatal(err)
+	}
+
+	fmt.Printf("generating %d flights rows (seed %d)...\n", *rows, *seed)
+	tab, err := flights.Generate(flights.Config{Rows: *rows, Seed: *seed})
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("query: %s\n", q)
+
+	res, err := exec.Run(tab, q, exec.Options{
+		Bounder: b, Strategy: st, Delta: *delta, StartBlock: int(*seed),
+	})
+	if err != nil {
+		fatal(err)
+	}
+	ex, err := exact.Run(tab, q)
+	if err != nil {
+		fatal(err)
+	}
+
+	fmt.Printf("\napprox: %.3fs, %d blocks fetched, %d rows covered, %d rounds, stopped=%v exhausted=%v\n",
+		res.Duration.Seconds(), res.BlocksFetched, res.RowsCovered, res.Rounds, res.Stopped, res.Exhausted)
+	fmt.Printf("exact:  %.3fs (speedup %.1fx)\n\n",
+		ex.Duration.Seconds(), ex.Duration.Seconds()/res.Duration.Seconds())
+	fmt.Printf("%-12s %12s %12s %12s %10s %12s\n", "group", "lo", "estimate", "hi", "samples", "exact")
+	for _, g := range res.Groups {
+		iv := g.Answer(q.Agg.Kind == query.Sum, q.Agg.Kind == query.Count)
+		truth := "-"
+		if e := ex.Group(g.Key); e != nil {
+			truth = fmt.Sprintf("%.4f", e.Value(q.Agg.Kind))
+		}
+		key := g.Key
+		if key == "" {
+			key = "(all)"
+		}
+		fmt.Printf("%-12s %12.4f %12.4f %12.4f %10d %12s\n", key, iv.Lo, iv.Estimate, iv.Hi, g.Samples, truth)
+	}
+}
+
+func buildQuery(aggKind, col, where, whereGt, group string, rel, abs float64,
+	threshold string, topk, bottomk int, ordered bool) (query.Query, error) {
+	q := query.Query{Name: "ffquery"}
+	switch aggKind {
+	case "avg":
+		q.Agg = query.Aggregate{Kind: query.Avg, Column: col}
+	case "sum":
+		q.Agg = query.Aggregate{Kind: query.Sum, Column: col}
+	case "count":
+		q.Agg = query.Aggregate{Kind: query.Count}
+	default:
+		return q, fmt.Errorf("unknown aggregate %q", aggKind)
+	}
+	if where != "" {
+		for _, clause := range strings.Split(where, ",") {
+			parts := strings.SplitN(clause, "=", 2)
+			if len(parts) != 2 {
+				return q, fmt.Errorf("bad -where clause %q", clause)
+			}
+			q.Pred = q.Pred.AndCatEquals(parts[0], parts[1])
+		}
+	}
+	if whereGt != "" {
+		parts := strings.SplitN(whereGt, "=", 2)
+		if len(parts) != 2 {
+			return q, fmt.Errorf("bad -wheregt clause %q", whereGt)
+		}
+		lo, err := strconv.ParseFloat(parts[1], 64)
+		if err != nil {
+			return q, fmt.Errorf("bad -wheregt value: %w", err)
+		}
+		q.Pred = q.Pred.AndGreater(parts[0], lo)
+	}
+	if group != "" {
+		q.GroupBy = strings.Split(group, ",")
+	}
+	switch {
+	case rel > 0:
+		q.Stop = query.RelWidth(rel)
+	case abs > 0:
+		q.Stop = query.AbsWidth(abs)
+	case threshold != "":
+		v, err := strconv.ParseFloat(threshold, 64)
+		if err != nil {
+			return q, fmt.Errorf("bad -threshold: %w", err)
+		}
+		q.Stop = query.Threshold(v)
+	case topk > 0:
+		q.Stop = query.TopK(topk)
+	case bottomk > 0:
+		q.Stop = query.BottomK(bottomk)
+	case ordered:
+		q.Stop = query.Ordered()
+	default:
+		q.Stop = query.Exhaust()
+	}
+	return q, q.Validate()
+}
+
+func pickBounder(name string) (ci.Bounder, error) {
+	switch name {
+	case "hoeffding":
+		return ci.HoeffdingSerfling{}, nil
+	case "hoeffding+rt":
+		return core.RangeTrim{Inner: ci.HoeffdingSerfling{}}, nil
+	case "bernstein":
+		return ci.EmpiricalBernsteinSerfling{}, nil
+	case "bernstein+rt":
+		return core.RangeTrim{Inner: ci.EmpiricalBernsteinSerfling{}}, nil
+	case "anderson":
+		return ci.AndersonDKW{}, nil
+	default:
+		return nil, fmt.Errorf("unknown bounder %q", name)
+	}
+}
+
+func pickStrategy(name string) (exec.Strategy, error) {
+	switch name {
+	case "scan":
+		return exec.Scan, nil
+	case "active-sync":
+		return exec.ActiveSync, nil
+	case "active-peek":
+		return exec.ActivePeek, nil
+	default:
+		return 0, fmt.Errorf("unknown strategy %q", name)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "ffquery:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,92 @@
+// Streaming mean estimation without the column store: wrap any
+// without-replacement sample stream in a MeanEstimator and stop the
+// moment the anytime-valid interval is tight enough. Also demonstrates
+// derived range bounds for aggregates over expressions (Appendix B of
+// the paper).
+//
+//	go run ./examples/stream
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand/v2"
+
+	"fastframe"
+)
+
+func main() {
+	// A synthetic "sensor" population: 500k readings concentrated near
+	// 42 with occasional spikes, known a priori only to lie in [0, 1000].
+	rng := rand.New(rand.NewPCG(5, 5))
+	population := make([]float64, 500_000)
+	truth := 0.0
+	for i := range population {
+		v := 42 + rng.NormFloat64()*3
+		if rng.Float64() < 0.001 {
+			v = 900 + rng.Float64()*100 // rare spike
+		}
+		if v < 0 {
+			v = 0
+		}
+		population[i] = v
+		truth += v
+	}
+	truth /= float64(len(population))
+
+	est, err := fastframe.NewMeanEstimator(fastframe.EstimatorConfig{
+		A: 0, B: 1000,
+		N:         len(population),
+		Delta:     1e-12,
+		Bounder:   fastframe.BernsteinRT,
+		BatchRows: 5_000,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Stream a random permutation (= sampling without replacement) and
+	// stop once the interval is narrower than ±0.5.
+	perm := rng.Perm(len(population))
+	for _, idx := range perm {
+		est.Observe(population[idx])
+		if est.Samples()%5_000 == 0 {
+			iv := est.Interval()
+			fmt.Printf("after %6d samples: mean %v (width %.3f)\n",
+				est.Samples(), iv, iv.Width())
+			if iv.Width() < 1.0 {
+				fmt.Printf("\nstopped at %.1f%% of the population; true mean %.4f contained: %v\n",
+					100*float64(est.Samples())/float64(len(population)), truth, iv.Contains(truth))
+				break
+			}
+		}
+	}
+
+	// Derived range bounds for an expression aggregate (Appendix B):
+	// bounds for (2·c1 + 3·c2 − 1)² from per-column catalog bounds.
+	tb, err := fastframe.NewTableBuilder(
+		fastframe.Column{Name: "c1", Kind: fastframe.Float},
+		fastframe.Column{Name: "c2", Kind: fastframe.Float},
+		fastframe.Column{Name: "tag", Kind: fastframe.Categorical},
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	_ = tb.AppendRow(map[string]float64{"c1": 0, "c2": 0}, map[string]string{"tag": "x"})
+	tb.WidenBounds("c1", -3, 1)
+	tb.WidenBounds("c2", -1, 3)
+	tab, err := tb.Build(1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	e := fastframe.Const(2).Mul(fastframe.Col("c1")).
+		Add(fastframe.Const(3).Mul(fastframe.Col("c2"))).
+		Sub(fastframe.Const(1)).
+		Square()
+	lo, hi, err := tab.DerivedBounds(e)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nderived bounds for %s over c1∈[−3,1], c2∈[−1,3]: [%g, %g]\n", e, lo, hi)
+	fmt.Println("(the paper's Example 1: [0, 100])")
+}

@@ -1,0 +1,65 @@
+package fastframe
+
+import (
+	"fastframe/internal/expr"
+)
+
+// Expr is a real-valued expression over table columns, used to derive
+// range bounds for aggregates over arbitrary expressions (Appendix B of
+// the paper). Build expressions with Col, Const and the combinators.
+type Expr struct {
+	e expr.Expr
+}
+
+// Col references a continuous column.
+func Col(name string) Expr { return Expr{expr.Col{Name: name}} }
+
+// Const is a constant.
+func Const(v float64) Expr { return Expr{expr.Const{Value: v}} }
+
+// Add returns x + y.
+func (x Expr) Add(y Expr) Expr { return Expr{expr.Add{X: x.e, Y: y.e}} }
+
+// Sub returns x − y.
+func (x Expr) Sub(y Expr) Expr { return Expr{expr.Sub{X: x.e, Y: y.e}} }
+
+// Mul returns x · y.
+func (x Expr) Mul(y Expr) Expr { return Expr{expr.Mul{X: x.e, Y: y.e}} }
+
+// Neg returns −x.
+func (x Expr) Neg() Expr { return Expr{expr.Neg{X: x.e}} }
+
+// Square returns x².
+func (x Expr) Square() Expr { return Expr{expr.Square{X: x.e}} }
+
+// Abs returns |x|.
+func (x Expr) Abs() Expr { return Expr{expr.Abs{X: x.e}} }
+
+// Eval evaluates the expression under column values.
+func (x Expr) Eval(vals map[string]float64) float64 { return x.e.Eval(vals) }
+
+// String renders the expression.
+func (x Expr) String() string { return x.e.String() }
+
+// DerivedBounds computes range bounds [a′, b′] enclosing the expression
+// over every row of the table, from the catalog bounds of the columns
+// it references (Appendix B: corner enumeration for monotone/convex
+// expressions, intersected with interval arithmetic). Feed the result
+// to EstimatorConfig or WidenBounds when aggregating derived values.
+func (t *Table) DerivedBounds(e Expr) (lo, hi float64, err error) {
+	vars := map[string]bool{}
+	e.e.Vars(vars)
+	boxes := map[string]expr.Box{}
+	for name := range vars {
+		rb, err := t.t.Bounds(name)
+		if err != nil {
+			return 0, 0, err
+		}
+		boxes[name] = expr.Box{Lo: rb.A, Hi: rb.B}
+	}
+	box, err := expr.DeriveBounds(e.e, boxes)
+	if err != nil {
+		return 0, 0, err
+	}
+	return box.Lo, box.Hi, nil
+}

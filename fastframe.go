@@ -1,0 +1,34 @@
+// Package fastframe is a sampling-optimized in-memory column store for
+// approximate aggregate queries with distribution-sensitive,
+// sample-size-independent confidence-interval guarantees. It reproduces
+// the system of Macke, Aliakbarpour, Diakonikolas, Parameswaran and
+// Rubinfeld, "Rapid Approximate Aggregation with Distribution-Sensitive
+// Interval Guarantees" (ICDE 2021).
+//
+// The package answers AVG, SUM and COUNT queries — with predicates and
+// GROUP BY — from a scramble (a randomly permuted copy of the table),
+// stopping as soon as rigorous confidence intervals are tight enough for
+// the query's purpose: a requested error budget, a HAVING threshold
+// decided, a top-K separated, or all groups ordered. The intervals hold
+// for every sample size (PAC semantics, Definition 1 of the paper), not
+// just asymptotically.
+//
+// The headline bounder is BernsteinRT: the empirical Bernstein–Serfling
+// inequality (no pessimistic mass allocation) wrapped with the paper's
+// RangeTrim meta-algorithm (no phantom outlier sensitivity). Hoeffding-
+// style and Anderson/DKW bounders are provided for comparison, along
+// with the Scan / ActiveSync / ActivePeek sampling strategies and a
+// simulated Flights workload mirroring the paper's evaluation.
+//
+// Quick start:
+//
+//	tab, _ := fastframe.GenerateFlights(1_000_000, 42)
+//	q := fastframe.Avg("DepDelay").
+//		Where("Origin", "ORD").
+//		StopAtRelError(0.05)
+//	res, _ := tab.Run(q, fastframe.ExecOptions{})
+//	fmt.Println(res.Groups[0].Avg) // e.g. [11.2, 12.4] around 11.8
+package fastframe
+
+// Version is the library version.
+const Version = "1.0.0"

@@ -1,0 +1,116 @@
+package fastframe
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand/v2"
+	"testing"
+)
+
+// TestFullPipelineIntegration exercises the complete downstream-user
+// path across modules: build a table from CSV, widen catalog bounds,
+// persist it, reload it, attach a star-schema dimension, and run
+// approximate queries (simple, IN-view, join-view, expression) against
+// the reloaded table, checking every interval against exact answers.
+func TestFullPipelineIntegration(t *testing.T) {
+	// 1. Synthesize a CSV "export".
+	rng := rand.New(rand.NewPCG(99, 1))
+	var csv bytes.Buffer
+	csv.WriteString("store,region_code,amount\n")
+	stores := []string{"s1", "s2", "s3", "s4", "s5", "s6"}
+	for i := 0; i < 30000; i++ {
+		s := rng.IntN(len(stores))
+		amount := float64(s+1)*7 + rng.NormFloat64()*3
+		fmt.Fprintf(&csv, "%s,r%d,%.4f\n", stores[s], s%2, amount)
+	}
+
+	// 2. Load it, widen bounds, build the scramble.
+	tb, err := NewTableBuilder(
+		Column{Name: "amount", Kind: Float},
+		Column{Name: "store", Kind: Categorical},
+		Column{Name: "region_code", Kind: Categorical},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tb.LoadCSV(bytes.NewReader(csv.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+	tb.WidenBounds("amount", -100, 200)
+	built, err := tb.Build(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// 3. Persist and reload.
+	var blob bytes.Buffer
+	if _, err := built.WriteTo(&blob); err != nil {
+		t.Fatal(err)
+	}
+	tab, err := ReadTable(&blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a, b, _ := tab.ColumnBounds("amount"); a != -100 || b != 200 {
+		t.Fatalf("bounds lost in persistence: [%v,%v]", a, b)
+	}
+
+	// 4. Attach a dimension and build queries of every flavor.
+	dim := NewDimension("stores")
+	for i, s := range stores {
+		tier := "low"
+		if i >= 3 {
+			tier = "high"
+		}
+		dim.Add(s, map[string]string{"tier": tier})
+	}
+	schema := NewStarSchema(tab)
+	if err := schema.Attach("store", dim); err != nil {
+		t.Fatal(err)
+	}
+
+	queries := []QueryBuilder{
+		Avg("amount").StopAtAbsError(2),
+		Avg("amount").GroupBy("store").StopWhenThresholdDecided(24),
+		Avg("amount").WhereIn("store", "s2", "s4").StopAtAbsError(3),
+		Sum("amount").Where("region_code", "r1").StopAtRelError(0.4),
+		CountRows().Where("store", "s3").StopAtRelError(0.3),
+		AvgExpr(Col("amount").Mul(Const(2)).Sub(Const(5))).StopAtAbsError(4),
+	}
+	joinQ := Avg("amount").StopAtAbsError(3)
+	joinQ, err = schema.WhereDimension(joinQ, "store", "tier", "high")
+	if err != nil {
+		t.Fatal(err)
+	}
+	queries = append(queries, joinQ)
+
+	for qi, q := range queries {
+		res, err := tab.Run(q, ExecOptions{Delta: 1e-9, RoundRows: 2000})
+		if err != nil {
+			t.Fatalf("query %d: %v", qi, err)
+		}
+		ex, err := tab.RunExact(q)
+		if err != nil {
+			t.Fatalf("query %d exact: %v", qi, err)
+		}
+		for _, g := range res.Groups {
+			want := ex.Group(g.Key)
+			if want == nil {
+				t.Fatalf("query %d: spurious group %q", qi, g.Key)
+			}
+			var iv Interval
+			var truth float64
+			switch {
+			case qi == 3: // SUM query
+				iv, truth = g.Sum, want.Sum
+			case qi == 4: // COUNT query
+				iv, truth = g.Count, float64(want.Count)
+			default:
+				iv, truth = g.Avg, want.Avg
+			}
+			if !iv.Contains(truth) {
+				t.Errorf("query %d group %q: interval %v misses %v", qi, g.Key, iv, truth)
+			}
+		}
+	}
+}

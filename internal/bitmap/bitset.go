@@ -1,0 +1,116 @@
+// Package bitmap provides bitsets and the block-level bitmap indexes
+// FastFrame uses to skip blocks during active scanning (§4.3 of the
+// paper): for each value of a categorical column, a bitset records which
+// storage blocks contain at least one row with that value. Queries with
+// GROUP BY consult these indexes to fetch only blocks containing tuples
+// of still-active groups, either synchronously (ActiveSync) or through a
+// batched asynchronous lookahead (ActivePeek).
+package bitmap
+
+import "math/bits"
+
+const wordBits = 64
+
+// Bitset is a fixed-size set of bit positions [0, Len).
+type Bitset struct {
+	words []uint64
+	n     int
+}
+
+// NewBitset returns a Bitset able to hold n bits, all clear.
+func NewBitset(n int) *Bitset {
+	if n < 0 {
+		panic("bitmap: negative bitset size")
+	}
+	return &Bitset{words: make([]uint64, (n+wordBits-1)/wordBits), n: n}
+}
+
+// Len returns the bitset capacity in bits.
+func (b *Bitset) Len() int { return b.n }
+
+// Set sets bit i.
+func (b *Bitset) Set(i int) {
+	b.words[i/wordBits] |= 1 << (uint(i) % wordBits)
+}
+
+// Clear clears bit i.
+func (b *Bitset) Clear(i int) {
+	b.words[i/wordBits] &^= 1 << (uint(i) % wordBits)
+}
+
+// Get reports whether bit i is set.
+func (b *Bitset) Get(i int) bool {
+	return b.words[i/wordBits]&(1<<(uint(i)%wordBits)) != 0
+}
+
+// Count returns the number of set bits.
+func (b *Bitset) Count() int {
+	c := 0
+	for _, w := range b.words {
+		c += bits.OnesCount64(w)
+	}
+	return c
+}
+
+// OrInto ORs other into b. Both bitsets must have the same length.
+func (b *Bitset) OrInto(other *Bitset) {
+	if other.n != b.n {
+		panic("bitmap: OrInto length mismatch")
+	}
+	for i, w := range other.words {
+		b.words[i] |= w
+	}
+}
+
+// AndInto ANDs other into b. Both bitsets must have the same length.
+func (b *Bitset) AndInto(other *Bitset) {
+	if other.n != b.n {
+		panic("bitmap: AndInto length mismatch")
+	}
+	for i, w := range other.words {
+		b.words[i] &= w
+	}
+}
+
+// Reset clears every bit.
+func (b *Bitset) Reset() {
+	for i := range b.words {
+		b.words[i] = 0
+	}
+}
+
+// Clone returns an independent copy.
+func (b *Bitset) Clone() *Bitset {
+	c := &Bitset{words: make([]uint64, len(b.words)), n: b.n}
+	copy(c.words, b.words)
+	return c
+}
+
+// NextSet returns the index of the first set bit ≥ i, or -1 if none.
+func (b *Bitset) NextSet(i int) int {
+	if i < 0 {
+		i = 0
+	}
+	if i >= b.n {
+		return -1
+	}
+	wi := i / wordBits
+	w := b.words[wi] >> (uint(i) % wordBits)
+	if w != 0 {
+		r := i + bits.TrailingZeros64(w)
+		if r < b.n {
+			return r
+		}
+		return -1
+	}
+	for wi++; wi < len(b.words); wi++ {
+		if b.words[wi] != 0 {
+			r := wi*wordBits + bits.TrailingZeros64(b.words[wi])
+			if r < b.n {
+				return r
+			}
+			return -1
+		}
+	}
+	return -1
+}

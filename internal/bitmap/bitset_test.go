@@ -1,0 +1,358 @@
+package bitmap
+
+import (
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+)
+
+func TestBitsetBasics(t *testing.T) {
+	b := NewBitset(130)
+	if b.Len() != 130 {
+		t.Fatalf("Len = %d", b.Len())
+	}
+	if b.Count() != 0 {
+		t.Fatalf("fresh Count = %d", b.Count())
+	}
+	for _, i := range []int{0, 1, 63, 64, 65, 129} {
+		b.Set(i)
+		if !b.Get(i) {
+			t.Errorf("Get(%d) false after Set", i)
+		}
+	}
+	if b.Count() != 6 {
+		t.Errorf("Count = %d, want 6", b.Count())
+	}
+	b.Clear(64)
+	if b.Get(64) {
+		t.Error("Get(64) true after Clear")
+	}
+	if b.Count() != 5 {
+		t.Errorf("Count = %d, want 5", b.Count())
+	}
+	b.Reset()
+	if b.Count() != 0 {
+		t.Errorf("Count after Reset = %d", b.Count())
+	}
+}
+
+func TestBitsetNegativeSizePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("NewBitset(-1) did not panic")
+		}
+	}()
+	NewBitset(-1)
+}
+
+func TestBitsetOrAnd(t *testing.T) {
+	a := NewBitset(100)
+	b := NewBitset(100)
+	a.Set(3)
+	a.Set(70)
+	b.Set(70)
+	b.Set(99)
+	or := a.Clone()
+	or.OrInto(b)
+	if !or.Get(3) || !or.Get(70) || !or.Get(99) || or.Count() != 3 {
+		t.Errorf("OrInto wrong: count=%d", or.Count())
+	}
+	and := a.Clone()
+	and.AndInto(b)
+	if !and.Get(70) || and.Count() != 1 {
+		t.Errorf("AndInto wrong: count=%d", and.Count())
+	}
+}
+
+func TestBitsetOrIntoLengthMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("OrInto mismatched lengths did not panic")
+		}
+	}()
+	NewBitset(10).OrInto(NewBitset(20))
+}
+
+func TestBitsetClone(t *testing.T) {
+	a := NewBitset(10)
+	a.Set(5)
+	c := a.Clone()
+	c.Set(7)
+	if a.Get(7) {
+		t.Error("Clone shares storage with original")
+	}
+	if !c.Get(5) {
+		t.Error("Clone lost original bit")
+	}
+}
+
+func TestBitsetNextSet(t *testing.T) {
+	b := NewBitset(200)
+	for _, i := range []int{5, 64, 130, 199} {
+		b.Set(i)
+	}
+	cases := []struct{ from, want int }{
+		{-5, 5}, {0, 5}, {5, 5}, {6, 64}, {64, 64}, {65, 130}, {131, 199}, {199, 199}, {200, -1},
+	}
+	for _, c := range cases {
+		if got := b.NextSet(c.from); got != c.want {
+			t.Errorf("NextSet(%d) = %d, want %d", c.from, got, c.want)
+		}
+	}
+	empty := NewBitset(100)
+	if got := empty.NextSet(0); got != -1 {
+		t.Errorf("NextSet on empty = %d, want -1", got)
+	}
+}
+
+func TestBitsetNextSetIteratesAllBits(t *testing.T) {
+	f := func(seedLo, seedHi uint64) bool {
+		rng := rand.New(rand.NewPCG(seedLo, seedHi))
+		n := 1 + rng.IntN(500)
+		b := NewBitset(n)
+		want := map[int]bool{}
+		for i := 0; i < n/3; i++ {
+			k := rng.IntN(n)
+			b.Set(k)
+			want[k] = true
+		}
+		got := map[int]bool{}
+		for i := b.NextSet(0); i != -1; i = b.NextSet(i + 1) {
+			got[i] = true
+		}
+		if len(got) != len(want) {
+			return false
+		}
+		for k := range want {
+			if !got[k] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBlockIndex(t *testing.T) {
+	// 10 rows, block size 3 → 4 blocks. codes: rows 0..9
+	codes := []uint32{0, 1, 0, 2, 2, 2, 1, 1, 1, 0}
+	ix := NewBlockIndex(codes, 3, 3)
+	if ix.NumBlocks() != 4 {
+		t.Fatalf("NumBlocks = %d", ix.NumBlocks())
+	}
+	if ix.NumValues() != 3 {
+		t.Fatalf("NumValues = %d", ix.NumValues())
+	}
+	// block 0 = rows 0,1,2 → codes {0,1}; block 1 = rows 3,4,5 → {2};
+	// block 2 = rows 6,7,8 → {1}; block 3 = row 9 → {0}.
+	type q struct {
+		block int
+		code  uint32
+		want  bool
+	}
+	for _, c := range []q{
+		{0, 0, true}, {0, 1, true}, {0, 2, false},
+		{1, 2, true}, {1, 0, false},
+		{2, 1, true}, {2, 0, false},
+		{3, 0, true}, {3, 1, false},
+	} {
+		if got := ix.BlockContains(c.block, c.code); got != c.want {
+			t.Errorf("BlockContains(%d,%d) = %v, want %v", c.block, c.code, got, c.want)
+		}
+	}
+}
+
+func TestBlockIndexUnionBlocks(t *testing.T) {
+	codes := []uint32{0, 1, 0, 2, 2, 2, 1, 1, 1, 0}
+	ix := NewBlockIndex(codes, 3, 3)
+	dst := NewBitset(ix.NumBlocks())
+	ix.UnionBlocks(dst, []uint32{0, 2})
+	// code 0 blocks {0,3}; code 2 blocks {1} → union {0,1,3}
+	want := []bool{true, true, false, true}
+	for i, w := range want {
+		if dst.Get(i) != w {
+			t.Errorf("union block %d = %v, want %v", i, dst.Get(i), w)
+		}
+	}
+	// Union must reset prior contents.
+	ix.UnionBlocks(dst, []uint32{1})
+	want = []bool{true, false, true, false}
+	for i, w := range want {
+		if dst.Get(i) != w {
+			t.Errorf("second union block %d = %v, want %v", i, dst.Get(i), w)
+		}
+	}
+}
+
+func TestBlockIndexMarkBatch(t *testing.T) {
+	codes := []uint32{0, 1, 0, 2, 2, 2, 1, 1, 1, 0}
+	ix := NewBlockIndex(codes, 3, 3)
+	mask := make([]bool, 4)
+	ix.MarkBatch(mask, 0, 4, []uint32{2})
+	want := []bool{false, true, false, false}
+	for i := range want {
+		if mask[i] != want[i] {
+			t.Errorf("mask[%d] = %v, want %v", i, mask[i], want[i])
+		}
+	}
+	// Batch extending past the end must be truncated, leaving the tail of
+	// the mask untouched.
+	mask = []bool{true, true, true}
+	ix.MarkBatch(mask, 3, 3, []uint32{0})
+	if !mask[0] {
+		t.Error("block 3 should contain code 0")
+	}
+	if mask[1] != true || mask[2] != true {
+		t.Error("truncated batch overwrote mask tail")
+	}
+	// No active codes → all false.
+	mask = make([]bool, 4)
+	mask[0] = true
+	ix.MarkBatch(mask, 0, 4, nil)
+	for i, m := range mask {
+		if m {
+			t.Errorf("mask[%d] = true with no codes", i)
+		}
+	}
+}
+
+func TestBlockIndexMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewPCG(7, 7))
+	rows := 5000
+	numValues := 17
+	blockSize := 25
+	codes := make([]uint32, rows)
+	for i := range codes {
+		codes[i] = uint32(rng.IntN(numValues))
+	}
+	ix := NewBlockIndex(codes, numValues, blockSize)
+	for b := 0; b < ix.NumBlocks(); b++ {
+		present := map[uint32]bool{}
+		lo := b * blockSize
+		hi := min(lo+blockSize, rows)
+		for _, c := range codes[lo:hi] {
+			present[c] = true
+		}
+		for v := uint32(0); v < uint32(numValues); v++ {
+			if got := ix.BlockContains(b, v); got != present[v] {
+				t.Fatalf("block %d code %d: got %v, want %v", b, v, got, present[v])
+			}
+		}
+	}
+}
+
+func TestUnionRangeAligned(t *testing.T) {
+	codes := make([]uint32, 25*300)
+	for i := range codes {
+		codes[i] = uint32(i / 25 % 5) // block b holds only code b%5
+	}
+	ix := NewBlockIndex(codes, 5, 25)
+	dst := NewBitset(128)
+	ix.UnionRangeAligned(dst, 64, 128, []uint32{1, 3})
+	for i := 0; i < 128; i++ {
+		code := (64 + i) % 5
+		want := code == 1 || code == 3
+		if dst.Get(i) != want {
+			t.Fatalf("bit %d = %v, want %v", i, dst.Get(i), want)
+		}
+	}
+	// Count truncation at the end of the index.
+	last := NewBitset(128)
+	ix.UnionRangeAligned(last, 256, 128, []uint32{0}) // only blocks 256..299 exist
+	for i := 0; i < 300-256; i++ {
+		want := (256+i)%5 == 0
+		if last.Get(i) != want {
+			t.Fatalf("tail bit %d = %v, want %v", i, last.Get(i), want)
+		}
+	}
+	// Misaligned start panics.
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("misaligned start did not panic")
+			}
+		}()
+		ix.UnionRangeAligned(dst, 63, 64, nil)
+	}()
+	// Undersized destination panics.
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("undersized dst did not panic")
+			}
+		}()
+		ix.UnionRangeAligned(NewBitset(1), 0, 128, []uint32{0})
+	}()
+}
+
+func TestUnionRangeAlignedMatchesMarkBatch(t *testing.T) {
+	rng := rand.New(rand.NewPCG(3, 14))
+	rows := 25 * 700
+	codes := make([]uint32, rows)
+	for i := range codes {
+		codes[i] = uint32(rng.IntN(13))
+	}
+	ix := NewBlockIndex(codes, 13, 25)
+	for trial := 0; trial < 20; trial++ {
+		start := 64 * rng.IntN(ix.NumBlocks()/64)
+		count := 64 + 64*rng.IntN(4)
+		var active []uint32
+		for c := uint32(0); c < 13; c++ {
+			if rng.Float64() < 0.4 {
+				active = append(active, c)
+			}
+		}
+		bits := NewBitset(count)
+		ix.UnionRangeAligned(bits, start, count, active)
+		ref := make([]bool, count)
+		ix.MarkBatch(ref, start, count, active)
+		n := count
+		if start+n > ix.NumBlocks() {
+			n = ix.NumBlocks() - start
+		}
+		for i := 0; i < n; i++ {
+			if bits.Get(i) != ref[i] {
+				t.Fatalf("trial %d: bit %d mismatch (start=%d)", trial, i, start)
+			}
+		}
+	}
+}
+
+func TestLookahead(t *testing.T) {
+	codes := make([]uint32, 25*LookaheadBatchBlocks*2)
+	for i := range codes {
+		codes[i] = uint32(i / 25 % 5) // block b holds only code b%5
+	}
+	ix := NewBlockIndex(codes, 5, 25)
+	la := NewLookahead(ix)
+	defer la.Close()
+
+	mask := NewBitset(LookaheadBatchBlocks)
+	la.Request(mask, 0, LookaheadBatchBlocks, []uint32{2})
+	got := la.Wait()
+	for i := 0; i < LookaheadBatchBlocks; i++ {
+		want := i%5 == 2
+		if got.Get(i) != want {
+			t.Fatalf("mask bit %d = %v, want %v", i, got.Get(i), want)
+		}
+	}
+	// Second request after the first completes.
+	la.Request(mask, LookaheadBatchBlocks, LookaheadBatchBlocks, []uint32{0, 1})
+	got = la.Wait()
+	for i := 0; i < LookaheadBatchBlocks; i++ {
+		code := (LookaheadBatchBlocks + i) % 5
+		want := code == 0 || code == 1
+		if got.Get(i) != want {
+			t.Fatalf("batch2 mask bit %d = %v, want %v", i, got.Get(i), want)
+		}
+	}
+}
+
+func TestLookaheadCloseIdempotent(t *testing.T) {
+	ix := NewBlockIndex([]uint32{0}, 1, 1)
+	la := NewLookahead(ix)
+	la.Close()
+	la.Close() // must not panic
+}

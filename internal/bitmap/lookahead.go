@@ -1,0 +1,78 @@
+package bitmap
+
+import "sync"
+
+// LookaheadBatchBlocks is the number of blocks marked per lookahead
+// batch (the paper's 1024-block batches, §4.3; with 25-row blocks a
+// batch covers 25600 rows). It is a multiple of 64 so batches stay
+// word-aligned for UnionRangeAligned.
+const LookaheadBatchBlocks = 1024
+
+// Lookahead runs the ActivePeek marking work on a separate goroutine:
+// while the scan thread processes the current batch of blocks, the
+// lookahead thread tests the NEXT batch against the active-group block
+// bitmaps and produces a skip mask (bit i = block start+i contains some
+// active code). This reproduces the asynchronous lookahead of §4.3
+// (adapted from Macke et al., VLDB 2018), with the per-value iteration
+// done 64 blocks at a time.
+//
+// Protocol: Request the next batch, then Wait for its mask. A Lookahead
+// must be Closed when the query finishes to release the goroutine.
+type Lookahead struct {
+	idx *BlockIndex
+
+	reqs    chan lookReq
+	results chan *Bitset
+	done    chan struct{}
+	once    sync.Once
+}
+
+type lookReq struct {
+	start, count int
+	codes        []uint32
+	mask         *Bitset
+}
+
+// NewLookahead starts the lookahead worker over the given index.
+func NewLookahead(idx *BlockIndex) *Lookahead {
+	la := &Lookahead{
+		idx:     idx,
+		reqs:    make(chan lookReq, 1),
+		results: make(chan *Bitset, 1),
+		done:    make(chan struct{}),
+	}
+	go la.run()
+	return la
+}
+
+func (la *Lookahead) run() {
+	for {
+		select {
+		case <-la.done:
+			return
+		case r := <-la.reqs:
+			la.idx.UnionRangeAligned(r.mask, r.start, r.count, r.codes)
+			select {
+			case la.results <- r.mask:
+			case <-la.done:
+				return
+			}
+		}
+	}
+}
+
+// Request asks the worker to mark blocks [start, start+count) against
+// the given active codes, reusing mask as the output buffer. start must
+// be 64-aligned; codes and mask must not be mutated until Wait returns.
+func (la *Lookahead) Request(mask *Bitset, start, count int, codes []uint32) {
+	la.reqs <- lookReq{start: start, count: count, codes: codes, mask: mask}
+}
+
+// Wait blocks until the previously requested batch mask is ready and
+// returns it.
+func (la *Lookahead) Wait() *Bitset { return <-la.results }
+
+// Close shuts the worker down. Safe to call more than once.
+func (la *Lookahead) Close() {
+	la.once.Do(func() { close(la.done) })
+}

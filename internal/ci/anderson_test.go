@@ -1,0 +1,85 @@
+package ci
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+)
+
+func TestAndersonLowerIndependentOfB(t *testing.T) {
+	// The defining property used by the paper: Anderson/DKW has no PHOS.
+	s := AndersonDKW{}.NewState()
+	rng := rand.New(rand.NewPCG(1, 9))
+	for i := 0; i < 300; i++ {
+		s.Update(0.3 + 0.1*rng.Float64())
+	}
+	l1 := s.Lower(Params{A: 0, B: 1, N: 0, Delta: 1e-6})
+	l2 := s.Lower(Params{A: 0, B: 1e9, N: 0, Delta: 1e-6})
+	if l1 != l2 {
+		t.Errorf("Anderson Lower depends on B: %v vs %v", l1, l2)
+	}
+	u1 := s.Upper(Params{A: 0, B: 1, N: 0, Delta: 1e-6})
+	u2 := s.Upper(Params{A: -1e9, B: 1, N: 0, Delta: 1e-6})
+	if u1 != u2 {
+		t.Errorf("Anderson Upper depends on A: %v vs %v", u1, u2)
+	}
+}
+
+func TestAndersonLowerDependsOnA(t *testing.T) {
+	// The unavoidable dependency (§3.1): the lower bound must depend on a.
+	s := AndersonDKW{}.NewState()
+	for i := 0; i < 300; i++ {
+		s.Update(0.5)
+	}
+	l1 := s.Lower(Params{A: 0, B: 1, N: 0, Delta: 1e-6})
+	l2 := s.Lower(Params{A: -10, B: 1, N: 0, Delta: 1e-6})
+	if l2 >= l1 {
+		t.Errorf("widening A should loosen the lower bound: %v >= %v", l2, l1)
+	}
+}
+
+func TestAndersonLowerFormula(t *testing.T) {
+	// Hand-check Algorithm 3 on a small sample. m=100, δ=e^-2 so
+	// ε = sqrt(2/200) = 0.1; keep = floor(0.9·100) = 90.
+	s := AndersonDKW{}.NewState()
+	for i := 1; i <= 100; i++ {
+		s.Update(float64(i)) // values 1..100
+	}
+	delta := math.Exp(-2)
+	// mean of smallest 90 values 1..90 = 45.5
+	want := 0.1*0 + 0.9*45.5
+	if got := s.Lower(Params{A: 0, B: 200, N: 0, Delta: delta}); math.Abs(got-want) > 1e-9 {
+		t.Errorf("Lower = %v, want %v", got, want)
+	}
+	// Upper: drop the 10 smallest (1..10, mean 5.5); kept mean =
+	// (5050-55)/90 = 55.5; bound = 0.1*200 + 0.9*55.5
+	wantU := 0.1*200 + 0.9*55.5
+	if got := s.Upper(Params{A: 0, B: 200, N: 0, Delta: delta}); math.Abs(got-wantU) > 1e-9 {
+		t.Errorf("Upper = %v, want %v", got, wantU)
+	}
+}
+
+func TestAndersonTinySampleDegenerates(t *testing.T) {
+	// With ε ≥ 1 the bound must fall back to the trivial range endpoint.
+	s := AndersonDKW{}.NewState()
+	s.Update(0.5)
+	p := Params{A: 0, B: 1, N: 0, Delta: 1e-15}
+	if got := s.Lower(p); got != 0 {
+		t.Errorf("Lower = %v, want 0 for eps>=1", got)
+	}
+	if got := s.Upper(p); got != 1 {
+		t.Errorf("Upper = %v, want 1 for eps>=1", got)
+	}
+}
+
+func TestAndersonEstimate(t *testing.T) {
+	s := AndersonDKW{}.NewState()
+	if s.Estimate() != 0 {
+		t.Errorf("empty Estimate = %v", s.Estimate())
+	}
+	s.Update(2)
+	s.Update(4)
+	if s.Estimate() != 3 {
+		t.Errorf("Estimate = %v, want 3", s.Estimate())
+	}
+}

@@ -1,0 +1,106 @@
+package ci
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+)
+
+func TestNormalUpperQuantile(t *testing.T) {
+	// Known values: z(0.025) ≈ 1.95996, z(0.05) ≈ 1.64485,
+	// z(0.001) ≈ 3.09023.
+	cases := []struct{ delta, want float64 }{
+		{0.025, 1.959964},
+		{0.05, 1.644854},
+		{0.001, 3.090232},
+	}
+	for _, c := range cases {
+		if got := NormalUpperQuantile(c.delta); math.Abs(got-c.want) > 1e-4 {
+			t.Errorf("z(%v) = %v, want %v", c.delta, got, c.want)
+		}
+	}
+	if got := NormalUpperQuantile(0); !math.IsInf(got, 1) {
+		t.Errorf("z(0) = %v", got)
+	}
+	if got := NormalUpperQuantile(0.6); got != 0 {
+		t.Errorf("z(0.6) = %v", got)
+	}
+}
+
+func TestCLTBasicBehavior(t *testing.T) {
+	s := CLT{}.NewState()
+	p := Params{A: 0, B: 1, N: 100000, Delta: 0.025}
+	if s.Lower(p) != 0 || s.Upper(p) != 1 {
+		t.Error("empty CLT state not trivial")
+	}
+	rng := rand.New(rand.NewPCG(1, 1))
+	for i := 0; i < 10000; i++ {
+		s.Update(rng.Float64())
+	}
+	lo, hi := s.Lower(p), s.Upper(p)
+	if lo > 0.5 || hi < 0.5 {
+		t.Errorf("CLT interval [%v,%v] misses 0.5 on uniform data", lo, hi)
+	}
+	// CLT intervals are far narrower than SSI ones at equal m and δ.
+	hs := HoeffdingSerfling{}.NewState()
+	for i := 0; i < 10000; i++ {
+		hs.Update(rng.Float64())
+	}
+	if (hi - lo) >= BoundInterval(hs, Params{A: 0, B: 1, N: 100000, Delta: 0.05}).Width() {
+		t.Error("CLT not narrower than Hoeffding — implementation suspect")
+	}
+	s.Reset()
+	if s.Count() != 0 {
+		t.Error("Reset failed")
+	}
+}
+
+// TestCLTUnderCoversOnHeavyTail reproduces the paper's motivation: on
+// data with a rare heavy tail, CLT intervals at small m fail to cover
+// the true mean far more often than their nominal δ, while the SSI
+// bounders never miss. This is the subset/superset-error risk of
+// asymptotic CIs (§1).
+func TestCLTUnderCoversOnHeavyTail(t *testing.T) {
+	rng := rand.New(rand.NewPCG(13, 37))
+	const (
+		n      = 100_000
+		m      = 200
+		trials = 400
+		delta  = 0.05 // two-sided
+	)
+	data := make([]float64, n)
+	truth := 0.0
+	for i := range data {
+		if rng.Float64() < 0.002 {
+			data[i] = 1 // rare spike at the top of [0,1]
+		}
+		truth += data[i]
+	}
+	truth /= float64(n)
+
+	miss := map[string]int{}
+	for trial := 0; trial < trials; trial++ {
+		clt := CLT{}.NewState()
+		ssi := EmpiricalBernsteinSerfling{}.NewState()
+		for _, idx := range rng.Perm(n)[:m] {
+			clt.Update(data[idx])
+			ssi.Update(data[idx])
+		}
+		p := Params{A: 0, B: 1, N: n, Delta: delta}
+		if !BoundInterval(clt, p).Contains(truth) {
+			miss["clt"]++
+		}
+		if !BoundInterval(ssi, p).Contains(truth) {
+			miss["ssi"]++
+		}
+	}
+	// With spike probability 0.002 and m=200, ~67% of samples see no
+	// spike at all; those report σ̂=0 and a zero-width interval at 0,
+	// missing the true mean ≈0.002. Nominal δ=0.05 would allow ≤5%.
+	if frac := float64(miss["clt"]) / trials; frac < 0.25 {
+		t.Errorf("CLT missed only %.1f%% — heavy-tail failure mode not reproduced", 100*frac)
+	}
+	if miss["ssi"] != 0 {
+		t.Errorf("SSI bounder missed %d times", miss["ssi"])
+	}
+}

@@ -1,0 +1,86 @@
+package ci
+
+import (
+	"math"
+
+	"fastframe/internal/stats"
+)
+
+// HoeffdingSerfling is the error bounder of Algorithm 1 in the paper,
+// derived from the Hoeffding–Serfling inequality (Serfling 1974) for
+// sampling without replacement. Its interval widths depend only on the
+// range (b−a), the sample size m, and the sampling fraction, so it
+// exhibits both PMA and PHOS (paper Table 2).
+//
+// When the dataset size N is unknown (Params.N ≤ 0), the sampling
+// fraction term is dropped and the bound degrades to plain Hoeffding,
+// which is still valid for without-replacement samples (Hoeffding 1963).
+type HoeffdingSerfling struct{}
+
+// Name implements Bounder.
+func (HoeffdingSerfling) Name() string { return "hoeffding" }
+
+// NewState implements Bounder.
+func (HoeffdingSerfling) NewState() State { return &hoeffdingState{} }
+
+type hoeffdingState struct {
+	m   int
+	avg float64
+}
+
+func (s *hoeffdingState) Update(v float64) {
+	s.m++
+	s.avg += (v - s.avg) / float64(s.m)
+}
+
+func (s *hoeffdingState) Count() int        { return s.m }
+func (s *hoeffdingState) Estimate() float64 { return s.avg }
+func (s *hoeffdingState) Reset()            { *s = hoeffdingState{} }
+
+// epsilon returns (b−a)·sqrt(log(1/δ)·(1−(m−1)/N)/(2m)).
+func (s *hoeffdingState) epsilon(p Params) float64 {
+	if s.m == 0 {
+		return math.Inf(1)
+	}
+	frac := stats.SamplingFraction(s.m, p.N)
+	return (p.B - p.A) * math.Sqrt(stats.Log1Over(p.Delta)*frac/(2*float64(s.m)))
+}
+
+func (s *hoeffdingState) Lower(p Params) float64 {
+	if s.m == 0 {
+		return p.A
+	}
+	return s.avg - s.epsilon(p)
+}
+
+func (s *hoeffdingState) Upper(p Params) float64 {
+	if s.m == 0 {
+		return p.B
+	}
+	return s.avg + s.epsilon(p)
+}
+
+// Hoeffding is the classic with-replacement-style Hoeffding bounder: the
+// Hoeffding–Serfling bounder without the finite-population correction.
+// It is included as the most conservative baseline and for datasets of
+// unknown size. (Hoeffding's inequality also holds for sampling without
+// replacement, per Hoeffding 1963 §6.)
+type Hoeffding struct{}
+
+// Name implements Bounder.
+func (Hoeffding) Name() string { return "hoeffding-inf" }
+
+// NewState implements Bounder.
+func (Hoeffding) NewState() State { return &plainHoeffdingState{} }
+
+type plainHoeffdingState struct{ hoeffdingState }
+
+func (s *plainHoeffdingState) Lower(p Params) float64 {
+	p.N = 0 // force the with-replacement bound
+	return s.hoeffdingState.Lower(p)
+}
+
+func (s *plainHoeffdingState) Upper(p Params) float64 {
+	p.N = 0
+	return s.hoeffdingState.Upper(p)
+}

@@ -1,0 +1,19 @@
+package ci
+
+import "testing"
+
+func TestBounderNames(t *testing.T) {
+	want := map[string]Bounder{
+		"hoeffding":        HoeffdingSerfling{},
+		"hoeffding-inf":    Hoeffding{},
+		"bernstein":        EmpiricalBernsteinSerfling{},
+		"bernstein-oracle": BernsteinSerfling{Sigma: 1},
+		"anderson":         AndersonDKW{},
+		"clt":              CLT{},
+	}
+	for name, b := range want {
+		if b.Name() != name {
+			t.Errorf("Name() = %q, want %q", b.Name(), name)
+		}
+	}
+}

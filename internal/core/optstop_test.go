@@ -1,0 +1,142 @@
+package core
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+
+	"fastframe/internal/ci"
+)
+
+func TestRoundDelta(t *testing.T) {
+	const delta = 1e-6
+	// Budget must telescope: Σ (6/π²)δ/k² = δ. Check a long partial sum
+	// stays below δ and approaches it.
+	sum := 0.0
+	for k := 1; k <= 2_000_000; k++ {
+		sum += RoundDelta(delta, k)
+	}
+	if sum > delta {
+		t.Fatalf("partial budget %v exceeds delta %v", sum, delta)
+	}
+	if sum < 0.999999*delta {
+		t.Errorf("partial budget %v not approaching delta %v", sum, delta)
+	}
+	if RoundDelta(delta, 0) != RoundDelta(delta, 1) {
+		t.Error("k<1 should clamp to round 1")
+	}
+}
+
+func TestOptStopTightensMonotonically(t *testing.T) {
+	rng := rand.New(rand.NewPCG(1, 2))
+	o := NewOptStop(RangeTrim{Inner: ci.EmpiricalBernsteinSerfling{}},
+		ci.Params{A: 0, B: 1, N: 1_000_000, Delta: 1e-9}, 500)
+	prev := math.Inf(1)
+	for i := 0; i < 20_000; i++ {
+		if o.Observe(0.3 + 0.1*rng.Float64()) {
+			w := o.Interval().Width()
+			if w > prev+1e-12 {
+				t.Fatalf("interval widened at round %d: %v > %v", o.Round(), w, prev)
+			}
+			prev = w
+		}
+	}
+	if o.Round() != 40 {
+		t.Errorf("Round = %d, want 40", o.Round())
+	}
+	if o.Samples() != 20_000 {
+		t.Errorf("Samples = %d, want 20000", o.Samples())
+	}
+	if prev > 0.2 {
+		t.Errorf("final width %v suspiciously loose", prev)
+	}
+}
+
+func TestOptStopCoverageUnderOptionalStopping(t *testing.T) {
+	// Adversarial optional stopping: stop the moment the interval first
+	// excludes some threshold near the mean, then verify the final
+	// interval still contains the true mean. Any anytime-validity bug
+	// (e.g. not decaying δ) shows up as misses here.
+	rng := rand.New(rand.NewPCG(5, 6))
+	misses := 0
+	const trials = 30
+	for trial := 0; trial < trials; trial++ {
+		n := 50_000
+		data := make([]float64, n)
+		truth := 0.0
+		for i := range data {
+			data[i] = rng.Float64()
+			truth += data[i]
+		}
+		truth /= float64(n)
+		perm := rng.Perm(n)
+		o := NewOptStop(RangeTrim{Inner: ci.EmpiricalBernsteinSerfling{}},
+			ci.Params{A: 0, B: 1, N: n, Delta: 0.05}, 200)
+		threshold := truth + 0.01
+		for _, idx := range perm {
+			if o.Observe(data[idx]) {
+				iv := o.Interval()
+				if !iv.Contains(threshold) { // data-dependent stop
+					break
+				}
+			}
+		}
+		if !o.Interval().Contains(truth) {
+			misses++
+		}
+	}
+	if misses > 0 {
+		t.Errorf("%d/%d runs missed the true mean under optional stopping", misses, trials)
+	}
+}
+
+func TestOptStopCloseRoundOnPartialBatch(t *testing.T) {
+	o := NewOptStop(ci.HoeffdingSerfling{}, ci.Params{A: 0, B: 1, N: 1000, Delta: 1e-6}, 100)
+	for i := 0; i < 42; i++ {
+		o.Observe(0.5)
+	}
+	if o.Round() != 0 {
+		t.Fatalf("Round = %d before forced close", o.Round())
+	}
+	o.CloseRound()
+	if o.Round() != 1 {
+		t.Fatalf("Round = %d after forced close", o.Round())
+	}
+	iv := o.Interval()
+	if iv.Width() >= 1 {
+		t.Errorf("interval did not tighten after forced close: width %v", iv.Width())
+	}
+}
+
+func TestOptStopTrivialBeforeFirstRound(t *testing.T) {
+	o := NewOptStop(ci.HoeffdingSerfling{}, ci.Params{A: -2, B: 3, N: 1000, Delta: 1e-6}, 100)
+	iv := o.Interval()
+	if iv.Lo != -2 || iv.Hi != 3 {
+		t.Errorf("pre-round interval [%v,%v], want [-2,3]", iv.Lo, iv.Hi)
+	}
+}
+
+func TestOptStopSetNMonotone(t *testing.T) {
+	// Tightening N between rounds must not widen the running interval
+	// (it can only help future rounds).
+	rng := rand.New(rand.NewPCG(10, 20))
+	o := NewOptStop(ci.HoeffdingSerfling{}, ci.Params{A: 0, B: 1, N: 1 << 30, Delta: 1e-9}, 300)
+	for i := 0; i < 3000; i++ {
+		o.Observe(rng.Float64())
+	}
+	wBefore := o.Interval().Width()
+	o.SetN(10_000)
+	for i := 0; i < 3000; i++ {
+		o.Observe(rng.Float64())
+	}
+	if w := o.Interval().Width(); w > wBefore {
+		t.Errorf("interval widened after SetN: %v > %v", w, wBefore)
+	}
+}
+
+func TestOptStopDefaultBatchSize(t *testing.T) {
+	o := NewOptStop(ci.HoeffdingSerfling{}, ci.Params{A: 0, B: 1, N: 100, Delta: 0.1}, 0)
+	if o.batchSize != DefaultBatchSize {
+		t.Errorf("batchSize = %d, want %d", o.batchSize, DefaultBatchSize)
+	}
+}

@@ -1,0 +1,162 @@
+package core
+
+import (
+	"math"
+
+	"fastframe/internal/ci"
+)
+
+// This file gives executable probes for the paper's two error-bounder
+// pathologies so the Table 2 matrix can be *measured* rather than
+// asserted. Definition 2 (PMA) as literally stated admits degenerate
+// witnesses (a constant sample clipped to another constant leaves every
+// bounder's width unchanged), so the probes below operationalize the
+// mechanism arguments of §2.3.3 instead:
+//
+//   - Interior-concentration probe: replace interior sample values with
+//     values closer to the mean while pinning the sample extremes (a
+//     legal "replace smallest/largest elements with something
+//     larger/smaller" move). A bounder whose width depends on the data
+//     only through range quantities — Hoeffding's (b−a), RangeTrim's
+//     (max−min) — does not react: that is PMA. Variance-sensitive widths
+//     (Bernstein) and order-statistic widths (Anderson) shrink.
+//
+//   - Endpoint-mass probe: shift the whole sample up by s, away from the
+//     lower range bound a. Anderson's lower bound re-allocates its ε
+//     unaccounted mass at a itself, so its pessimism gap
+//     (estimate − Lower) grows by ε·s ≈ s·sqrt(log(1/δ)/2m) — first
+//     order in s at the √m rate. Bounders that allocate unseen mass
+//     relative to the observed values grow only at the O(1/m) rate or
+//     not at all. The probe flags growth above half the DKW ε.
+//
+// A bounder exhibits PMA iff either probe fires. PHOS (Definition 3) is
+// probed directly: it is a structural dependency of the lower bound on b
+// (resp. upper on a), observable by varying the range bound while
+// holding the sample fixed.
+
+// probeM is the sample size used by the pathology probes; large enough
+// that O(1/m) terms are well separated from O(1/√m) terms.
+const probeM = 10000
+
+// probeDelta is the per-side error probability used by the probes.
+const probeDelta = 1e-6
+
+// pathologyTolerance absorbs floating-point noise when comparing
+// quantities that should be exactly equal structurally.
+const pathologyTolerance = 1e-9
+
+// feed returns a fresh state of b fed with the given sample.
+func feed(b ci.Bounder, sample []float64) ci.State {
+	s := b.NewState()
+	for _, v := range sample {
+		s.Update(v)
+	}
+	return s
+}
+
+// widthOf returns the (1−δ)-interval width of bounder b over the sample
+// under the given side conditions.
+func widthOf(b ci.Bounder, sample []float64, p ci.Params) float64 {
+	return ci.BoundInterval(feed(b, sample), p).Width()
+}
+
+// probeSample builds a deterministic sample of size probeM spread across
+// [lo, hi] with pinned extremes at lo and hi.
+func probeSample(lo, hi float64) []float64 {
+	s := make([]float64, probeM)
+	for i := range s {
+		s[i] = lo + (hi-lo)*float64(i)/float64(probeM-1)
+	}
+	return s
+}
+
+// concentrated returns a copy of sample with every interior value pulled
+// halfway toward the sample mean; the global min and max are pinned so
+// range-derived quantities cannot change.
+func concentrated(sample []float64) []float64 {
+	lo, hi := sample[0], sample[0]
+	mean := 0.0
+	for _, v := range sample {
+		lo = math.Min(lo, v)
+		hi = math.Max(hi, v)
+		mean += v
+	}
+	mean /= float64(len(sample))
+	out := make([]float64, len(sample))
+	pinnedLo, pinnedHi := false, false
+	for i, v := range sample {
+		switch {
+		case v == lo && !pinnedLo:
+			out[i] = v
+			pinnedLo = true
+		case v == hi && !pinnedHi:
+			out[i] = v
+			pinnedHi = true
+		default:
+			out[i] = mean + (v-mean)/2
+		}
+	}
+	return out
+}
+
+// ExhibitsPMA reports whether bounder b shows pessimistic mass
+// allocation per the probes described in the file comment.
+func ExhibitsPMA(b ci.Bounder) bool {
+	p := ci.Params{A: 0, B: 1, N: 50 * probeM, Delta: probeDelta}
+
+	// Probe 1: interior concentration with pinned extremes.
+	base := probeSample(0.2, 0.8)
+	w := widthOf(b, base, p)
+	wConc := widthOf(b, concentrated(base), p)
+	if wConc >= w-pathologyTolerance {
+		return true
+	}
+
+	// Probe 2: endpoint-mass sensitivity of the lower bound. Shift the
+	// sample up by s and watch the pessimism gap (estimate − Lower).
+	const shift = 0.3
+	low := probeSample(0.1, 0.3)
+	high := make([]float64, len(low))
+	for i, v := range low {
+		high[i] = v + shift
+	}
+	gap := func(sample []float64) float64 {
+		s := feed(b, sample)
+		return s.Estimate() - s.Lower(p)
+	}
+	growth := gap(high) - gap(low)
+	threshold := shift * 0.5 * math.Sqrt(math.Log(1/probeDelta)/(2*probeM))
+	return growth > threshold
+}
+
+// ExhibitsPHOS reports whether bounder b shows phantom outlier
+// sensitivity (Definition 3): the confidence lower bound depends on the
+// upper range bound b (or symmetrically, the upper bound on a) even when
+// no values near that bound were observed. The probe widens B while
+// holding the sample fixed and watches whether the LOWER bound moves.
+func ExhibitsPHOS(b ci.Bounder) bool {
+	sample := probeSample(0.2, 0.4)
+	s := feed(b, sample)
+	n := 50 * probeM
+	lowNarrow := s.Lower(ci.Params{A: 0, B: 1, N: n, Delta: probeDelta})
+	lowWide := s.Lower(ci.Params{A: 0, B: 100, N: n, Delta: probeDelta})
+	if math.Abs(lowNarrow-lowWide) > pathologyTolerance {
+		return true
+	}
+	upNarrow := s.Upper(ci.Params{A: 0, B: 1, N: n, Delta: probeDelta})
+	upWide := s.Upper(ci.Params{A: -100, B: 1, N: n, Delta: probeDelta})
+	return math.Abs(upNarrow-upWide) > pathologyTolerance
+}
+
+// PathologyReport summarizes a bounder's measured pathologies, mirroring
+// one row of the paper's Table 2.
+type PathologyReport struct {
+	Bounder string
+	PMA     bool
+	PHOS    bool
+}
+
+// Diagnose measures PMA and PHOS for b.
+func Diagnose(b ci.Bounder) PathologyReport {
+	return PathologyReport{Bounder: b.Name(), PMA: ExhibitsPMA(b), PHOS: ExhibitsPHOS(b)}
+}

@@ -1,0 +1,45 @@
+package core
+
+import (
+	"testing"
+
+	"fastframe/internal/ci"
+)
+
+// TestPathologyMatrix reproduces the paper's Table 2 plus the two new
+// RangeTrim rows, measuring PMA and PHOS per Definitions 2–3:
+//
+//	Hoeffding(-Serfling):  PMA ✓  PHOS ✓
+//	Bernstein(-Serfling):  PMA ✗  PHOS ✓
+//	Anderson/DKW:          PMA ✓  PHOS ✗
+//	Hoeffding+RT:          PMA ✓  PHOS ✗
+//	Bernstein+RT:          PMA ✗  PHOS ✗   ← the paper's Problem 1 solved
+func TestPathologyMatrix(t *testing.T) {
+	cases := []struct {
+		b         ci.Bounder
+		pma, phos bool
+	}{
+		{ci.HoeffdingSerfling{}, true, true},
+		{ci.Hoeffding{}, true, true},
+		{ci.EmpiricalBernsteinSerfling{}, false, true},
+		{ci.AndersonDKW{}, true, false},
+		{RangeTrim{Inner: ci.HoeffdingSerfling{}}, true, false},
+		{RangeTrim{Inner: ci.EmpiricalBernsteinSerfling{}}, false, false},
+	}
+	for _, c := range cases {
+		r := Diagnose(c.b)
+		if r.PMA != c.pma {
+			t.Errorf("%s: PMA = %v, want %v", c.b.Name(), r.PMA, c.pma)
+		}
+		if r.PHOS != c.phos {
+			t.Errorf("%s: PHOS = %v, want %v", c.b.Name(), r.PHOS, c.phos)
+		}
+	}
+}
+
+func TestDiagnoseReportsName(t *testing.T) {
+	r := Diagnose(ci.HoeffdingSerfling{})
+	if r.Bounder != "hoeffding" {
+		t.Errorf("Bounder = %q", r.Bounder)
+	}
+}

@@ -1,0 +1,135 @@
+// Package core implements the primary contribution of Macke et al.
+// (ICDE 2021): the RangeTrim meta-bounder that eliminates phantom outlier
+// sensitivity (PHOS) from any range-based SSI error bounder (Algorithms
+// 4 & 6, Theorem 2), the OptStop optional-stopping meta-algorithm
+// (Algorithm 5, Theorem 4), and executable definitions of the two error
+// bounder pathologies — pessimistic mass allocation (PMA, Definition 2)
+// and PHOS (Definition 3) — used to reproduce the paper's Table 2.
+package core
+
+import "fastframe/internal/ci"
+
+// RangeTrim wraps an inner range-based bounder and "asymmetrizes" it:
+// the confidence lower bound is computed over the sample minus its
+// maximum, against range [a, max S], and the upper bound over the sample
+// minus its minimum, against range [min S, b]. By Lemma 4 / Corollary 1
+// of the paper, conditioned on max S the rest of the sample is a uniform
+// without-replacement sample from D ∩ (−∞, max S), so the trimmed lower
+// bound is a valid lower bound for AVG(D) — and it no longer depends on
+// b at all, eliminating PHOS. Dataset size passes through as N−1.
+//
+// RangeTrim preserves the inner bounder's PMA status: wrapping
+// Hoeffding–Serfling retains PMA; wrapping empirical Bernstein–Serfling
+// yields the paper's headline bounder with neither pathology.
+type RangeTrim struct {
+	// Inner is the wrapped range-based bounder. It must be SSI and
+	// satisfy the dataset-size monotonicity property (§3.3) — every
+	// bounder in package ci does.
+	Inner ci.Bounder
+}
+
+// Name implements ci.Bounder, reporting "<inner>+rt".
+func (rt RangeTrim) Name() string { return rt.Inner.Name() + "+rt" }
+
+// NewState implements ci.Bounder.
+func (rt RangeTrim) NewState() ci.State {
+	return &rangeTrimState{
+		left:  rt.Inner.NewState(),
+		right: rt.Inner.NewState(),
+	}
+}
+
+type rangeTrimState struct {
+	left  ci.State // sees min(v, running max); used for Lower
+	right ci.State // sees max(v, running min); used for Upper
+
+	m       int
+	avg     float64
+	minSeen float64
+	maxSeen float64
+}
+
+// Update implements the streaming form of Algorithm 6: the first value
+// only initializes the running extrema; each later value v feeds
+// min(v, b′) to the left state and max(v, a′) to the right state before
+// the extrema absorb v. This maintains exactly the state Algorithm 4
+// would have after drawing the same sequence.
+func (s *rangeTrimState) Update(v float64) {
+	if s.m == 0 {
+		s.minSeen, s.maxSeen = v, v
+	} else {
+		lv := v
+		if lv > s.maxSeen {
+			lv = s.maxSeen
+		}
+		s.left.Update(lv)
+		rv := v
+		if rv < s.minSeen {
+			rv = s.minSeen
+		}
+		s.right.Update(rv)
+		if v < s.minSeen {
+			s.minSeen = v
+		}
+		if v > s.maxSeen {
+			s.maxSeen = v
+		}
+	}
+	s.m++
+	s.avg += (v - s.avg) / float64(s.m)
+}
+
+func (s *rangeTrimState) Count() int        { return s.m }
+func (s *rangeTrimState) Estimate() float64 { return s.avg }
+
+func (s *rangeTrimState) Reset() {
+	s.left.Reset()
+	s.right.Reset()
+	s.m = 0
+	s.avg = 0
+	s.minSeen = 0
+	s.maxSeen = 0
+}
+
+// Lower returns inner.Lower over the left state with the observed max
+// substituted for the upper range bound and dataset size N−1
+// (Algorithm 6 line 21). The returned bound never depends on p.B.
+func (s *rangeTrimState) Lower(p ci.Params) float64 {
+	if s.m == 0 {
+		return p.A
+	}
+	inner := ci.Params{A: p.A, B: s.maxSeen, N: trimN(p.N), Delta: p.Delta}
+	lo := s.left.Lower(inner)
+	if lo < p.A {
+		lo = p.A
+	}
+	return lo
+}
+
+// Upper mirrors Lower with the observed min substituted for the lower
+// range bound; it never depends on p.A.
+func (s *rangeTrimState) Upper(p ci.Params) float64 {
+	if s.m == 0 {
+		return p.B
+	}
+	inner := ci.Params{A: s.minSeen, B: p.B, N: trimN(p.N), Delta: p.Delta}
+	hi := s.right.Upper(inner)
+	if hi > p.B {
+		hi = p.B
+	}
+	return hi
+}
+
+// trimN maps the outer dataset size to the size passed to the inner
+// bounder: N−1 for a known size (the trimmed dataset D<b′ has at most
+// N−1 elements and monotonicity makes the upper bound safe), and
+// "unknown" passes through.
+func trimN(n int) int {
+	if n <= 0 {
+		return n
+	}
+	if n == 1 {
+		return 1
+	}
+	return n - 1
+}

@@ -1,0 +1,116 @@
+// Package distgen generates synthetic value distributions for
+// micro-benchmarks and property tests of the error bounders: the
+// distribution shapes that separate Hoeffding-style, Bernstein-style,
+// and range-trimmed bounders (uniform, concentrated, heavy-tailed,
+// outlier-injected, and the two-point worst case for which
+// Hoeffding–Serfling is minimax-optimal).
+package distgen
+
+import (
+	"fmt"
+	"math"
+	"math/rand/v2"
+)
+
+// Dist is a named value generator over a bounded support.
+type Dist struct {
+	// Name identifies the distribution in benchmark output.
+	Name string
+	// A, B bound the support; every generated value lies in [A, B].
+	A, B float64
+	// Gen draws one value.
+	Gen func(rng *rand.Rand) float64
+}
+
+// Sample draws n values.
+func (d Dist) Sample(rng *rand.Rand, n int) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = clamp(d.Gen(rng), d.A, d.B)
+	}
+	return out
+}
+
+func clamp(x, lo, hi float64) float64 {
+	if x < lo {
+		return lo
+	}
+	if x > hi {
+		return hi
+	}
+	return x
+}
+
+// Uniform is uniform on [a, b].
+func Uniform(a, b float64) Dist {
+	return Dist{
+		Name: fmt.Sprintf("uniform[%g,%g]", a, b),
+		A:    a, B: b,
+		Gen: func(rng *rand.Rand) float64 { return a + rng.Float64()*(b-a) },
+	}
+}
+
+// Concentrated is a tight Gaussian around mu with stddev sigma, clipped
+// to a much wider support [a, b] — the PHOS regime where the observed
+// range is tiny relative to the catalog range.
+func Concentrated(mu, sigma, a, b float64) Dist {
+	return Dist{
+		Name: fmt.Sprintf("concentrated(mu=%g,sd=%g)/[%g,%g]", mu, sigma, a, b),
+		A:    a, B: b,
+		Gen: func(rng *rand.Rand) float64 { return mu + rng.NormFloat64()*sigma },
+	}
+}
+
+// TwoPoint puts mass p at b and 1−p at a: the worst case for which the
+// Hoeffding–Serfling width is asymptotically optimal (at p = 1/2).
+func TwoPoint(a, b, p float64) Dist {
+	return Dist{
+		Name: fmt.Sprintf("two-point(p=%g)", p),
+		A:    a, B: b,
+		Gen: func(rng *rand.Rand) float64 {
+			if rng.Float64() < p {
+				return b
+			}
+			return a
+		},
+	}
+}
+
+// LogNormal is a heavy-right-tail distribution exp(N(mu, sigma))
+// truncated at b, shifted to start at a.
+func LogNormal(mu, sigma, a, b float64) Dist {
+	return Dist{
+		Name: fmt.Sprintf("lognormal(mu=%g,sd=%g)", mu, sigma),
+		A:    a, B: b,
+		Gen: func(rng *rand.Rand) float64 {
+			return a + math.Exp(mu+sigma*rng.NormFloat64())
+		},
+	}
+}
+
+// WithOutliers injects values at the top of the support with
+// probability rate into a base distribution — the "phantom outliers made
+// real" case that costs RangeTrim its advantage.
+func WithOutliers(base Dist, rate float64) Dist {
+	return Dist{
+		Name: fmt.Sprintf("%s+outliers(%g)", base.Name, rate),
+		A:    base.A, B: base.B,
+		Gen: func(rng *rand.Rand) float64 {
+			if rng.Float64() < rate {
+				return base.B
+			}
+			return base.Gen(rng)
+		},
+	}
+}
+
+// Benchmarks returns the standard roster used by the micro-benchmarks.
+func Benchmarks() []Dist {
+	return []Dist{
+		Uniform(0, 1),
+		TwoPoint(0, 1, 0.5),
+		Concentrated(500, 5, 0, 10000),
+		LogNormal(2, 1, 0, 10000),
+		WithOutliers(Concentrated(500, 5, 0, 10000), 0.001),
+	}
+}

@@ -1,0 +1,106 @@
+package distgen
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"fastframe/internal/stats"
+)
+
+func TestSamplesRespectSupport(t *testing.T) {
+	rng := rand.New(rand.NewPCG(1, 1))
+	for _, d := range Benchmarks() {
+		xs := d.Sample(rng, 5000)
+		if len(xs) != 5000 {
+			t.Fatalf("%s: got %d samples", d.Name, len(xs))
+		}
+		for i, x := range xs {
+			if x < d.A || x > d.B {
+				t.Fatalf("%s: sample %d = %v outside [%v,%v]", d.Name, i, x, d.A, d.B)
+			}
+		}
+	}
+}
+
+func TestUniformMoments(t *testing.T) {
+	rng := rand.New(rand.NewPCG(2, 2))
+	xs := Uniform(0, 1).Sample(rng, 100000)
+	if m := stats.Mean(xs); m < 0.49 || m > 0.51 {
+		t.Errorf("uniform mean = %v", m)
+	}
+	if v := stats.Variance(xs); v < 0.08 || v > 0.09 {
+		t.Errorf("uniform variance = %v, want ~1/12", v)
+	}
+}
+
+func TestTwoPoint(t *testing.T) {
+	rng := rand.New(rand.NewPCG(3, 3))
+	xs := TwoPoint(0, 1, 0.25).Sample(rng, 100000)
+	ones := 0
+	for _, x := range xs {
+		if x == 1 {
+			ones++
+		} else if x != 0 {
+			t.Fatalf("two-point produced %v", x)
+		}
+	}
+	if f := float64(ones) / 100000; f < 0.24 || f > 0.26 {
+		t.Errorf("two-point rate = %v, want ~0.25", f)
+	}
+}
+
+func TestConcentratedIsNarrow(t *testing.T) {
+	rng := rand.New(rand.NewPCG(4, 4))
+	d := Concentrated(500, 5, 0, 10000)
+	xs := d.Sample(rng, 20000)
+	var mm stats.MinMax
+	for _, x := range xs {
+		mm.Add(x)
+	}
+	if spread := mm.Max() - mm.Min(); spread > 100 {
+		t.Errorf("concentrated spread = %v, want tiny vs support 10000", spread)
+	}
+	if m := stats.Mean(xs); m < 495 || m > 505 {
+		t.Errorf("concentrated mean = %v", m)
+	}
+}
+
+func TestWithOutliersHitsTop(t *testing.T) {
+	rng := rand.New(rand.NewPCG(5, 5))
+	d := WithOutliers(Concentrated(500, 5, 0, 10000), 0.01)
+	xs := d.Sample(rng, 50000)
+	hits := 0
+	for _, x := range xs {
+		if x == 10000 {
+			hits++
+		}
+	}
+	if hits < 300 || hits > 700 {
+		t.Errorf("outlier hits = %d, want ~500", hits)
+	}
+}
+
+func TestLogNormalHeavyTail(t *testing.T) {
+	rng := rand.New(rand.NewPCG(6, 6))
+	xs := LogNormal(2, 1, 0, 10000).Sample(rng, 50000)
+	mean := stats.Mean(xs)
+	over := 0
+	for _, x := range xs {
+		if x > 4*mean {
+			over++
+		}
+	}
+	if over == 0 {
+		t.Error("lognormal produced no heavy-tail values")
+	}
+}
+
+func TestNamesDistinct(t *testing.T) {
+	seen := map[string]bool{}
+	for _, d := range Benchmarks() {
+		if d.Name == "" || seen[d.Name] {
+			t.Errorf("bad or duplicate distribution name %q", d.Name)
+		}
+		seen[d.Name] = true
+	}
+}

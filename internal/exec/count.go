@@ -1,0 +1,98 @@
+package exec
+
+import (
+	"math"
+
+	"fastframe/internal/ci"
+	"fastframe/internal/stats"
+)
+
+// selectivityEpsilon returns the two-sided Hoeffding–Serfling deviation
+// for a view selectivity after covering r of R scramble rows (Lemma 5):
+//
+//	ε = sqrt( log(2/δ) / (2r) · (1 − (r−1)/R) )
+func selectivityEpsilon(r, bigR int, delta float64) float64 {
+	if r <= 0 {
+		return 1
+	}
+	frac := stats.SamplingFraction(r, bigR)
+	return math.Sqrt(stats.LogKOver(2, delta) / (2 * float64(r)) * frac)
+}
+
+// countInterval returns a (1−δ) confidence interval for the number of
+// rows N belonging to a view, given that mv of the r covered rows (out
+// of R total) matched. The interval is clamped against the exact
+// knowledge already in hand: at least mv matches exist, and at most
+// R − (r − mv) can (the covered non-matches are known).
+func countInterval(r, bigR, mv int, delta float64) ci.Interval {
+	if r <= 0 {
+		return ci.Interval{Lo: 0, Hi: float64(bigR)}
+	}
+	sel := float64(mv) / float64(r)
+	eps := selectivityEpsilon(r, bigR, delta)
+	lo := (sel - eps) * float64(bigR)
+	hi := (sel + eps) * float64(bigR)
+	if lo < float64(mv) {
+		lo = float64(mv)
+	}
+	if maxN := float64(bigR - (r - mv)); hi > maxN {
+		hi = maxN
+	}
+	if lo > hi {
+		lo = hi
+	}
+	return ci.Interval{Lo: lo, Hi: hi, Estimate: sel * float64(bigR), Samples: r}
+}
+
+// countUpper returns the one-sided upper bound N⁺ of Theorem 3 on the
+// view size, failing with probability < delta:
+//
+//	N⁺ = ( mv/r + sqrt( log(1/δ)/(2r) · (1−(r−1)/R) ) ) · R
+//
+// clamped to the deterministic bound R − (r − mv). The returned value is
+// at least mv (the matches already seen) and at least 1 so bounders can
+// always consume it.
+func countUpper(r, bigR, mv int, delta float64) int {
+	if r <= 0 {
+		return max(bigR, 1)
+	}
+	frac := stats.SamplingFraction(r, bigR)
+	eps := math.Sqrt(stats.Log1Over(delta) / (2 * float64(r)) * frac)
+	n := (float64(mv)/float64(r) + eps) * float64(bigR)
+	if maxN := float64(bigR - (r - mv)); n > maxN {
+		n = maxN
+	}
+	up := int(math.Ceil(n))
+	if up < mv {
+		up = mv
+	}
+	if up < 1 {
+		up = 1
+	}
+	return up
+}
+
+// sumInterval combines a (1−δ/2) COUNT interval and a (1−δ/2) AVG
+// interval into a (1−δ) SUM interval via a union bound (§4.1). The paper
+// states [c_ℓ·g_ℓ, c_r·g_r], which assumes a non-negative mean; taking
+// the extrema over the four corner products keeps the interval correct
+// for negative means too.
+func sumInterval(count, avg ci.Interval) ci.Interval {
+	corners := [4]float64{
+		count.Lo * avg.Lo,
+		count.Lo * avg.Hi,
+		count.Hi * avg.Lo,
+		count.Hi * avg.Hi,
+	}
+	lo, hi := corners[0], corners[0]
+	for _, c := range corners[1:] {
+		lo = math.Min(lo, c)
+		hi = math.Max(hi, c)
+	}
+	return ci.Interval{
+		Lo:       lo,
+		Hi:       hi,
+		Estimate: count.Estimate * avg.Estimate,
+		Samples:  avg.Samples,
+	}
+}

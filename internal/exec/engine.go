@@ -1,0 +1,437 @@
+package exec
+
+import (
+	"errors"
+	"sort"
+	"time"
+
+	"fastframe/internal/bitmap"
+	"fastframe/internal/expr"
+	"fastframe/internal/query"
+	"fastframe/internal/scramble"
+	"fastframe/internal/table"
+)
+
+// Run executes an approximate aggregate query against a scramble and
+// returns per-view confidence intervals satisfying the query's total
+// error budget (Options.Delta), terminating as early as the stopping
+// condition allows.
+func Run(t *table.Table, q query.Query, opts Options) (*Result, error) {
+	opts = opts.withDefaults()
+	if opts.Bounder == nil {
+		return nil, errors.New("exec: Options.Bounder is required")
+	}
+	if err := q.Validate(); err != nil {
+		return nil, err
+	}
+
+	e, err := newEngine(t, q, opts)
+	if err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	e.run()
+	res := e.result()
+	res.Duration = time.Since(start)
+	return res, nil
+}
+
+type engine struct {
+	t    *table.Table
+	q    query.Query
+	opts Options
+
+	agg     *table.FloatColumn    // simple-column aggregate input
+	aggProg func(row int) float64 // expression aggregate input
+	pred    *compiledPred
+	grp     *grouper
+	cfg     roundConfig
+
+	layout scramble.Layout
+	cursor *scramble.Cursor
+
+	// states is indexed by dense group ID (every potential group is
+	// instantiated upfront, so a slice beats a map on the per-row path).
+	states  []*groupState
+	ordered []*groupState // same states in ID order, for iteration
+
+	// coverage accounting: coveredAll counts rows whose membership is
+	// known for every view (fetched rows and predicate-pruned rows);
+	// rows in blocks skipped by active scanning are credited only to the
+	// groups that were active (groupState.extra).
+	coveredAll   int
+	totalCovered int
+
+	round       int
+	nextRoundAt int
+	numActive   int
+	stopped     bool
+	aborted     bool
+
+	// ActivePeek machinery: two mask buffers alternate between "current
+	// batch being read" and "next batch being marked by the worker".
+	peek         *bitmap.Lookahead
+	peekCol      int // GROUP BY column the lookahead keys on
+	peekBufs     [2]*bitmap.Bitset
+	peekCur      int // index into peekBufs of the current mask
+	peekMask     *bitmap.Bitset
+	peekStart    int // first block covered by peekMask; -1 if none
+	peekLen      int // blocks covered by peekMask
+	peekPending  bool
+	pendingStart int // start block of the in-flight lookahead request
+	pendingLen   int
+}
+
+func newEngine(t *table.Table, q query.Query, opts Options) (*engine, error) {
+	e := &engine{t: t, q: q, opts: opts, layout: t.Layout()}
+
+	switch {
+	case q.Agg.Kind == query.Count:
+		e.cfg.a, e.cfg.b = 0, 1 // selectivity bounds; AVG interval unused
+	case q.Agg.Expr != nil:
+		// Expression aggregate: compile a per-row program and derive
+		// range bounds from the referenced columns' catalog bounds
+		// (Appendix B; always sound, corner-tight for monotone/convex).
+		prog, err := expr.CompileProgram(q.Agg.Expr, func(name string) ([]float64, error) {
+			col, err := t.Float(name)
+			if err != nil {
+				return nil, err
+			}
+			return col.Values, nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		vars := map[string]bool{}
+		q.Agg.Expr.Vars(vars)
+		boxes := map[string]expr.Box{}
+		for name := range vars {
+			rb, err := t.Bounds(name)
+			if err != nil {
+				return nil, err
+			}
+			boxes[name] = expr.Box{Lo: rb.A, Hi: rb.B}
+		}
+		box, err := expr.DeriveBounds(q.Agg.Expr, boxes)
+		if err != nil {
+			return nil, err
+		}
+		e.aggProg = prog
+		e.cfg.a, e.cfg.b = box.Lo, box.Hi
+	default:
+		col, err := t.Float(q.Agg.Column)
+		if err != nil {
+			return nil, err
+		}
+		e.agg = col
+		rb, err := t.Bounds(q.Agg.Column)
+		if err != nil {
+			return nil, err
+		}
+		e.cfg.a, e.cfg.b = rb.A, rb.B
+	}
+
+	pred, err := compilePredicate(t, q.Pred)
+	if err != nil {
+		return nil, err
+	}
+	e.pred = pred
+
+	grp, err := newGrouper(t, q.GroupBy)
+	if err != nil {
+		return nil, err
+	}
+	e.grp = grp
+
+	e.cfg.bigR = t.NumRows()
+	e.cfg.knownN = pred.IsTrivialFor() && len(q.GroupBy) == 0
+	e.cfg.alpha = opts.Alpha
+	e.cfg.deltaView = opts.Delta / float64(grp.numGroups())
+	e.cfg.isSum = q.Agg.Kind == query.Sum
+	e.cfg.exactCount = opts.ExactCountBounds
+
+	// Instantiate every potential view upfront: the single global view
+	// for ungrouped queries, or one view per dictionary combination for
+	// GROUP BY queries. An unobserved group keeps its trivial [A, B]
+	// interval and therefore blocks every stopping condition until it is
+	// sampled or its view is provably empty (full coverage with zero
+	// matches) — stopping over a provisional group set would risk the
+	// subset errors (§1) the paper's guarantees exclude. Memory is O(G)
+	// with G the product of the GROUP BY dictionary sizes.
+	e.states = make([]*groupState, grp.numGroups())
+	for id := range e.states {
+		e.states[id] = newGroupState(id, grp.codesOf(id), opts.Bounder, e.cfg.a, e.cfg.b, e.cfg.bigR)
+	}
+	e.ordered = e.states
+
+	startBlock := opts.StartBlock
+	if opts.Rng != nil && e.layout.NumBlocks() > 0 {
+		startBlock = opts.Rng.IntN(e.layout.NumBlocks())
+	}
+	e.cursor = scramble.NewCursor(e.layout, startBlock)
+	e.nextRoundAt = opts.RoundRows
+	e.numActive = len(e.ordered)
+
+	if len(q.GroupBy) > 0 && opts.Strategy == ActivePeek {
+		// Key the lookahead on the most selective GROUP BY column (the
+		// one with the largest dictionary): per-block presence of its
+		// values is rarest, so its mask skips the most blocks. For
+		// composite groups the mask is a conservative superset check.
+		e.peekCol = 0
+		for i := 1; i < len(grp.indexes); i++ {
+			if grp.indexes[i].NumValues() > grp.indexes[e.peekCol].NumValues() {
+				e.peekCol = i
+			}
+		}
+		e.peek = bitmap.NewLookahead(grp.indexes[e.peekCol])
+		e.peekBufs[0] = bitmap.NewBitset(bitmap.LookaheadBatchBlocks)
+		e.peekBufs[1] = bitmap.NewBitset(bitmap.LookaheadBatchBlocks)
+		e.peekStart = -1
+	}
+	return e, nil
+}
+
+// IsTrivialFor reports whether the compiled predicate matches all rows.
+func (cp *compiledPred) IsTrivialFor() bool {
+	return !cp.empty && len(cp.catColumns) == 0 && len(cp.inColumns) == 0 && len(cp.rangeCols) == 0
+}
+
+func (e *engine) run() {
+	defer func() {
+		if e.peek != nil {
+			e.peek.Close()
+		}
+	}()
+	for {
+		b := e.cursor.Next()
+		if b == -1 {
+			break
+		}
+		e.step(b)
+		if e.totalCovered >= e.nextRoundAt {
+			e.closeRound()
+			if e.stopped {
+				return
+			}
+		}
+		if e.opts.MaxRows > 0 && e.totalCovered >= e.opts.MaxRows {
+			return
+		}
+	}
+	// Exhausted the scramble: every still-active view has been fully
+	// observed (blocks were only skipped when they provably contained
+	// none of its rows), so its answer is exact.
+	for _, gs := range e.ordered {
+		if gs.covered(e.coveredAll) == e.cfg.bigR {
+			gs.finalizeExact(e.cfg.bigR)
+		}
+	}
+}
+
+// step decides whether to fetch block b, processes or credits it, and
+// maintains coverage counters.
+func (e *engine) step(b int) {
+	s, end := e.layout.BlockBounds(b)
+	n := end - s
+
+	// Static predicate pruning applies to every strategy: a pruned
+	// block provably contains no view rows for any group.
+	if !e.pred.blockPossible(b) {
+		e.coveredAll += n
+		e.totalCovered += n
+		return
+	}
+
+	if len(e.q.GroupBy) > 0 && e.opts.Strategy != Scan && !e.blockHasActiveGroup(b) {
+		// Active-scan skip: the block has no rows of any active group.
+		e.totalCovered += n
+		for _, gs := range e.ordered {
+			if gs.active {
+				gs.extra += n
+			}
+		}
+		return
+	}
+
+	e.fetch(b, s, end)
+	e.coveredAll += n
+	e.totalCovered += n
+}
+
+func (e *engine) fetch(b, start, end int) {
+	e.cursor.Fetch(b)
+	for row := start; row < end; row++ {
+		if !e.pred.match(row) {
+			continue
+		}
+		gs := e.states[e.grp.groupOf(row)]
+		if gs.exact {
+			continue
+		}
+		switch {
+		case e.agg != nil:
+			gs.observe(e.agg.Values[row])
+		case e.aggProg != nil:
+			gs.observe(e.aggProg(row))
+		default:
+			gs.observe(1) // COUNT: only membership matters
+		}
+	}
+}
+
+// blockHasActiveGroup implements the per-strategy skip check.
+func (e *engine) blockHasActiveGroup(b int) bool {
+	switch e.opts.Strategy {
+	case ActiveSync:
+		// Synchronous per-block, per-group bitmap probes (the
+		// cache-unfriendly order the paper ablates).
+		for _, gs := range e.ordered {
+			if gs.active && e.grp.blockContainsGroup(b, gs.codes) {
+				return true
+			}
+		}
+		return false
+	case ActivePeek:
+		return e.peekLookup(b)
+	default:
+		return true
+	}
+}
+
+// peekLookup consults the asynchronous lookahead mask for block b,
+// requesting new batches as the scan crosses batch boundaries. Batches
+// are 64-aligned so the worker can OR whole bitmap words. Masks are
+// computed one batch ahead with the active set as of request time; a
+// shrinking active set only makes the mask conservative (extra fetches,
+// never missed coverage).
+func (e *engine) peekLookup(b int) bool {
+	if e.peekStart >= 0 && b >= e.peekStart && b < e.peekStart+e.peekLen {
+		return e.peekMask.Get(b - e.peekStart)
+	}
+	// Need the batch containing b: take the pending one if it matches,
+	// else mark it on demand (first batch, or after a wrap).
+	start := b &^ 63
+	count := bitmap.LookaheadBatchBlocks
+	if start+count > e.layout.NumBlocks() {
+		count = e.layout.NumBlocks() - start
+	}
+	if e.peekPending {
+		mask := e.peek.Wait()
+		e.peekPending = false
+		if e.pendingStart == start {
+			e.peekMask = mask
+			e.peekStart = start
+			e.peekLen = e.pendingLen
+			e.peekCur = 1 - e.peekCur
+		}
+	}
+	if e.peekStart != start {
+		buf := e.peekBufs[1-e.peekCur]
+		e.peek.Request(buf, start, count, e.activePeekCodes())
+		e.peekMask = e.peek.Wait()
+		e.peekStart = start
+		e.peekLen = count
+		e.peekCur = 1 - e.peekCur
+	}
+	// Pre-request the next contiguous batch into the buffer the scan is
+	// no longer reading (wrap-around restarts at block 0 on demand).
+	nextStart := e.peekStart + e.peekLen
+	if nextStart < e.layout.NumBlocks() {
+		nextCount := bitmap.LookaheadBatchBlocks
+		if nextStart+nextCount > e.layout.NumBlocks() {
+			nextCount = e.layout.NumBlocks() - nextStart
+		}
+		e.peek.Request(e.peekBufs[1-e.peekCur], nextStart, nextCount, e.activePeekCodes())
+		e.peekPending = true
+		e.pendingStart = nextStart
+		e.pendingLen = nextCount
+	}
+	return e.peekMask.Get(b - e.peekStart)
+}
+
+// activePeekCodes snapshots the distinct codes of active groups in the
+// lookahead's key column. For composite groups this is a superset check
+// (conservative: may fetch extra blocks, never skips a block containing
+// an active group).
+func (e *engine) activePeekCodes() []uint32 {
+	seen := make(map[uint32]bool)
+	var codes []uint32
+	for _, gs := range e.ordered {
+		if gs.active && len(gs.codes) > 0 && !seen[gs.codes[e.peekCol]] {
+			seen[gs.codes[e.peekCol]] = true
+			codes = append(codes, gs.codes[e.peekCol])
+		}
+	}
+	return codes
+}
+
+func (e *engine) closeRound() {
+	e.round++
+	e.nextRoundAt += e.opts.RoundRows
+	for _, gs := range e.ordered {
+		gs.closeRound(e.round, e.coveredAll, e.cfg)
+	}
+	e.numActive = refreshActive(e.ordered, e.q.Stop, e.q.Agg.Kind)
+	if e.numActive == 0 && e.q.Stop.Kind != query.StopExhaust {
+		e.stopped = true
+	}
+	if e.opts.OnRound != nil {
+		snap := RoundSnapshot{
+			Round:         e.round,
+			RowsCovered:   e.totalCovered,
+			BlocksFetched: e.cursor.BlocksFetched(),
+			NumActive:     e.numActive,
+			Groups:        e.snapshotGroups(),
+		}
+		if !e.opts.OnRound(snap) {
+			e.aborted = true
+			e.stopped = true
+		}
+	}
+}
+
+// snapshotGroups copies the observed groups' current intervals.
+func (e *engine) snapshotGroups() []GroupResult {
+	var out []GroupResult
+	for _, gs := range e.ordered {
+		if gs.mv == 0 {
+			continue
+		}
+		out = append(out, GroupResult{
+			Key:     e.grp.keyOf(gs.id),
+			Avg:     gs.bestAvg,
+			Count:   gs.bestCount,
+			Sum:     gs.bestSum,
+			Samples: gs.mv,
+			Exact:   gs.exact,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Key < out[j].Key })
+	return out
+}
+
+func (e *engine) result() *Result {
+	res := &Result{
+		BlocksFetched: e.cursor.BlocksFetched(),
+		RowsCovered:   e.totalCovered,
+		Rounds:        e.round,
+		Exhausted:     e.cursor.Exhausted(),
+		Stopped:       e.stopped,
+		Aborted:       e.aborted,
+	}
+	for _, gs := range e.ordered {
+		if gs.mv == 0 {
+			continue // views with no observed support are not reported
+		}
+		res.Groups = append(res.Groups, GroupResult{
+			Key:     e.grp.keyOf(gs.id),
+			Avg:     gs.bestAvg,
+			Count:   gs.bestCount,
+			Sum:     gs.bestSum,
+			Samples: gs.mv,
+			Exact:   gs.exact,
+		})
+	}
+	sort.Slice(res.Groups, func(i, j int) bool { return res.Groups[i].Key < res.Groups[j].Key })
+	return res
+}

@@ -1,0 +1,561 @@
+package exec
+
+import (
+	"math"
+	"math/rand/v2"
+	"sort"
+	"testing"
+
+	"fastframe/internal/ci"
+	"fastframe/internal/core"
+	"fastframe/internal/exact"
+	"fastframe/internal/query"
+	"fastframe/internal/table"
+)
+
+// buildTestTable generates a small synthetic "flights-like" table:
+// five airlines with well-separated mean values, ten origins with
+// skewed populations, and a time column correlated with nothing.
+func buildTestTable(tb testing.TB, rows int, seed uint64) *table.Table {
+	tb.Helper()
+	schema := table.MustSchema(
+		table.ColumnSpec{Name: "value", Kind: table.Float},
+		table.ColumnSpec{Name: "time", Kind: table.Float},
+		table.ColumnSpec{Name: "airline", Kind: table.Categorical},
+		table.ColumnSpec{Name: "origin", Kind: table.Categorical},
+	)
+	rng := rand.New(rand.NewPCG(seed, 99))
+	airlines := []string{"AA", "BB", "CC", "DD", "EE"}
+	airlineMean := []float64{2, 6, 10, 14, 18}
+	origins := []string{"O0", "O1", "O2", "O3", "O4", "O5", "O6", "O7", "O8", "O9"}
+
+	b := table.NewBuilder(schema, 25)
+	for i := 0; i < rows; i++ {
+		a := rng.IntN(len(airlines))
+		// Skewed origins: O0 gets half the rows, the rest split the tail.
+		var o int
+		if rng.Float64() < 0.5 {
+			o = 0
+		} else {
+			o = 1 + rng.IntN(len(origins)-1)
+		}
+		v := airlineMean[a] + rng.NormFloat64()*2 + float64(o)*0.1
+		err := b.Append(table.Row{
+			Floats: map[string]float64{"value": v, "time": rng.Float64() * 2400},
+			Cats:   map[string]string{"airline": airlines[a], "origin": origins[o]},
+		})
+		if err != nil {
+			tb.Fatal(err)
+		}
+	}
+	// Catalog bounds much wider than the data, the regime where
+	// RangeTrim matters.
+	b.WidenBounds("value", -100, 200)
+	tab, err := b.Build(rng)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return tab
+}
+
+func bernsteinRT() ci.Bounder {
+	return core.RangeTrim{Inner: ci.EmpiricalBernsteinSerfling{}}
+}
+
+func testOpts(b ci.Bounder) Options {
+	return Options{
+		Bounder:   b,
+		Delta:     1e-9,
+		RoundRows: 500,
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	tab := buildTestTable(t, 1000, 1)
+	q := query.Query{Agg: query.Aggregate{Kind: query.Avg, Column: "value"}, Stop: query.AbsWidth(1)}
+	if _, err := Run(tab, q, Options{}); err == nil {
+		t.Error("nil bounder accepted")
+	}
+	bad := query.Query{Agg: query.Aggregate{Kind: query.Avg}, Stop: query.AbsWidth(1)}
+	if _, err := Run(tab, bad, testOpts(bernsteinRT())); err == nil {
+		t.Error("invalid query accepted")
+	}
+	missing := query.Query{Agg: query.Aggregate{Kind: query.Avg, Column: "nope"}, Stop: query.AbsWidth(1)}
+	if _, err := Run(tab, missing, testOpts(bernsteinRT())); err == nil {
+		t.Error("missing column accepted")
+	}
+	badGroup := query.Query{
+		Agg:     query.Aggregate{Kind: query.Avg, Column: "value"},
+		GroupBy: []string{"value"}, // float column cannot group
+		Stop:    query.AbsWidth(1),
+	}
+	if _, err := Run(tab, badGroup, testOpts(bernsteinRT())); err == nil {
+		t.Error("GROUP BY on float column accepted")
+	}
+}
+
+func TestUngroupedKnownN(t *testing.T) {
+	tab := buildTestTable(t, 30000, 2)
+	q := query.Query{
+		Name: "avg-all",
+		Agg:  query.Aggregate{Kind: query.Avg, Column: "value"},
+		Stop: query.AbsWidth(2.0),
+	}
+	res, err := Run(tab, q, testOpts(bernsteinRT()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ex, err := exact.Run(tab, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	truth := ex.Groups[0].Avg
+	if len(res.Groups) != 1 {
+		t.Fatalf("got %d groups", len(res.Groups))
+	}
+	g := res.Groups[0]
+	if !g.Avg.Contains(truth) {
+		t.Errorf("interval [%v,%v] misses exact avg %v", g.Avg.Lo, g.Avg.Hi, truth)
+	}
+	if !res.Stopped {
+		t.Error("query did not stop early")
+	}
+	if g.Avg.Width() >= 2.0 {
+		t.Errorf("stopped with width %v >= 2.0", g.Avg.Width())
+	}
+	if res.BlocksFetched >= tab.Layout().NumBlocks() {
+		t.Error("early stopping fetched every block")
+	}
+}
+
+func TestPredicateFilteredAvg(t *testing.T) {
+	tab := buildTestTable(t, 30000, 3)
+	q := query.Query{
+		Name: "filtered",
+		Agg:  query.Aggregate{Kind: query.Avg, Column: "value"},
+		Pred: query.Predicate{}.AndCatEquals("airline", "CC").AndGreater("time", 1200),
+		Stop: query.AbsWidth(2.0),
+	}
+	res, err := Run(tab, q, testOpts(bernsteinRT()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ex, _ := exact.Run(tab, q)
+	truth := ex.Groups[0].Avg
+	if !res.Groups[0].Avg.Contains(truth) {
+		t.Errorf("interval [%v,%v] misses %v", res.Groups[0].Avg.Lo, res.Groups[0].Avg.Hi, truth)
+	}
+	// Count interval must contain the exact view size.
+	if c := float64(ex.Groups[0].Count); !res.Groups[0].Count.Contains(c) {
+		t.Errorf("count interval [%v,%v] misses %v", res.Groups[0].Count.Lo, res.Groups[0].Count.Hi, c)
+	}
+}
+
+func TestEmptyPredicateValue(t *testing.T) {
+	tab := buildTestTable(t, 2000, 4)
+	q := query.Query{
+		Agg:  query.Aggregate{Kind: query.Avg, Column: "value"},
+		Pred: query.Predicate{}.AndCatEquals("airline", "ZZ"), // not in dict
+		Stop: query.AbsWidth(1),
+	}
+	res, err := Run(tab, q, testOpts(bernsteinRT()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Groups) != 0 {
+		t.Errorf("empty view produced %d groups", len(res.Groups))
+	}
+	if res.BlocksFetched != 0 {
+		t.Errorf("empty view fetched %d blocks", res.BlocksFetched)
+	}
+}
+
+func TestGroupByThreshold(t *testing.T) {
+	tab := buildTestTable(t, 40000, 5)
+	q := query.Query{
+		Name:    "having",
+		Agg:     query.Aggregate{Kind: query.Avg, Column: "value"},
+		GroupBy: []string{"airline"},
+		Stop:    query.Threshold(8), // between CC (10) and BB (6)
+	}
+	for _, strategy := range []Strategy{Scan, ActiveSync, ActivePeek} {
+		opts := testOpts(bernsteinRT())
+		opts.Strategy = strategy
+		res, err := Run(tab, q, opts)
+		if err != nil {
+			t.Fatalf("%v: %v", strategy, err)
+		}
+		ex, _ := exact.Run(tab, q)
+		if len(res.Groups) != 5 {
+			t.Fatalf("%v: got %d groups, want 5", strategy, len(res.Groups))
+		}
+		for _, g := range res.Groups {
+			truth := ex.Group(g.Key).Avg
+			if !g.Avg.Contains(truth) {
+				t.Errorf("%v: group %s interval [%v,%v] misses %v", strategy, g.Key, g.Avg.Lo, g.Avg.Hi, truth)
+			}
+			// The decided side must match the truth.
+			if g.Avg.Lo > 8 && truth <= 8 {
+				t.Errorf("%v: group %s wrongly decided above threshold", strategy, g.Key)
+			}
+			if g.Avg.Hi < 8 && truth >= 8 {
+				t.Errorf("%v: group %s wrongly decided below threshold", strategy, g.Key)
+			}
+		}
+		if !res.Stopped && !res.Exhausted {
+			t.Errorf("%v: neither stopped nor exhausted", strategy)
+		}
+	}
+}
+
+func TestGroupByTopK(t *testing.T) {
+	tab := buildTestTable(t, 40000, 6)
+	q := query.Query{
+		Name:    "top2",
+		Agg:     query.Aggregate{Kind: query.Avg, Column: "value"},
+		GroupBy: []string{"airline"},
+		Stop:    query.TopK(2),
+	}
+	res, err := Run(tab, q, testOpts(bernsteinRT()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ex, _ := exact.Run(tab, q)
+	top2 := topKeysByEstimate(res, 2)
+	exTop2 := exactTopKeys(ex, 2)
+	for i := range top2 {
+		if top2[i] != exTop2[i] {
+			t.Errorf("top-2 = %v, exact = %v", top2, exTop2)
+			break
+		}
+	}
+}
+
+func topKeysByEstimate(res *Result, k int) []string {
+	gs := append([]GroupResult(nil), res.Groups...)
+	sort.Slice(gs, func(i, j int) bool { return gs[i].Avg.Estimate > gs[j].Avg.Estimate })
+	keys := make([]string, 0, k)
+	for i := 0; i < k && i < len(gs); i++ {
+		keys = append(keys, gs[i].Key)
+	}
+	return keys
+}
+
+func exactTopKeys(ex *exact.Result, k int) []string {
+	gs := append([]exact.GroupValue(nil), ex.Groups...)
+	sort.Slice(gs, func(i, j int) bool { return gs[i].Avg > gs[j].Avg })
+	keys := make([]string, 0, k)
+	for i := 0; i < k && i < len(gs); i++ {
+		keys = append(keys, gs[i].Key)
+	}
+	return keys
+}
+
+func TestGroupByOrdered(t *testing.T) {
+	tab := buildTestTable(t, 40000, 7)
+	q := query.Query{
+		Name:    "ordered",
+		Agg:     query.Aggregate{Kind: query.Avg, Column: "value"},
+		GroupBy: []string{"airline"},
+		Stop:    query.Ordered(),
+	}
+	res, err := Run(tab, q, testOpts(bernsteinRT()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ex, _ := exact.Run(tab, q)
+	got := topKeysByEstimate(res, 5)
+	want := exactTopKeys(ex, 5)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("ordering %v, exact %v", got, want)
+		}
+	}
+}
+
+func TestCountQuery(t *testing.T) {
+	tab := buildTestTable(t, 30000, 8)
+	q := query.Query{
+		Name: "count-cc",
+		Agg:  query.Aggregate{Kind: query.Count},
+		Pred: query.Predicate{}.AndCatEquals("airline", "CC"),
+		Stop: query.RelWidth(0.2),
+	}
+	res, err := Run(tab, q, testOpts(bernsteinRT()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ex, _ := exact.Run(tab, q)
+	truth := float64(ex.Groups[0].Count)
+	g := res.Groups[0]
+	if !g.Count.Contains(truth) {
+		t.Errorf("count interval [%v,%v] misses %v", g.Count.Lo, g.Count.Hi, truth)
+	}
+}
+
+func TestSumQuery(t *testing.T) {
+	tab := buildTestTable(t, 30000, 9)
+	q := query.Query{
+		Name: "sum-cc",
+		Agg:  query.Aggregate{Kind: query.Sum, Column: "value"},
+		Pred: query.Predicate{}.AndCatEquals("airline", "CC"),
+		Stop: query.RelWidth(0.3),
+	}
+	res, err := Run(tab, q, testOpts(bernsteinRT()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ex, _ := exact.Run(tab, q)
+	truth := ex.Groups[0].Sum
+	g := res.Groups[0]
+	if !g.Sum.Contains(truth) {
+		t.Errorf("sum interval [%v,%v] misses %v", g.Sum.Lo, g.Sum.Hi, truth)
+	}
+}
+
+func TestExhaustionYieldsExact(t *testing.T) {
+	tab := buildTestTable(t, 5000, 10)
+	q := query.Query{
+		Name:    "exhaust",
+		Agg:     query.Aggregate{Kind: query.Avg, Column: "value"},
+		GroupBy: []string{"airline"},
+		Stop:    query.Exhaust(),
+	}
+	res, err := Run(tab, q, testOpts(bernsteinRT()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Exhausted {
+		t.Fatal("not exhausted")
+	}
+	ex, _ := exact.Run(tab, q)
+	for _, g := range res.Groups {
+		if !g.Exact {
+			t.Errorf("group %s not exact after exhaustion", g.Key)
+		}
+		want := ex.Group(g.Key)
+		if math.Abs(g.Avg.Estimate-want.Avg) > 1e-9 {
+			t.Errorf("group %s exact avg %v, want %v", g.Key, g.Avg.Estimate, want.Avg)
+		}
+		if g.Avg.Width() > 1e-6 {
+			t.Errorf("group %s exact interval has width %v", g.Key, g.Avg.Width())
+		}
+		if !g.Avg.Contains(want.Avg) {
+			t.Errorf("group %s exact interval misses the two-pass truth", g.Key)
+		}
+		if int(g.Count.Estimate) != want.Count {
+			t.Errorf("group %s exact count %v, want %d", g.Key, g.Count.Estimate, want.Count)
+		}
+	}
+}
+
+func TestThresholdNeverStopsWhenMeanOnThreshold(t *testing.T) {
+	// A group whose true mean equals the threshold can never be decided;
+	// the engine must exhaust and return the exact (point) answer.
+	schema := table.MustSchema(
+		table.ColumnSpec{Name: "v", Kind: table.Float},
+		table.ColumnSpec{Name: "g", Kind: table.Categorical},
+	)
+	b := table.NewBuilder(schema, 25)
+	for i := 0; i < 4000; i++ {
+		v := float64(i%2)*2 - 1 // alternating −1, +1: mean exactly 0
+		_ = b.Append(table.Row{Floats: map[string]float64{"v": v}, Cats: map[string]string{"g": "only"}})
+	}
+	tab, err := b.Build(rand.New(rand.NewPCG(1, 2)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := query.Query{
+		Agg:     query.Aggregate{Kind: query.Avg, Column: "v"},
+		GroupBy: []string{"g"},
+		Stop:    query.Threshold(0),
+	}
+	res, err := Run(tab, q, testOpts(bernsteinRT()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Exhausted || res.Stopped {
+		t.Errorf("Exhausted=%v Stopped=%v, want exhaustion", res.Exhausted, res.Stopped)
+	}
+	if got := res.Groups[0].Avg.Estimate; got != 0 {
+		t.Errorf("exact mean %v, want 0", got)
+	}
+}
+
+func TestMaxRowsAborts(t *testing.T) {
+	tab := buildTestTable(t, 20000, 11)
+	q := query.Query{
+		Agg:  query.Aggregate{Kind: query.Avg, Column: "value"},
+		Stop: query.AbsWidth(1e-9), // unreachable
+	}
+	opts := testOpts(bernsteinRT())
+	opts.MaxRows = 3000
+	res, err := Run(tab, q, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.RowsCovered < 3000 || res.RowsCovered > 3000+25 {
+		t.Errorf("RowsCovered = %d, want ≈3000", res.RowsCovered)
+	}
+	if res.Exhausted || res.Stopped {
+		t.Error("MaxRows abort flagged as stopped/exhausted")
+	}
+}
+
+func TestActiveScanningFetchesFewerBlocks(t *testing.T) {
+	// Sparse-group regime: origin O9 holds ~5% of rows. A threshold
+	// query on origins should let active scanning skip many blocks once
+	// the dense groups are decided.
+	tab := buildTestTable(t, 60000, 12)
+	q := query.Query{
+		Name:    "origins",
+		Agg:     query.Aggregate{Kind: query.Avg, Column: "value"},
+		GroupBy: []string{"origin"},
+		Stop:    query.AbsWidth(1.5),
+	}
+	fetched := map[Strategy]int{}
+	for _, s := range []Strategy{Scan, ActiveSync, ActivePeek} {
+		opts := testOpts(bernsteinRT())
+		opts.Strategy = s
+		res, err := Run(tab, q, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fetched[s] = res.BlocksFetched
+		ex, _ := exact.Run(tab, q)
+		for _, g := range res.Groups {
+			if truth := ex.Group(g.Key).Avg; !g.Avg.Contains(truth) {
+				t.Errorf("%v: group %s misses truth", s, g.Key)
+			}
+		}
+	}
+	if fetched[ActiveSync] > fetched[Scan] {
+		t.Errorf("ActiveSync fetched %d > Scan %d", fetched[ActiveSync], fetched[Scan])
+	}
+	if fetched[ActivePeek] > fetched[Scan] {
+		t.Errorf("ActivePeek fetched %d > Scan %d", fetched[ActivePeek], fetched[Scan])
+	}
+}
+
+func TestAllBoundersProduceValidIntervals(t *testing.T) {
+	tab := buildTestTable(t, 20000, 13)
+	q := query.Query{
+		Agg:     query.Aggregate{Kind: query.Avg, Column: "value"},
+		GroupBy: []string{"airline"},
+		Stop:    query.FixedSamples(1000),
+	}
+	ex, _ := exact.Run(tab, q)
+	bounders := []ci.Bounder{
+		ci.HoeffdingSerfling{},
+		ci.EmpiricalBernsteinSerfling{},
+		ci.AndersonDKW{},
+		core.RangeTrim{Inner: ci.HoeffdingSerfling{}},
+		core.RangeTrim{Inner: ci.EmpiricalBernsteinSerfling{}},
+	}
+	for _, b := range bounders {
+		res, err := Run(tab, q, testOpts(b))
+		if err != nil {
+			t.Fatalf("%s: %v", b.Name(), err)
+		}
+		for _, g := range res.Groups {
+			truth := ex.Group(g.Key).Avg
+			if !g.Avg.Contains(truth) {
+				t.Errorf("%s: group %s interval [%v,%v] misses %v", b.Name(), g.Key, g.Avg.Lo, g.Avg.Hi, truth)
+			}
+		}
+	}
+}
+
+func TestRangeTrimFetchesLessThanPlain(t *testing.T) {
+	// The headline effect: with loose catalog bounds, Bernstein+RT
+	// terminates earlier than Bernstein on the same query.
+	tab := buildTestTable(t, 60000, 14)
+	q := query.Query{
+		Agg:  query.Aggregate{Kind: query.Avg, Column: "value"},
+		Stop: query.AbsWidth(1.0),
+	}
+	plain, err := Run(tab, q, testOpts(ci.EmpiricalBernsteinSerfling{}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	trimmed, err := Run(tab, q, testOpts(bernsteinRT()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if trimmed.RowsCovered > plain.RowsCovered {
+		t.Errorf("Bernstein+RT covered %d rows > plain Bernstein %d", trimmed.RowsCovered, plain.RowsCovered)
+	}
+}
+
+func TestCompositeGroupBy(t *testing.T) {
+	tab := buildTestTable(t, 30000, 15)
+	q := query.Query{
+		Agg:     query.Aggregate{Kind: query.Avg, Column: "value"},
+		GroupBy: []string{"airline", "origin"},
+		Pred:    query.Predicate{}.AndGreater("time", 600),
+		Stop:    query.TopK(3),
+	}
+	for _, s := range []Strategy{Scan, ActiveSync, ActivePeek} {
+		opts := testOpts(bernsteinRT())
+		opts.Strategy = s
+		res, err := Run(tab, q, opts)
+		if err != nil {
+			t.Fatalf("%v: %v", s, err)
+		}
+		ex, _ := exact.Run(tab, q)
+		for _, g := range res.Groups {
+			want := ex.Group(g.Key)
+			if want == nil {
+				t.Errorf("%v: spurious group %q", s, g.Key)
+				continue
+			}
+			if !g.Avg.Contains(want.Avg) {
+				t.Errorf("%v: composite group %s misses truth", s, g.Key)
+			}
+		}
+	}
+}
+
+func TestStrategyString(t *testing.T) {
+	if Scan.String() != "scan" || ActiveSync.String() != "active-sync" || ActivePeek.String() != "active-peek" {
+		t.Error("Strategy.String wrong")
+	}
+	if Strategy(9).String() != "strategy?" {
+		t.Error("unknown strategy string")
+	}
+}
+
+func TestResultGroupLookup(t *testing.T) {
+	r := &Result{Groups: []GroupResult{{Key: "a"}, {Key: "b"}}}
+	if r.Group("b") == nil || r.Group("z") != nil {
+		t.Error("Result.Group lookup wrong")
+	}
+	g := GroupResult{
+		Avg:   ci.Interval{Lo: 1, Hi: 2},
+		Count: ci.Interval{Lo: 3, Hi: 4},
+		Sum:   ci.Interval{Lo: 5, Hi: 6},
+	}
+	if g.Answer(true, false) != g.Sum || g.Answer(false, true) != g.Count || g.Answer(false, false) != g.Avg {
+		t.Error("GroupResult.Answer selection wrong")
+	}
+}
+
+func TestRandomStartPosition(t *testing.T) {
+	tab := buildTestTable(t, 20000, 16)
+	q := query.Query{
+		Agg:  query.Aggregate{Kind: query.Avg, Column: "value"},
+		Stop: query.AbsWidth(2.0),
+	}
+	ex, _ := exact.Run(tab, q)
+	for i := 0; i < 5; i++ {
+		opts := testOpts(bernsteinRT())
+		opts.Rng = rand.New(rand.NewPCG(uint64(i), 77))
+		res, err := Run(tab, q, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Groups[0].Avg.Contains(ex.Groups[0].Avg) {
+			t.Errorf("start %d: interval misses truth", i)
+		}
+	}
+}

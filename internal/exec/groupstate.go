@@ -1,0 +1,156 @@
+package exec
+
+import (
+	"math"
+
+	"fastframe/internal/ci"
+	"fastframe/internal/core"
+	"fastframe/internal/stats"
+)
+
+// groupState is the streaming state for one aggregate view: the error
+// bounder state over the view's sampled values, exact counters for
+// coverage accounting, and the running intersection of per-round
+// confidence intervals (Algorithm 5).
+type groupState struct {
+	id    int
+	codes []uint32
+
+	state  ci.State
+	mv     int     // view rows observed
+	sum    float64 // exact running sum of observed view values
+	absSum float64 // running sum of |value|, for float-error bounds
+
+	// extra is the coverage this group earned from blocks skipped by
+	// active scanning while the group was active (such blocks provably
+	// contain none of its rows). Total coverage is coveredAll + extra.
+	extra int
+
+	// Running interval intersections across rounds.
+	bestAvg   ci.Interval
+	bestCount ci.Interval
+	bestSum   ci.Interval
+
+	active bool
+	exact  bool
+}
+
+func newGroupState(id int, codes []uint32, b ci.Bounder, a, bd float64, bigR int) *groupState {
+	return &groupState{
+		id:        id,
+		codes:     codes,
+		state:     b.NewState(),
+		bestAvg:   ci.Interval{Lo: a, Hi: bd},
+		bestCount: ci.Interval{Lo: 0, Hi: float64(bigR)},
+		bestSum: ci.Interval{
+			Lo: math.Min(math.Min(0, float64(bigR)*a), float64(bigR)*bd),
+			Hi: math.Max(math.Max(0, float64(bigR)*a), float64(bigR)*bd),
+		},
+		active: true,
+	}
+}
+
+// observe incorporates one view row's value.
+func (gs *groupState) observe(v float64) {
+	gs.state.Update(v)
+	gs.mv++
+	gs.sum += v
+	gs.absSum += math.Abs(v)
+}
+
+// covered returns the rows whose membership in this view is resolved.
+func (gs *groupState) covered(coveredAll int) int { return coveredAll + gs.extra }
+
+// intersect tightens dst with iv, keeping estimates/samples current.
+func intersect(dst *ci.Interval, iv ci.Interval) {
+	if iv.Lo > dst.Lo {
+		dst.Lo = iv.Lo
+	}
+	if iv.Hi < dst.Hi {
+		dst.Hi = iv.Hi
+	}
+	if dst.Lo > dst.Hi {
+		// Collapse pathological crossings onto the estimate.
+		dst.Lo, dst.Hi = iv.Estimate, iv.Estimate
+	}
+	dst.Estimate = iv.Estimate
+	dst.Samples = iv.Samples
+}
+
+// roundConfig carries the per-round bound-computation context.
+type roundConfig struct {
+	a, b       float64 // catalog range bounds of the aggregate column
+	bigR       int     // scramble size
+	knownN     bool    // view is the whole table (trivial pred, no groups)
+	alpha      float64 // Theorem 3 split
+	deltaView  float64 // total budget for this view
+	isSum      bool    // SUM queries split budget between COUNT and AVG
+	exactCount bool    // hypergeometric N⁺ instead of Lemma 5
+}
+
+// closeRound recomputes this view's intervals for optional-stopping
+// round k and intersects them into the running bests.
+func (gs *groupState) closeRound(k int, coveredAll int, cfg roundConfig) {
+	if gs.exact {
+		return
+	}
+	r := gs.covered(coveredAll)
+	if r <= 0 {
+		return
+	}
+	deltaRound := core.RoundDelta(cfg.deltaView, k)
+	avgDelta, countDelta := deltaRound, deltaRound
+	if cfg.isSum {
+		avgDelta, countDelta = deltaRound/2, deltaRound/2
+	}
+
+	if cfg.knownN {
+		// The view is the whole scramble: N is known exactly.
+		intersect(&gs.bestCount, ci.Interval{
+			Lo: float64(cfg.bigR), Hi: float64(cfg.bigR),
+			Estimate: float64(cfg.bigR), Samples: r,
+		})
+		iv := ci.BoundInterval(gs.state, ci.Params{A: cfg.a, B: cfg.b, N: cfg.bigR, Delta: avgDelta})
+		intersect(&gs.bestAvg, iv)
+	} else {
+		cIv := countInterval(r, cfg.bigR, gs.mv, countDelta)
+		intersect(&gs.bestCount, cIv)
+		// Theorem 3: (1−α) of the AVG budget buys an upper bound N⁺ on
+		// the view size; the interval itself runs at α·δ (δ/2 per side
+		// inside BoundInterval). Dataset-size monotonicity (§3.3) makes
+		// the substitution safe.
+		var nUp int
+		if cfg.exactCount {
+			nUp = stats.HypergeomCountUpper(gs.mv, cfg.bigR, r, (1-cfg.alpha)*avgDelta)
+			if nUp < 1 {
+				nUp = 1
+			}
+		} else {
+			nUp = countUpper(r, cfg.bigR, gs.mv, (1-cfg.alpha)*avgDelta)
+		}
+		iv := ci.BoundInterval(gs.state, ci.Params{A: cfg.a, B: cfg.b, N: nUp, Delta: cfg.alpha * avgDelta})
+		intersect(&gs.bestAvg, iv)
+	}
+	gs.bestSum = sumInterval(gs.bestCount, gs.bestAvg)
+}
+
+// finalizeExact collapses the intervals onto the exact answer once the
+// whole view has been observed (covered == R). The intervals keep a
+// tiny slack covering worst-case floating-point summation error —
+// (n−1)·u·Σ|x| for naive summation — so the mathematical truth is still
+// enclosed regardless of accumulation order.
+func (gs *groupState) finalizeExact(bigR int) {
+	gs.exact = true
+	cnt := float64(gs.mv)
+	gs.bestCount = ci.Interval{Lo: cnt, Hi: cnt, Estimate: cnt, Samples: bigR}
+	const ulp = 0x1p-52
+	sumSlack := cnt * ulp * gs.absSum
+	mean, meanSlack := 0.0, 0.0
+	if gs.mv > 0 {
+		mean = gs.sum / cnt
+		meanSlack = sumSlack / cnt
+	}
+	gs.bestAvg = ci.Interval{Lo: mean - meanSlack, Hi: mean + meanSlack, Estimate: mean, Samples: gs.mv}
+	gs.bestSum = ci.Interval{Lo: gs.sum - sumSlack, Hi: gs.sum + sumSlack, Estimate: gs.sum, Samples: gs.mv}
+	gs.active = false
+}

@@ -1,0 +1,125 @@
+// Package exec is FastFrame's approximate query executor. It scans a
+// scramble block-by-block from a random starting position, maintains a
+// streaming error-bounder state per aggregate view (group), recomputes
+// sequentially-valid confidence intervals every RoundRows rows with the
+// optional-stopping δ-decay of Algorithm 5, bounds unknown view sizes
+// with the selectivity CI of Lemma 5 / Theorem 3, and terminates as soon
+// as the query's stopping condition (§4.2) holds — skipping blocks that
+// contain no tuples of still-active groups via the bitmap indexes
+// (active scanning, §4.3).
+package exec
+
+import (
+	"math/rand/v2"
+
+	"fastframe/internal/ci"
+	"fastframe/internal/core"
+)
+
+// Strategy selects the sampling strategy of §5.2.
+type Strategy int
+
+const (
+	// Scan processes blocks sequentially. Bitmaps are used only to prune
+	// blocks that cannot satisfy a fixed categorical predicate, never to
+	// prioritize groups.
+	Scan Strategy = iota
+	// ActiveSync skips blocks containing no tuples of any active group,
+	// checking the bitmap index synchronously per block.
+	ActiveSync
+	// ActivePeek performs the same skipping with an asynchronous
+	// lookahead worker that marks 1024-block batches ahead of the scan.
+	ActivePeek
+)
+
+// String names the strategy.
+func (s Strategy) String() string {
+	switch s {
+	case Scan:
+		return "scan"
+	case ActiveSync:
+		return "active-sync"
+	case ActivePeek:
+		return "active-peek"
+	default:
+		return "strategy?"
+	}
+}
+
+// DefaultDelta is the paper's evaluation error probability, δ = 1e−15
+// (§5.2): failures are effectively impossible.
+const DefaultDelta = 1e-15
+
+// DefaultAlpha is the paper's α = 0.99 for Theorem 3: 99% of the error
+// budget goes to the interval, 1% to the dataset-size upper bound.
+const DefaultAlpha = 0.99
+
+// Options configures a query execution.
+type Options struct {
+	// Bounder computes the confidence bounds; required. Wrap with
+	// core.RangeTrim for the paper's headline configuration.
+	Bounder ci.Bounder
+	// Strategy is the sampling strategy (default Scan).
+	Strategy Strategy
+	// Delta is the total error probability for the query, divided across
+	// aggregate views. Defaults to DefaultDelta.
+	Delta float64
+	// Alpha splits each view's per-round budget between the unknown-N
+	// bound and the interval (Theorem 3). Defaults to DefaultAlpha.
+	Alpha float64
+	// RoundRows is the number of covered rows between interval
+	// recomputations (the paper's B = 40000). Defaults to
+	// core.DefaultBatchSize.
+	RoundRows int
+	// StartBlock fixes the scan's starting block; if Rng is non-nil it
+	// is drawn at random instead (the paper starts each approximate
+	// query at a random scramble position).
+	StartBlock int
+	// Rng, when set, draws the starting block.
+	Rng *rand.Rand
+	// MaxRows, if positive, aborts the scan after covering this many
+	// rows even if the stopping condition has not been reached.
+	MaxRows int
+	// ExactCountBounds switches the unknown-view-size upper bound N⁺
+	// from the Hoeffding–Serfling form of Lemma 5 / Theorem 3 to the
+	// exact hypergeometric tail bound the paper mentions as the tighter
+	// alternative (§4.1). Slightly more CPU per round, smaller N⁺.
+	ExactCountBounds bool
+	// OnRound, if set, is called after every bound recomputation with a
+	// snapshot of the current intervals — the paper's "explicit use of
+	// downstream CIs" (§2.1): online-aggregation interfaces display the
+	// tightening intervals and let the user stop when satisfied. Return
+	// false to abort the scan; the snapshot's intervals remain valid
+	// (1−δ) CIs at whatever point the user stops, by the optional-
+	// stopping construction.
+	OnRound func(RoundSnapshot) bool
+}
+
+// RoundSnapshot is the state delivered to Options.OnRound after each
+// optional-stopping round closes.
+type RoundSnapshot struct {
+	// Round is the 1-based round number.
+	Round int
+	// RowsCovered and BlocksFetched are the cost so far.
+	RowsCovered   int
+	BlocksFetched int
+	// NumActive is the number of groups still driving the scan.
+	NumActive int
+	// Groups holds the current per-view intervals (views with observed
+	// support only), sorted by key. The slice is freshly allocated per
+	// round and safe to retain.
+	Groups []GroupResult
+}
+
+func (o Options) withDefaults() Options {
+	if o.Delta <= 0 {
+		o.Delta = DefaultDelta
+	}
+	if o.Alpha <= 0 || o.Alpha >= 1 {
+		o.Alpha = DefaultAlpha
+	}
+	if o.RoundRows <= 0 {
+		o.RoundRows = core.DefaultBatchSize
+	}
+	return o
+}

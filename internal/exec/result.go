@@ -1,0 +1,72 @@
+package exec
+
+import (
+	"time"
+
+	"fastframe/internal/ci"
+)
+
+// GroupResult is the approximate answer for one aggregate view.
+type GroupResult struct {
+	// Key is the rendered GROUP BY key ("" for ungrouped queries).
+	Key string
+	// Avg is the confidence interval for AVG over the view.
+	Avg ci.Interval
+	// Count is the confidence interval for the view's row count.
+	Count ci.Interval
+	// Sum is the confidence interval for SUM (Count × Avg corners);
+	// only meaningful when the query requests SUM.
+	Sum ci.Interval
+	// Samples is the number of view rows that contributed.
+	Samples int
+	// Exact is set when the scan covered the entire view, making the
+	// estimate exact (the interval collapses to a point).
+	Exact bool
+}
+
+// Answer returns the interval for the aggregate the query asked for.
+func (g GroupResult) Answer(isSum, isCount bool) ci.Interval {
+	switch {
+	case isSum:
+		return g.Sum
+	case isCount:
+		return g.Count
+	default:
+		return g.Avg
+	}
+}
+
+// Result is the outcome of one approximate query execution.
+type Result struct {
+	// Groups holds one entry per aggregate view with observed support,
+	// sorted by Key.
+	Groups []GroupResult
+	// BlocksFetched counts blocks whose rows were actually read — the
+	// paper's hardware-independent cost metric.
+	BlocksFetched int
+	// RowsCovered counts rows whose view membership was resolved
+	// (fetched or skipped-with-certainty).
+	RowsCovered int
+	// Rounds is the number of closed optional-stopping rounds.
+	Rounds int
+	// Exhausted is set when the scan walked the whole scramble.
+	Exhausted bool
+	// Stopped is set when the stopping condition was met before
+	// exhaustion (early termination).
+	Stopped bool
+	// Aborted is set when an OnRound callback ended the scan early; the
+	// reported intervals remain valid (1-δ) CIs.
+	Aborted bool
+	// Duration is the wall-clock execution time.
+	Duration time.Duration
+}
+
+// Group returns the result for a key, or nil.
+func (r *Result) Group(key string) *GroupResult {
+	for i := range r.Groups {
+		if r.Groups[i].Key == key {
+			return &r.Groups[i]
+		}
+	}
+	return nil
+}

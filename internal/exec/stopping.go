@@ -1,0 +1,158 @@
+package exec
+
+import (
+	"math"
+	"sort"
+
+	"fastframe/internal/ci"
+	"fastframe/internal/query"
+)
+
+// answerInterval returns the interval relevant to the query's aggregate.
+func answerInterval(gs *groupState, kind query.AggKind) ci.Interval {
+	switch kind {
+	case query.Sum:
+		return gs.bestSum
+	case query.Count:
+		return gs.bestCount
+	default:
+		return gs.bestAvg
+	}
+}
+
+// relativeError is stopping condition ③'s criterion:
+// max{(g_r−ĝ)/g_r, (ĝ−g_ℓ)/g_ℓ}. The paper's formula assumes a positive
+// aggregate; absolute values generalize it to negative aggregates
+// (delays can be negative), and a zero denominator yields +Inf so the
+// group stays active while an endpoint sits at zero.
+func relativeError(iv ci.Interval) float64 {
+	rel := func(num, den float64) float64 {
+		if den == 0 {
+			if num == 0 {
+				return 0
+			}
+			return math.Inf(1)
+		}
+		return math.Abs(num / den)
+	}
+	return math.Max(rel(iv.Hi-iv.Estimate, iv.Hi), rel(iv.Estimate-iv.Lo, iv.Lo))
+}
+
+// refreshActive recomputes the active flag of every group for the given
+// stopping condition (the activeness rules of §4.3). It returns the
+// number of active groups; zero means the stopping condition holds and
+// the query can terminate.
+func refreshActive(groups []*groupState, stop query.Stop, kind query.AggKind) int {
+	switch stop.Kind {
+	case query.StopFixedSamples:
+		for _, gs := range groups {
+			gs.active = !gs.exact && gs.mv < stop.Samples
+		}
+	case query.StopAbsWidth:
+		for _, gs := range groups {
+			gs.active = !gs.exact && answerInterval(gs, kind).Width() >= stop.Epsilon
+		}
+	case query.StopRelWidth:
+		for _, gs := range groups {
+			gs.active = !gs.exact && relativeError(answerInterval(gs, kind)) >= stop.Epsilon
+		}
+	case query.StopThreshold:
+		for _, gs := range groups {
+			gs.active = !gs.exact && answerInterval(gs, kind).Contains(stop.Threshold)
+		}
+	case query.StopTopK:
+		refreshTopK(groups, stop, kind)
+	case query.StopOrdered:
+		refreshOrdered(groups, kind)
+	case query.StopExhaust:
+		for _, gs := range groups {
+			gs.active = !gs.exact
+		}
+	}
+	n := 0
+	for _, gs := range groups {
+		if gs.active {
+			n++
+		}
+	}
+	return n
+}
+
+// refreshTopK implements the activeness rule of stopping condition ⑤:
+// order groups by estimate; the midpoint between the K-th and (K+1)-th
+// estimates splits "in" from "out"; an in-group is active while its
+// bound on the out-side crosses the midpoint, and vice versa.
+func refreshTopK(groups []*groupState, stop query.Stop, kind query.AggKind) {
+	if len(groups) <= stop.K {
+		for _, gs := range groups {
+			gs.active = false // trivially separated
+		}
+		return
+	}
+	order := make([]*groupState, len(groups))
+	copy(order, groups)
+	if stop.Largest {
+		sort.SliceStable(order, func(i, j int) bool {
+			return answerInterval(order[i], kind).Estimate > answerInterval(order[j], kind).Estimate
+		})
+	} else {
+		sort.SliceStable(order, func(i, j int) bool {
+			return answerInterval(order[i], kind).Estimate < answerInterval(order[j], kind).Estimate
+		})
+	}
+	kth := answerInterval(order[stop.K-1], kind).Estimate
+	next := answerInterval(order[stop.K], kind).Estimate
+	mid := (kth + next) / 2
+	for i, gs := range order {
+		iv := answerInterval(gs, kind)
+		if gs.exact {
+			gs.active = false
+			continue
+		}
+		if stop.Largest {
+			if i < stop.K {
+				gs.active = iv.Lo <= mid
+			} else {
+				gs.active = iv.Hi >= mid
+			}
+		} else {
+			if i < stop.K {
+				gs.active = iv.Hi >= mid
+			} else {
+				gs.active = iv.Lo <= mid
+			}
+		}
+	}
+}
+
+// refreshOrdered implements stopping condition ⑥: a group is active
+// while its interval intersects any other group's interval. Exact groups
+// cannot tighten further and are never active, but they still
+// participate in the intersection tests of others.
+func refreshOrdered(groups []*groupState, kind query.AggKind) {
+	ivs := make([]ci.Interval, len(groups))
+	for i, gs := range groups {
+		ivs[i] = answerInterval(gs, kind)
+	}
+	// Sort index order by Lo for an O(n log n) overlap sweep.
+	idx := make([]int, len(groups))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return ivs[idx[a]].Lo < ivs[idx[b]].Lo })
+	overlapped := make([]bool, len(groups))
+	for a := 0; a < len(idx); a++ {
+		i := idx[a]
+		for b := a + 1; b < len(idx); b++ {
+			j := idx[b]
+			if ivs[j].Lo > ivs[i].Hi {
+				break
+			}
+			overlapped[i] = true
+			overlapped[j] = true
+		}
+	}
+	for i, gs := range groups {
+		gs.active = overlapped[i] && !gs.exact
+	}
+}

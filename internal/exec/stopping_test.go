@@ -1,0 +1,182 @@
+package exec
+
+import (
+	"math"
+	"testing"
+
+	"fastframe/internal/ci"
+	"fastframe/internal/query"
+)
+
+func mkGroup(lo, hi float64, mv int, exact bool) *groupState {
+	est := (lo + hi) / 2
+	return &groupState{
+		mv:        mv,
+		bestAvg:   ci.Interval{Lo: lo, Hi: hi, Estimate: est, Samples: mv},
+		bestCount: ci.Interval{Lo: float64(mv), Hi: float64(mv), Estimate: float64(mv)},
+		bestSum:   ci.Interval{Lo: lo * float64(mv), Hi: hi * float64(mv)},
+		exact:     exact,
+		active:    true,
+	}
+}
+
+func activeFlags(groups []*groupState) []bool {
+	out := make([]bool, len(groups))
+	for i, g := range groups {
+		out[i] = g.active
+	}
+	return out
+}
+
+func TestRelativeError(t *testing.T) {
+	iv := ci.Interval{Lo: 8, Hi: 12, Estimate: 10}
+	// max(|2/12|, |2/8|) = 0.25
+	if got := relativeError(iv); math.Abs(got-0.25) > 1e-12 {
+		t.Errorf("relativeError = %v, want 0.25", got)
+	}
+	// Zero endpoint → +Inf.
+	if got := relativeError(ci.Interval{Lo: 0, Hi: 5, Estimate: 2}); !math.IsInf(got, 1) {
+		t.Errorf("zero denominator rel err = %v, want +Inf", got)
+	}
+	// Degenerate zero interval at zero → 0.
+	if got := relativeError(ci.Interval{}); got != 0 {
+		t.Errorf("zero interval rel err = %v, want 0", got)
+	}
+	// Negative aggregate.
+	neg := ci.Interval{Lo: -12, Hi: -8, Estimate: -10}
+	if got := relativeError(neg); math.Abs(got-0.25) > 1e-12 {
+		t.Errorf("negative rel err = %v, want 0.25", got)
+	}
+}
+
+func TestRefreshActiveFixedSamples(t *testing.T) {
+	groups := []*groupState{mkGroup(0, 1, 50, false), mkGroup(0, 1, 150, false), mkGroup(0, 1, 10, true)}
+	n := refreshActive(groups, query.FixedSamples(100), query.Avg)
+	want := []bool{true, false, false}
+	for i, w := range want {
+		if groups[i].active != w {
+			t.Errorf("group %d active = %v, want %v", i, groups[i].active, w)
+		}
+	}
+	if n != 1 {
+		t.Errorf("numActive = %d, want 1", n)
+	}
+}
+
+func TestRefreshActiveAbsWidth(t *testing.T) {
+	groups := []*groupState{mkGroup(0, 5, 10, false), mkGroup(0, 0.5, 10, false)}
+	refreshActive(groups, query.AbsWidth(1), query.Avg)
+	if !groups[0].active || groups[1].active {
+		t.Errorf("abs-width actives = %v", activeFlags(groups))
+	}
+}
+
+func TestRefreshActiveRelWidth(t *testing.T) {
+	wide := mkGroup(5, 15, 10, false) // rel err 0.5 at Lo
+	tight := mkGroup(9.8, 10.2, 10, false)
+	refreshActive([]*groupState{wide, tight}, query.RelWidth(0.1), query.Avg)
+	if !wide.active || tight.active {
+		t.Errorf("rel-width actives: wide=%v tight=%v", wide.active, tight.active)
+	}
+}
+
+func TestRefreshActiveThreshold(t *testing.T) {
+	straddles := mkGroup(-1, 3, 10, false)
+	above := mkGroup(2, 5, 10, false)
+	below := mkGroup(-4, -1, 10, false)
+	n := refreshActive([]*groupState{straddles, above, below}, query.Threshold(0), query.Avg)
+	if !straddles.active || above.active || below.active {
+		t.Error("threshold activeness wrong")
+	}
+	if n != 1 {
+		t.Errorf("numActive = %d", n)
+	}
+}
+
+func TestRefreshActiveTopKLargest(t *testing.T) {
+	// Estimates: 10, 8, 3, 1. K=2 → midpoint between 8 and 3 = 5.5.
+	g1 := mkGroup(9, 11, 10, false) // est 10, lo 9 > 5.5 → separated
+	g2 := mkGroup(5, 11, 10, false) // est 8, lo 5 ≤ 5.5 → active
+	g3 := mkGroup(1, 5, 10, false)  // est 3, hi 5 < 5.5 → separated
+	g4 := mkGroup(0, 2, 10, false)  // est 1, hi 2 < 5.5 → separated
+	groups := []*groupState{g1, g2, g3, g4}
+	n := refreshActive(groups, query.TopK(2), query.Avg)
+	if g1.active || !g2.active || g3.active || g4.active {
+		t.Errorf("top-k actives = %v", activeFlags(groups))
+	}
+	if n != 1 {
+		t.Errorf("numActive = %d", n)
+	}
+	// Bottom group whose upper bound crosses the midpoint is active.
+	g3.bestAvg.Hi = 6
+	refreshActive(groups, query.TopK(2), query.Avg)
+	if !g3.active {
+		t.Error("bottom group crossing midpoint should be active")
+	}
+}
+
+func TestRefreshActiveBottomK(t *testing.T) {
+	// Estimates: 1, 3, 8, 10. BottomK(2) → midpoint between 3 and 8 = 5.5.
+	g1 := mkGroup(0, 2, 10, false) // est 1, hi 2 < 5.5 → separated
+	g2 := mkGroup(1, 6, 10, false) // est 3.5... set explicit
+	g2.bestAvg = ci.Interval{Lo: 1, Hi: 6, Estimate: 3}
+	g3 := mkGroup(7, 9, 10, false)  // est 8, lo 7 > 5.5 → separated
+	g4 := mkGroup(9, 11, 10, false) // est 10 → separated
+	groups := []*groupState{g1, g2, g3, g4}
+	refreshActive(groups, query.BottomK(2), query.Avg)
+	if g1.active || !g2.active || g3.active || g4.active {
+		t.Errorf("bottom-k actives = %v", activeFlags(groups))
+	}
+}
+
+func TestRefreshActiveTopKFewGroups(t *testing.T) {
+	groups := []*groupState{mkGroup(0, 10, 5, false), mkGroup(0, 10, 5, false)}
+	n := refreshActive(groups, query.TopK(2), query.Avg)
+	if n != 0 {
+		t.Errorf("K >= #groups should be trivially separated; numActive = %d", n)
+	}
+}
+
+func TestRefreshActiveOrdered(t *testing.T) {
+	a := mkGroup(0, 2, 5, false)
+	b := mkGroup(1, 3, 5, false)   // overlaps a
+	c := mkGroup(10, 12, 5, false) // isolated
+	n := refreshActive([]*groupState{a, b, c}, query.Ordered(), query.Avg)
+	if !a.active || !b.active || c.active {
+		t.Errorf("ordered actives = %v", activeFlags([]*groupState{a, b, c}))
+	}
+	if n != 2 {
+		t.Errorf("numActive = %d", n)
+	}
+	// Exact groups never active but still break others' separation.
+	a.exact = true
+	refreshActive([]*groupState{a, b, c}, query.Ordered(), query.Avg)
+	if a.active {
+		t.Error("exact group became active")
+	}
+	if !b.active {
+		t.Error("group overlapping an exact group must stay active")
+	}
+}
+
+func TestRefreshActiveExhaust(t *testing.T) {
+	g := mkGroup(0, 1, 5, false)
+	done := mkGroup(0, 1, 5, true)
+	n := refreshActive([]*groupState{g, done}, query.Exhaust(), query.Avg)
+	if !g.active || done.active || n != 1 {
+		t.Error("exhaust activeness wrong")
+	}
+}
+
+func TestAnswerIntervalSelectsAggregate(t *testing.T) {
+	g := mkGroup(2, 4, 7, false)
+	if answerInterval(g, query.Avg) != g.bestAvg {
+		t.Error("Avg selects wrong interval")
+	}
+	if answerInterval(g, query.Count) != g.bestCount {
+		t.Error("Count selects wrong interval")
+	}
+	if answerInterval(g, query.Sum) != g.bestSum {
+		t.Error("Sum selects wrong interval")
+	}
+}

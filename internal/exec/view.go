@@ -1,0 +1,221 @@
+package exec
+
+import (
+	"fmt"
+	"strings"
+
+	"fastframe/internal/bitmap"
+	"fastframe/internal/query"
+	"fastframe/internal/table"
+)
+
+// note: compilePredicate below also feeds blockMask from CatIn unions,
+// so join views (dimension predicates compiled to fact-side IN sets)
+// get block pruning for free.
+
+// compiledPred is a query predicate resolved against a concrete table:
+// categorical equality and set-membership atoms become code comparisons
+// and a static block-level mask; float ranges become per-row value
+// checks.
+type compiledPred struct {
+	catCodes   []uint32
+	catColumns []*table.CatColumn
+	inSets     []map[uint32]bool
+	inColumns  []*table.CatColumn
+	ranges     []query.FloatRange
+	rangeCols  []*table.FloatColumn
+
+	// blockMask, if non-nil, marks blocks that can contain matching
+	// rows: the intersection of the block bitmaps of every categorical
+	// equality atom. Blocks outside the mask are skipped without being
+	// fetched, by every strategy (§5.2's Scan "may leverage bitmaps for
+	// evaluation of whether a block contains tuples that satisfy a fixed
+	// predicate").
+	blockMask *bitmap.Bitset
+
+	// empty is set when a categorical atom references a value absent
+	// from the dictionary: the view is provably empty.
+	empty bool
+}
+
+func compilePredicate(t *table.Table, p query.Predicate) (*compiledPred, error) {
+	cp := &compiledPred{}
+	for _, atom := range p.CatEq {
+		col, err := t.Cat(atom.Column)
+		if err != nil {
+			return nil, err
+		}
+		code, ok := col.Code(atom.Value)
+		if !ok {
+			cp.empty = true
+			continue
+		}
+		cp.catColumns = append(cp.catColumns, col)
+		cp.catCodes = append(cp.catCodes, code)
+		ix, err := t.Index(atom.Column)
+		if err != nil {
+			return nil, err
+		}
+		if cp.blockMask == nil {
+			cp.blockMask = ix.Blocks(code).Clone()
+		} else {
+			cp.blockMask.AndInto(ix.Blocks(code))
+		}
+	}
+	for _, atom := range p.CatIn {
+		col, err := t.Cat(atom.Column)
+		if err != nil {
+			return nil, err
+		}
+		ix, err := t.Index(atom.Column)
+		if err != nil {
+			return nil, err
+		}
+		set := make(map[uint32]bool, len(atom.Values))
+		union := bitmap.NewBitset(ix.NumBlocks())
+		for _, v := range atom.Values {
+			code, ok := col.Code(v)
+			if !ok {
+				continue // absent values cannot match
+			}
+			set[code] = true
+			union.OrInto(ix.Blocks(code))
+		}
+		if len(set) == 0 {
+			cp.empty = true
+			continue
+		}
+		cp.inColumns = append(cp.inColumns, col)
+		cp.inSets = append(cp.inSets, set)
+		if cp.blockMask == nil {
+			cp.blockMask = union
+		} else {
+			cp.blockMask.AndInto(union)
+		}
+	}
+	for _, r := range p.Ranges {
+		col, err := t.Float(r.Column)
+		if err != nil {
+			return nil, err
+		}
+		cp.rangeCols = append(cp.rangeCols, col)
+		cp.ranges = append(cp.ranges, r)
+	}
+	return cp, nil
+}
+
+// match reports whether the row passes every predicate atom.
+func (cp *compiledPred) match(row int) bool {
+	if cp.empty {
+		return false
+	}
+	for i, col := range cp.catColumns {
+		if col.Codes[row] != cp.catCodes[i] {
+			return false
+		}
+	}
+	for i, col := range cp.inColumns {
+		if !cp.inSets[i][col.Codes[row]] {
+			return false
+		}
+	}
+	for i, col := range cp.rangeCols {
+		v := col.Values[row]
+		if v < cp.ranges[i].Lo || v > cp.ranges[i].Hi {
+			return false
+		}
+	}
+	return true
+}
+
+// blockPossible reports whether a block can contain matching rows
+// according to the static categorical mask.
+func (cp *compiledPred) blockPossible(block int) bool {
+	if cp.empty {
+		return false
+	}
+	if cp.blockMask == nil {
+		return true
+	}
+	return cp.blockMask.Get(block)
+}
+
+// grouper maps rows to dense group IDs over the GROUP BY columns using
+// mixed-radix dictionary codes, and renders group keys for output.
+type grouper struct {
+	cols    []*table.CatColumn
+	indexes []*bitmap.BlockIndex
+	radix   []int
+	total   int
+}
+
+func newGrouper(t *table.Table, groupBy []string) (*grouper, error) {
+	g := &grouper{total: 1}
+	for _, name := range groupBy {
+		col, err := t.Cat(name)
+		if err != nil {
+			return nil, fmt.Errorf("GROUP BY: %w", err)
+		}
+		ix, err := t.Index(name)
+		if err != nil {
+			return nil, err
+		}
+		g.cols = append(g.cols, col)
+		g.indexes = append(g.indexes, ix)
+		g.radix = append(g.radix, col.NumValues())
+		g.total *= col.NumValues()
+	}
+	return g, nil
+}
+
+// numGroups returns the upper bound on the number of aggregate views
+// (the product of dictionary sizes; 1 with no GROUP BY). The paper
+// divides δ by this count to preserve guarantees across views.
+func (g *grouper) numGroups() int { return g.total }
+
+// groupOf returns the dense group ID of a row (0 with no GROUP BY).
+func (g *grouper) groupOf(row int) int {
+	id := 0
+	for i, col := range g.cols {
+		id = id*g.radix[i] + int(col.Codes[row])
+	}
+	return id
+}
+
+// keyOf renders the group key ("ORD" or "3|ORD" for composites).
+func (g *grouper) keyOf(id int) string {
+	if len(g.cols) == 0 {
+		return ""
+	}
+	parts := make([]string, len(g.cols))
+	for i := len(g.cols) - 1; i >= 0; i-- {
+		r := g.radix[i]
+		parts[i] = g.cols[i].Value(uint32(id % r))
+		id /= r
+	}
+	return strings.Join(parts, "|")
+}
+
+// codesOf returns the per-column dictionary codes of a group ID.
+func (g *grouper) codesOf(id int) []uint32 {
+	codes := make([]uint32, len(g.cols))
+	for i := len(g.cols) - 1; i >= 0; i-- {
+		r := g.radix[i]
+		codes[i] = uint32(id % r)
+		id /= r
+	}
+	return codes
+}
+
+// blockContainsGroup reports whether a block can contain rows of the
+// group: each group column's value must appear in the block. For
+// composite groups this is conservative (the values may not co-occur on
+// one row), which only costs an extra fetch, never correctness.
+func (g *grouper) blockContainsGroup(block int, codes []uint32) bool {
+	for i, ix := range g.indexes {
+		if !ix.BlockContains(block, codes[i]) {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,145 @@
+package exec
+
+import (
+	"testing"
+
+	"fastframe/internal/query"
+)
+
+func TestGrouperRoundTrip(t *testing.T) {
+	tab := buildTestTable(t, 2000, 61)
+	g, err := newGrouper(tab, []string{"airline", "origin"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.numGroups() != 5*10 {
+		t.Fatalf("numGroups = %d", g.numGroups())
+	}
+	for id := 0; id < g.numGroups(); id++ {
+		codes := g.codesOf(id)
+		if len(codes) != 2 {
+			t.Fatalf("codesOf(%d) = %v", id, codes)
+		}
+		// Reconstruct the id from the codes (mixed radix).
+		recon := int(codes[0])*10 + int(codes[1])
+		if recon != id {
+			t.Fatalf("codes round trip: %d -> %v -> %d", id, codes, recon)
+		}
+		key := g.keyOf(id)
+		if key == "" {
+			t.Fatalf("empty key for id %d", id)
+		}
+	}
+}
+
+func TestGrouperUngrouped(t *testing.T) {
+	tab := buildTestTable(t, 500, 62)
+	g, err := newGrouper(tab, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.numGroups() != 1 {
+		t.Fatalf("numGroups = %d", g.numGroups())
+	}
+	if g.keyOf(0) != "" {
+		t.Errorf("ungrouped key = %q", g.keyOf(0))
+	}
+	if g.groupOf(0) != 0 || g.groupOf(499) != 0 {
+		t.Error("ungrouped groupOf != 0")
+	}
+	if len(g.codesOf(0)) != 0 {
+		t.Error("ungrouped codesOf not empty")
+	}
+}
+
+func TestGrouperGroupOfMatchesColumns(t *testing.T) {
+	tab := buildTestTable(t, 3000, 63)
+	g, err := newGrouper(tab, []string{"airline", "origin"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	al, _ := tab.Cat("airline")
+	or, _ := tab.Cat("origin")
+	for row := 0; row < tab.NumRows(); row += 17 {
+		id := g.groupOf(row)
+		codes := g.codesOf(id)
+		if codes[0] != al.Codes[row] || codes[1] != or.Codes[row] {
+			t.Fatalf("row %d: groupOf/codesOf disagree with columns", row)
+		}
+	}
+}
+
+func TestGrouperBlockContainsGroupConservative(t *testing.T) {
+	tab := buildTestTable(t, 3000, 64)
+	g, _ := newGrouper(tab, []string{"airline", "origin"})
+	al, _ := tab.Cat("airline")
+	or, _ := tab.Cat("origin")
+	layout := tab.Layout()
+	for blk := 0; blk < layout.NumBlocks(); blk += 7 {
+		s, e := layout.BlockBounds(blk)
+		present := map[int]bool{}
+		for row := s; row < e; row++ {
+			present[g.groupOf(row)] = true
+		}
+		for id := range present {
+			if !g.blockContainsGroup(blk, g.codesOf(id)) {
+				t.Fatalf("block %d: contains group %d but check says no", blk, id)
+			}
+		}
+		// The converse may be false (conservative), but a group whose
+		// airline code is absent from the block must be rejected.
+		inBlock := map[uint32]bool{}
+		for row := s; row < e; row++ {
+			inBlock[al.Codes[row]] = true
+		}
+		for code := uint32(0); code < uint32(al.NumValues()); code++ {
+			if !inBlock[code] {
+				if g.blockContainsGroup(blk, []uint32{code, or.Codes[s]}) {
+					t.Fatalf("block %d: absent airline %d accepted", blk, code)
+				}
+			}
+		}
+	}
+}
+
+func TestCompiledPredBlockMaskConsistent(t *testing.T) {
+	tab := buildTestTable(t, 5000, 65)
+	cp, err := compilePredicate(tab, query.Predicate{}.
+		AndCatEquals("airline", "CC").
+		AndCatIn("origin", "O0", "O3"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	layout := tab.Layout()
+	for blk := 0; blk < layout.NumBlocks(); blk++ {
+		s, e := layout.BlockBounds(blk)
+		any := false
+		for row := s; row < e; row++ {
+			if cp.match(row) {
+				any = true
+				break
+			}
+		}
+		// A block with a matching row must be possible; the converse is
+		// conservative (mask may keep blocks without joint matches).
+		if any && !cp.blockPossible(blk) {
+			t.Fatalf("block %d has matches but is pruned", blk)
+		}
+	}
+}
+
+func TestOptionsWithDefaults(t *testing.T) {
+	o := Options{}.withDefaults()
+	if o.Delta != DefaultDelta || o.Alpha != DefaultAlpha || o.RoundRows <= 0 {
+		t.Errorf("defaults wrong: %+v", o)
+	}
+	o2 := Options{Delta: 0.5, Alpha: 0.9, RoundRows: 7}.withDefaults()
+	if o2.Delta != 0.5 || o2.Alpha != 0.9 || o2.RoundRows != 7 {
+		t.Errorf("explicit values clobbered: %+v", o2)
+	}
+	// Out-of-range alpha falls back.
+	o3 := Options{Alpha: 2}.withDefaults()
+	if o3.Alpha != DefaultAlpha {
+		t.Errorf("alpha=2 not defaulted: %v", o3.Alpha)
+	}
+}

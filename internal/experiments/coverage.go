@@ -1,0 +1,109 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math/rand/v2"
+
+	"fastframe/internal/ci"
+	"fastframe/internal/distgen"
+	"fastframe/internal/stats"
+)
+
+// CoverageRow reports, for one distribution, each bounder's empirical
+// miss rate: the fraction of (1−δ) intervals that failed to contain the
+// true mean.
+type CoverageRow struct {
+	Distribution string
+	MissRate     map[string]float64
+}
+
+// CoverageConfig parameterizes the coverage study.
+type CoverageConfig struct {
+	N      int     // dataset size per trial
+	M      int     // samples per interval
+	Trials int     // intervals per (distribution, bounder) cell
+	Delta  float64 // nominal two-sided error probability
+	Seed   uint64
+}
+
+func (c CoverageConfig) withDefaults() CoverageConfig {
+	if c.N <= 0 {
+		c.N = 50_000
+	}
+	if c.M <= 0 {
+		c.M = 200
+	}
+	if c.Trials <= 0 {
+		c.Trials = 300
+	}
+	if c.Delta <= 0 {
+		c.Delta = 0.05
+	}
+	return c
+}
+
+// coverageBounders returns the study's arms: the asymptotic CLT bounder
+// plus the SSI arms of Table 5.
+func coverageBounders() []BounderSpec {
+	return append([]BounderSpec{{Name: "CLT", B: ci.CLT{}}}, Bounders()...)
+}
+
+// Coverage reproduces the paper's §1 motivation as a measurement:
+// asymptotic (CLT) confidence intervals can miss the true aggregate far
+// more often than their nominal δ on distributions with rare heavy
+// tails — the root cause of the subset/superset errors that motivate
+// sample-size-independent bounders, whose miss rate here is 0.
+func Coverage(cfg CoverageConfig) []CoverageRow {
+	cfg = cfg.withDefaults()
+	var out []CoverageRow
+	for _, dist := range distgen.Benchmarks() {
+		rng := rand.New(rand.NewPCG(cfg.Seed, 0xc0ffee))
+		row := CoverageRow{Distribution: dist.Name, MissRate: map[string]float64{}}
+		arms := coverageBounders()
+		misses := make([]int, len(arms))
+		for trial := 0; trial < cfg.Trials; trial++ {
+			data := dist.Sample(rng, cfg.N)
+			truth := stats.Mean(data)
+			states := make([]ci.State, len(arms))
+			for i, arm := range arms {
+				states[i] = arm.B.NewState()
+			}
+			for _, idx := range rng.Perm(cfg.N)[:cfg.M] {
+				for _, s := range states {
+					s.Update(data[idx])
+				}
+			}
+			p := ci.Params{A: dist.A, B: dist.B, N: cfg.N, Delta: cfg.Delta}
+			for i, s := range states {
+				if !ci.BoundInterval(s, p).Contains(truth) {
+					misses[i]++
+				}
+			}
+		}
+		for i, arm := range arms {
+			row.MissRate[arm.Name] = float64(misses[i]) / float64(cfg.Trials)
+		}
+		out = append(out, row)
+	}
+	return out
+}
+
+// WriteCoverage prints the study.
+func WriteCoverage(w io.Writer, rows []CoverageRow, cfg CoverageConfig) {
+	cfg = cfg.withDefaults()
+	fmt.Fprintf(w, "miss rate of nominal (1-%.2g) intervals at m=%d samples, %d trials\n",
+		cfg.Delta, cfg.M, cfg.Trials)
+	fmt.Fprintf(w, "%-42s", "distribution")
+	for _, a := range coverageBounders() {
+		fmt.Fprintf(w, " %13s", a.Name)
+	}
+	fmt.Fprintln(w)
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-42s", r.Distribution)
+		for _, a := range coverageBounders() {
+			fmt.Fprintf(w, " %13.4f", r.MissRate[a.Name])
+		}
+		fmt.Fprintln(w)
+	}
+}

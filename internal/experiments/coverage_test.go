@@ -1,0 +1,39 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestCoverageStudy(t *testing.T) {
+	if testing.Short() {
+		t.Skip("coverage study is slow")
+	}
+	cfg := CoverageConfig{N: 20_000, M: 150, Trials: 120, Delta: 0.05, Seed: 4}
+	rows := Coverage(cfg)
+	if len(rows) == 0 {
+		t.Fatal("no rows")
+	}
+	var cltFailedSomewhere bool
+	for _, r := range rows {
+		// SSI bounders may miss, but never more than their nominal δ
+		// (they come close only on the two-point worst case, where
+		// Hoeffding is nearly sharp); allow sampling slack.
+		for _, arm := range Bounders() {
+			if r.MissRate[arm.Name] > 2*cfg.Delta {
+				t.Errorf("%s: SSI arm %s missed at rate %v > δ", r.Distribution, arm.Name, r.MissRate[arm.Name])
+			}
+		}
+		if r.MissRate["CLT"] > 0.25 {
+			cltFailedSomewhere = true
+		}
+	}
+	if !cltFailedSomewhere {
+		t.Error("CLT never failed badly — the §1 motivation regime is missing from the distribution roster")
+	}
+	var sb strings.Builder
+	WriteCoverage(&sb, rows, cfg)
+	if !strings.Contains(sb.String(), "CLT") || !strings.Contains(sb.String(), "miss rate") {
+		t.Error("WriteCoverage output malformed")
+	}
+}

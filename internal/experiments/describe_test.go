@@ -1,0 +1,27 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestWriteTable34(t *testing.T) {
+	tab, err := BuildTable(Config{Rows: 10_000, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := WriteTable34(&sb, tab); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"rows=10000", "Origin", "Airline", "DayOfWeek",
+		"F-q1", "F-q9", "threshold", "top-k", "ordered",
+		"$min_dep_time",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Table 3/4 output missing %q", want)
+		}
+	}
+}

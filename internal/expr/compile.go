@@ -1,0 +1,80 @@
+package expr
+
+import "fmt"
+
+// CompileProgram compiles an expression into a per-row evaluator over
+// column slices resolved through lookup. The returned closure performs
+// no allocation or map access per row, making expression aggregates
+// viable on the executor's hot path.
+func CompileProgram(e Expr, lookup func(name string) ([]float64, error)) (func(row int) float64, error) {
+	switch n := e.(type) {
+	case Col:
+		vals, err := lookup(n.Name)
+		if err != nil {
+			return nil, err
+		}
+		return func(row int) float64 { return vals[row] }, nil
+	case Const:
+		v := n.Value
+		return func(int) float64 { return v }, nil
+	case Add:
+		x, err := CompileProgram(n.X, lookup)
+		if err != nil {
+			return nil, err
+		}
+		y, err := CompileProgram(n.Y, lookup)
+		if err != nil {
+			return nil, err
+		}
+		return func(row int) float64 { return x(row) + y(row) }, nil
+	case Sub:
+		x, err := CompileProgram(n.X, lookup)
+		if err != nil {
+			return nil, err
+		}
+		y, err := CompileProgram(n.Y, lookup)
+		if err != nil {
+			return nil, err
+		}
+		return func(row int) float64 { return x(row) - y(row) }, nil
+	case Mul:
+		x, err := CompileProgram(n.X, lookup)
+		if err != nil {
+			return nil, err
+		}
+		y, err := CompileProgram(n.Y, lookup)
+		if err != nil {
+			return nil, err
+		}
+		return func(row int) float64 { return x(row) * y(row) }, nil
+	case Neg:
+		x, err := CompileProgram(n.X, lookup)
+		if err != nil {
+			return nil, err
+		}
+		return func(row int) float64 { return -x(row) }, nil
+	case Square:
+		x, err := CompileProgram(n.X, lookup)
+		if err != nil {
+			return nil, err
+		}
+		return func(row int) float64 {
+			v := x(row)
+			return v * v
+		}, nil
+	case Abs:
+		x, err := CompileProgram(n.X, lookup)
+		if err != nil {
+			return nil, err
+		}
+		return func(row int) float64 {
+			v := x(row)
+			if v < 0 {
+				return -v
+			}
+			return v
+		}, nil
+	default:
+		return nil, fmt.Errorf("expr: cannot compile node type %T", e)
+	}
+}

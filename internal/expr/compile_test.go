@@ -1,0 +1,81 @@
+package expr
+
+import (
+	"fmt"
+	"math"
+	"math/rand/v2"
+	"testing"
+)
+
+func testLookup(cols map[string][]float64) func(string) ([]float64, error) {
+	return func(name string) ([]float64, error) {
+		if v, ok := cols[name]; ok {
+			return v, nil
+		}
+		return nil, fmt.Errorf("no column %q", name)
+	}
+}
+
+func TestCompileProgramMatchesEval(t *testing.T) {
+	rng := rand.New(rand.NewPCG(2, 9))
+	const rows = 500
+	cols := map[string][]float64{"a": make([]float64, rows), "b": make([]float64, rows)}
+	for i := 0; i < rows; i++ {
+		cols["a"][i] = rng.NormFloat64() * 10
+		cols["b"][i] = rng.NormFloat64() * 10
+	}
+	exprs := []Expr{
+		Col{"a"},
+		Const{7},
+		Add{Col{"a"}, Col{"b"}},
+		Sub{Col{"a"}, Const{3}},
+		Mul{Col{"a"}, Col{"b"}},
+		Neg{Col{"b"}},
+		Square{Add{Col{"a"}, Col{"b"}}},
+		Abs{Sub{Col{"a"}, Col{"b"}}},
+		Square{Sub{Add{Mul{Const{2}, Col{"a"}}, Mul{Const{3}, Col{"b"}}}, Const{1}}},
+	}
+	for _, e := range exprs {
+		prog, err := CompileProgram(e, testLookup(cols))
+		if err != nil {
+			t.Fatalf("%s: %v", e, err)
+		}
+		for row := 0; row < rows; row += 37 {
+			want := e.Eval(map[string]float64{"a": cols["a"][row], "b": cols["b"][row]})
+			if got := prog(row); math.Abs(got-want) > 1e-12*math.Max(1, math.Abs(want)) {
+				t.Fatalf("%s row %d: %v != %v", e, row, got, want)
+			}
+		}
+	}
+}
+
+func TestCompileProgramMissingColumn(t *testing.T) {
+	cols := map[string][]float64{"a": {1}}
+	bads := []Expr{
+		Col{"missing"},
+		Add{Col{"a"}, Col{"missing"}},
+		Sub{Col{"missing"}, Col{"a"}},
+		Mul{Col{"missing"}, Const{2}},
+		Neg{Col{"missing"}},
+		Square{Col{"missing"}},
+		Abs{Col{"missing"}},
+	}
+	for _, e := range bads {
+		if _, err := CompileProgram(e, testLookup(cols)); err == nil {
+			t.Errorf("%s: missing column accepted", e)
+		}
+	}
+}
+
+func TestCompileProgramUnknownNode(t *testing.T) {
+	if _, err := CompileProgram(bogusExpr{}, testLookup(nil)); err == nil {
+		t.Error("unknown node type accepted")
+	}
+}
+
+type bogusExpr struct{}
+
+func (bogusExpr) Eval(map[string]float64) float64 { return 0 }
+func (bogusExpr) Interval(map[string]Box) Box     { return Box{} }
+func (bogusExpr) Vars(map[string]bool)            {}
+func (bogusExpr) String() string                  { return "bogus" }

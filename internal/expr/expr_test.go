@@ -1,0 +1,216 @@
+package expr
+
+import (
+	"math"
+	"math/rand/v2"
+	"strings"
+	"testing"
+)
+
+// paperExample1 is AVG((2c1 + 3c2 − 1)²) with c1 ∈ [−3,1], c2 ∈ [−1,3];
+// the paper derives bounds [0, 100].
+func paperExample1() (Expr, map[string]Box) {
+	e := Square{X: Sub{
+		X: Add{X: Mul{X: Const{2}, Y: Col{"c1"}}, Y: Mul{X: Const{3}, Y: Col{"c2"}}},
+		Y: Const{1},
+	}}
+	boxes := map[string]Box{"c1": {-3, 1}, "c2": {-1, 3}}
+	return e, boxes
+}
+
+func TestPaperExample1(t *testing.T) {
+	e, boxes := paperExample1()
+	got, err := DeriveBounds(e, boxes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Lo != 0 || got.Hi != 100 {
+		t.Errorf("derived bounds [%v,%v], want [0,100]", got.Lo, got.Hi)
+	}
+	// The corner max is attained at (1, 3): (2+9−1)² = 100.
+	corner, err := CornerBounds(e, boxes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if corner.Hi != 100 {
+		t.Errorf("corner max = %v, want 100", corner.Hi)
+	}
+	// Interval arithmetic alone gives the QP minimum 0 via the Square rule.
+	if ia := Bounds(e, boxes); ia.Lo != 0 {
+		t.Errorf("interval-arithmetic min = %v, want 0", ia.Lo)
+	}
+}
+
+func TestEval(t *testing.T) {
+	e, _ := paperExample1()
+	v := e.Eval(map[string]float64{"c1": 1, "c2": 3})
+	if v != 100 {
+		t.Errorf("Eval = %v, want 100", v)
+	}
+	if got := (Neg{X: Col{"x"}}).Eval(map[string]float64{"x": 4}); got != -4 {
+		t.Errorf("Neg = %v", got)
+	}
+	if got := (Abs{X: Const{-5}}).Eval(nil); got != 5 {
+		t.Errorf("Abs = %v", got)
+	}
+}
+
+func TestIntervalRules(t *testing.T) {
+	boxes := map[string]Box{"x": {-2, 3}, "y": {1, 4}}
+	cases := []struct {
+		e    Expr
+		want Box
+	}{
+		{Add{Col{"x"}, Col{"y"}}, Box{-1, 7}},
+		{Sub{Col{"x"}, Col{"y"}}, Box{-6, 2}},
+		{Mul{Col{"x"}, Col{"y"}}, Box{-8, 12}},
+		{Neg{Col{"x"}}, Box{-3, 2}},
+		{Square{Col{"x"}}, Box{0, 9}},
+		{Square{Col{"y"}}, Box{1, 16}},
+		{Abs{Col{"x"}}, Box{0, 3}},
+		{Abs{Col{"y"}}, Box{1, 4}},
+		{Const{7}, Box{7, 7}},
+	}
+	for _, c := range cases {
+		if got := c.e.Interval(boxes); got != c.want {
+			t.Errorf("%s interval = %+v, want %+v", c.e, got, c.want)
+		}
+	}
+}
+
+func TestSquareNegativeOnlyInterval(t *testing.T) {
+	boxes := map[string]Box{"x": {-5, -2}}
+	if got := (Square{Col{"x"}}).Interval(boxes); got != (Box{4, 25}) {
+		t.Errorf("Square over negative box = %+v", got)
+	}
+	if got := (Abs{Col{"x"}}).Interval(boxes); got != (Box{2, 5}) {
+		t.Errorf("Abs over negative box = %+v", got)
+	}
+}
+
+// TestIntervalSoundnessProperty: evaluate random expressions at random
+// interior points; the value must lie within both the interval bounds
+// and the derived bounds.
+func TestIntervalSoundnessProperty(t *testing.T) {
+	rng := rand.New(rand.NewPCG(11, 4))
+	cols := []string{"a", "b", "c"}
+	var build func(depth int) Expr
+	build = func(depth int) Expr {
+		if depth == 0 || rng.Float64() < 0.3 {
+			if rng.Float64() < 0.5 {
+				return Col{cols[rng.IntN(len(cols))]}
+			}
+			return Const{math.Round(rng.NormFloat64() * 5)}
+		}
+		switch rng.IntN(6) {
+		case 0:
+			return Add{build(depth - 1), build(depth - 1)}
+		case 1:
+			return Sub{build(depth - 1), build(depth - 1)}
+		case 2:
+			return Mul{build(depth - 1), build(depth - 1)}
+		case 3:
+			return Neg{build(depth - 1)}
+		case 4:
+			return Square{build(depth - 1)}
+		default:
+			return Abs{build(depth - 1)}
+		}
+	}
+	for trial := 0; trial < 200; trial++ {
+		e := build(3)
+		boxes := map[string]Box{}
+		for _, c := range cols {
+			lo := rng.NormFloat64() * 3
+			boxes[c] = Box{lo, lo + rng.Float64()*5}
+		}
+		ia := Bounds(e, boxes)
+		derived, err := DeriveBounds(e, boxes)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for p := 0; p < 30; p++ {
+			vals := map[string]float64{}
+			for _, c := range cols {
+				vals[c] = boxes[c].Lo + rng.Float64()*(boxes[c].Hi-boxes[c].Lo)
+			}
+			v := e.Eval(vals)
+			if !ia.Contains(v) && !withinTol(v, ia) {
+				t.Fatalf("expr %s: value %v escapes interval bounds [%v,%v]", e, v, ia.Lo, ia.Hi)
+			}
+			if !derived.Contains(v) && !withinTol(v, derived) {
+				t.Fatalf("expr %s: value %v escapes derived bounds [%v,%v]", e, v, derived.Lo, derived.Hi)
+			}
+		}
+	}
+}
+
+func withinTol(v float64, b Box) bool {
+	tol := 1e-9 * math.Max(1, math.Max(math.Abs(b.Lo), math.Abs(b.Hi)))
+	return v >= b.Lo-tol && v <= b.Hi+tol
+}
+
+// TestCornerBoundsExactForMonotone: a multilinear monotone expression's
+// extrema are at corners, so corner bounds equal the true range.
+func TestCornerBoundsExactForMonotone(t *testing.T) {
+	// 2a + 3b − c over a∈[0,1], b∈[−1,2], c∈[0,4]: min = 0−3−4 = −7,
+	// max = 2+6−0 = 8.
+	e := Sub{X: Add{X: Mul{X: Const{2}, Y: Col{"a"}}, Y: Mul{X: Const{3}, Y: Col{"b"}}}, Y: Col{"c"}}
+	boxes := map[string]Box{"a": {0, 1}, "b": {-1, 2}, "c": {0, 4}}
+	got, err := CornerBounds(e, boxes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != (Box{-7, 8}) {
+		t.Errorf("corner bounds = %+v, want [-7,8]", got)
+	}
+	// Interval arithmetic agrees for single-occurrence variables.
+	if ia := Bounds(e, boxes); ia != (Box{-7, 8}) {
+		t.Errorf("interval bounds = %+v, want [-7,8]", ia)
+	}
+}
+
+func TestCornerBoundsErrors(t *testing.T) {
+	if _, err := CornerBounds(Col{"missing"}, map[string]Box{}); err == nil {
+		t.Error("missing box accepted")
+	}
+	// Too many variables.
+	var e Expr = Const{0}
+	boxes := map[string]Box{}
+	for i := 0; i < MaxCornerVars+1; i++ {
+		name := "v" + string(rune('a'+i%26)) + string(rune('a'+i/26))
+		e = Add{X: e, Y: Col{name}}
+		boxes[name] = Box{0, 1}
+	}
+	if _, err := CornerBounds(e, boxes); err == nil {
+		t.Error("over-limit expression accepted")
+	}
+	// DeriveBounds falls back to interval arithmetic instead of failing.
+	b, err := DeriveBounds(e, boxes)
+	if err != nil {
+		t.Fatalf("DeriveBounds fallback: %v", err)
+	}
+	if b.Lo != 0 || b.Hi != float64(MaxCornerVars+1) {
+		t.Errorf("fallback bounds = %+v", b)
+	}
+}
+
+func TestCornerBoundsConstant(t *testing.T) {
+	b, err := CornerBounds(Const{3.5}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b != (Box{3.5, 3.5}) {
+		t.Errorf("constant bounds = %+v", b)
+	}
+}
+
+func TestString(t *testing.T) {
+	e, _ := paperExample1()
+	s := e.String()
+	for _, frag := range []string{"c1", "c2", "^2", "2", "3"} {
+		if !strings.Contains(s, frag) {
+			t.Errorf("String() = %q missing %q", s, frag)
+		}
+	}
+}

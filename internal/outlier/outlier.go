@@ -1,0 +1,94 @@
+// Package outlier implements the outlier-index technique of Chaudhuri,
+// Das, Datar, Motwani and Narasayya (ICDE 2001), which the paper's §6
+// describes as "an offline analogy of our own RangeTrim technique": all
+// rows whose values fall outside a trimmed range are stored in a small
+// side index and aggregated exactly; only the trimmed remainder — whose
+// range is much smaller — is sampled. Range-based error bounders over
+// the remainder then pay the trimmed range, not the full catalog range.
+//
+// The paper notes the approaches are orthogonal and can be combined
+// (RangeTrim over the trimmed remainder); the ablation benchmark in the
+// repository root measures exactly that. The outlier index's known
+// limitation — it is built for one attribute ahead of time and cannot
+// serve aggregates over arbitrary expressions — is inherent and
+// documented in the paper.
+package outlier
+
+import (
+	"fmt"
+	"sort"
+
+	"fastframe/internal/ci"
+)
+
+// Index is an outlier index over one column of a dataset.
+type Index struct {
+	// Lo, Hi bound the trimmed (non-outlier) values.
+	Lo, Hi float64
+	// OutlierSum and OutlierCount aggregate the outliers exactly.
+	OutlierSum   float64
+	OutlierCount int
+	// Total is the full dataset size.
+	Total int
+}
+
+// Build splits values into outliers (the trimFrac/2 smallest and
+// trimFrac/2 largest values, stored exactly in the index) and the
+// trimmed remainder, which is returned for sampling. trimFrac must lie
+// in [0, 1).
+func Build(values []float64, trimFrac float64) (*Index, []float64, error) {
+	if trimFrac < 0 || trimFrac >= 1 {
+		return nil, nil, fmt.Errorf("outlier: trimFrac %v outside [0,1)", trimFrac)
+	}
+	if len(values) == 0 {
+		return nil, nil, fmt.Errorf("outlier: empty dataset")
+	}
+	sorted := append([]float64(nil), values...)
+	sort.Float64s(sorted)
+	n := len(sorted)
+	cut := int(trimFrac / 2 * float64(n))
+	trimmed := sorted[cut : n-cut]
+	ix := &Index{
+		Lo:    trimmed[0],
+		Hi:    trimmed[len(trimmed)-1],
+		Total: n,
+	}
+	for _, v := range sorted[:cut] {
+		ix.OutlierSum += v
+		ix.OutlierCount++
+	}
+	for _, v := range sorted[n-cut:] {
+		ix.OutlierSum += v
+		ix.OutlierCount++
+	}
+	return ix, trimmed, nil
+}
+
+// TrimmedCount returns the number of non-outlier values.
+func (ix *Index) TrimmedCount() int { return ix.Total - ix.OutlierCount }
+
+// Params returns the bounder side conditions for sampling the trimmed
+// remainder: its (narrow) range, its size, and the caller's δ.
+func (ix *Index) Params(delta float64) ci.Params {
+	return ci.Params{A: ix.Lo, B: ix.Hi, N: ix.TrimmedCount(), Delta: delta}
+}
+
+// MeanInterval converts a confidence interval for the TRIMMED mean into
+// one for the FULL dataset mean, by combining it with the exact outlier
+// aggregate:
+//
+//	µ_full = (OutlierSum + N_trimmed·µ_trimmed) / Total
+//
+// The transformation is linear with positive slope, so the coverage
+// probability is exactly that of the trimmed interval.
+func (ix *Index) MeanInterval(trimmed ci.Interval) ci.Interval {
+	nt := float64(ix.TrimmedCount())
+	total := float64(ix.Total)
+	rescale := func(v float64) float64 { return (ix.OutlierSum + nt*v) / total }
+	return ci.Interval{
+		Lo:       rescale(trimmed.Lo),
+		Hi:       rescale(trimmed.Hi),
+		Estimate: rescale(trimmed.Estimate),
+		Samples:  trimmed.Samples,
+	}
+}

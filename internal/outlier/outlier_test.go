@@ -1,0 +1,163 @@
+package outlier
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+
+	"fastframe/internal/ci"
+	"fastframe/internal/core"
+	"fastframe/internal/stats"
+)
+
+// spikyData is concentrated mass with rare extreme outliers — the
+// workload outlier indexing exists for.
+func spikyData(rng *rand.Rand, n int) []float64 {
+	data := make([]float64, n)
+	for i := range data {
+		data[i] = 100 + rng.NormFloat64()*5
+		if rng.Float64() < 0.001 {
+			data[i] = 9000 + rng.Float64()*1000
+		}
+	}
+	return data
+}
+
+func TestBuildValidation(t *testing.T) {
+	if _, _, err := Build(nil, 0.1); err == nil {
+		t.Error("empty dataset accepted")
+	}
+	if _, _, err := Build([]float64{1}, -0.1); err == nil {
+		t.Error("negative trimFrac accepted")
+	}
+	if _, _, err := Build([]float64{1}, 1); err == nil {
+		t.Error("trimFrac=1 accepted")
+	}
+}
+
+func TestBuildSplit(t *testing.T) {
+	values := []float64{5, 1, 9, 3, 7, 2, 8, 4, 6, 1000}
+	ix, trimmed, err := Build(values, 0.2) // trim 1 from each end
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ix.Total != 10 || ix.OutlierCount != 2 || ix.TrimmedCount() != 8 {
+		t.Fatalf("split wrong: %+v", ix)
+	}
+	if ix.OutlierSum != 1+1000 {
+		t.Errorf("OutlierSum = %v", ix.OutlierSum)
+	}
+	if ix.Lo != 2 || ix.Hi != 9 {
+		t.Errorf("trimmed range [%v,%v]", ix.Lo, ix.Hi)
+	}
+	if len(trimmed) != 8 {
+		t.Errorf("trimmed size %d", len(trimmed))
+	}
+	// Mass conservation.
+	sum := ix.OutlierSum
+	for _, v := range trimmed {
+		sum += v
+	}
+	if want := stats.Mean(values) * 10; math.Abs(sum-want) > 1e-9 {
+		t.Errorf("mass not conserved: %v vs %v", sum, want)
+	}
+}
+
+func TestBuildZeroTrim(t *testing.T) {
+	ix, trimmed, err := Build([]float64{3, 1, 2}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ix.OutlierCount != 0 || len(trimmed) != 3 {
+		t.Error("zero trim should keep everything")
+	}
+}
+
+func TestMeanIntervalCoverage(t *testing.T) {
+	rng := rand.New(rand.NewPCG(4, 4))
+	misses := 0
+	for trial := 0; trial < 40; trial++ {
+		data := spikyData(rng, 20000)
+		truth := stats.Mean(data)
+		ix, trimmed, err := Build(data, 0.01)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Sample the trimmed remainder without replacement.
+		s := ci.EmpiricalBernsteinSerfling{}.NewState()
+		for _, idx := range rng.Perm(len(trimmed))[:500] {
+			s.Update(trimmed[idx])
+		}
+		iv := ix.MeanInterval(ci.BoundInterval(s, ix.Params(0.05)))
+		if !iv.Contains(truth) {
+			misses++
+		}
+	}
+	if misses > 0 {
+		t.Errorf("outlier-index interval missed the full mean in %d/40 trials", misses)
+	}
+}
+
+// TestOutlierIndexTightensRangeBounders: the headline effect — with the
+// outliers handled exactly, the sampled remainder's range collapses and
+// range-based bounders tighten dramatically at equal sample size.
+func TestOutlierIndexTightensRangeBounders(t *testing.T) {
+	rng := rand.New(rand.NewPCG(9, 9))
+	data := spikyData(rng, 50000)
+	ix, trimmed, err := Build(data, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const m = 2000
+	plain := ci.HoeffdingSerfling{}.NewState()
+	for _, idx := range rng.Perm(len(data))[:m] {
+		plain.Update(data[idx])
+	}
+	var lo, hi stats.MinMax
+	for _, v := range data {
+		lo.Add(v)
+		hi.Add(v)
+	}
+	plainIv := ci.BoundInterval(plain, ci.Params{A: lo.Min(), B: hi.Max(), N: len(data), Delta: 1e-6})
+
+	indexed := ci.HoeffdingSerfling{}.NewState()
+	for _, idx := range rng.Perm(len(trimmed))[:m] {
+		indexed.Update(trimmed[idx])
+	}
+	indexedIv := ix.MeanInterval(ci.BoundInterval(indexed, ix.Params(1e-6)))
+
+	if indexedIv.Width() >= plainIv.Width()/10 {
+		t.Errorf("outlier index width %v not ≪ plain width %v", indexedIv.Width(), plainIv.Width())
+	}
+}
+
+// TestOutlierIndexComposesWithRangeTrim: the paper says the approaches
+// are orthogonal; RangeTrim over the trimmed remainder must still be
+// valid and no looser than the inner bounder.
+func TestOutlierIndexComposesWithRangeTrim(t *testing.T) {
+	rng := rand.New(rand.NewPCG(2, 8))
+	data := spikyData(rng, 30000)
+	truth := stats.Mean(data)
+	ix, trimmed, err := Build(data, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt := core.RangeTrim{Inner: ci.EmpiricalBernsteinSerfling{}}.NewState()
+	plain := ci.EmpiricalBernsteinSerfling{}.NewState()
+	for _, idx := range rng.Perm(len(trimmed))[:1500] {
+		rt.Update(trimmed[idx])
+		plain.Update(trimmed[idx])
+	}
+	rtIv := ix.MeanInterval(ci.BoundInterval(rt, ix.Params(1e-6)))
+	plainIv := ix.MeanInterval(ci.BoundInterval(plain, ix.Params(1e-6)))
+	if !rtIv.Contains(truth) {
+		t.Errorf("RangeTrim-over-index interval [%v,%v] misses %v", rtIv.Lo, rtIv.Hi, truth)
+	}
+	// With the outliers already removed there is little left for
+	// RangeTrim to trim, so the widths should be comparable (RangeTrim
+	// pays one withheld sample per side; it must not be much worse).
+	if rtIv.Width() > plainIv.Width()*1.05 {
+		t.Errorf("RangeTrim over index much wider than plain: %v > %v", rtIv.Width(), plainIv.Width())
+	}
+}

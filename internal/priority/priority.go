@@ -1,0 +1,102 @@
+// Package priority implements priority sampling (Duffield, Lund,
+// Thorup, JACM 2007), the outlier-robust SUM-estimation baseline the
+// paper's §6 compares against. Each item i with weight wᵢ draws
+// αᵢ ~ Uniform(0,1] and receives priority qᵢ = wᵢ/αᵢ; the estimator
+// keeps the k items of highest priority and, with τ the (k+1)-st
+// priority, estimates Σwᵢ as Σ_{i∈topk} max(wᵢ, τ). The estimate is
+// unbiased for every k ≥ 1 and exact when k ≥ n.
+//
+// The paper points out the structural limitation reproduced here: the
+// aggregated attribute must be known before sampling (items are ranked
+// by priorities derived from their values), so priority sampling cannot
+// serve ad-hoc expressions or late-bound predicates the way scramble
+// scanning does. It also natively estimates SUM of non-negative
+// weights, not AVG.
+package priority
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"sort"
+)
+
+// Sample is a materialized priority sample supporting subset-sum
+// estimation.
+type Sample struct {
+	k     int
+	tau   float64
+	items []Item
+}
+
+// Item is one retained item with its weight and original index.
+type Item struct {
+	Index  int
+	Weight float64
+}
+
+// New draws a priority sample of size k from the weights, which must be
+// non-negative. If k ≥ len(weights) the sample is the whole dataset and
+// estimates are exact (τ = 0).
+func New(rng *rand.Rand, weights []float64, k int) (*Sample, error) {
+	if k <= 0 {
+		return nil, fmt.Errorf("priority: k must be positive")
+	}
+	for i, w := range weights {
+		if w < 0 {
+			return nil, fmt.Errorf("priority: negative weight %v at index %d", w, i)
+		}
+	}
+	type prioritized struct {
+		item Item
+		q    float64
+	}
+	all := make([]prioritized, len(weights))
+	for i, w := range weights {
+		// α ~ Uniform(0,1]; guard the zero that Float64 can return.
+		alpha := 1 - rng.Float64()
+		all[i] = prioritized{item: Item{Index: i, Weight: w}, q: w / alpha}
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].q > all[j].q })
+
+	s := &Sample{k: k}
+	if k >= len(all) {
+		for _, p := range all {
+			s.items = append(s.items, p.item)
+		}
+		return s, nil
+	}
+	s.tau = all[k].q
+	for _, p := range all[:k] {
+		s.items = append(s.items, p.item)
+	}
+	return s, nil
+}
+
+// Tau returns the priority threshold (0 when the sample is exhaustive).
+func (s *Sample) Tau() float64 { return s.tau }
+
+// Items returns the retained items.
+func (s *Sample) Items() []Item { return s.items }
+
+// SumEstimate estimates the total weight Σwᵢ.
+func (s *Sample) SumEstimate() float64 {
+	return s.SubsetSum(func(Item) bool { return true })
+}
+
+// SubsetSum estimates Σ{wᵢ : keep(i)} for an arbitrary, value-independent
+// subset predicate — the "estimating arbitrary subset sums" capability
+// priority sampling is known for.
+func (s *Sample) SubsetSum(keep func(Item) bool) float64 {
+	sum := 0.0
+	for _, it := range s.items {
+		if !keep(it) {
+			continue
+		}
+		w := it.Weight
+		if s.tau > w {
+			w = s.tau
+		}
+		sum += w
+	}
+	return sum
+}

@@ -1,0 +1,119 @@
+package priority
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+)
+
+func TestValidation(t *testing.T) {
+	rng := rand.New(rand.NewPCG(1, 1))
+	if _, err := New(rng, []float64{1, 2}, 0); err == nil {
+		t.Error("k=0 accepted")
+	}
+	if _, err := New(rng, []float64{1, -2}, 1); err == nil {
+		t.Error("negative weight accepted")
+	}
+}
+
+func TestExactWhenKCoversAll(t *testing.T) {
+	rng := rand.New(rand.NewPCG(2, 2))
+	weights := []float64{3, 1, 4, 1, 5, 9, 2, 6}
+	s, err := New(rng, weights, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Tau() != 0 {
+		t.Errorf("tau = %v, want 0", s.Tau())
+	}
+	if got := s.SumEstimate(); got != 31 {
+		t.Errorf("SumEstimate = %v, want 31", got)
+	}
+}
+
+func TestUnbiasedness(t *testing.T) {
+	// E[estimate] = true sum for any k; check by averaging many draws on
+	// a skewed weight set.
+	rng := rand.New(rand.NewPCG(3, 3))
+	weights := make([]float64, 500)
+	truth := 0.0
+	for i := range weights {
+		weights[i] = math.Exp(rng.NormFloat64() * 2) // heavy-tailed
+		truth += weights[i]
+	}
+	const trials = 3000
+	sum := 0.0
+	for trial := 0; trial < trials; trial++ {
+		s, err := New(rng, weights, 40)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sum += s.SumEstimate()
+	}
+	avg := sum / trials
+	if rel := math.Abs(avg-truth) / truth; rel > 0.05 {
+		t.Errorf("mean estimate %v vs truth %v (rel err %.3f): bias suspected", avg, truth, rel)
+	}
+}
+
+func TestSubsetSum(t *testing.T) {
+	rng := rand.New(rand.NewPCG(4, 4))
+	weights := make([]float64, 400)
+	evenSum := 0.0
+	for i := range weights {
+		weights[i] = 1 + rng.Float64()*9
+		if i%2 == 0 {
+			evenSum += weights[i]
+		}
+	}
+	const trials = 3000
+	sum := 0.0
+	for trial := 0; trial < trials; trial++ {
+		s, err := New(rng, weights, 50)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sum += s.SubsetSum(func(it Item) bool { return it.Index%2 == 0 })
+	}
+	avg := sum / trials
+	if rel := math.Abs(avg-evenSum) / evenSum; rel > 0.05 {
+		t.Errorf("subset estimate %v vs truth %v (rel err %.3f)", avg, evenSum, rel)
+	}
+}
+
+func TestOutlierRobustness(t *testing.T) {
+	// One giant item dominates the sum; priority sampling must include
+	// it essentially always (its priority w/α ≥ w is huge), so the
+	// estimator's error stays small where uniform sampling would be
+	// wildly noisy.
+	rng := rand.New(rand.NewPCG(5, 5))
+	weights := make([]float64, 1000)
+	truth := 0.0
+	for i := range weights {
+		weights[i] = 1
+		truth++
+	}
+	weights[123] = 10000
+	truth += 9999
+	for trial := 0; trial < 50; trial++ {
+		s, err := New(rng, weights, 30)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := s.SumEstimate()
+		if math.Abs(got-truth)/truth > 0.5 {
+			t.Fatalf("trial %d: estimate %v vs %v — outlier dropped", trial, got, truth)
+		}
+	}
+}
+
+func TestItemsSize(t *testing.T) {
+	rng := rand.New(rand.NewPCG(6, 6))
+	s, err := New(rng, make([]float64, 100), 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Items()) != 10 {
+		t.Errorf("retained %d items, want 10", len(s.Items()))
+	}
+}

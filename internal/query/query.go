@@ -1,0 +1,287 @@
+// Package query defines the logical query model FastFrame executes:
+// a single aggregate (AVG, SUM, or COUNT) over one continuous column,
+// an optional conjunctive predicate, an optional GROUP BY over
+// categorical columns, and a stopping condition describing when the
+// approximate answer is good enough (§4.2 of the paper). The nine
+// Flights evaluation queries F-q1..F-q9 are expressed in this model by
+// package flights.
+package query
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"fastframe/internal/expr"
+)
+
+// AggKind identifies the aggregate function.
+type AggKind int
+
+const (
+	// Avg computes the mean of the aggregate column over the view.
+	Avg AggKind = iota
+	// Sum computes the total; its CI combines an AVG CI and a COUNT CI
+	// (§4.1).
+	Sum
+	// Count computes the number of view rows; its CI comes from the
+	// selectivity bound of Lemma 5.
+	Count
+)
+
+// String returns AVG, SUM, or COUNT.
+func (k AggKind) String() string {
+	switch k {
+	case Avg:
+		return "AVG"
+	case Sum:
+		return "SUM"
+	case Count:
+		return "COUNT"
+	default:
+		return fmt.Sprintf("AggKind(%d)", int(k))
+	}
+}
+
+// Aggregate is the aggregate clause. For Avg and Sum the input is
+// either a single continuous column (Column) or an arbitrary expression
+// over continuous columns (Expr, taking precedence); range bounds for
+// expressions are derived from the catalog per Appendix B. Both are
+// ignored for Count.
+type Aggregate struct {
+	Kind   AggKind
+	Column string
+	Expr   expr.Expr
+}
+
+func (a Aggregate) String() string {
+	if a.Kind == Count {
+		return "COUNT(*)"
+	}
+	if a.Expr != nil {
+		return fmt.Sprintf("%s(%s)", a.Kind, a.Expr)
+	}
+	return fmt.Sprintf("%s(%s)", a.Kind, a.Column)
+}
+
+// CatEquals restricts a categorical column to a single value.
+type CatEquals struct {
+	Column string
+	Value  string
+}
+
+// CatIn restricts a categorical column to a set of values. This is the
+// predicate form join views compile to: a dimension-table predicate in
+// a snowflake schema reduces to "fact.fk IN {matching dimension keys}"
+// (the paper's §Extensibility / Appendix join discussion).
+type CatIn struct {
+	Column string
+	Values []string
+}
+
+// FloatRange restricts a continuous column to [Lo, Hi] (inclusive; use
+// ±Inf for one-sided ranges).
+type FloatRange struct {
+	Column string
+	Lo, Hi float64
+}
+
+// Predicate is a conjunction of atoms. The zero value matches all rows.
+type Predicate struct {
+	CatEq  []CatEquals
+	CatIn  []CatIn
+	Ranges []FloatRange
+}
+
+// IsTrivial reports whether the predicate matches every row.
+func (p Predicate) IsTrivial() bool {
+	return len(p.CatEq) == 0 && len(p.CatIn) == 0 && len(p.Ranges) == 0
+}
+
+// And returns p extended with a categorical equality.
+func (p Predicate) AndCatEquals(column, value string) Predicate {
+	p.CatEq = append(append([]CatEquals(nil), p.CatEq...), CatEquals{Column: column, Value: value})
+	return p
+}
+
+// AndCatIn returns p extended with a categorical set-membership atom.
+func (p Predicate) AndCatIn(column string, values ...string) Predicate {
+	p.CatIn = append(append([]CatIn(nil), p.CatIn...),
+		CatIn{Column: column, Values: append([]string(nil), values...)})
+	return p
+}
+
+// AndGreater returns p extended with column > lo (implemented as the
+// closed range [nextafter(lo, +Inf), +Inf]).
+func (p Predicate) AndGreater(column string, lo float64) Predicate {
+	p.Ranges = append(append([]FloatRange(nil), p.Ranges...),
+		FloatRange{Column: column, Lo: math.Nextafter(lo, math.Inf(1)), Hi: math.Inf(1)})
+	return p
+}
+
+// AndRange returns p extended with lo ≤ column ≤ hi.
+func (p Predicate) AndRange(column string, lo, hi float64) Predicate {
+	p.Ranges = append(append([]FloatRange(nil), p.Ranges...),
+		FloatRange{Column: column, Lo: lo, Hi: hi})
+	return p
+}
+
+// StopKind enumerates the stopping conditions of §4.2.
+type StopKind int
+
+const (
+	// StopFixedSamples (①): stop once every group has the desired number
+	// of contributing samples.
+	StopFixedSamples StopKind = iota
+	// StopAbsWidth (②): stop once every group's CI width < Epsilon.
+	StopAbsWidth
+	// StopRelWidth (③): stop once every group's relative CI width < Epsilon.
+	StopRelWidth
+	// StopThreshold (④): stop once every group's CI excludes Threshold.
+	StopThreshold
+	// StopTopK (⑤): stop once the K groups with largest (Largest=true)
+	// or smallest aggregates are separated from the rest.
+	StopTopK
+	// StopOrdered (⑥): stop once no two groups' CIs overlap.
+	StopOrdered
+	// StopExhaust: no early stopping; scan everything (used as a guard
+	// and by COUNT-only queries with no condition).
+	StopExhaust
+)
+
+// String names the stopping condition.
+func (k StopKind) String() string {
+	switch k {
+	case StopFixedSamples:
+		return "fixed-samples"
+	case StopAbsWidth:
+		return "abs-width"
+	case StopRelWidth:
+		return "rel-width"
+	case StopThreshold:
+		return "threshold"
+	case StopTopK:
+		return "top-k"
+	case StopOrdered:
+		return "ordered"
+	case StopExhaust:
+		return "exhaust"
+	default:
+		return fmt.Sprintf("StopKind(%d)", int(k))
+	}
+}
+
+// Stop is a stopping condition with its parameters.
+type Stop struct {
+	Kind      StopKind
+	Samples   int     // StopFixedSamples
+	Epsilon   float64 // StopAbsWidth, StopRelWidth
+	Threshold float64 // StopThreshold
+	K         int     // StopTopK
+	Largest   bool    // StopTopK: separate the K largest (else smallest)
+}
+
+// FixedSamples returns stopping condition ①.
+func FixedSamples(m int) Stop { return Stop{Kind: StopFixedSamples, Samples: m} }
+
+// AbsWidth returns stopping condition ②.
+func AbsWidth(eps float64) Stop { return Stop{Kind: StopAbsWidth, Epsilon: eps} }
+
+// RelWidth returns stopping condition ③.
+func RelWidth(eps float64) Stop { return Stop{Kind: StopRelWidth, Epsilon: eps} }
+
+// Threshold returns stopping condition ④.
+func Threshold(v float64) Stop { return Stop{Kind: StopThreshold, Threshold: v} }
+
+// TopK returns stopping condition ⑤ for the K largest aggregates.
+func TopK(k int) Stop { return Stop{Kind: StopTopK, K: k, Largest: true} }
+
+// BottomK returns stopping condition ⑤ for the K smallest aggregates.
+func BottomK(k int) Stop { return Stop{Kind: StopTopK, K: k, Largest: false} }
+
+// Ordered returns stopping condition ⑥.
+func Ordered() Stop { return Stop{Kind: StopOrdered} }
+
+// Exhaust returns the no-early-stopping condition.
+func Exhaust() Stop { return Stop{Kind: StopExhaust} }
+
+// Query is one aggregate query.
+type Query struct {
+	Name    string // identifier used in benchmark output (e.g. "F-q1")
+	Agg     Aggregate
+	Pred    Predicate
+	GroupBy []string // categorical columns; empty means one global group
+	Stop    Stop
+}
+
+// String renders a compact SQL-ish description.
+func (q Query) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "SELECT %s", q.Agg)
+	if !q.Pred.IsTrivial() {
+		b.WriteString(" WHERE ")
+		first := true
+		for _, ce := range q.Pred.CatEq {
+			if !first {
+				b.WriteString(" AND ")
+			}
+			fmt.Fprintf(&b, "%s = %q", ce.Column, ce.Value)
+			first = false
+		}
+		for _, ci := range q.Pred.CatIn {
+			if !first {
+				b.WriteString(" AND ")
+			}
+			fmt.Fprintf(&b, "%s IN (%s)", ci.Column, strings.Join(ci.Values, ", "))
+			first = false
+		}
+		for _, r := range q.Pred.Ranges {
+			if !first {
+				b.WriteString(" AND ")
+			}
+			switch {
+			case math.IsInf(r.Hi, 1):
+				fmt.Fprintf(&b, "%s >= %.6g", r.Column, r.Lo)
+			case math.IsInf(r.Lo, -1):
+				fmt.Fprintf(&b, "%s <= %.6g", r.Column, r.Hi)
+			default:
+				fmt.Fprintf(&b, "%s BETWEEN %.6g AND %.6g", r.Column, r.Lo, r.Hi)
+			}
+			first = false
+		}
+	}
+	if len(q.GroupBy) > 0 {
+		fmt.Fprintf(&b, " GROUP BY %s", strings.Join(q.GroupBy, ", "))
+	}
+	fmt.Fprintf(&b, " [stop: %s]", q.Stop.Kind)
+	return b.String()
+}
+
+// Validate performs structural checks that do not need a table.
+func (q Query) Validate() error {
+	if q.Agg.Kind != Count && q.Agg.Column == "" && q.Agg.Expr == nil {
+		return fmt.Errorf("query %s: %s aggregate needs a column or expression", q.Name, q.Agg.Kind)
+	}
+	switch q.Stop.Kind {
+	case StopFixedSamples:
+		if q.Stop.Samples <= 0 {
+			return fmt.Errorf("query %s: fixed-samples stop needs Samples > 0", q.Name)
+		}
+	case StopAbsWidth, StopRelWidth:
+		if q.Stop.Epsilon <= 0 {
+			return fmt.Errorf("query %s: width stop needs Epsilon > 0", q.Name)
+		}
+	case StopTopK:
+		if q.Stop.K <= 0 {
+			return fmt.Errorf("query %s: top-k stop needs K > 0", q.Name)
+		}
+		if len(q.GroupBy) == 0 {
+			return fmt.Errorf("query %s: top-k stop needs GROUP BY", q.Name)
+		}
+	case StopOrdered:
+		if len(q.GroupBy) == 0 {
+			return fmt.Errorf("query %s: ordered stop needs GROUP BY", q.Name)
+		}
+	}
+	return nil
+}

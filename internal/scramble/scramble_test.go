@@ -1,0 +1,169 @@
+package scramble
+
+import (
+	"math/rand/v2"
+	"testing"
+)
+
+func TestPermutationIsPermutation(t *testing.T) {
+	rng := rand.New(rand.NewPCG(1, 1))
+	p := Permutation(rng, 1000)
+	seen := make([]bool, 1000)
+	for _, v := range p {
+		if v < 0 || v >= 1000 || seen[v] {
+			t.Fatalf("not a permutation: %d", v)
+		}
+		seen[v] = true
+	}
+}
+
+func TestPermutationUniformish(t *testing.T) {
+	// Smoke test of uniformity: position of element 0 should spread out.
+	rng := rand.New(rand.NewPCG(2, 2))
+	const n, trials = 10, 20000
+	counts := make([]int, n)
+	for i := 0; i < trials; i++ {
+		p := Permutation(rng, n)
+		for pos, v := range p {
+			if v == 0 {
+				counts[pos]++
+			}
+		}
+	}
+	for pos, c := range counts {
+		// Expected 2000 per position; allow wide slack.
+		if c < 1600 || c > 2400 {
+			t.Errorf("position %d count %d far from expected 2000", pos, c)
+		}
+	}
+}
+
+func TestLayout(t *testing.T) {
+	l := NewLayout(103, 25)
+	if l.NumBlocks() != 5 {
+		t.Fatalf("NumBlocks = %d, want 5", l.NumBlocks())
+	}
+	s, e := l.BlockBounds(0)
+	if s != 0 || e != 25 {
+		t.Errorf("block 0 bounds [%d,%d)", s, e)
+	}
+	s, e = l.BlockBounds(4)
+	if s != 100 || e != 103 {
+		t.Errorf("last block bounds [%d,%d), want [100,103)", s, e)
+	}
+	if l.BlockOf(0) != 0 || l.BlockOf(24) != 0 || l.BlockOf(25) != 1 || l.BlockOf(102) != 4 {
+		t.Error("BlockOf wrong")
+	}
+}
+
+func TestLayoutDefaults(t *testing.T) {
+	l := NewLayout(100, 0)
+	if l.BlockSize != DefaultBlockSize {
+		t.Errorf("BlockSize = %d, want %d", l.BlockSize, DefaultBlockSize)
+	}
+	empty := NewLayout(0, 25)
+	if empty.NumBlocks() != 0 {
+		t.Errorf("empty NumBlocks = %d", empty.NumBlocks())
+	}
+	neg := NewLayout(-5, 25)
+	if neg.Rows != 0 {
+		t.Errorf("negative rows not clamped: %d", neg.Rows)
+	}
+}
+
+func TestCursorVisitsAllBlocksOnceWithWraparound(t *testing.T) {
+	l := NewLayout(100, 10) // 10 blocks
+	c := NewCursor(l, 7)
+	var order []int
+	for {
+		b := c.Next()
+		if b == -1 {
+			break
+		}
+		order = append(order, b)
+	}
+	want := []int{7, 8, 9, 0, 1, 2, 3, 4, 5, 6}
+	if len(order) != len(want) {
+		t.Fatalf("visited %d blocks, want %d", len(order), len(want))
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order[%d] = %d, want %d", i, order[i], want[i])
+		}
+	}
+	if !c.Exhausted() {
+		t.Error("cursor not exhausted after full walk")
+	}
+	if c.Next() != -1 {
+		t.Error("Next after exhaustion != -1")
+	}
+}
+
+func TestCursorStartModulo(t *testing.T) {
+	l := NewLayout(100, 10)
+	c := NewCursor(l, 27) // 27 mod 10 = 7
+	if c.Peek() != 7 {
+		t.Errorf("Peek = %d, want 7", c.Peek())
+	}
+	c2 := NewCursor(l, -3) // -3 mod 10 = 7
+	if c2.Peek() != 7 {
+		t.Errorf("negative start Peek = %d, want 7", c2.Peek())
+	}
+}
+
+func TestCursorFetchAccounting(t *testing.T) {
+	l := NewLayout(100, 10)
+	c := NewCursor(l, 0)
+	for i := 0; i < 5; i++ {
+		b := c.Next()
+		if i%2 == 0 {
+			s, e := c.Fetch(b)
+			if e-s != 10 {
+				t.Errorf("block %d size %d", b, e-s)
+			}
+		}
+	}
+	if c.BlocksFetched() != 3 {
+		t.Errorf("BlocksFetched = %d, want 3", c.BlocksFetched())
+	}
+	if c.BlocksVisited() != 5 {
+		t.Errorf("BlocksVisited = %d, want 5", c.BlocksVisited())
+	}
+}
+
+func TestCursorPeekDoesNotAdvance(t *testing.T) {
+	l := NewLayout(30, 10)
+	c := NewCursor(l, 1)
+	if c.Peek() != 1 || c.Peek() != 1 {
+		t.Error("Peek advanced")
+	}
+	if c.Next() != 1 {
+		t.Error("Next disagrees with Peek")
+	}
+}
+
+func TestCursorEmptyLayout(t *testing.T) {
+	c := NewCursor(NewLayout(0, 10), 5)
+	if c.Next() != -1 {
+		t.Error("empty layout Next != -1")
+	}
+	if c.Peek() != -1 {
+		t.Error("empty layout Peek != -1")
+	}
+	rng := rand.New(rand.NewPCG(1, 1))
+	c2 := RandomCursor(NewLayout(0, 10), rng)
+	if c2.Next() != -1 {
+		t.Error("empty RandomCursor Next != -1")
+	}
+}
+
+func TestRandomCursorInRange(t *testing.T) {
+	rng := rand.New(rand.NewPCG(9, 9))
+	l := NewLayout(1000, 25)
+	for i := 0; i < 100; i++ {
+		c := RandomCursor(l, rng)
+		if p := c.Peek(); p < 0 || p >= l.NumBlocks() {
+			t.Fatalf("start block %d out of range", p)
+		}
+	}
+}

@@ -1,0 +1,116 @@
+// Package star implements snowflake/star-schema query views over
+// FastFrame scrambles — the paper's §Extensibility: "queries over views
+// formed from joins in a snowflake schema".
+//
+// The fact table is the scramble; dimension tables are small and
+// materialized exactly (a dimension is by definition far smaller than
+// the fact table, so no approximation is needed on that side). A
+// predicate over a dimension attribute compiles into a fact-side IN
+// predicate over the foreign-key column: the set of dimension keys
+// whose rows satisfy the attribute predicate. Scanning the scramble
+// under that IN predicate is still uniform without-replacement sampling
+// of the join view, so every confidence-interval guarantee carries over
+// unchanged, and the fact table's block bitmap indexes prune blocks for
+// the compiled key set automatically.
+package star
+
+import (
+	"fmt"
+	"sort"
+
+	"fastframe/internal/query"
+	"fastframe/internal/table"
+)
+
+// Dimension is a small, exactly-stored dimension table: rows keyed by
+// the value that appears in the fact table's foreign-key column, each
+// carrying string attributes.
+type Dimension struct {
+	name  string
+	rows  map[string]map[string]string // key → attribute → value
+	attrs map[string]bool
+}
+
+// NewDimension returns an empty dimension table.
+func NewDimension(name string) *Dimension {
+	return &Dimension{name: name, rows: map[string]map[string]string{}, attrs: map[string]bool{}}
+}
+
+// Name returns the dimension's name.
+func (d *Dimension) Name() string { return d.name }
+
+// Add inserts (or replaces) the dimension row for key.
+func (d *Dimension) Add(key string, attrs map[string]string) {
+	row := make(map[string]string, len(attrs))
+	for k, v := range attrs {
+		row[k] = v
+		d.attrs[k] = true
+	}
+	d.rows[key] = row
+}
+
+// NumRows returns the dimension's row count.
+func (d *Dimension) NumRows() int { return len(d.rows) }
+
+// HasAttribute reports whether any row defines the attribute.
+func (d *Dimension) HasAttribute(attr string) bool { return d.attrs[attr] }
+
+// KeysWhere returns the sorted keys whose attribute equals value.
+func (d *Dimension) KeysWhere(attr, value string) []string {
+	var keys []string
+	for key, row := range d.rows {
+		if row[attr] == value {
+			keys = append(keys, key)
+		}
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// Schema binds dimension tables to the foreign-key columns of a fact
+// table.
+type Schema struct {
+	fact *table.Table
+	dims map[string]*Dimension // keyed by fact FK column name
+}
+
+// NewSchema returns a star schema over the fact table.
+func NewSchema(fact *table.Table) *Schema {
+	return &Schema{fact: fact, dims: map[string]*Dimension{}}
+}
+
+// Fact returns the fact table.
+func (s *Schema) Fact() *table.Table { return s.fact }
+
+// Attach binds a dimension to a categorical fact column holding its
+// keys. Every fact-side key should exist in the dimension (unmatched
+// keys simply never satisfy dimension predicates, i.e. an inner join).
+func (s *Schema) Attach(fkColumn string, d *Dimension) error {
+	if _, err := s.fact.Cat(fkColumn); err != nil {
+		return fmt.Errorf("star: fact foreign key: %w", err)
+	}
+	if _, dup := s.dims[fkColumn]; dup {
+		return fmt.Errorf("star: column %q already has a dimension", fkColumn)
+	}
+	s.dims[fkColumn] = d
+	return nil
+}
+
+// Dimension returns the dimension attached to a fact column, or nil.
+func (s *Schema) Dimension(fkColumn string) *Dimension { return s.dims[fkColumn] }
+
+// CompileWhere extends pred with the fact-side translation of the
+// dimension predicate "dim(fkColumn).attr = value": an IN atom over the
+// matching dimension keys. An empty key set yields a provably empty
+// view (the IN atom with no values), which the executor resolves
+// without fetching blocks.
+func (s *Schema) CompileWhere(pred query.Predicate, fkColumn, attr, value string) (query.Predicate, error) {
+	d, ok := s.dims[fkColumn]
+	if !ok {
+		return pred, fmt.Errorf("star: no dimension attached to column %q", fkColumn)
+	}
+	if !d.HasAttribute(attr) {
+		return pred, fmt.Errorf("star: dimension %q has no attribute %q", d.name, attr)
+	}
+	return pred.AndCatIn(fkColumn, d.KeysWhere(attr, value)...), nil
+}

@@ -1,0 +1,198 @@
+package star
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+
+	"fastframe/internal/ci"
+	"fastframe/internal/core"
+	"fastframe/internal/exact"
+	"fastframe/internal/exec"
+	"fastframe/internal/query"
+	"fastframe/internal/table"
+)
+
+// buildFact builds a small fact table: sales with a "store" foreign key
+// and an "amount" measure.
+func buildFact(t *testing.T) *table.Table {
+	t.Helper()
+	schema := table.MustSchema(
+		table.ColumnSpec{Name: "amount", Kind: table.Float},
+		table.ColumnSpec{Name: "store", Kind: table.Categorical},
+	)
+	b := table.NewBuilder(schema, 25)
+	stores := []string{"s1", "s2", "s3", "s4", "s5"}
+	rng := rand.New(rand.NewPCG(7, 7))
+	for i := 0; i < 20000; i++ {
+		s := rng.IntN(len(stores))
+		amount := float64(s+1)*10 + rng.Float64()
+		if err := b.Append(table.Row{
+			Floats: map[string]float64{"amount": amount},
+			Cats:   map[string]string{"store": stores[s]},
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	tab, err := b.Build(rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tab
+}
+
+func storeDim() *Dimension {
+	d := NewDimension("stores")
+	d.Add("s1", map[string]string{"region": "west", "tier": "a"})
+	d.Add("s2", map[string]string{"region": "east", "tier": "a"})
+	d.Add("s3", map[string]string{"region": "west", "tier": "b"})
+	d.Add("s4", map[string]string{"region": "east", "tier": "b"})
+	d.Add("s5", map[string]string{"region": "west", "tier": "b"})
+	return d
+}
+
+func TestDimensionBasics(t *testing.T) {
+	d := storeDim()
+	if d.Name() != "stores" || d.NumRows() != 5 {
+		t.Fatalf("dimension metadata wrong: %s %d", d.Name(), d.NumRows())
+	}
+	if !d.HasAttribute("region") || d.HasAttribute("nope") {
+		t.Error("HasAttribute wrong")
+	}
+	west := d.KeysWhere("region", "west")
+	if len(west) != 3 || west[0] != "s1" || west[1] != "s3" || west[2] != "s5" {
+		t.Errorf("KeysWhere(region,west) = %v", west)
+	}
+	if ks := d.KeysWhere("region", "north"); len(ks) != 0 {
+		t.Errorf("KeysWhere(north) = %v", ks)
+	}
+}
+
+func TestAttachValidation(t *testing.T) {
+	fact := buildFact(t)
+	s := NewSchema(fact)
+	if err := s.Attach("amount", storeDim()); err == nil {
+		t.Error("attaching to a float column accepted")
+	}
+	if err := s.Attach("store", storeDim()); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Attach("store", storeDim()); err == nil {
+		t.Error("double attach accepted")
+	}
+	if s.Dimension("store") == nil || s.Dimension("amount") != nil {
+		t.Error("Dimension lookup wrong")
+	}
+	if s.Fact() != fact {
+		t.Error("Fact accessor wrong")
+	}
+}
+
+func TestCompileWhereErrors(t *testing.T) {
+	s := NewSchema(buildFact(t))
+	_ = s.Attach("store", storeDim())
+	if _, err := s.CompileWhere(query.Predicate{}, "amount", "region", "west"); err == nil {
+		t.Error("unattached column accepted")
+	}
+	if _, err := s.CompileWhere(query.Predicate{}, "store", "nope", "x"); err == nil {
+		t.Error("unknown attribute accepted")
+	}
+}
+
+// TestJoinViewEndToEnd runs an approximate aggregate over a join view
+// (dimension predicate compiled to the fact side) and checks the CI
+// against the exact join evaluation.
+func TestJoinViewEndToEnd(t *testing.T) {
+	fact := buildFact(t)
+	s := NewSchema(fact)
+	if err := s.Attach("store", storeDim()); err != nil {
+		t.Fatal(err)
+	}
+	pred, err := s.CompileWhere(query.Predicate{}, "store", "region", "west")
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := query.Query{
+		Name: "west-avg",
+		Agg:  query.Aggregate{Kind: query.Avg, Column: "amount"},
+		Pred: pred,
+		Stop: query.AbsWidth(3),
+	}
+	res, err := exec.Run(fact, q, exec.Options{
+		Bounder:   core.RangeTrim{Inner: ci.EmpiricalBernsteinSerfling{}},
+		Delta:     1e-9,
+		RoundRows: 1000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ex, err := exact.Run(fact, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	truth := ex.Groups[0].Avg
+	// Ground truth sanity: west = stores 1,3,5 with means 10.5, 30.5,
+	// 50.5 in equal proportion → about 30.5.
+	if math.Abs(truth-30.5) > 1 {
+		t.Fatalf("join ground truth %v implausible", truth)
+	}
+	if !res.Groups[0].Avg.Contains(truth) {
+		t.Errorf("join view interval [%v,%v] misses %v", res.Groups[0].Avg.Lo, res.Groups[0].Avg.Hi, truth)
+	}
+}
+
+// TestJoinViewConjunction combines two dimension predicates.
+func TestJoinViewConjunction(t *testing.T) {
+	fact := buildFact(t)
+	s := NewSchema(fact)
+	_ = s.Attach("store", storeDim())
+	pred, err := s.CompileWhere(query.Predicate{}, "store", "region", "west")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pred, err = s.CompileWhere(pred, "store", "tier", "b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// west ∧ tier-b = {s3, s5}: means 30.5 and 50.5 → ≈40.5.
+	q := query.Query{
+		Agg:  query.Aggregate{Kind: query.Avg, Column: "amount"},
+		Pred: pred,
+		Stop: query.Exhaust(),
+	}
+	ex, err := exact.Run(fact, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(ex.Groups[0].Avg-40.5) > 1 {
+		t.Errorf("conjunction ground truth %v, want ≈40.5", ex.Groups[0].Avg)
+	}
+}
+
+// TestJoinViewEmpty compiles a dimension predicate matching no keys.
+func TestJoinViewEmpty(t *testing.T) {
+	fact := buildFact(t)
+	s := NewSchema(fact)
+	_ = s.Attach("store", storeDim())
+	pred, err := s.CompileWhere(query.Predicate{}, "store", "region", "mars")
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := query.Query{
+		Agg:  query.Aggregate{Kind: query.Avg, Column: "amount"},
+		Pred: pred,
+		Stop: query.AbsWidth(1),
+	}
+	res, err := exec.Run(fact, q, exec.Options{
+		Bounder: ci.HoeffdingSerfling{}, Delta: 1e-9, RoundRows: 1000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Groups) != 0 {
+		t.Errorf("empty join view returned %d groups", len(res.Groups))
+	}
+	if res.BlocksFetched != 0 {
+		t.Errorf("empty join view fetched %d blocks", res.BlocksFetched)
+	}
+}

@@ -1,0 +1,94 @@
+package stats
+
+import "sort"
+
+// ECDF is an empirical cumulative distribution function over a sample.
+// It retains the full sample (O(m) memory), which is what the
+// Anderson/DKW bounder requires (paper Table 2).
+type ECDF struct {
+	sorted []float64
+	dirty  bool
+}
+
+// Add appends an observation.
+func (e *ECDF) Add(x float64) {
+	e.sorted = append(e.sorted, x)
+	e.dirty = true
+}
+
+// AddAll appends a batch of observations.
+func (e *ECDF) AddAll(xs []float64) {
+	e.sorted = append(e.sorted, xs...)
+	e.dirty = true
+}
+
+// Count returns the number of observations.
+func (e *ECDF) Count() int { return len(e.sorted) }
+
+func (e *ECDF) ensureSorted() {
+	if e.dirty {
+		sort.Float64s(e.sorted)
+		e.dirty = false
+	}
+}
+
+// At returns F̂(x) = (#observations ≤ x) / m. It panics on an empty sample.
+func (e *ECDF) At(x float64) float64 {
+	if len(e.sorted) == 0 {
+		panic("stats: ECDF.At on empty sample")
+	}
+	e.ensureSorted()
+	// index of first element > x
+	i := sort.Search(len(e.sorted), func(i int) bool { return e.sorted[i] > x })
+	return float64(i) / float64(len(e.sorted))
+}
+
+// Quantile returns the smallest sample value v with F̂(v) ≥ q, clamping q
+// to (0,1]. It panics on an empty sample.
+func (e *ECDF) Quantile(q float64) float64 {
+	if len(e.sorted) == 0 {
+		panic("stats: ECDF.Quantile on empty sample")
+	}
+	e.ensureSorted()
+	if q <= 0 {
+		return e.sorted[0]
+	}
+	if q >= 1 {
+		return e.sorted[len(e.sorted)-1]
+	}
+	i := int(q*float64(len(e.sorted))+0.999999999) - 1
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(e.sorted) {
+		i = len(e.sorted) - 1
+	}
+	return e.sorted[i]
+}
+
+// Sorted returns the sorted sample. The returned slice is owned by the
+// ECDF and must not be modified.
+func (e *ECDF) Sorted() []float64 {
+	e.ensureSorted()
+	return e.sorted
+}
+
+// MeanBelowRank returns the average of the k smallest observations.
+// It panics if k is out of range.
+func (e *ECDF) MeanBelowRank(k int) float64 {
+	if k <= 0 || k > len(e.sorted) {
+		panic("stats: MeanBelowRank rank out of range")
+	}
+	e.ensureSorted()
+	sum := 0.0
+	for _, v := range e.sorted[:k] {
+		sum += v
+	}
+	return sum / float64(k)
+}
+
+// Reset discards all observations, retaining capacity.
+func (e *ECDF) Reset() {
+	e.sorted = e.sorted[:0]
+	e.dirty = false
+}

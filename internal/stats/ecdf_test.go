@@ -1,0 +1,126 @@
+package stats
+
+import (
+	"math/rand/v2"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestECDFAt(t *testing.T) {
+	var e ECDF
+	e.AddAll([]float64{1, 2, 3, 4})
+	cases := []struct {
+		x    float64
+		want float64
+	}{
+		{0.5, 0}, {1, 0.25}, {1.5, 0.25}, {2, 0.5}, {3.9, 0.75}, {4, 1}, {99, 1},
+	}
+	for _, c := range cases {
+		if got := e.At(c.x); got != c.want {
+			t.Errorf("At(%v) = %v, want %v", c.x, got, c.want)
+		}
+	}
+}
+
+func TestECDFAtEmptyPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("At on empty ECDF did not panic")
+		}
+	}()
+	var e ECDF
+	e.At(0)
+}
+
+func TestECDFQuantile(t *testing.T) {
+	var e ECDF
+	e.AddAll([]float64{10, 20, 30, 40, 50})
+	cases := []struct {
+		q    float64
+		want float64
+	}{
+		{-1, 10}, {0, 10}, {0.2, 10}, {0.21, 20}, {0.5, 30}, {1, 50}, {2, 50},
+	}
+	for _, c := range cases {
+		if got := e.Quantile(c.q); got != c.want {
+			t.Errorf("Quantile(%v) = %v, want %v", c.q, got, c.want)
+		}
+	}
+}
+
+func TestECDFMeanBelowRank(t *testing.T) {
+	var e ECDF
+	e.AddAll([]float64{5, 1, 3}) // sorted: 1 3 5
+	if got := e.MeanBelowRank(1); got != 1 {
+		t.Errorf("MeanBelowRank(1) = %v, want 1", got)
+	}
+	if got := e.MeanBelowRank(2); got != 2 {
+		t.Errorf("MeanBelowRank(2) = %v, want 2", got)
+	}
+	if got := e.MeanBelowRank(3); got != 3 {
+		t.Errorf("MeanBelowRank(3) = %v, want 3", got)
+	}
+}
+
+func TestECDFMeanBelowRankPanics(t *testing.T) {
+	var e ECDF
+	e.Add(1)
+	for _, k := range []int{0, -1, 2} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("MeanBelowRank(%d) did not panic", k)
+				}
+			}()
+			e.MeanBelowRank(k)
+		}()
+	}
+}
+
+func TestECDFInterleavedAddAndQuery(t *testing.T) {
+	var e ECDF
+	e.Add(2)
+	if got := e.At(2); got != 1 {
+		t.Fatalf("At(2) = %v, want 1", got)
+	}
+	e.Add(1) // must re-sort lazily
+	if got := e.At(1); got != 0.5 {
+		t.Fatalf("after second Add, At(1) = %v, want 0.5", got)
+	}
+	e.Reset()
+	if e.Count() != 0 {
+		t.Fatal("Reset failed")
+	}
+}
+
+func TestECDFMonotoneProperty(t *testing.T) {
+	rng := rand.New(rand.NewPCG(9, 9))
+	var e ECDF
+	for i := 0; i < 500; i++ {
+		e.Add(rng.NormFloat64())
+	}
+	prev := -0.1
+	for x := -4.0; x <= 4.0; x += 0.05 {
+		v := e.At(x)
+		if v < prev {
+			t.Fatalf("ECDF not monotone at %v: %v < %v", x, v, prev)
+		}
+		prev = v
+	}
+}
+
+func TestECDFSortedProperty(t *testing.T) {
+	f := func(xs []float64) bool {
+		var e ECDF
+		for _, x := range xs {
+			if IsFiniteNumber(x) {
+				e.Add(x)
+			}
+		}
+		return sort.Float64sAreSorted(e.Sorted())
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

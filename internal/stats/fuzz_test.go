@@ -1,0 +1,62 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+// FuzzWelfordMatchesTwoPass feeds arbitrary byte-derived float streams
+// through Welford and cross-checks the two-pass formulas.
+func FuzzWelfordMatchesTwoPass(f *testing.F) {
+	f.Add([]byte{1, 2, 3, 4, 5, 6, 7, 8})
+	f.Add([]byte{0})
+	f.Add([]byte{255, 0, 255, 0, 128})
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		xs := make([]float64, 0, len(raw))
+		var w Welford
+		for _, b := range raw {
+			v := (float64(b) - 128) * 3.7
+			xs = append(xs, v)
+			w.Add(v)
+		}
+		if len(xs) == 0 {
+			return
+		}
+		if m := Mean(xs); math.Abs(w.Mean()-m) > 1e-9*math.Max(1, math.Abs(m)) {
+			t.Fatalf("mean %v vs %v", w.Mean(), m)
+		}
+		if v := Variance(xs); math.Abs(w.Variance()-v) > 1e-6*math.Max(1, v) {
+			t.Fatalf("variance %v vs %v", w.Variance(), v)
+		}
+		if w.Variance() < 0 {
+			t.Fatal("negative variance")
+		}
+	})
+}
+
+// FuzzHypergeomCDF checks CDF sanity for arbitrary parameters: values
+// in [0,1], monotone in x.
+func FuzzHypergeomCDF(f *testing.F) {
+	f.Add(uint16(100), uint16(30), uint16(20))
+	f.Add(uint16(5), uint16(5), uint16(5))
+	f.Add(uint16(1), uint16(0), uint16(1))
+	f.Fuzz(func(t *testing.T, nRaw, kRaw, drawRaw uint16) {
+		bigN := int(nRaw)%500 + 1
+		bigK := int(kRaw) % (bigN + 1)
+		n := int(drawRaw)%bigN + 1
+		prev := 0.0
+		for x := -1; x <= n; x++ {
+			c := HypergeomCDFLower(x, bigN, bigK, n)
+			if c < 0 || c > 1 || math.IsNaN(c) {
+				t.Fatalf("CDF(%d; N=%d K=%d n=%d) = %v", x, bigN, bigK, n, c)
+			}
+			if c+1e-9 < prev {
+				t.Fatalf("CDF not monotone at %d: %v < %v", x, c, prev)
+			}
+			prev = c
+		}
+		if math.Abs(prev-1) > 1e-6 {
+			t.Fatalf("CDF(n) = %v, want 1", prev)
+		}
+	})
+}

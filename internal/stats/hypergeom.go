@@ -1,0 +1,97 @@
+package stats
+
+import "math"
+
+// HypergeomLogPMF returns log P[X = x] for X ~ Hypergeometric with
+// population size N, K successes in the population, and n draws without
+// replacement: C(K,x)·C(N−K,n−x)/C(N,n). Out-of-support x yields −Inf.
+func HypergeomLogPMF(x, bigN, bigK, n int) float64 {
+	if x < 0 || x > bigK || n-x < 0 || n-x > bigN-bigK {
+		return math.Inf(-1)
+	}
+	return logChoose(bigK, x) + logChoose(bigN-bigK, n-x) - logChoose(bigN, n)
+}
+
+func logChoose(n, k int) float64 {
+	if k < 0 || k > n {
+		return math.Inf(-1)
+	}
+	ln1, _ := math.Lgamma(float64(n + 1))
+	lk1, _ := math.Lgamma(float64(k + 1))
+	lnk1, _ := math.Lgamma(float64(n - k + 1))
+	return ln1 - lk1 - lnk1
+}
+
+// HypergeomCDFLower returns P[X ≤ x] for the hypergeometric above. It
+// sums the pmf downward from x with the ratio recurrence
+//
+//	pmf(x−1)/pmf(x) = x·(N−K−n+x) / ((K−x+1)·(n−x+1))
+//
+// stopping once terms fall below a relative 1e-18 — numerically stable
+// (anchored at log pmf(x)) and fast even for large x because
+// hypergeometric tails decay geometrically away from the mode.
+func HypergeomCDFLower(x, bigN, bigK, n int) float64 {
+	if x < 0 {
+		return 0
+	}
+	if hi := min(bigK, n); x >= hi {
+		return 1
+	}
+	lp := HypergeomLogPMF(x, bigN, bigK, n)
+	if math.IsInf(lp, -1) {
+		// x below the support's minimum max(0, n−(N−K)): probability 0;
+		// above was handled.
+		if x < n-(bigN-bigK) {
+			return 0
+		}
+		return 0
+	}
+	anchor := math.Exp(lp)
+	sum := 1.0 // in units of pmf(x)
+	term := 1.0
+	for i := x; i > 0; i-- {
+		// ratio pmf(i−1)/pmf(i)
+		num := float64(i) * float64(bigN-bigK-n+i)
+		den := float64(bigK-i+1) * float64(n-i+1)
+		if num <= 0 || den <= 0 {
+			break
+		}
+		term *= num / den
+		sum += term
+		if term < 1e-18*sum {
+			break
+		}
+	}
+	p := anchor * sum
+	return Clamp(p, 0, 1)
+}
+
+// HypergeomCountUpper returns the smallest K⁺ such that, for every true
+// success count K > K⁺, observing ≤ seen successes in n draws has
+// probability < delta. Consequently P[K_true > K⁺] < delta whenever the
+// observation is typical — the exact-tail analogue of the paper's
+// Lemma 5 upper bound (§4.1 notes "one could use bounds specifically
+// tailored to the hypergeometric distribution"). Implemented by binary
+// search over K using the monotonicity of P[X ≤ seen] in K.
+func HypergeomCountUpper(seen, bigN, n int, delta float64) int {
+	if n <= 0 {
+		return bigN
+	}
+	// Deterministic cap: K ≤ N − (n − seen).
+	hi := bigN - (n - seen)
+	lo := seen
+	if lo >= hi {
+		return max(seen, 0)
+	}
+	// P[X ≤ seen | K] is non-increasing in K. Find the largest K with
+	// P ≥ delta; K⁺ is that K.
+	for lo < hi {
+		mid := (lo + hi + 1) / 2
+		if HypergeomCDFLower(seen, bigN, mid, n) >= delta {
+			lo = mid
+		} else {
+			hi = mid - 1
+		}
+	}
+	return lo
+}

@@ -1,0 +1,120 @@
+package stats
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+)
+
+func TestHypergeomLogPMFSmallCases(t *testing.T) {
+	// N=10, K=4, n=3. P[X=1] = C(4,1)C(6,2)/C(10,3) = 4·15/120 = 0.5.
+	if got := math.Exp(HypergeomLogPMF(1, 10, 4, 3)); math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("P[X=1] = %v, want 0.5", got)
+	}
+	// P[X=0] = C(6,3)/C(10,3) = 20/120.
+	if got := math.Exp(HypergeomLogPMF(0, 10, 4, 3)); math.Abs(got-20.0/120) > 1e-12 {
+		t.Errorf("P[X=0] = %v", got)
+	}
+	// Out of support.
+	if got := HypergeomLogPMF(5, 10, 4, 3); !math.IsInf(got, -1) {
+		t.Errorf("P[X=5] log = %v, want -Inf", got)
+	}
+	if got := HypergeomLogPMF(-1, 10, 4, 3); !math.IsInf(got, -1) {
+		t.Errorf("P[X=-1] log = %v, want -Inf", got)
+	}
+}
+
+func TestHypergeomPMFSumsToOne(t *testing.T) {
+	bigN, bigK, n := 50, 17, 12
+	sum := 0.0
+	for x := 0; x <= n; x++ {
+		lp := HypergeomLogPMF(x, bigN, bigK, n)
+		if !math.IsInf(lp, -1) {
+			sum += math.Exp(lp)
+		}
+	}
+	if math.Abs(sum-1) > 1e-10 {
+		t.Errorf("pmf sums to %v", sum)
+	}
+}
+
+func TestHypergeomCDFLowerMatchesDirectSum(t *testing.T) {
+	bigN, bigK, n := 200, 60, 40
+	direct := 0.0
+	for x := 0; x <= n; x++ {
+		lp := HypergeomLogPMF(x, bigN, bigK, n)
+		if !math.IsInf(lp, -1) {
+			direct += math.Exp(lp)
+		}
+		if got := HypergeomCDFLower(x, bigN, bigK, n); math.Abs(got-direct) > 1e-9 {
+			t.Fatalf("CDF(%d) = %v, direct %v", x, got, direct)
+		}
+	}
+	if HypergeomCDFLower(-1, bigN, bigK, n) != 0 {
+		t.Error("CDF(-1) != 0")
+	}
+	if HypergeomCDFLower(n, bigN, bigK, n) != 1 {
+		t.Error("CDF(n) != 1")
+	}
+}
+
+func TestHypergeomCountUpperCoverage(t *testing.T) {
+	// Simulate: true K, draw n without replacement, compute K⁺; the true
+	// K must almost never exceed K⁺ at δ=0.01.
+	rng := rand.New(rand.NewPCG(7, 7))
+	const bigN = 5000
+	misses := 0
+	const trials = 200
+	for trial := 0; trial < trials; trial++ {
+		bigK := 50 + rng.IntN(2000)
+		n := 100 + rng.IntN(900)
+		// Draw without replacement: count successes among n of bigN.
+		seen := 0
+		perm := rng.Perm(bigN)[:n]
+		for _, p := range perm {
+			if p < bigK {
+				seen++
+			}
+		}
+		if HypergeomCountUpper(seen, bigN, n, 0.01) < bigK {
+			misses++
+		}
+	}
+	if float64(misses)/trials > 0.03 {
+		t.Errorf("exact count upper missed true K in %d/%d trials", misses, trials)
+	}
+}
+
+func TestHypergeomCountUpperTighterThanHoeffding(t *testing.T) {
+	// The exact tail bound should upper-bound K no worse than the
+	// Hoeffding–Serfling selectivity bound at the same δ.
+	const bigN, n, seen = 100000, 2000, 100
+	const delta = 1e-6
+	exact := HypergeomCountUpper(seen, bigN, n, delta)
+	eps := math.Sqrt(Log1Over(delta) / (2 * float64(n)) * SamplingFraction(n, bigN))
+	hoeffding := int((float64(seen)/float64(n) + eps) * float64(bigN))
+	if exact > hoeffding {
+		t.Errorf("exact bound %d looser than Hoeffding %d", exact, hoeffding)
+	}
+	if exact < seen {
+		t.Errorf("exact bound %d below observed successes", exact)
+	}
+	// It should be meaningfully tighter in this regime.
+	if float64(exact) > 0.9*float64(hoeffding) {
+		t.Logf("note: exact %d vs hoeffding %d (mild gain)", exact, hoeffding)
+	}
+}
+
+func TestHypergeomCountUpperEdges(t *testing.T) {
+	if got := HypergeomCountUpper(0, 100, 0, 0.05); got != 100 {
+		t.Errorf("no draws: K+ = %d, want N", got)
+	}
+	// Full census: K is known exactly.
+	if got := HypergeomCountUpper(37, 100, 100, 0.05); got != 37 {
+		t.Errorf("census: K+ = %d, want 37", got)
+	}
+	// All draws successes out of a tiny population.
+	if got := HypergeomCountUpper(5, 5, 5, 0.05); got != 5 {
+		t.Errorf("K+ = %d, want 5", got)
+	}
+}

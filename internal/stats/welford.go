@@ -1,0 +1,126 @@
+// Package stats provides streaming statistics primitives used by the
+// error bounders and the execution engine: one-pass mean/variance
+// (Welford's algorithm), min/max trackers, and empirical CDFs.
+//
+// Everything in this package is O(1) per update unless documented
+// otherwise, and nothing allocates on the update path.
+package stats
+
+import "math"
+
+// Welford accumulates a running mean and variance in one pass using
+// Welford's numerically stable recurrence. The zero value is ready to use.
+type Welford struct {
+	n    int
+	mean float64
+	m2   float64 // sum of squared deviations from the running mean
+}
+
+// Add incorporates a new observation.
+func (w *Welford) Add(x float64) {
+	w.n++
+	delta := x - w.mean
+	w.mean += delta / float64(w.n)
+	w.m2 += delta * (x - w.mean)
+}
+
+// Merge combines another accumulator into w using the parallel-variance
+// update of Chan, Golub and LeVeque. Merging an empty accumulator is a
+// no-op.
+func (w *Welford) Merge(o Welford) {
+	if o.n == 0 {
+		return
+	}
+	if w.n == 0 {
+		*w = o
+		return
+	}
+	n := w.n + o.n
+	delta := o.mean - w.mean
+	w.m2 += o.m2 + delta*delta*float64(w.n)*float64(o.n)/float64(n)
+	w.mean += delta * float64(o.n) / float64(n)
+	w.n = n
+}
+
+// Count returns the number of observations seen.
+func (w *Welford) Count() int { return w.n }
+
+// Mean returns the running mean, or 0 with no observations.
+func (w *Welford) Mean() float64 { return w.mean }
+
+// Variance returns the population variance (dividing by n), matching the
+// paper's definition VAR(D) = (1/N)·Σ(x−AVG(D))². It returns 0 for fewer
+// than two observations.
+func (w *Welford) Variance() float64 {
+	if w.n < 2 {
+		return 0
+	}
+	v := w.m2 / float64(w.n)
+	if v < 0 {
+		return 0 // guard against tiny negative rounding residue
+	}
+	return v
+}
+
+// SampleVariance returns the Bessel-corrected variance (dividing by n−1).
+func (w *Welford) SampleVariance() float64 {
+	if w.n < 2 {
+		return 0
+	}
+	v := w.m2 / float64(w.n-1)
+	if v < 0 {
+		return 0
+	}
+	return v
+}
+
+// Stddev returns the square root of Variance.
+func (w *Welford) Stddev() float64 { return math.Sqrt(w.Variance()) }
+
+// Reset returns the accumulator to its zero state.
+func (w *Welford) Reset() { *w = Welford{} }
+
+// MinMax tracks the extrema of a stream. The zero value is ready to use;
+// before any observation Min returns +Inf and Max returns −Inf.
+type MinMax struct {
+	n   int
+	min float64
+	max float64
+}
+
+// Add incorporates a new observation.
+func (mm *MinMax) Add(x float64) {
+	if mm.n == 0 {
+		mm.min, mm.max = x, x
+	} else {
+		if x < mm.min {
+			mm.min = x
+		}
+		if x > mm.max {
+			mm.max = x
+		}
+	}
+	mm.n++
+}
+
+// Count returns the number of observations seen.
+func (mm *MinMax) Count() int { return mm.n }
+
+// Min returns the smallest observation, or +Inf if none.
+func (mm *MinMax) Min() float64 {
+	if mm.n == 0 {
+		return math.Inf(1)
+	}
+	return mm.min
+}
+
+// Max returns the largest observation, or −Inf if none.
+func (mm *MinMax) Max() float64 {
+	if mm.n == 0 {
+		return math.Inf(-1)
+	}
+	return mm.max
+}
+
+// Reset returns the tracker to its zero state.
+func (mm *MinMax) Reset() { *mm = MinMax{} }

@@ -1,0 +1,46 @@
+package table
+
+import "fmt"
+
+// FloatColumn stores a continuous column in scramble order.
+type FloatColumn struct {
+	Values []float64
+}
+
+// CatColumn stores a dictionary-encoded categorical column in scramble
+// order: Codes[i] indexes into Dict.
+type CatColumn struct {
+	Codes []uint32
+	Dict  []string
+
+	byValue map[string]uint32
+}
+
+// NumValues returns the dictionary size.
+func (c *CatColumn) NumValues() int { return len(c.Dict) }
+
+// Code returns the dictionary code for a value and whether it exists.
+func (c *CatColumn) Code(value string) (uint32, bool) {
+	code, ok := c.byValue[value]
+	return code, ok
+}
+
+// Value returns the string for a code.
+func (c *CatColumn) Value(code uint32) string { return c.Dict[code] }
+
+// RangeBounds is the catalog entry for a continuous column: the
+// a-priori bounds [A, B] ⊇ [MIN, MAX] maintained at load time and fed to
+// the range-based error bounders. The catalog may widen the bounds
+// beyond the observed extrema (e.g. for columns with domain knowledge),
+// which is always safe for the bounders.
+type RangeBounds struct {
+	A, B float64
+}
+
+// Width returns B − A.
+func (rb RangeBounds) Width() float64 { return rb.B - rb.A }
+
+// Contains reports whether v ∈ [A, B].
+func (rb RangeBounds) Contains(v float64) bool { return v >= rb.A && v <= rb.B }
+
+func (rb RangeBounds) String() string { return fmt.Sprintf("[%g, %g]", rb.A, rb.B) }

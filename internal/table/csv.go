@@ -1,0 +1,81 @@
+package table
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"math/rand/v2"
+	"strconv"
+)
+
+// LoadCSV reads a CSV stream with a header row into a Table: header
+// names are matched against the schema (extra CSV columns are ignored,
+// missing schema columns are an error), continuous columns are parsed
+// as floats, and the rows are shuffled into a scramble seeded by rng.
+// This is the generic data-load path; catalog range bounds are the
+// parsed extrema (use Builder.WidenBounds via LoadCSVInto for wider
+// a-priori bounds).
+func LoadCSV(r io.Reader, schema *Schema, blockSize int, rng *rand.Rand) (*Table, error) {
+	b := NewBuilder(schema, blockSize)
+	if err := LoadCSVInto(b, r); err != nil {
+		return nil, err
+	}
+	return b.Build(rng)
+}
+
+// LoadCSVInto appends every row of the CSV stream to an existing
+// Builder (so callers can widen catalog bounds or mix sources before
+// building).
+func LoadCSVInto(b *Builder, r io.Reader) error {
+	cr := csv.NewReader(r)
+	cr.ReuseRecord = true
+	header, err := cr.Read()
+	if err != nil {
+		return fmt.Errorf("table: reading CSV header: %w", err)
+	}
+	colIdx := make([]int, b.schema.NumColumns())
+	for i := range colIdx {
+		colIdx[i] = -1
+	}
+	for pos, name := range header {
+		if i := b.schema.Lookup(name); i >= 0 {
+			colIdx[i] = pos
+		}
+	}
+	for i, idx := range colIdx {
+		if idx == -1 {
+			return fmt.Errorf("table: CSV header missing schema column %q", b.schema.Column(i).Name)
+		}
+	}
+
+	floats := map[string]float64{}
+	cats := map[string]string{}
+	line := 1
+	for {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			return nil
+		}
+		if err != nil {
+			return fmt.Errorf("table: reading CSV: %w", err)
+		}
+		line++
+		for i := 0; i < b.schema.NumColumns(); i++ {
+			spec := b.schema.Column(i)
+			raw := rec[colIdx[i]]
+			switch spec.Kind {
+			case Float:
+				v, err := strconv.ParseFloat(raw, 64)
+				if err != nil {
+					return fmt.Errorf("table: CSV line %d column %q: %w", line, spec.Name, err)
+				}
+				floats[spec.Name] = v
+			case Categorical:
+				cats[spec.Name] = raw
+			}
+		}
+		if err := b.Append(Row{Floats: floats, Cats: cats}); err != nil {
+			return fmt.Errorf("table: CSV line %d: %w", line, err)
+		}
+	}
+}

@@ -1,0 +1,89 @@
+package table
+
+import (
+	"math/rand/v2"
+	"strings"
+	"testing"
+)
+
+func TestLoadCSV(t *testing.T) {
+	// Header has an extra column and reordered fields.
+	data := `airline,unused,delay
+AA,x,1.5
+UA,y,-2
+AA,z,10
+`
+	tab, err := LoadCSV(strings.NewReader(data), testSchema(t), 4, rand.New(rand.NewPCG(1, 1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tab.NumRows() != 3 {
+		t.Fatalf("NumRows = %d", tab.NumRows())
+	}
+	rb, _ := tab.Bounds("delay")
+	if rb.A != -2 || rb.B != 10 {
+		t.Errorf("bounds %v", rb)
+	}
+	cc, _ := tab.Cat("airline")
+	if cc.NumValues() != 2 {
+		t.Errorf("airline dict size %d", cc.NumValues())
+	}
+	// Row alignment preserved through the shuffle.
+	fc, _ := tab.Float("delay")
+	for i, v := range fc.Values {
+		a := cc.Value(cc.Codes[i])
+		switch v {
+		case 1.5, 10:
+			if a != "AA" {
+				t.Errorf("row %d: %v paired with %s", i, v, a)
+			}
+		case -2:
+			if a != "UA" {
+				t.Errorf("row %d: %v paired with %s", i, v, a)
+			}
+		default:
+			t.Errorf("unexpected value %v", v)
+		}
+	}
+}
+
+func TestLoadCSVErrors(t *testing.T) {
+	schema := testSchema(t)
+	rng := rand.New(rand.NewPCG(1, 1))
+	// Missing schema column in the header.
+	if _, err := LoadCSV(strings.NewReader("delay\n1\n"), schema, 4, rng); err == nil {
+		t.Error("missing categorical column accepted")
+	}
+	// Unparsable float.
+	if _, err := LoadCSV(strings.NewReader("airline,delay\nAA,notanumber\n"), schema, 4, rng); err == nil {
+		t.Error("bad float accepted")
+	}
+	// Non-finite float.
+	if _, err := LoadCSV(strings.NewReader("airline,delay\nAA,NaN\n"), schema, 4, rng); err == nil {
+		t.Error("NaN accepted")
+	}
+	// Empty stream (no header).
+	if _, err := LoadCSV(strings.NewReader(""), schema, 4, rng); err == nil {
+		t.Error("empty stream accepted")
+	}
+	// Header only: empty table, Build must fail.
+	if _, err := LoadCSV(strings.NewReader("airline,delay\n"), schema, 4, rng); err == nil {
+		t.Error("zero-row CSV accepted")
+	}
+}
+
+func TestLoadCSVIntoWithWidenedBounds(t *testing.T) {
+	b := NewBuilder(testSchema(t), 4)
+	b.WidenBounds("delay", -100, 100)
+	if err := LoadCSVInto(b, strings.NewReader("airline,delay\nAA,5\nUA,6\n")); err != nil {
+		t.Fatal(err)
+	}
+	tab, err := b.Build(rand.New(rand.NewPCG(2, 2)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rb, _ := tab.Bounds("delay")
+	if rb.A != -100 || rb.B != 100 {
+		t.Errorf("widened bounds lost: %v", rb)
+	}
+}

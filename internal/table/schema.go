@@ -1,0 +1,85 @@
+// Package table implements FastFrame's in-memory column store: a
+// relational table stored in scrambled (randomly permuted) row order
+// with dictionary-encoded categorical columns, block-level bitmap
+// indexes over every categorical column, and a catalog recording the
+// a-priori range bounds [a, b] of every continuous column — the only
+// distributional knowledge the paper's error bounders assume (§2.2.1).
+package table
+
+import "fmt"
+
+// Kind classifies a column.
+type Kind int
+
+const (
+	// Float is a continuous float64 column; aggregates run over these.
+	Float Kind = iota
+	// Categorical is a dictionary-encoded string column; predicates and
+	// GROUP BY clauses run over these and each gets a block bitmap index.
+	Categorical
+)
+
+// String returns "float" or "categorical".
+func (k Kind) String() string {
+	switch k {
+	case Float:
+		return "float"
+	case Categorical:
+		return "categorical"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// ColumnSpec declares one column of a schema.
+type ColumnSpec struct {
+	Name string
+	Kind Kind
+}
+
+// Schema is an ordered set of uniquely named columns.
+type Schema struct {
+	cols  []ColumnSpec
+	index map[string]int
+}
+
+// NewSchema builds a schema, validating name uniqueness.
+func NewSchema(cols ...ColumnSpec) (*Schema, error) {
+	s := &Schema{cols: append([]ColumnSpec(nil), cols...), index: make(map[string]int, len(cols))}
+	for i, c := range cols {
+		if c.Name == "" {
+			return nil, fmt.Errorf("table: column %d has empty name", i)
+		}
+		if _, dup := s.index[c.Name]; dup {
+			return nil, fmt.Errorf("table: duplicate column %q", c.Name)
+		}
+		s.index[c.Name] = i
+	}
+	return s, nil
+}
+
+// MustSchema is NewSchema that panics on error, for static schemas.
+func MustSchema(cols ...ColumnSpec) *Schema {
+	s, err := NewSchema(cols...)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// NumColumns returns the column count.
+func (s *Schema) NumColumns() int { return len(s.cols) }
+
+// Column returns the i-th column spec.
+func (s *Schema) Column(i int) ColumnSpec { return s.cols[i] }
+
+// Lookup returns the index of the named column, or -1.
+func (s *Schema) Lookup(name string) int {
+	if i, ok := s.index[name]; ok {
+		return i
+	}
+	return -1
+}
+
+// Columns returns a copy of the column specs.
+func (s *Schema) Columns() []ColumnSpec { return append([]ColumnSpec(nil), s.cols...) }

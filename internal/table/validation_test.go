@@ -1,0 +1,33 @@
+package table
+
+import (
+	"math"
+	"testing"
+)
+
+func TestAppendRejectsNonFinite(t *testing.T) {
+	for _, bad := range []float64{math.NaN(), math.Inf(1), math.Inf(-1)} {
+		b := NewBuilder(testSchema(t), 4)
+		err := b.Append(Row{
+			Floats: map[string]float64{"delay": bad},
+			Cats:   map[string]string{"airline": "AA"},
+		})
+		if err == nil {
+			t.Errorf("Append accepted %v", bad)
+		}
+	}
+}
+
+func TestAppendColumnsRejectsNonFinite(t *testing.T) {
+	b := NewBuilder(testSchema(t), 4)
+	err := b.AppendColumns(
+		map[string][]float64{"delay": {1, math.NaN(), 3}},
+		map[string][]string{"airline": {"A", "B", "C"}},
+	)
+	if err == nil {
+		t.Error("AppendColumns accepted NaN")
+	}
+	if b.NumRows() != 0 {
+		t.Errorf("failed append left %d rows", b.NumRows())
+	}
+}

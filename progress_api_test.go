@@ -1,0 +1,68 @@
+package fastframe
+
+import "testing"
+
+func TestOnProgressPublicAPI(t *testing.T) {
+	tab := smallFlights(t)
+	q := Avg("DepDelay").GroupBy("Airline").StopAtAbsError(2)
+	var rounds int
+	var lastWidth = 1e18
+	opts := fastOpts()
+	opts.OnProgress = func(p Progress) bool {
+		rounds++
+		if p.Round != rounds {
+			t.Errorf("progress round %d, want %d", p.Round, rounds)
+		}
+		if len(p.Groups) > 0 {
+			w := p.Groups[0].Avg.Width()
+			if w > lastWidth+1e-9 {
+				t.Errorf("interval widened across progress snapshots")
+			}
+			lastWidth = w
+		}
+		return true
+	}
+	res, err := tab.Run(q, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rounds == 0 || rounds != res.Rounds {
+		t.Errorf("callback rounds %d, result rounds %d", rounds, res.Rounds)
+	}
+	if res.Aborted {
+		t.Error("Aborted without abort")
+	}
+}
+
+func TestOnProgressAbortPublicAPI(t *testing.T) {
+	tab := smallFlights(t)
+	q := Avg("DepDelay").StopAtAbsError(1e-12)
+	opts := fastOpts()
+	opts.OnProgress = func(p Progress) bool { return p.Round < 2 }
+	res, err := tab.Run(q, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Aborted || res.Rounds != 2 {
+		t.Errorf("Aborted=%v Rounds=%d, want abort at round 2", res.Aborted, res.Rounds)
+	}
+	ex, _ := tab.RunExact(q)
+	if !res.Groups[0].Avg.Contains(ex.Groups[0].Avg) {
+		t.Error("aborted interval misses truth")
+	}
+}
+
+func TestExactCountBoundsPublicOption(t *testing.T) {
+	tab := smallFlights(t)
+	q := Avg("DepDelay").Where("Origin", "ORD").StopAtRelError(0.4)
+	opts := fastOpts()
+	opts.ExactCountBounds = true
+	res, err := tab.Run(q, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ex, _ := tab.RunExact(q)
+	if !res.Groups[0].Avg.Contains(ex.Groups[0].Avg) {
+		t.Error("exact-count-bounds run misses truth")
+	}
+}

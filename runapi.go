@@ -1,0 +1,369 @@
+package fastframe
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"time"
+
+	"fastframe/internal/ci"
+	"fastframe/internal/core"
+	"fastframe/internal/exact"
+	"fastframe/internal/exec"
+)
+
+// Bounder selects the confidence-interval technique (§5.2 of the
+// paper). BernsteinRT is the paper's headline configuration and the
+// default.
+type Bounder int
+
+const (
+	// BernsteinRT is the empirical Bernstein–Serfling bounder wrapped
+	// with RangeTrim: neither PMA nor PHOS. The default.
+	BernsteinRT Bounder = iota
+	// Bernstein is the empirical Bernstein–Serfling bounder alone
+	// (no PMA, but PHOS).
+	Bernstein
+	// HoeffdingRT is the Hoeffding–Serfling bounder with RangeTrim
+	// (PMA, no PHOS).
+	HoeffdingRT
+	// Hoeffding is the Hoeffding–Serfling bounder alone (PMA and PHOS);
+	// the traditional conservative AQP baseline.
+	Hoeffding
+	// Anderson is the Anderson/DKW bounder (PMA, no PHOS; O(m) memory).
+	Anderson
+)
+
+// String names the bounder as in the paper's tables.
+func (b Bounder) String() string {
+	switch b {
+	case BernsteinRT:
+		return "Bernstein+RT"
+	case Bernstein:
+		return "Bernstein"
+	case HoeffdingRT:
+		return "Hoeffding+RT"
+	case Hoeffding:
+		return "Hoeffding"
+	case Anderson:
+		return "Anderson"
+	default:
+		return fmt.Sprintf("Bounder(%d)", int(b))
+	}
+}
+
+func (b Bounder) impl() (ci.Bounder, error) {
+	switch b {
+	case BernsteinRT:
+		return core.RangeTrim{Inner: ci.EmpiricalBernsteinSerfling{}}, nil
+	case Bernstein:
+		return ci.EmpiricalBernsteinSerfling{}, nil
+	case HoeffdingRT:
+		return core.RangeTrim{Inner: ci.HoeffdingSerfling{}}, nil
+	case Hoeffding:
+		return ci.HoeffdingSerfling{}, nil
+	case Anderson:
+		return ci.AndersonDKW{}, nil
+	default:
+		return nil, fmt.Errorf("fastframe: unknown bounder %d", int(b))
+	}
+}
+
+// Strategy selects the sampling strategy (§5.2).
+type Strategy int
+
+const (
+	// ActivePeekStrategy skips blocks without active-group tuples using
+	// the asynchronous batched bitmap lookahead. The default.
+	ActivePeekStrategy Strategy = iota
+	// ActiveSyncStrategy performs the same skipping with synchronous
+	// per-block bitmap probes.
+	ActiveSyncStrategy
+	// ScanStrategy reads blocks sequentially, using bitmaps only to
+	// prune blocks that cannot match a categorical predicate.
+	ScanStrategy
+)
+
+// String names the strategy.
+func (s Strategy) String() string {
+	switch s {
+	case ActivePeekStrategy:
+		return "ActivePeek"
+	case ActiveSyncStrategy:
+		return "ActiveSync"
+	case ScanStrategy:
+		return "Scan"
+	default:
+		return fmt.Sprintf("Strategy(%d)", int(s))
+	}
+}
+
+func (s Strategy) impl() exec.Strategy {
+	switch s {
+	case ActiveSyncStrategy:
+		return exec.ActiveSync
+	case ScanStrategy:
+		return exec.Scan
+	default:
+		return exec.ActivePeek
+	}
+}
+
+// ExecOptions configures one query execution. The zero value selects
+// the paper's defaults: Bernstein+RT, ActivePeek, δ = 1e−15, bound
+// recomputation every 40000 rows, and a seed-0 starting position.
+type ExecOptions struct {
+	// Bounder is the CI technique (default BernsteinRT).
+	Bounder Bounder
+	// Strategy is the sampling strategy (default ActivePeek).
+	Strategy Strategy
+	// Delta is the total error probability across all of the query's
+	// aggregate views (default 1e−15).
+	Delta float64
+	// RoundRows is the number of covered rows between interval
+	// recomputations (default 40000).
+	RoundRows int
+	// Seed randomizes the scan's starting position within the scramble.
+	Seed uint64
+	// MaxRows, if positive, aborts after covering this many rows.
+	MaxRows int
+	// ExactCountBounds uses the exact hypergeometric tail bound for
+	// unknown view sizes instead of the default Hoeffding–Serfling form.
+	ExactCountBounds bool
+	// OnProgress, if set, receives a snapshot after every interval
+	// recomputation — the online-aggregation interface: display the
+	// tightening intervals and return false to stop when satisfied
+	// (Result.Aborted is then set; the reported intervals remain valid).
+	OnProgress func(Progress) bool
+}
+
+// Progress is a mid-query snapshot delivered to ExecOptions.OnProgress.
+type Progress struct {
+	// Round counts interval recomputations so far.
+	Round int
+	// RowsCovered and BlocksFetched are the cost so far.
+	RowsCovered   int
+	BlocksFetched int
+	// ActiveGroups is the number of groups still driving the scan.
+	ActiveGroups int
+	// Groups holds the current per-view intervals, sorted by key.
+	Groups []GroupResult
+}
+
+// Interval is a confidence interval around an estimate: the true
+// aggregate lies in [Lo, Hi] with probability at least 1 − Delta.
+type Interval struct {
+	Lo, Hi   float64
+	Estimate float64
+}
+
+// Width returns Hi − Lo.
+func (iv Interval) Width() float64 { return iv.Hi - iv.Lo }
+
+// Contains reports whether v ∈ [Lo, Hi].
+func (iv Interval) Contains(v float64) bool { return v >= iv.Lo && v <= iv.Hi }
+
+func (iv Interval) String() string {
+	return fmt.Sprintf("%.6g ∈ [%.6g, %.6g]", iv.Estimate, iv.Lo, iv.Hi)
+}
+
+func fromCI(iv ci.Interval) Interval {
+	return Interval{Lo: iv.Lo, Hi: iv.Hi, Estimate: iv.Estimate}
+}
+
+// GroupResult is the approximate answer for one group (aggregate view).
+type GroupResult struct {
+	// Key is the GROUP BY key ("" for ungrouped queries; composite keys
+	// join column values with "|").
+	Key string
+	// Avg, Count and Sum are the confidence intervals for each
+	// aggregate; the one matching the query's aggregate carries the
+	// full guarantee.
+	Avg   Interval
+	Count Interval
+	Sum   Interval
+	// Samples is the number of view rows that contributed.
+	Samples int
+	// Exact reports that the whole view was observed (point answer).
+	Exact bool
+}
+
+// Result is the outcome of an approximate query.
+type Result struct {
+	// Groups holds one entry per observed group, sorted by Key.
+	Groups []GroupResult
+	// BlocksFetched counts storage blocks actually read, the paper's
+	// hardware-independent cost metric.
+	BlocksFetched int
+	// RowsCovered counts rows whose view membership was resolved.
+	RowsCovered int
+	// Rounds is the number of interval recomputations performed.
+	Rounds int
+	// Stopped reports early termination via the stopping condition;
+	// Exhausted reports a complete scan; Aborted reports that an
+	// OnProgress callback ended the scan (intervals remain valid).
+	Stopped, Exhausted, Aborted bool
+	// Duration is the wall-clock execution time.
+	Duration time.Duration
+}
+
+// Group returns the result for a key, or nil.
+func (r *Result) Group(key string) *GroupResult {
+	for i := range r.Groups {
+		if r.Groups[i].Key == key {
+			return &r.Groups[i]
+		}
+	}
+	return nil
+}
+
+// DecidedAbove returns the keys of groups whose AVG interval lies
+// entirely above v — the w.h.p.-correct result set of
+// "HAVING AVG(...) > v" once a threshold-stopped query terminates.
+func (r *Result) DecidedAbove(v float64) []string {
+	var keys []string
+	for _, g := range r.Groups {
+		if g.Avg.Lo > v {
+			keys = append(keys, g.Key)
+		}
+	}
+	return keys
+}
+
+// DecidedBelow returns the keys of groups whose AVG interval lies
+// entirely below v ("HAVING AVG(...) < v").
+func (r *Result) DecidedBelow(v float64) []string {
+	var keys []string
+	for _, g := range r.Groups {
+		if g.Avg.Hi < v {
+			keys = append(keys, g.Key)
+		}
+	}
+	return keys
+}
+
+// Undecided returns the keys of groups whose AVG interval still
+// contains v (possible only if the query was aborted or hit MaxRows
+// before the threshold condition resolved).
+func (r *Result) Undecided(v float64) []string {
+	var keys []string
+	for _, g := range r.Groups {
+		if g.Avg.Contains(v) {
+			keys = append(keys, g.Key)
+		}
+	}
+	return keys
+}
+
+// SessionDelta splits a total failure budget across q independent
+// queries by union bound: running q queries each with the returned δ
+// keeps the probability that ANY of them errs below total. The paper
+// (§4.1) notes this division is needed when one scramble serves many
+// queries; at the default δ=1e−15 per query, any practical session
+// stays effectively deterministic without adjustment.
+func SessionDelta(total float64, q int) float64 {
+	if q <= 1 {
+		return total
+	}
+	return total / float64(q)
+}
+
+// Run executes an approximate query against the table.
+func (t *Table) Run(q QueryBuilder, opts ExecOptions) (*Result, error) {
+	b, err := opts.Bounder.impl()
+	if err != nil {
+		return nil, err
+	}
+	execOpts := exec.Options{
+		Bounder:          b,
+		Strategy:         opts.Strategy.impl(),
+		Delta:            opts.Delta,
+		RoundRows:        opts.RoundRows,
+		Rng:              rand.New(rand.NewPCG(opts.Seed, 0x9a7)),
+		MaxRows:          opts.MaxRows,
+		ExactCountBounds: opts.ExactCountBounds,
+	}
+	if opts.OnProgress != nil {
+		cb := opts.OnProgress
+		execOpts.OnRound = func(s exec.RoundSnapshot) bool {
+			p := Progress{
+				Round:         s.Round,
+				RowsCovered:   s.RowsCovered,
+				BlocksFetched: s.BlocksFetched,
+				ActiveGroups:  s.NumActive,
+			}
+			for _, g := range s.Groups {
+				p.Groups = append(p.Groups, GroupResult{
+					Key:     g.Key,
+					Avg:     fromCI(g.Avg),
+					Count:   fromCI(g.Count),
+					Sum:     fromCI(g.Sum),
+					Samples: g.Samples,
+					Exact:   g.Exact,
+				})
+			}
+			return cb(p)
+		}
+	}
+	res, err := exec.Run(t.t, q.build(), execOpts)
+	if err != nil {
+		return nil, err
+	}
+	out := &Result{
+		BlocksFetched: res.BlocksFetched,
+		RowsCovered:   res.RowsCovered,
+		Rounds:        res.Rounds,
+		Stopped:       res.Stopped,
+		Exhausted:     res.Exhausted,
+		Aborted:       res.Aborted,
+		Duration:      res.Duration,
+	}
+	for _, g := range res.Groups {
+		out.Groups = append(out.Groups, GroupResult{
+			Key:     g.Key,
+			Avg:     fromCI(g.Avg),
+			Count:   fromCI(g.Count),
+			Sum:     fromCI(g.Sum),
+			Samples: g.Samples,
+			Exact:   g.Exact,
+		})
+	}
+	return out, nil
+}
+
+// ExactGroup is one group's exact aggregate values.
+type ExactGroup struct {
+	Key   string
+	Count int
+	Sum   float64
+	Avg   float64
+}
+
+// ExactResult is the exact evaluation of a query via a full scan.
+type ExactResult struct {
+	Groups   []ExactGroup
+	Duration time.Duration
+}
+
+// Group returns the exact values for a key, or nil.
+func (r *ExactResult) Group(key string) *ExactGroup {
+	for i := range r.Groups {
+		if r.Groups[i].Key == key {
+			return &r.Groups[i]
+		}
+	}
+	return nil
+}
+
+// RunExact evaluates the query exactly with a full scan (the paper's
+// Exact baseline; also the ground truth for validation).
+func (t *Table) RunExact(q QueryBuilder) (*ExactResult, error) {
+	res, err := exact.Run(t.t, q.build())
+	if err != nil {
+		return nil, err
+	}
+	out := &ExactResult{Duration: res.Duration}
+	for _, g := range res.Groups {
+		out.Groups = append(out.Groups, ExactGroup{Key: g.Key, Count: g.Count, Sum: g.Sum, Avg: g.Avg})
+	}
+	return out, nil
+}

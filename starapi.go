@@ -1,0 +1,66 @@
+package fastframe
+
+import "fastframe/internal/star"
+
+// Dimension is a small dimension table in a star/snowflake schema:
+// rows keyed by the value appearing in a fact table's foreign-key
+// column, each carrying string attributes. Dimensions are stored
+// exactly — only the fact table is sampled.
+type Dimension struct {
+	d *star.Dimension
+}
+
+// NewDimension returns an empty dimension table.
+func NewDimension(name string) *Dimension {
+	return &Dimension{d: star.NewDimension(name)}
+}
+
+// Add inserts (or replaces) the dimension row for key.
+func (d *Dimension) Add(key string, attrs map[string]string) {
+	d.d.Add(key, attrs)
+}
+
+// NumRows returns the dimension's row count.
+func (d *Dimension) NumRows() int { return d.d.NumRows() }
+
+// StarSchema binds dimension tables to the foreign-key columns of a
+// fact Table, enabling approximate aggregation over join views
+// (the paper's snowflake-schema extension): a dimension-attribute
+// predicate compiles into a fact-side IN predicate, so all guarantees
+// and block pruning carry over.
+type StarSchema struct {
+	t *Table
+	s *star.Schema
+}
+
+// NewStarSchema returns a star schema over the fact table.
+func NewStarSchema(fact *Table) *StarSchema {
+	return &StarSchema{t: fact, s: star.NewSchema(fact.t)}
+}
+
+// Attach binds a dimension to a categorical fact column holding its
+// keys.
+func (ss *StarSchema) Attach(fkColumn string, d *Dimension) error {
+	return ss.s.Attach(fkColumn, d.d)
+}
+
+// WhereDimension extends a query with the dimension predicate
+// "dimension(fkColumn).attr = value", compiled to the fact side.
+func (ss *StarSchema) WhereDimension(qb QueryBuilder, fkColumn, attr, value string) (QueryBuilder, error) {
+	pred, err := ss.s.CompileWhere(qb.q.Pred, fkColumn, attr, value)
+	if err != nil {
+		return qb, err
+	}
+	qb.q.Pred = pred
+	return qb, nil
+}
+
+// Run executes an approximate query against the fact table.
+func (ss *StarSchema) Run(q QueryBuilder, opts ExecOptions) (*Result, error) {
+	return ss.t.Run(q, opts)
+}
+
+// RunExact evaluates the query exactly against the fact table.
+func (ss *StarSchema) RunExact(q QueryBuilder) (*ExactResult, error) {
+	return ss.t.RunExact(q)
+}

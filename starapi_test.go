@@ -1,0 +1,109 @@
+package fastframe
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestStarSchemaPublicAPI(t *testing.T) {
+	// Fact: flights; dimension: airports with a region attribute.
+	tab := smallFlights(t)
+	origins, err := tab.CategoricalValues("Origin")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dim := NewDimension("airports")
+	for i, code := range origins {
+		region := "east"
+		if i%2 == 0 {
+			region = "west"
+		}
+		dim.Add(code, map[string]string{"region": region})
+	}
+	if dim.NumRows() != len(origins) {
+		t.Fatalf("dimension rows = %d", dim.NumRows())
+	}
+
+	ss := NewStarSchema(tab)
+	if err := ss.Attach("Origin", dim); err != nil {
+		t.Fatal(err)
+	}
+	if err := ss.Attach("DepDelay", dim); err == nil {
+		t.Error("attach to float column accepted")
+	}
+
+	q := Avg("DepDelay").StopAtRelError(0.4)
+	q, err = ss.WhereDimension(q, "Origin", "region", "west")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ss.WhereDimension(q, "Origin", "ghost", "x"); err == nil {
+		t.Error("unknown dimension attribute accepted")
+	}
+
+	res, err := ss.Run(q, fastOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ex, err := ss.RunExact(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Groups[0].Avg.Contains(ex.Groups[0].Avg) {
+		t.Errorf("join view interval %v misses %v", res.Groups[0].Avg, ex.Groups[0].Avg)
+	}
+}
+
+func TestWhereInPublicAPI(t *testing.T) {
+	tab := smallFlights(t)
+	q := Avg("DepDelay").WhereIn("Airline", "NW", "HP").StopAtRelError(0.3)
+	if !strings.Contains(q.String(), "IN (NW, HP)") {
+		t.Errorf("String() = %q", q.String())
+	}
+	res, err := tab.Run(q, fastOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ex, _ := tab.RunExact(q)
+	if !res.Groups[0].Avg.Contains(ex.Groups[0].Avg) {
+		t.Errorf("IN interval %v misses %v", res.Groups[0].Avg, ex.Groups[0].Avg)
+	}
+}
+
+func TestExprAggregatePublicAPI(t *testing.T) {
+	tab := smallFlights(t)
+	// AVG((DepDelay)²) with derived bounds.
+	q := AvgExpr(Col("DepDelay").Square()).Where("Airline", "AA").StopAtRelError(0.6)
+	if !strings.Contains(q.String(), "^2") {
+		t.Errorf("String() = %q", q.String())
+	}
+	res, err := tab.Run(q, fastOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ex, err := tab.RunExact(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Groups[0].Avg.Contains(ex.Groups[0].Avg) {
+		t.Errorf("squared interval %v misses %v", res.Groups[0].Avg, ex.Groups[0].Avg)
+	}
+	if res.Groups[0].Avg.Lo < 0 {
+		t.Errorf("derived lower bound violated: %v", res.Groups[0].Avg.Lo)
+	}
+
+	// SUM over an expression.
+	qs := SumExpr(Col("DepDelay").Mul(Const(0.5))).WhereIn("Airline", "NW").StopAtRelError(0.8)
+	resS, err := tab.Run(qs, fastOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	exS, _ := tab.RunExact(qs)
+	if !resS.Groups[0].Sum.Contains(exS.Groups[0].Sum) {
+		t.Errorf("expr SUM interval %v misses %v", resS.Groups[0].Sum, exS.Groups[0].Sum)
+	}
+	if math.Abs(exS.Groups[0].Sum) < 1 {
+		t.Errorf("expr SUM ground truth %v implausible", exS.Groups[0].Sum)
+	}
+}
