@@ -1,53 +1,55 @@
-// Command ffquery runs one approximate aggregate query against a
-// synthesized Flights table and prints per-group confidence intervals,
-// alongside the exact answer for comparison:
+// Command ffquery runs one approximate SQL query against a synthesized
+// Flights table (registered as "flights") and prints per-group
+// confidence intervals, alongside the exact answer for comparison:
 //
-//	ffquery -rows 1000000 -agg avg -col DepDelay -where Origin=ORD -rel 0.1
-//	ffquery -agg avg -col DepDelay -group Airline -threshold 8
-//	ffquery -agg avg -col DepDelay -group Origin -topk 3 -bounder hoeffding
-//	ffquery -agg count -wheregt DepTime=1800 -rel 0.2
+//	ffquery "SELECT AVG(DepDelay) FROM flights WHERE Origin = 'ORD' WITHIN 10%"
+//	ffquery "SELECT AVG(DepDelay) FROM flights GROUP BY Airline HAVING AVG(DepDelay) > 8"
+//	ffquery -bounder hoeffding "SELECT AVG(DepDelay) FROM flights GROUP BY Origin ORDER BY AVG(DepDelay) DESC LIMIT 3"
+//	ffquery -timeout 500ms "SELECT COUNT(*) FROM flights WHERE DepTime > 1800 WITHIN 20%"
+//
+// The supported grammar (see the Engine documentation for details):
+//
+//	SELECT AVG(expr) | SUM(expr) | COUNT(*)
+//	FROM flights
+//	[WHERE pred AND ...]          pred: c = 'v' | c IN ('a','b') |
+//	                                    c > x | c >= x | c < x | c <= x |
+//	                                    c BETWEEN lo AND hi
+//	[GROUP BY col, ...]
+//	[HAVING AGG(c) > v | < v]     stop: threshold decided per group
+//	[ORDER BY AGG(c) [DESC] [LIMIT k]]   stop: top-/bottom-k or full order
+//	[WITHIN p% | WITHIN ABS e | EXACT]   stop: CI width target / full scan
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
-	"strconv"
-	"strings"
 
-	"fastframe/internal/ci"
-	"fastframe/internal/core"
-	"fastframe/internal/exact"
-	"fastframe/internal/exec"
-	"fastframe/internal/flights"
-	"fastframe/internal/query"
+	"fastframe"
 )
 
 func main() {
 	var (
-		rows      = flag.Int("rows", 500_000, "synthesized Flights rows")
-		seed      = flag.Uint64("seed", 42, "dataset seed")
-		aggKind   = flag.String("agg", "avg", "aggregate: avg|sum|count")
-		col       = flag.String("col", "DepDelay", "aggregate column")
-		where     = flag.String("where", "", "categorical predicate Column=Value (comma separated)")
-		whereGt   = flag.String("wheregt", "", "numeric predicate Column=Lo meaning Column > Lo")
-		group     = flag.String("group", "", "GROUP BY columns (comma separated)")
-		rel       = flag.Float64("rel", 0, "stop at relative error")
-		abs       = flag.Float64("abs", 0, "stop at absolute CI width")
-		threshold = flag.String("threshold", "", "stop when every group decided vs this value")
-		topk      = flag.Int("topk", 0, "stop when top-K separated")
-		bottomk   = flag.Int("bottomk", 0, "stop when bottom-K separated")
-		ordered   = flag.Bool("ordered", false, "stop when groups fully ordered")
-		bounder   = flag.String("bounder", "bernstein+rt", "hoeffding|hoeffding+rt|bernstein|bernstein+rt|anderson")
-		strategy  = flag.String("strategy", "active-peek", "scan|active-sync|active-peek")
-		delta     = flag.Float64("delta", exec.DefaultDelta, "error probability")
+		rows     = flag.Int("rows", 500_000, "synthesized Flights rows")
+		seed     = flag.Uint64("seed", 42, "dataset seed and scan starting position")
+		bounder  = flag.String("bounder", "bernstein+rt", "hoeffding|hoeffding+rt|bernstein|bernstein+rt|anderson")
+		strategy = flag.String("strategy", "active-peek", "scan|active-sync|active-peek")
+		delta    = flag.Float64("delta", 0, "per-query error probability (default 1e-15)")
+		timeout  = flag.Duration("timeout", 0, "cancel the query after this long (0 = no limit)")
+		exact    = flag.Bool("exact", true, "also compute the exact answer for comparison")
 	)
-	flag.Parse()
-
-	q, err := buildQuery(*aggKind, *col, *where, *whereGt, *group, *rel, *abs, *threshold, *topk, *bottomk, *ordered)
-	if err != nil {
-		fatal(err)
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: ffquery [flags] \"SELECT ...\"\n\n")
+		flag.PrintDefaults()
 	}
+	flag.Parse()
+	if flag.NArg() != 1 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	sqlText := flag.Arg(0)
+
 	b, err := pickBounder(*bounder)
 	if err != nil {
 		fatal(err)
@@ -57,34 +59,65 @@ func main() {
 		fatal(err)
 	}
 
+	eng := fastframe.NewEngine()
+	if plan, err := eng.Explain(sqlText); err != nil {
+		fatal(err)
+	} else {
+		fmt.Printf("plan: %s\n", plan)
+	}
+
 	fmt.Printf("generating %d flights rows (seed %d)...\n", *rows, *seed)
-	tab, err := flights.Generate(flights.Config{Rows: *rows, Seed: *seed})
+	tab, err := fastframe.GenerateFlights(*rows, *seed)
 	if err != nil {
 		fatal(err)
 	}
-	fmt.Printf("query: %s\n", q)
-
-	res, err := exec.Run(tab, q, exec.Options{
-		Bounder: b, Strategy: st, Delta: *delta, StartBlock: int(*seed),
-	})
-	if err != nil {
-		fatal(err)
-	}
-	ex, err := exact.Run(tab, q)
-	if err != nil {
+	if err := eng.Register("flights", tab); err != nil {
 		fatal(err)
 	}
 
-	fmt.Printf("\napprox: %.3fs, %d blocks fetched, %d rows covered, %d rounds, stopped=%v exhausted=%v\n",
-		res.Duration.Seconds(), res.BlocksFetched, res.RowsCovered, res.Rounds, res.Stopped, res.Exhausted)
-	fmt.Printf("exact:  %.3fs (speedup %.1fx)\n\n",
-		ex.Duration.Seconds(), ex.Duration.Seconds()/res.Duration.Seconds())
-	fmt.Printf("%-12s %12s %12s %12s %10s %12s\n", "group", "lo", "estimate", "hi", "samples", "exact")
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+	opts := []fastframe.Option{
+		fastframe.WithBounder(b),
+		fastframe.WithStrategy(st),
+		fastframe.WithSeed(*seed),
+	}
+	if *delta > 0 {
+		opts = append(opts, fastframe.WithDelta(*delta))
+	}
+	res, err := eng.Query(ctx, sqlText, opts...)
+	if err != nil {
+		fatal(err)
+	}
+
+	fmt.Printf("\napprox: %.3fs, %d blocks fetched, %d rows covered, %d rounds, stopped=%v exhausted=%v aborted=%v\n",
+		res.Duration.Seconds(), res.BlocksFetched, res.RowsCovered, res.Rounds, res.Stopped, res.Exhausted, res.Aborted)
+
+	var ex *fastframe.ExactResult
+	if *exact {
+		// The ground-truth comparison deliberately ignores -timeout:
+		// it exists to judge the approximate answer. Use -exact=false
+		// to skip it.
+		ex, err = eng.QueryExact(context.Background(), sqlText)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("exact:  %.3fs (speedup %.1fx)\n",
+			ex.Duration.Seconds(), ex.Duration.Seconds()/res.Duration.Seconds())
+	}
+
+	fmt.Printf("\n%-12s %12s %12s %12s %10s %12s\n", "group", "lo", "estimate", "hi", "samples", "exact")
 	for _, g := range res.Groups {
-		iv := g.Answer(q.Agg.Kind == query.Sum, q.Agg.Kind == query.Count)
+		iv := g.Answer(res.Agg)
 		truth := "-"
-		if e := ex.Group(g.Key); e != nil {
-			truth = fmt.Sprintf("%.4f", e.Value(q.Agg.Kind))
+		if ex != nil {
+			if e := ex.Group(g.Key); e != nil {
+				truth = fmt.Sprintf("%.4f", e.Value(res.Agg))
+			}
 		}
 		key := g.Key
 		if key == "" {
@@ -94,90 +127,31 @@ func main() {
 	}
 }
 
-func buildQuery(aggKind, col, where, whereGt, group string, rel, abs float64,
-	threshold string, topk, bottomk int, ordered bool) (query.Query, error) {
-	q := query.Query{Name: "ffquery"}
-	switch aggKind {
-	case "avg":
-		q.Agg = query.Aggregate{Kind: query.Avg, Column: col}
-	case "sum":
-		q.Agg = query.Aggregate{Kind: query.Sum, Column: col}
-	case "count":
-		q.Agg = query.Aggregate{Kind: query.Count}
-	default:
-		return q, fmt.Errorf("unknown aggregate %q", aggKind)
-	}
-	if where != "" {
-		for _, clause := range strings.Split(where, ",") {
-			parts := strings.SplitN(clause, "=", 2)
-			if len(parts) != 2 {
-				return q, fmt.Errorf("bad -where clause %q", clause)
-			}
-			q.Pred = q.Pred.AndCatEquals(parts[0], parts[1])
-		}
-	}
-	if whereGt != "" {
-		parts := strings.SplitN(whereGt, "=", 2)
-		if len(parts) != 2 {
-			return q, fmt.Errorf("bad -wheregt clause %q", whereGt)
-		}
-		lo, err := strconv.ParseFloat(parts[1], 64)
-		if err != nil {
-			return q, fmt.Errorf("bad -wheregt value: %w", err)
-		}
-		q.Pred = q.Pred.AndGreater(parts[0], lo)
-	}
-	if group != "" {
-		q.GroupBy = strings.Split(group, ",")
-	}
-	switch {
-	case rel > 0:
-		q.Stop = query.RelWidth(rel)
-	case abs > 0:
-		q.Stop = query.AbsWidth(abs)
-	case threshold != "":
-		v, err := strconv.ParseFloat(threshold, 64)
-		if err != nil {
-			return q, fmt.Errorf("bad -threshold: %w", err)
-		}
-		q.Stop = query.Threshold(v)
-	case topk > 0:
-		q.Stop = query.TopK(topk)
-	case bottomk > 0:
-		q.Stop = query.BottomK(bottomk)
-	case ordered:
-		q.Stop = query.Ordered()
-	default:
-		q.Stop = query.Exhaust()
-	}
-	return q, q.Validate()
-}
-
-func pickBounder(name string) (ci.Bounder, error) {
+func pickBounder(name string) (fastframe.Bounder, error) {
 	switch name {
 	case "hoeffding":
-		return ci.HoeffdingSerfling{}, nil
+		return fastframe.Hoeffding, nil
 	case "hoeffding+rt":
-		return core.RangeTrim{Inner: ci.HoeffdingSerfling{}}, nil
+		return fastframe.HoeffdingRT, nil
 	case "bernstein":
-		return ci.EmpiricalBernsteinSerfling{}, nil
+		return fastframe.Bernstein, nil
 	case "bernstein+rt":
-		return core.RangeTrim{Inner: ci.EmpiricalBernsteinSerfling{}}, nil
+		return fastframe.BernsteinRT, nil
 	case "anderson":
-		return ci.AndersonDKW{}, nil
+		return fastframe.Anderson, nil
 	default:
-		return nil, fmt.Errorf("unknown bounder %q", name)
+		return 0, fmt.Errorf("unknown bounder %q", name)
 	}
 }
 
-func pickStrategy(name string) (exec.Strategy, error) {
+func pickStrategy(name string) (fastframe.Strategy, error) {
 	switch name {
 	case "scan":
-		return exec.Scan, nil
+		return fastframe.ScanStrategy, nil
 	case "active-sync":
-		return exec.ActiveSync, nil
+		return fastframe.ActiveSyncStrategy, nil
 	case "active-peek":
-		return exec.ActivePeek, nil
+		return fastframe.ActivePeekStrategy, nil
 	default:
 		return 0, fmt.Errorf("unknown strategy %q", name)
 	}

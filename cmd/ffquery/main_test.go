@@ -3,92 +3,21 @@ package main
 import (
 	"testing"
 
-	"fastframe/internal/exec"
-	"fastframe/internal/query"
+	"fastframe"
 )
 
-func TestBuildQuery(t *testing.T) {
-	q, err := buildQuery("avg", "DepDelay", "Origin=ORD,Airline=AA", "DepTime=1300",
-		"DayOfWeek", 0, 0, "", 0, 0, false)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if q.Agg.Kind != query.Avg || q.Agg.Column != "DepDelay" {
-		t.Errorf("agg = %+v", q.Agg)
-	}
-	if len(q.Pred.CatEq) != 2 || q.Pred.CatEq[1].Value != "AA" {
-		t.Errorf("cat predicates = %+v", q.Pred.CatEq)
-	}
-	if len(q.Pred.Ranges) != 1 || q.Pred.Ranges[0].Lo <= 1300 {
-		t.Errorf("range predicates = %+v", q.Pred.Ranges)
-	}
-	if len(q.GroupBy) != 1 || q.GroupBy[0] != "DayOfWeek" {
-		t.Errorf("group by = %v", q.GroupBy)
-	}
-	if q.Stop.Kind != query.StopExhaust {
-		t.Errorf("default stop = %v", q.Stop.Kind)
-	}
-}
-
-func TestBuildQueryStops(t *testing.T) {
-	cases := []struct {
-		rel, abs      float64
-		threshold     string
-		topk, bottomk int
-		ordered       bool
-		want          query.StopKind
-	}{
-		{rel: 0.1, want: query.StopRelWidth},
-		{abs: 2, want: query.StopAbsWidth},
-		{threshold: "7.5", want: query.StopThreshold},
-		{topk: 3, want: query.StopTopK},
-		{bottomk: 2, want: query.StopTopK},
-		{ordered: true, want: query.StopOrdered},
-	}
-	for i, c := range cases {
-		group := ""
-		if c.topk > 0 || c.bottomk > 0 || c.ordered {
-			group = "Airline"
-		}
-		q, err := buildQuery("avg", "DepDelay", "", "", group,
-			c.rel, c.abs, c.threshold, c.topk, c.bottomk, c.ordered)
-		if err != nil {
-			t.Fatalf("case %d: %v", i, err)
-		}
-		if q.Stop.Kind != c.want {
-			t.Errorf("case %d: stop = %v, want %v", i, q.Stop.Kind, c.want)
-		}
-	}
-	if q, _ := buildQuery("avg", "x", "", "", "g", 0, 0, "", 0, 2, false); q.Stop.Largest {
-		t.Error("bottomk should not be Largest")
-	}
-}
-
-func TestBuildQueryErrors(t *testing.T) {
-	if _, err := buildQuery("median", "x", "", "", "", 0, 0, "", 0, 0, false); err == nil {
-		t.Error("unknown aggregate accepted")
-	}
-	if _, err := buildQuery("avg", "x", "badclause", "", "", 0, 0, "", 0, 0, false); err == nil {
-		t.Error("malformed -where accepted")
-	}
-	if _, err := buildQuery("avg", "x", "", "badclause", "", 0, 0, "", 0, 0, false); err == nil {
-		t.Error("malformed -wheregt accepted")
-	}
-	if _, err := buildQuery("avg", "x", "", "DepTime=abc", "", 0, 0, "", 0, 0, false); err == nil {
-		t.Error("non-numeric -wheregt accepted")
-	}
-	if _, err := buildQuery("avg", "x", "", "", "", 0, 0, "xyz", 0, 0, false); err == nil {
-		t.Error("non-numeric -threshold accepted")
-	}
-	if _, err := buildQuery("avg", "", "", "", "", 0.1, 0, "", 0, 0, false); err == nil {
-		t.Error("missing column accepted")
-	}
-}
-
 func TestPickBounder(t *testing.T) {
-	for _, name := range []string{"hoeffding", "hoeffding+rt", "bernstein", "bernstein+rt", "anderson"} {
-		if _, err := pickBounder(name); err != nil {
-			t.Errorf("pickBounder(%q): %v", name, err)
+	cases := map[string]fastframe.Bounder{
+		"hoeffding":    fastframe.Hoeffding,
+		"hoeffding+rt": fastframe.HoeffdingRT,
+		"bernstein":    fastframe.Bernstein,
+		"bernstein+rt": fastframe.BernsteinRT,
+		"anderson":     fastframe.Anderson,
+	}
+	for name, want := range cases {
+		got, err := pickBounder(name)
+		if err != nil || got != want {
+			t.Errorf("pickBounder(%q) = %v, %v", name, got, err)
 		}
 	}
 	if _, err := pickBounder("magic"); err == nil {
@@ -97,8 +26,10 @@ func TestPickBounder(t *testing.T) {
 }
 
 func TestPickStrategy(t *testing.T) {
-	cases := map[string]exec.Strategy{
-		"scan": exec.Scan, "active-sync": exec.ActiveSync, "active-peek": exec.ActivePeek,
+	cases := map[string]fastframe.Strategy{
+		"scan":        fastframe.ScanStrategy,
+		"active-sync": fastframe.ActiveSyncStrategy,
+		"active-peek": fastframe.ActivePeekStrategy,
 	}
 	for name, want := range cases {
 		got, err := pickStrategy(name)
@@ -111,12 +42,3 @@ func TestPickStrategy(t *testing.T) {
 	}
 }
 
-func TestCountAggregateNeedsNoColumn(t *testing.T) {
-	q, err := buildQuery("count", "", "", "", "", 0.5, 0, "", 0, 0, false)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if q.Agg.Kind != query.Count {
-		t.Errorf("agg = %v", q.Agg.Kind)
-	}
-}

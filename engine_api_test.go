@@ -1,0 +1,305 @@
+package fastframe
+
+import (
+	"context"
+	"math"
+	"strings"
+	"testing"
+	"time"
+)
+
+func testEngine(t testing.TB) *Engine {
+	t.Helper()
+	eng := NewEngine(WithQueryDelta(1e-9))
+	if err := eng.Register("flights", smallFlights(t)); err != nil {
+		t.Fatal(err)
+	}
+	return eng
+}
+
+// fastQueryOpts mirrors fastOpts() for the functional-options path.
+func fastQueryOpts() []Option {
+	return []Option{WithDelta(1e-9), WithRoundRows(2000)}
+}
+
+// TestEngineQueryMatchesBuilder runs the acceptance shapes through the
+// SQL front-end and the query builder with identical settings; the
+// executions are deterministic, so the results must match exactly.
+func TestEngineQueryMatchesBuilder(t *testing.T) {
+	tab := smallFlights(t)
+	eng := NewEngine()
+	if err := eng.Register("flights", tab); err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name    string
+		sql     string
+		builder QueryBuilder
+	}{
+		{
+			name:    "ungrouped AVG, relative-error stop",
+			sql:     "SELECT AVG(DepDelay) FROM flights WHERE Origin = 'ORD' WITHIN 20%",
+			builder: Avg("DepDelay").Where("Origin", "ORD").StopAtRelError(0.2),
+		},
+		{
+			name:    "grouped AVG, HAVING-threshold stop",
+			sql:     "SELECT AVG(DepDelay) FROM flights GROUP BY Airline HAVING AVG(DepDelay) > 9.3",
+			builder: Avg("DepDelay").GroupBy("Airline").StopWhenThresholdDecided(9.3),
+		},
+		{
+			name:    "grouped SUM, top-k stop",
+			sql:     "SELECT SUM(DepDelay) FROM flights GROUP BY Origin ORDER BY SUM(DepDelay) DESC LIMIT 3",
+			builder: Sum("DepDelay").GroupBy("Origin").StopWhenTopKSeparated(3),
+		},
+		{
+			name:    "COUNT(*) with categorical and numeric predicate",
+			sql:     "SELECT COUNT(*) FROM flights WHERE Origin = 'ORD' AND DepTime > 1300 WITHIN 20%",
+			builder: CountRows().Where("Origin", "ORD").WhereGreater("DepTime", 1300).StopAtRelError(0.2),
+		},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			got, err := eng.Query(context.Background(), c.sql, fastQueryOpts()...)
+			if err != nil {
+				t.Fatalf("Engine.Query: %v", err)
+			}
+			want, err := tab.Query(context.Background(), c.builder, fastQueryOpts()...)
+			if err != nil {
+				t.Fatalf("Table.Query: %v", err)
+			}
+			if got.RowsCovered != want.RowsCovered || got.Rounds != want.Rounds ||
+				got.Stopped != want.Stopped || got.Exhausted != want.Exhausted {
+				t.Errorf("cost mismatch: sql {rows %d rounds %d stopped %v exhausted %v}, builder {rows %d rounds %d stopped %v exhausted %v}",
+					got.RowsCovered, got.Rounds, got.Stopped, got.Exhausted,
+					want.RowsCovered, want.Rounds, want.Stopped, want.Exhausted)
+			}
+			if len(got.Groups) != len(want.Groups) {
+				t.Fatalf("groups: sql %d, builder %d", len(got.Groups), len(want.Groups))
+			}
+			for i := range got.Groups {
+				g, w := got.Groups[i], want.Groups[i]
+				if g.Key != w.Key || g.Samples != w.Samples ||
+					g.Avg != w.Avg || g.Count != w.Count || g.Sum != w.Sum {
+					t.Errorf("group %d differs:\n  sql:     %+v\n  builder: %+v", i, g, w)
+				}
+			}
+		})
+	}
+}
+
+// TestEngineQueryAgainstExact sanity-checks the SQL path against the
+// exact evaluator (interval coverage, not just builder agreement).
+func TestEngineQueryAgainstExact(t *testing.T) {
+	eng := testEngine(t)
+	const q = "SELECT AVG(DepDelay) FROM flights GROUP BY DayOfWeek WITHIN 15%"
+	res, err := eng.Query(context.Background(), q, WithRoundRows(2000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Stopped && !res.Exhausted {
+		t.Error("query neither stopped nor exhausted")
+	}
+	ex, err := eng.QueryExact(context.Background(), q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ex.Groups) == 0 {
+		t.Fatal("exact result empty")
+	}
+	if res.Agg != AggAvg || ex.Agg != AggAvg {
+		t.Errorf("Agg = %v / %v, want AVG", res.Agg, ex.Agg)
+	}
+	for _, eg := range ex.Groups {
+		g := res.Group(eg.Key)
+		if g == nil {
+			t.Errorf("group %q missing from approximate result", eg.Key)
+			continue
+		}
+		if !g.Avg.Contains(eg.Avg) {
+			t.Errorf("group %q: exact %v outside %v", eg.Key, eg.Avg, g.Avg)
+		}
+	}
+}
+
+// TestEngineCancellation proves Engine.Query returns promptly on a
+// context deadline, with Aborted set and still-valid intervals.
+func TestEngineCancellation(t *testing.T) {
+	eng := testEngine(t)
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	defer cancel()
+
+	// The progress callback simulates a slow online-aggregation
+	// consumer: it holds each round open until the deadline has passed,
+	// so the scan cannot finish before cancellation is observed.
+	start := time.Now()
+	res, err := eng.Query(ctx,
+		"SELECT AVG(DepDelay) FROM flights EXACT",
+		WithRoundRows(1000),
+		WithProgress(func(p Progress) bool {
+			<-ctx.Done()
+			return true
+		}))
+	if err != nil {
+		t.Fatalf("cancelled query returned error: %v", err)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Errorf("query took %v after a 30ms deadline", elapsed)
+	}
+	if !res.Aborted {
+		t.Error("Result.Aborted not set after deadline")
+	}
+	if res.Exhausted {
+		t.Error("scan claims exhaustion despite deadline")
+	}
+	if res.Rounds == 0 {
+		t.Error("no rounds closed before abort")
+	}
+
+	// The partial interval is still a valid CI around the exact mean.
+	ex, err := eng.QueryExact(context.Background(), "SELECT AVG(DepDelay) FROM flights")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Groups) != 1 || len(ex.Groups) != 1 {
+		t.Fatalf("groups: approx %d, exact %d", len(res.Groups), len(ex.Groups))
+	}
+	g := res.Groups[0]
+	if !g.Avg.Contains(ex.Groups[0].Avg) {
+		t.Errorf("partial interval %v does not cover exact mean %v", g.Avg, ex.Groups[0].Avg)
+	}
+	if g.Avg.Width() <= 0 || math.IsInf(g.Avg.Width(), 0) {
+		t.Errorf("degenerate partial interval %v", g.Avg)
+	}
+
+	// A context that is already done before any work starts surfaces
+	// the context error instead of a result.
+	done, cancelNow := context.WithCancel(context.Background())
+	cancelNow()
+	if _, err := eng.Query(done, "SELECT AVG(DepDelay) FROM flights"); err == nil {
+		t.Error("pre-cancelled context accepted")
+	}
+	// Exact scans honor the context too; there is no valid partial
+	// exact answer, so cancellation surfaces as the context error.
+	if _, err := eng.QueryExact(done, "SELECT AVG(DepDelay) FROM flights"); err == nil {
+		t.Error("pre-cancelled QueryExact accepted")
+	}
+}
+
+func TestEngineSessionBudget(t *testing.T) {
+	tab := smallFlights(t)
+	eng := NewEngine(WithSessionBudget(1e-12, 4))
+	if err := eng.Register("flights", tab); err != nil {
+		t.Fatal(err)
+	}
+	total, perQuery := eng.SessionBudget()
+	if total != 1e-12 || perQuery != 2.5e-13 {
+		t.Fatalf("budget = (%v, %v)", total, perQuery)
+	}
+
+	const q = "SELECT AVG(DepDelay) FROM flights WITHIN 25%"
+	for i := 0; i < 2; i++ {
+		if _, err := eng.Query(context.Background(), q, WithRoundRows(2000)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if n := eng.QueriesRun(); n != 2 {
+		t.Errorf("QueriesRun = %d", n)
+	}
+	if spent := eng.SessionError(); math.Abs(spent-5e-13) > 1e-25 {
+		t.Errorf("SessionError = %v, want 5e-13", spent)
+	}
+
+	// A per-query override is charged at its own δ.
+	if _, err := eng.Query(context.Background(), q, WithRoundRows(2000), WithDelta(1e-9)); err != nil {
+		t.Fatal(err)
+	}
+	if spent := eng.SessionError(); math.Abs(spent-(5e-13+1e-9)) > 1e-20 {
+		t.Errorf("SessionError after override = %v", spent)
+	}
+
+	// Failed queries consume no budget.
+	if _, err := eng.Query(context.Background(), "SELECT AVG(NoSuchColumn) FROM flights"); err == nil {
+		t.Error("bad column accepted")
+	}
+	if n := eng.QueriesRun(); n != 3 {
+		t.Errorf("QueriesRun counts failed query: %d", n)
+	}
+}
+
+func TestEngineErrors(t *testing.T) {
+	eng := NewEngine()
+	if _, err := eng.Query(context.Background(), "SELECT AVG(x) FROM nowhere"); err == nil ||
+		!strings.Contains(err.Error(), "no tables registered") {
+		t.Errorf("empty engine error = %v", err)
+	}
+	eng = testEngine(t)
+	_, err := eng.Query(context.Background(), "SELECT AVG(x) FROM nowhere")
+	if err == nil || !strings.Contains(err.Error(), `unknown table "nowhere"`) ||
+		!strings.Contains(err.Error(), "flights") {
+		t.Errorf("unknown-table error = %v", err)
+	}
+	if _, err := eng.Query(context.Background(), "SELEKT nonsense"); err == nil ||
+		!strings.Contains(err.Error(), "sql:") {
+		t.Errorf("parse error = %v", err)
+	}
+	if err := eng.Register("", nil); err == nil {
+		t.Error("empty registration accepted")
+	}
+	if err := eng.Register("x", nil); err == nil {
+		t.Error("nil table accepted")
+	}
+	if got := eng.Tables(); len(got) != 1 || got[0] != "flights" {
+		t.Errorf("Tables = %v", got)
+	}
+}
+
+func TestEngineExplain(t *testing.T) {
+	eng := NewEngine()
+	plan, err := eng.Explain("SELECT AVG(DepDelay) FROM flights WHERE Origin = 'ORD' WITHIN 5%")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, sub := range []string{"AVG(DepDelay)", `Origin = "ORD"`, "rel-width", "FROM flights"} {
+		if !strings.Contains(plan, sub) {
+			t.Errorf("Explain = %q, missing %q", plan, sub)
+		}
+	}
+	if _, err := eng.Explain("SELECT"); err == nil {
+		t.Error("Explain accepted bad SQL")
+	}
+}
+
+// TestGroupLookup exercises the binary-search Group lookups on both
+// result types, including misses before, between, and after the keys.
+func TestGroupLookup(t *testing.T) {
+	eng := testEngine(t)
+	const q = "SELECT AVG(DepDelay) FROM flights GROUP BY Airline WITHIN 25%"
+	res, err := eng.Query(context.Background(), q, WithRoundRows(2000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ex, err := eng.QueryExact(context.Background(), q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Groups) < 2 {
+		t.Fatalf("want several groups, got %d", len(res.Groups))
+	}
+	for i := range res.Groups {
+		key := res.Groups[i].Key
+		if g := res.Group(key); g == nil || g.Key != key {
+			t.Errorf("Result.Group(%q) = %v", key, g)
+		}
+		if g := ex.Group(key); g == nil || g.Key != key {
+			t.Errorf("ExactResult.Group(%q) = %v", key, g)
+		}
+	}
+	for _, miss := range []string{"", "AA0", "zzz", res.Groups[0].Key + "\x00"} {
+		if g := res.Group(miss); g != nil {
+			t.Errorf("Result.Group(%q) = %+v, want nil", miss, g)
+		}
+		if g := ex.Group(miss); g != nil {
+			t.Errorf("ExactResult.Group(%q) = %+v, want nil", miss, g)
+		}
+	}
+}

@@ -1,0 +1,227 @@
+package fastframe
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"sync"
+
+	"fastframe/internal/exec"
+	"fastframe/internal/sql"
+)
+
+// Engine is the session-level entry point to FastFrame: it owns a
+// registry of named tables and a δ error budget shared by every query
+// of the session, and executes queries written as SQL text. An Engine
+// is safe for concurrent use; queries running on different goroutines
+// proceed independently (tables are immutable).
+//
+//	eng := fastframe.NewEngine(fastframe.WithSessionBudget(1e-12, 1000))
+//	eng.Register("flights", tab)
+//	res, err := eng.Query(ctx,
+//	    "SELECT AVG(DepDelay) FROM flights WHERE Origin = 'ORD' WITHIN 5%")
+//
+// The SQL subset understood by Query is
+//
+//	SELECT AVG(expr) | SUM(expr) | COUNT(*)
+//	FROM table
+//	[WHERE pred AND pred AND ...]
+//	[GROUP BY col, ...]
+//	[HAVING AGG(c) > v | HAVING AGG(c) < v]
+//	[ORDER BY AGG(c) [ASC|DESC] [LIMIT k]]
+//	[WITHIN p% | WITHIN ABS eps | EXACT]
+//
+// with predicates col = 'v', col IN ('a','b'), col > x (also >=, <,
+// <=), and col BETWEEN lo AND hi. The tail clauses select the paper's
+// stopping conditions: HAVING stops once every group's CI excludes the
+// threshold (the result then partitions w.h.p. via DecidedAbove and
+// DecidedBelow); ORDER BY ... LIMIT k stops once the top-k (DESC) or
+// bottom-k (ASC) groups separate; ORDER BY without LIMIT stops once
+// all groups are totally ordered; WITHIN stops at a relative or
+// absolute CI-width target; EXACT (or no tail clause) scans everything
+// and returns exact answers.
+type Engine struct {
+	mu      sync.RWMutex
+	tables  map[string]*Table
+	delta   float64 // per-query δ drawn from the session budget
+	budget  float64 // total session δ (0 when untracked)
+	spent   float64 // union-bound δ consumed so far
+	queries int
+}
+
+// EngineOption configures an Engine at construction.
+type EngineOption func(*Engine)
+
+// NewEngine returns an empty engine. Without WithSessionBudget every
+// query gets the paper's per-query default δ = 1e−15, which keeps any
+// practical session effectively deterministic without adjustment
+// (§4.1).
+func NewEngine(opts ...EngineOption) *Engine {
+	e := &Engine{
+		tables: make(map[string]*Table),
+		delta:  exec.DefaultDelta,
+	}
+	for _, o := range opts {
+		o(e)
+	}
+	return e
+}
+
+// WithSessionBudget caps the probability that ANY query of the session
+// errs at total, sized for the given number of queries: each query
+// runs with δ = SessionDelta(total, queries) = total/queries, the
+// union-bound split of §4.1. Queries beyond the sizing keep the same
+// per-query δ; SessionError reports the (growing) union bound
+// actually accumulated.
+func WithSessionBudget(total float64, queries int) EngineOption {
+	return func(e *Engine) {
+		e.budget = total
+		e.delta = SessionDelta(total, queries)
+	}
+}
+
+// WithQueryDelta fixes the per-query δ directly instead of deriving it
+// from a budget.
+func WithQueryDelta(delta float64) EngineOption {
+	return func(e *Engine) { e.delta = delta }
+}
+
+// Register adds a table to the engine under a name usable in FROM
+// clauses. Registering an existing name replaces the table.
+func (e *Engine) Register(name string, t *Table) error {
+	if name == "" {
+		return fmt.Errorf("fastframe: table name must be non-empty")
+	}
+	if t == nil {
+		return fmt.Errorf("fastframe: table %q is nil", name)
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.tables[name] = t
+	return nil
+}
+
+// Table returns a registered table.
+func (e *Engine) Table(name string) (*Table, error) {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.lookupLocked(name)
+}
+
+func (e *Engine) lookupLocked(name string) (*Table, error) {
+	if t, ok := e.tables[name]; ok {
+		return t, nil
+	}
+	names := e.namesLocked()
+	if len(names) == 0 {
+		return nil, fmt.Errorf("fastframe: unknown table %q (no tables registered)", name)
+	}
+	return nil, fmt.Errorf("fastframe: unknown table %q (registered: %v)", name, names)
+}
+
+func (e *Engine) namesLocked() []string {
+	names := make([]string, 0, len(e.tables))
+	for n := range e.tables {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Tables returns the registered table names, sorted.
+func (e *Engine) Tables() []string {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.namesLocked()
+}
+
+// Query compiles and executes one SQL query. The query draws its error
+// probability from the session budget (override per query with
+// WithDelta); the context is checked at every interval-recomputation
+// round, and cancellation or an expired deadline returns the partial
+// Result with Aborted set — its intervals remain valid CIs at the
+// point the scan stopped.
+func (e *Engine) Query(ctx context.Context, sqlText string, opts ...Option) (*Result, error) {
+	c, err := sql.Compile(sqlText)
+	if err != nil {
+		return nil, err
+	}
+	e.mu.RLock()
+	t, err := e.lookupLocked(c.Table)
+	s := runSettings{delta: e.delta}
+	e.mu.RUnlock()
+	if err != nil {
+		return nil, err
+	}
+
+	s.apply(opts)
+	res, err := t.runQuery(ctx, c.Query, s)
+	if err != nil {
+		return nil, err
+	}
+
+	// A query that ran consumed its slice of the session budget, even
+	// if it was aborted early — its intervals were still reported.
+	delta := s.delta
+	if delta <= 0 {
+		delta = exec.DefaultDelta
+	}
+	e.mu.Lock()
+	e.queries++
+	e.spent += delta
+	e.mu.Unlock()
+	return res, nil
+}
+
+// QueryExact compiles the SQL query and evaluates it exactly with a
+// full scan — the ground truth the approximate answer converges to.
+// The tail stopping clause, if any, is ignored. The context is
+// checked periodically during the scan; an exact answer has no valid
+// partial form, so cancellation returns ctx.Err().
+func (e *Engine) QueryExact(ctx context.Context, sqlText string) (*ExactResult, error) {
+	c, err := sql.Compile(sqlText)
+	if err != nil {
+		return nil, err
+	}
+	t, err := e.Table(c.Table)
+	if err != nil {
+		return nil, err
+	}
+	return t.QueryExact(ctx, QueryBuilder{q: c.Query})
+}
+
+// Explain compiles the SQL query and returns the logical plan
+// rendering without executing it.
+func (e *Engine) Explain(sqlText string) (string, error) {
+	c, err := sql.Compile(sqlText)
+	if err != nil {
+		return "", err
+	}
+	return c.Query.String() + " FROM " + c.Table, nil
+}
+
+// QueriesRun returns the number of queries issued through the engine.
+func (e *Engine) QueriesRun() int {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.queries
+}
+
+// SessionError returns the union-bound probability that any query of
+// the session so far erred — the sum of the per-query δs actually
+// used. While it stays at or below the WithSessionBudget total, every
+// answer the session has produced is simultaneously correct with
+// probability at least 1 − total.
+func (e *Engine) SessionError() float64 {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.spent
+}
+
+// SessionBudget returns the total session δ configured with
+// WithSessionBudget (0 when untracked) and the per-query δ in use.
+func (e *Engine) SessionBudget() (total, perQuery float64) {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.budget, e.delta
+}

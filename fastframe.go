@@ -20,14 +20,26 @@
 // with the Scan / ActiveSync / ActivePeek sampling strategies and a
 // simulated Flights workload mirroring the paper's evaluation.
 //
-// Quick start:
+// Quick start — SQL through an Engine session:
 //
 //	tab, _ := fastframe.GenerateFlights(1_000_000, 42)
+//	eng := fastframe.NewEngine()
+//	eng.Register("flights", tab)
+//	res, _ := eng.Query(ctx,
+//		"SELECT AVG(DepDelay) FROM flights WHERE Origin = 'ORD' WITHIN 5%")
+//	fmt.Println(res.Groups[0].Avg) // e.g. [11.2, 12.4] around 11.8
+//
+// or the fluent builder against a Table:
+//
 //	q := fastframe.Avg("DepDelay").
 //		Where("Origin", "ORD").
 //		StopAtRelError(0.05)
-//	res, _ := tab.Run(q, fastframe.ExecOptions{})
-//	fmt.Println(res.Groups[0].Avg) // e.g. [11.2, 12.4] around 11.8
+//	res, _ := tab.Query(ctx, q, fastframe.WithDelta(1e-12))
+//
+// Execution is context-aware: cancellation or a deadline stops the
+// scan at the next round boundary and returns the partial result with
+// still-valid intervals (Result.Aborted is set). An Engine additionally
+// maintains a session-level δ error budget across queries.
 package fastframe
 
 // Version is the library version.

@@ -1,0 +1,3 @@
+module fastframe
+
+go 1.23

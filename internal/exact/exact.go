@@ -5,6 +5,7 @@
 package exact
 
 import (
+	"context"
 	"sort"
 	"time"
 
@@ -26,12 +27,12 @@ type Result struct {
 	Duration time.Duration
 }
 
-// Group returns the exact value for a key, or nil.
+// Group returns the exact value for a key, or nil. Groups is sorted by
+// Key, so the lookup is a binary search.
 func (r *Result) Group(key string) *GroupValue {
-	for i := range r.Groups {
-		if r.Groups[i].Key == key {
-			return &r.Groups[i]
-		}
+	i := sort.Search(len(r.Groups), func(i int) bool { return r.Groups[i].Key >= key })
+	if i < len(r.Groups) && r.Groups[i].Key == key {
+		return &r.Groups[i]
 	}
 	return nil
 }
@@ -50,6 +51,17 @@ func (g GroupValue) Value(kind query.AggKind) float64 {
 
 // Run evaluates the query with a full sequential scan.
 func Run(t *table.Table, q query.Query) (*Result, error) {
+	return RunContext(context.Background(), t, q)
+}
+
+// ctxCheckRows is how many rows the exact scan covers between context
+// checks.
+const ctxCheckRows = 1 << 16
+
+// RunContext is Run with cancellation: the scan checks the context
+// every ctxCheckRows rows and returns ctx.Err() when it is done — an
+// exact answer has no valid partial form, so nothing else is returned.
+func RunContext(ctx context.Context, t *table.Table, q query.Query) (*Result, error) {
 	if err := q.Validate(); err != nil {
 		return nil, err
 	}
@@ -63,6 +75,13 @@ func Run(t *table.Table, q query.Query) (*Result, error) {
 	counts := map[int]int{}
 	sums := map[int]float64{}
 	for row := 0; row < t.NumRows(); row++ {
+		if row%ctxCheckRows == 0 {
+			select {
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			default:
+			}
+		}
 		if !eval.match(row) {
 			continue
 		}

@@ -1,6 +1,7 @@
 package exec
 
 import (
+	"context"
 	"errors"
 	"sort"
 	"time"
@@ -17,9 +18,23 @@ import (
 // error budget (Options.Delta), terminating as early as the stopping
 // condition allows.
 func Run(t *table.Table, q query.Query, opts Options) (*Result, error) {
+	return RunContext(context.Background(), t, q, opts)
+}
+
+// RunContext is Run with cancellation: the context is checked at every
+// round boundary, and a cancelled or expired context ends the scan via
+// the same path as an OnRound abort — the partial Result is returned
+// with Aborted set and its intervals remain valid (1−δ) CIs at the
+// point the scan stopped, by the optional-stopping construction. A
+// context that is already done before any work starts returns ctx.Err()
+// instead.
+func RunContext(ctx context.Context, t *table.Table, q query.Query, opts Options) (*Result, error) {
 	opts = opts.withDefaults()
 	if opts.Bounder == nil {
 		return nil, errors.New("exec: Options.Bounder is required")
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
 	}
 	if err := q.Validate(); err != nil {
 		return nil, err
@@ -29,6 +44,7 @@ func Run(t *table.Table, q query.Query, opts Options) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	e.ctx = ctx
 	start := time.Now()
 	e.run()
 	res := e.result()
@@ -40,6 +56,7 @@ type engine struct {
 	t    *table.Table
 	q    query.Query
 	opts Options
+	ctx  context.Context
 
 	agg     *table.FloatColumn    // simple-column aggregate input
 	aggProg func(row int) float64 // expression aggregate input
@@ -386,6 +403,16 @@ func (e *engine) closeRound() {
 		if !e.opts.OnRound(snap) {
 			e.aborted = true
 			e.stopped = true
+		}
+	}
+	// Context cancellation rides the abort path: the bounds recomputed
+	// just above stay valid CIs wherever the scan stops.
+	if !e.stopped && e.ctx != nil {
+		select {
+		case <-e.ctx.Done():
+			e.aborted = true
+			e.stopped = true
+		default:
 		}
 	}
 }

@@ -1,6 +1,7 @@
 package exec
 
 import (
+	"sort"
 	"time"
 
 	"fastframe/internal/ci"
@@ -61,12 +62,12 @@ type Result struct {
 	Duration time.Duration
 }
 
-// Group returns the result for a key, or nil.
+// Group returns the result for a key, or nil. Groups is sorted by Key,
+// so the lookup is a binary search.
 func (r *Result) Group(key string) *GroupResult {
-	for i := range r.Groups {
-		if r.Groups[i].Key == key {
-			return &r.Groups[i]
-		}
+	i := sort.Search(len(r.Groups), func(i int) bool { return r.Groups[i].Key >= key })
+	if i < len(r.Groups) && r.Groups[i].Key == key {
+		return &r.Groups[i]
 	}
 	return nil
 }

@@ -1,0 +1,260 @@
+// Package sql is FastFrame's SQL text front-end: a lexer, a
+// recursive-descent parser, and a planner that compile a SQL subset
+// into the logical query model of package query — one aggregate, a
+// conjunctive predicate, an optional GROUP BY, and a stopping
+// condition. The supported grammar is:
+//
+//	SELECT AVG(expr) | SUM(expr) | COUNT(*)
+//	FROM table
+//	[WHERE pred AND pred AND ...]
+//	[GROUP BY col, col, ...]
+//	[HAVING AGG(c) > v | HAVING AGG(c) < v]
+//	[ORDER BY AGG(c) [ASC|DESC] [LIMIT k]]
+//	[WITHIN p% | WITHIN ABS eps | EXACT]
+//
+// where pred is one of
+//
+//	col = 'value'                      (categorical equality)
+//	col IN ('v1', 'v2', ...)           (categorical membership)
+//	col > x | col >= x | col < x | col <= x
+//	col BETWEEN lo AND hi              (numeric range, inclusive)
+//
+// and expr is an arithmetic expression over continuous columns built
+// from +, −, ·, unary minus, ABS(...) and parentheses. The tail
+// clauses map onto the paper's stopping conditions (§4.2): HAVING
+// compiles to the threshold stop ④, ORDER BY ... LIMIT k to top-/
+// bottom-k separation ⑤, ORDER BY without LIMIT to the full ordering
+// stop ⑥, WITHIN to the absolute/relative CI-width stops ②/③, and
+// EXACT (or no tail clause) to a full scan.
+package sql
+
+import (
+	"fmt"
+	"strings"
+)
+
+// tokenKind classifies a lexical token.
+type tokenKind int
+
+const (
+	tokEOF tokenKind = iota
+	tokIdent
+	tokNumber
+	tokString
+	tokLParen
+	tokRParen
+	tokComma
+	tokStar
+	tokPlus
+	tokMinus
+	tokEq
+	tokLt
+	tokGt
+	tokLe
+	tokGe
+	tokPercent
+)
+
+func (k tokenKind) String() string {
+	switch k {
+	case tokEOF:
+		return "end of query"
+	case tokIdent:
+		return "identifier"
+	case tokNumber:
+		return "number"
+	case tokString:
+		return "string"
+	case tokLParen:
+		return "'('"
+	case tokRParen:
+		return "')'"
+	case tokComma:
+		return "','"
+	case tokStar:
+		return "'*'"
+	case tokPlus:
+		return "'+'"
+	case tokMinus:
+		return "'-'"
+	case tokEq:
+		return "'='"
+	case tokLt:
+		return "'<'"
+	case tokGt:
+		return "'>'"
+	case tokLe:
+		return "'<='"
+	case tokGe:
+		return "'>='"
+	case tokPercent:
+		return "'%'"
+	default:
+		return fmt.Sprintf("token(%d)", int(k))
+	}
+}
+
+// token is one lexical token with its source position (byte offset).
+type token struct {
+	kind tokenKind
+	text string // identifier spelling, number literal, or unquoted string
+	pos  int
+}
+
+// describe renders the token for error messages.
+func (t token) describe() string {
+	switch t.kind {
+	case tokEOF:
+		return "end of query"
+	case tokString:
+		return fmt.Sprintf("'%s'", t.text)
+	case tokIdent, tokNumber:
+		return fmt.Sprintf("%q", t.text)
+	default:
+		return t.kind.String()
+	}
+}
+
+// lexer scans a SQL string into tokens.
+type lexer struct {
+	src string
+	pos int
+}
+
+// Error is a syntax or planning error with its position in the query
+// text.
+type Error struct {
+	Pos int    // byte offset into the query, -1 if not positional
+	Msg string
+}
+
+func (e *Error) Error() string {
+	if e.Pos < 0 {
+		return "sql: " + e.Msg
+	}
+	return fmt.Sprintf("sql: %s (at offset %d)", e.Msg, e.Pos)
+}
+
+func errf(pos int, format string, args ...any) *Error {
+	return &Error{Pos: pos, Msg: fmt.Sprintf(format, args...)}
+}
+
+func isIdentStart(c byte) bool {
+	return c == '_' || ('a' <= c && c <= 'z') || ('A' <= c && c <= 'Z')
+}
+
+func isIdentPart(c byte) bool {
+	return isIdentStart(c) || ('0' <= c && c <= '9')
+}
+
+func isDigit(c byte) bool { return '0' <= c && c <= '9' }
+
+// next scans the next token.
+func (l *lexer) next() (token, error) {
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		if c == ' ' || c == '\t' || c == '\n' || c == '\r' {
+			l.pos++
+			continue
+		}
+		break
+	}
+	if l.pos >= len(l.src) {
+		return token{kind: tokEOF, pos: l.pos}, nil
+	}
+	start := l.pos
+	c := l.src[l.pos]
+	switch {
+	case isIdentStart(c):
+		for l.pos < len(l.src) && isIdentPart(l.src[l.pos]) {
+			l.pos++
+		}
+		return token{kind: tokIdent, text: l.src[start:l.pos], pos: start}, nil
+	case isDigit(c) || (c == '.' && l.pos+1 < len(l.src) && isDigit(l.src[l.pos+1])):
+		return l.scanNumber(start)
+	case c == '\'' || c == '"':
+		return l.scanString(start, c)
+	}
+	l.pos++
+	switch c {
+	case '(':
+		return token{kind: tokLParen, pos: start}, nil
+	case ')':
+		return token{kind: tokRParen, pos: start}, nil
+	case ',':
+		return token{kind: tokComma, pos: start}, nil
+	case '*':
+		return token{kind: tokStar, pos: start}, nil
+	case '+':
+		return token{kind: tokPlus, pos: start}, nil
+	case '-':
+		return token{kind: tokMinus, pos: start}, nil
+	case '%':
+		return token{kind: tokPercent, pos: start}, nil
+	case '=':
+		return token{kind: tokEq, pos: start}, nil
+	case '<':
+		if l.pos < len(l.src) && l.src[l.pos] == '=' {
+			l.pos++
+			return token{kind: tokLe, pos: start}, nil
+		}
+		return token{kind: tokLt, pos: start}, nil
+	case '>':
+		if l.pos < len(l.src) && l.src[l.pos] == '=' {
+			l.pos++
+			return token{kind: tokGe, pos: start}, nil
+		}
+		return token{kind: tokGt, pos: start}, nil
+	case '/':
+		return token{}, errf(start, "division is not supported in aggregate expressions (range bounds are derived by interval arithmetic over +, -, *)")
+	}
+	return token{}, errf(start, "unexpected character %q", string(c))
+}
+
+// scanNumber scans [0-9]*.?[0-9]+ with an optional exponent.
+func (l *lexer) scanNumber(start int) (token, error) {
+	for l.pos < len(l.src) && isDigit(l.src[l.pos]) {
+		l.pos++
+	}
+	if l.pos < len(l.src) && l.src[l.pos] == '.' {
+		l.pos++
+		for l.pos < len(l.src) && isDigit(l.src[l.pos]) {
+			l.pos++
+		}
+	}
+	if l.pos < len(l.src) && (l.src[l.pos] == 'e' || l.src[l.pos] == 'E') {
+		p := l.pos + 1
+		if p < len(l.src) && (l.src[p] == '+' || l.src[p] == '-') {
+			p++
+		}
+		if p < len(l.src) && isDigit(l.src[p]) {
+			l.pos = p
+			for l.pos < len(l.src) && isDigit(l.src[l.pos]) {
+				l.pos++
+			}
+		}
+	}
+	return token{kind: tokNumber, text: l.src[start:l.pos], pos: start}, nil
+}
+
+// scanString scans a quoted string; a doubled quote escapes itself
+// ('O''Hare').
+func (l *lexer) scanString(start int, quote byte) (token, error) {
+	l.pos++ // opening quote
+	var b strings.Builder
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		if c == quote {
+			if l.pos+1 < len(l.src) && l.src[l.pos+1] == quote {
+				b.WriteByte(quote)
+				l.pos += 2
+				continue
+			}
+			l.pos++
+			return token{kind: tokString, text: b.String(), pos: start}, nil
+		}
+		b.WriteByte(c)
+		l.pos++
+	}
+	return token{}, errf(start, "unterminated string literal")
+}

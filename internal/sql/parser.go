@@ -1,0 +1,605 @@
+package sql
+
+import (
+	"strconv"
+	"strings"
+)
+
+// ---- AST ----------------------------------------------------------------
+
+// Statement is the parse tree of one SELECT statement, before planning.
+type Statement struct {
+	Agg     AggExpr
+	Table   string
+	Where   []Pred
+	GroupBy []string
+	Having  *Having
+	OrderBy *OrderBy
+	Within  *Within
+	Exact   bool
+}
+
+// AggExpr is an aggregate call: AVG(expr), SUM(expr), or COUNT(*).
+type AggExpr struct {
+	Func string // "AVG", "SUM", "COUNT" (upper-cased)
+	Star bool   // COUNT(*)
+	Expr Node   // AVG/SUM argument
+	Pos  int
+}
+
+// Node is an arithmetic expression node over continuous columns.
+type Node interface{ node() }
+
+// ColRef references a column.
+type ColRef struct {
+	Name string
+	Pos  int
+}
+
+// NumLit is a numeric literal.
+type NumLit struct{ Value float64 }
+
+// BinOp is a binary arithmetic operation: '+', '-' or '*'.
+type BinOp struct {
+	Op   byte
+	L, R Node
+}
+
+// UnaryOp is unary minus ('-') or ABS ('|').
+type UnaryOp struct {
+	Op byte
+	X  Node
+}
+
+func (ColRef) node()  {}
+func (NumLit) node()  {}
+func (BinOp) node()   {}
+func (UnaryOp) node() {}
+
+// PredOp identifies a WHERE predicate form.
+type PredOp int
+
+const (
+	// PredEq is categorical equality: col = 'value'.
+	PredEq PredOp = iota
+	// PredIn is categorical membership: col IN ('a', 'b').
+	PredIn
+	// PredGt, PredGe, PredLt, PredLe are one-sided numeric comparisons.
+	PredGt
+	PredGe
+	PredLt
+	PredLe
+	// PredBetween is an inclusive numeric range.
+	PredBetween
+)
+
+// Pred is one conjunct of the WHERE clause.
+type Pred struct {
+	Column string
+	Op     PredOp
+	Str    string   // PredEq
+	Set    []string // PredIn
+	Lo, Hi float64  // numeric forms (Lo for Gt/Ge/Between, Hi for Lt/Le/Between)
+	Pos    int
+}
+
+// Having is the HAVING clause: AGG(c) > v or AGG(c) < v.
+type Having struct {
+	Agg     AggExpr
+	Greater bool
+	Value   float64
+	Pos     int
+}
+
+// OrderBy is the ORDER BY clause; Limit 0 means no LIMIT (full
+// ordering).
+type OrderBy struct {
+	Agg   AggExpr
+	Desc  bool
+	Limit int
+	Pos   int
+}
+
+// Within is the WITHIN clause: a relative (percent) or absolute CI
+// width target.
+type Within struct {
+	Relative bool
+	Value    float64 // fraction when Relative (5% → 0.05), else absolute width
+	Pos      int
+}
+
+// ---- Parser -------------------------------------------------------------
+
+type parser struct {
+	lex lexer
+	tok token // current token
+}
+
+// Parse parses one SELECT statement.
+func Parse(src string) (*Statement, error) {
+	p := &parser{lex: lexer{src: src}}
+	if err := p.advance(); err != nil {
+		return nil, err
+	}
+	st, err := p.parseSelect()
+	if err != nil {
+		return nil, err
+	}
+	if p.tok.kind != tokEOF {
+		return nil, errf(p.tok.pos, "unexpected %s after end of query", p.tok.describe())
+	}
+	return st, nil
+}
+
+func (p *parser) advance() error {
+	t, err := p.lex.next()
+	if err != nil {
+		return err
+	}
+	p.tok = t
+	return nil
+}
+
+// isKeyword reports whether the current token is the given keyword
+// (case-insensitive).
+func (p *parser) isKeyword(kw string) bool {
+	return p.tok.kind == tokIdent && strings.EqualFold(p.tok.text, kw)
+}
+
+// expectKeyword consumes the given keyword or fails.
+func (p *parser) expectKeyword(kw string) error {
+	if !p.isKeyword(kw) {
+		return errf(p.tok.pos, "expected %s, found %s", kw, p.tok.describe())
+	}
+	return p.advance()
+}
+
+// expect consumes a token of the given kind or fails.
+func (p *parser) expect(kind tokenKind, what string) (token, error) {
+	if p.tok.kind != kind {
+		return token{}, errf(p.tok.pos, "expected %s, found %s", what, p.tok.describe())
+	}
+	t := p.tok
+	return t, p.advance()
+}
+
+func (p *parser) parseSelect() (*Statement, error) {
+	if err := p.expectKeyword("SELECT"); err != nil {
+		return nil, err
+	}
+	st := &Statement{}
+	agg, err := p.parseAgg()
+	if err != nil {
+		return nil, err
+	}
+	st.Agg = agg
+
+	if !p.isKeyword("FROM") {
+		if p.tok.kind == tokComma {
+			return nil, errf(p.tok.pos, "expected FROM, found ',' (exactly one aggregate per query)")
+		}
+		return nil, errf(p.tok.pos, "expected FROM, found %s", p.tok.describe())
+	}
+	if err := p.advance(); err != nil {
+		return nil, err
+	}
+	tbl, err := p.expect(tokIdent, "table name")
+	if err != nil {
+		return nil, err
+	}
+	st.Table = tbl.text
+
+	if p.isKeyword("WHERE") {
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		if st.Where, err = p.parseWhere(); err != nil {
+			return nil, err
+		}
+	}
+	if p.isKeyword("GROUP") {
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		if err := p.expectKeyword("BY"); err != nil {
+			return nil, err
+		}
+		for {
+			col, err := p.expect(tokIdent, "GROUP BY column")
+			if err != nil {
+				return nil, err
+			}
+			st.GroupBy = append(st.GroupBy, col.text)
+			if p.tok.kind != tokComma {
+				break
+			}
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if p.isKeyword("HAVING") {
+		if st.Having, err = p.parseHaving(); err != nil {
+			return nil, err
+		}
+	}
+	if p.isKeyword("ORDER") {
+		if st.OrderBy, err = p.parseOrderBy(); err != nil {
+			return nil, err
+		}
+	}
+	switch {
+	case p.isKeyword("WITHIN"):
+		if st.Within, err = p.parseWithin(); err != nil {
+			return nil, err
+		}
+	case p.isKeyword("EXACT"):
+		st.Exact = true
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+	}
+	return st, nil
+}
+
+// parseAgg parses AVG(expr), SUM(expr), or COUNT(*).
+func (p *parser) parseAgg() (AggExpr, error) {
+	if p.tok.kind != tokIdent {
+		return AggExpr{}, errf(p.tok.pos, "expected aggregate (AVG, SUM, or COUNT), found %s", p.tok.describe())
+	}
+	fn := strings.ToUpper(p.tok.text)
+	pos := p.tok.pos
+	if fn != "AVG" && fn != "SUM" && fn != "COUNT" {
+		return AggExpr{}, errf(pos, "unsupported aggregate %q (want AVG, SUM, or COUNT)", p.tok.text)
+	}
+	if err := p.advance(); err != nil {
+		return AggExpr{}, err
+	}
+	if _, err := p.expect(tokLParen, "'('"); err != nil {
+		return AggExpr{}, err
+	}
+	agg := AggExpr{Func: fn, Pos: pos}
+	if fn == "COUNT" {
+		if p.tok.kind != tokStar {
+			return AggExpr{}, errf(p.tok.pos, "COUNT supports only COUNT(*), found %s", p.tok.describe())
+		}
+		agg.Star = true
+		if err := p.advance(); err != nil {
+			return AggExpr{}, err
+		}
+	} else {
+		e, err := p.parseExpr()
+		if err != nil {
+			return AggExpr{}, err
+		}
+		agg.Expr = e
+	}
+	if _, err := p.expect(tokRParen, "')'"); err != nil {
+		return AggExpr{}, err
+	}
+	return agg, nil
+}
+
+// parseExpr parses an additive expression: term (('+'|'-') term)*.
+func (p *parser) parseExpr() (Node, error) {
+	l, err := p.parseTerm()
+	if err != nil {
+		return nil, err
+	}
+	for p.tok.kind == tokPlus || p.tok.kind == tokMinus {
+		op := byte('+')
+		if p.tok.kind == tokMinus {
+			op = '-'
+		}
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		r, err := p.parseTerm()
+		if err != nil {
+			return nil, err
+		}
+		l = BinOp{Op: op, L: l, R: r}
+	}
+	return l, nil
+}
+
+// parseTerm parses a multiplicative expression: factor ('*' factor)*.
+func (p *parser) parseTerm() (Node, error) {
+	l, err := p.parseFactor()
+	if err != nil {
+		return nil, err
+	}
+	for p.tok.kind == tokStar {
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		r, err := p.parseFactor()
+		if err != nil {
+			return nil, err
+		}
+		l = BinOp{Op: '*', L: l, R: r}
+	}
+	return l, nil
+}
+
+// parseFactor parses a primary: column, number, unary minus, ABS(expr),
+// or a parenthesized expression.
+func (p *parser) parseFactor() (Node, error) {
+	switch p.tok.kind {
+	case tokMinus:
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		x, err := p.parseFactor()
+		if err != nil {
+			return nil, err
+		}
+		return UnaryOp{Op: '-', X: x}, nil
+	case tokNumber:
+		v, err := strconv.ParseFloat(p.tok.text, 64)
+		if err != nil {
+			return nil, errf(p.tok.pos, "bad number %q", p.tok.text)
+		}
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		return NumLit{Value: v}, nil
+	case tokLParen:
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokRParen, "')'"); err != nil {
+			return nil, err
+		}
+		return e, nil
+	case tokIdent:
+		name, pos := p.tok.text, p.tok.pos
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		if strings.EqualFold(name, "ABS") && p.tok.kind == tokLParen {
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+			x, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(tokRParen, "')'"); err != nil {
+				return nil, err
+			}
+			return UnaryOp{Op: '|', X: x}, nil
+		}
+		return ColRef{Name: name, Pos: pos}, nil
+	default:
+		return nil, errf(p.tok.pos, "expected column, number, or '(', found %s", p.tok.describe())
+	}
+}
+
+// parseWhere parses pred (AND pred)*.
+func (p *parser) parseWhere() ([]Pred, error) {
+	var preds []Pred
+	for {
+		pr, err := p.parsePred()
+		if err != nil {
+			return nil, err
+		}
+		preds = append(preds, pr)
+		if !p.isKeyword("AND") {
+			return preds, nil
+		}
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+	}
+}
+
+func (p *parser) parsePred() (Pred, error) {
+	col, err := p.expect(tokIdent, "predicate column")
+	if err != nil {
+		return Pred{}, err
+	}
+	pr := Pred{Column: col.text, Pos: col.pos}
+	switch {
+	case p.tok.kind == tokEq:
+		if err := p.advance(); err != nil {
+			return Pred{}, err
+		}
+		if p.tok.kind == tokNumber {
+			return Pred{}, errf(p.tok.pos, "%s = %s: equality predicates take a quoted categorical value; use BETWEEN for numeric columns", col.text, p.tok.text)
+		}
+		s, err := p.expect(tokString, "quoted value")
+		if err != nil {
+			return Pred{}, err
+		}
+		pr.Op, pr.Str = PredEq, s.text
+	case p.isKeyword("IN"):
+		if err := p.advance(); err != nil {
+			return Pred{}, err
+		}
+		if _, err := p.expect(tokLParen, "'('"); err != nil {
+			return Pred{}, err
+		}
+		for {
+			s, err := p.expect(tokString, "quoted value")
+			if err != nil {
+				return Pred{}, err
+			}
+			pr.Set = append(pr.Set, s.text)
+			if p.tok.kind != tokComma {
+				break
+			}
+			if err := p.advance(); err != nil {
+				return Pred{}, err
+			}
+		}
+		if _, err := p.expect(tokRParen, "')'"); err != nil {
+			return Pred{}, err
+		}
+		pr.Op = PredIn
+	case p.isKeyword("BETWEEN"):
+		if err := p.advance(); err != nil {
+			return Pred{}, err
+		}
+		lo, err := p.parseNumber()
+		if err != nil {
+			return Pred{}, err
+		}
+		if err := p.expectKeyword("AND"); err != nil {
+			return Pred{}, err
+		}
+		hi, err := p.parseNumber()
+		if err != nil {
+			return Pred{}, err
+		}
+		pr.Op, pr.Lo, pr.Hi = PredBetween, lo, hi
+	case p.tok.kind == tokGt, p.tok.kind == tokGe, p.tok.kind == tokLt, p.tok.kind == tokLe:
+		kind := p.tok.kind
+		if err := p.advance(); err != nil {
+			return Pred{}, err
+		}
+		v, err := p.parseNumber()
+		if err != nil {
+			return Pred{}, err
+		}
+		switch kind {
+		case tokGt:
+			pr.Op, pr.Lo = PredGt, v
+		case tokGe:
+			pr.Op, pr.Lo = PredGe, v
+		case tokLt:
+			pr.Op, pr.Hi = PredLt, v
+		case tokLe:
+			pr.Op, pr.Hi = PredLe, v
+		}
+	default:
+		return Pred{}, errf(p.tok.pos, "expected =, IN, BETWEEN, or a comparison after column %q, found %s", col.text, p.tok.describe())
+	}
+	return pr, nil
+}
+
+// parseNumber parses a possibly-negated numeric literal.
+func (p *parser) parseNumber() (float64, error) {
+	neg := false
+	if p.tok.kind == tokMinus {
+		neg = true
+		if err := p.advance(); err != nil {
+			return 0, err
+		}
+	}
+	t, err := p.expect(tokNumber, "number")
+	if err != nil {
+		return 0, err
+	}
+	v, err := strconv.ParseFloat(t.text, 64)
+	if err != nil {
+		return 0, errf(t.pos, "bad number %q", t.text)
+	}
+	if neg {
+		v = -v
+	}
+	return v, nil
+}
+
+func (p *parser) parseHaving() (*Having, error) {
+	pos := p.tok.pos
+	if err := p.advance(); err != nil { // HAVING
+		return nil, err
+	}
+	agg, err := p.parseAgg()
+	if err != nil {
+		return nil, err
+	}
+	h := &Having{Agg: agg, Pos: pos}
+	switch p.tok.kind {
+	case tokGt:
+		h.Greater = true
+	case tokLt:
+		h.Greater = false
+	default:
+		return nil, errf(p.tok.pos, "HAVING supports only > and < comparisons, found %s", p.tok.describe())
+	}
+	if err := p.advance(); err != nil {
+		return nil, err
+	}
+	if h.Value, err = p.parseNumber(); err != nil {
+		return nil, err
+	}
+	return h, nil
+}
+
+func (p *parser) parseOrderBy() (*OrderBy, error) {
+	pos := p.tok.pos
+	if err := p.advance(); err != nil { // ORDER
+		return nil, err
+	}
+	if err := p.expectKeyword("BY"); err != nil {
+		return nil, err
+	}
+	agg, err := p.parseAgg()
+	if err != nil {
+		return nil, err
+	}
+	ob := &OrderBy{Agg: agg, Pos: pos}
+	switch {
+	case p.isKeyword("DESC"):
+		ob.Desc = true
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+	case p.isKeyword("ASC"):
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+	}
+	if p.isKeyword("LIMIT") {
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		t, err := p.expect(tokNumber, "LIMIT count")
+		if err != nil {
+			return nil, err
+		}
+		k, err := strconv.Atoi(t.text)
+		if err != nil || k <= 0 {
+			return nil, errf(t.pos, "LIMIT wants a positive integer, found %q", t.text)
+		}
+		ob.Limit = k
+	}
+	return ob, nil
+}
+
+func (p *parser) parseWithin() (*Within, error) {
+	pos := p.tok.pos
+	if err := p.advance(); err != nil { // WITHIN
+		return nil, err
+	}
+	if p.isKeyword("ABS") {
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		v, err := p.parseNumber()
+		if err != nil {
+			return nil, err
+		}
+		if v <= 0 {
+			return nil, errf(pos, "WITHIN ABS wants a positive width, found %g", v)
+		}
+		return &Within{Relative: false, Value: v, Pos: pos}, nil
+	}
+	v, err := p.parseNumber()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokPercent, "'%' (or use WITHIN ABS for an absolute width)"); err != nil {
+		return nil, err
+	}
+	if v <= 0 {
+		return nil, errf(pos, "WITHIN wants a positive percentage, found %g%%", v)
+	}
+	return &Within{Relative: true, Value: v / 100, Pos: pos}, nil
+}

@@ -1,0 +1,198 @@
+package sql
+
+import (
+	"math"
+	"strings"
+
+	"fastframe/internal/expr"
+	"fastframe/internal/query"
+)
+
+// Compiled is the result of planning one SQL statement: the target
+// table name and the logical query the executor runs.
+type Compiled struct {
+	Table string
+	Query query.Query
+}
+
+// Compile parses and plans a SQL statement.
+func Compile(src string) (Compiled, error) {
+	st, err := Parse(src)
+	if err != nil {
+		return Compiled{}, err
+	}
+	return Plan(st, src)
+}
+
+// Plan lowers a parsed statement onto the logical query model. src is
+// the original query text, recorded as the query's display name.
+func Plan(st *Statement, src string) (Compiled, error) {
+	q := query.Query{Name: strings.TrimSpace(src)}
+
+	agg, err := planAgg(st.Agg)
+	if err != nil {
+		return Compiled{}, err
+	}
+	q.Agg = agg
+
+	for _, pr := range st.Where {
+		switch pr.Op {
+		case PredEq:
+			q.Pred = q.Pred.AndCatEquals(pr.Column, pr.Str)
+		case PredIn:
+			q.Pred = q.Pred.AndCatIn(pr.Column, pr.Set...)
+		case PredGt:
+			q.Pred = q.Pred.AndGreater(pr.Column, pr.Lo)
+		case PredGe:
+			q.Pred = q.Pred.AndRange(pr.Column, pr.Lo, math.Inf(1))
+		case PredLt:
+			q.Pred = q.Pred.AndRange(pr.Column, math.Inf(-1), math.Nextafter(pr.Hi, math.Inf(-1)))
+		case PredLe:
+			q.Pred = q.Pred.AndRange(pr.Column, math.Inf(-1), pr.Hi)
+		case PredBetween:
+			if pr.Lo > pr.Hi {
+				return Compiled{}, errf(pr.Pos, "%s BETWEEN %g AND %g is empty (bounds reversed)", pr.Column, pr.Lo, pr.Hi)
+			}
+			q.Pred = q.Pred.AndRange(pr.Column, pr.Lo, pr.Hi)
+		}
+	}
+
+	q.GroupBy = st.GroupBy
+
+	stop, err := planStop(st, agg)
+	if err != nil {
+		return Compiled{}, err
+	}
+	q.Stop = stop
+
+	if err := q.Validate(); err != nil {
+		return Compiled{}, &Error{Pos: -1, Msg: err.Error()}
+	}
+	return Compiled{Table: st.Table, Query: q}, nil
+}
+
+// planAgg lowers an aggregate call. A bare column argument compiles to
+// the simple-column form (catalog bounds used directly); anything else
+// compiles to an expression aggregate with bounds derived per
+// Appendix B.
+func planAgg(a AggExpr) (query.Aggregate, error) {
+	if a.Star {
+		return query.Aggregate{Kind: query.Count}, nil
+	}
+	kind := query.Avg
+	if a.Func == "SUM" {
+		kind = query.Sum
+	}
+	if col, ok := a.Expr.(ColRef); ok {
+		return query.Aggregate{Kind: kind, Column: col.Name}, nil
+	}
+	e, err := planExpr(a.Expr)
+	if err != nil {
+		return query.Aggregate{}, err
+	}
+	return query.Aggregate{Kind: kind, Expr: e}, nil
+}
+
+// planExpr lowers an arithmetic parse node onto package expr.
+func planExpr(n Node) (expr.Expr, error) {
+	switch n := n.(type) {
+	case ColRef:
+		return expr.Col{Name: n.Name}, nil
+	case NumLit:
+		return expr.Const{Value: n.Value}, nil
+	case BinOp:
+		l, err := planExpr(n.L)
+		if err != nil {
+			return nil, err
+		}
+		r, err := planExpr(n.R)
+		if err != nil {
+			return nil, err
+		}
+		switch n.Op {
+		case '+':
+			return expr.Add{X: l, Y: r}, nil
+		case '-':
+			return expr.Sub{X: l, Y: r}, nil
+		default:
+			return expr.Mul{X: l, Y: r}, nil
+		}
+	case UnaryOp:
+		x, err := planExpr(n.X)
+		if err != nil {
+			return nil, err
+		}
+		if n.Op == '|' {
+			return expr.Abs{X: x}, nil
+		}
+		return expr.Neg{X: x}, nil
+	default:
+		return nil, &Error{Pos: -1, Msg: "internal: unknown expression node"}
+	}
+}
+
+// planStop maps the tail clauses onto a stopping condition. At most
+// one of HAVING, ORDER BY, WITHIN, and EXACT may appear: each fixes
+// the query's termination rule.
+func planStop(st *Statement, agg query.Aggregate) (query.Stop, error) {
+	n := 0
+	for _, set := range []bool{st.Having != nil, st.OrderBy != nil, st.Within != nil, st.Exact} {
+		if set {
+			n++
+		}
+	}
+	if n > 1 {
+		return query.Stop{}, &Error{Pos: -1, Msg: "at most one of HAVING, ORDER BY, WITHIN, and EXACT may be used: each selects the query's stopping condition"}
+	}
+
+	switch {
+	case st.Having != nil:
+		h := st.Having
+		if len(st.GroupBy) == 0 {
+			return query.Stop{}, errf(h.Pos, "HAVING needs GROUP BY")
+		}
+		if err := requireSameAgg(h.Agg, agg, "HAVING"); err != nil {
+			return query.Stop{}, err
+		}
+		return query.Threshold(h.Value), nil
+	case st.OrderBy != nil:
+		ob := st.OrderBy
+		if len(st.GroupBy) == 0 {
+			return query.Stop{}, errf(ob.Pos, "ORDER BY needs GROUP BY")
+		}
+		if err := requireSameAgg(ob.Agg, agg, "ORDER BY"); err != nil {
+			return query.Stop{}, err
+		}
+		if ob.Limit == 0 {
+			// Full ordering: stop once no two group CIs overlap (⑥).
+			return query.Ordered(), nil
+		}
+		if ob.Desc {
+			return query.TopK(ob.Limit), nil
+		}
+		return query.BottomK(ob.Limit), nil
+	case st.Within != nil:
+		if st.Within.Relative {
+			return query.RelWidth(st.Within.Value), nil
+		}
+		return query.AbsWidth(st.Within.Value), nil
+	default:
+		// EXACT and the bare form both scan the whole scramble; the
+		// answers are exact either way.
+		return query.Exhaust(), nil
+	}
+}
+
+// requireSameAgg checks that a HAVING / ORDER BY aggregate is the one
+// being selected — the engine maintains one aggregate view per group,
+// so the stopping condition must watch the selected aggregate.
+func requireSameAgg(got AggExpr, want query.Aggregate, clause string) error {
+	planned, err := planAgg(got)
+	if err != nil {
+		return err
+	}
+	if planned.Kind != want.Kind || planned.String() != want.String() {
+		return errf(got.Pos, "%s must use the selected aggregate %s, found %s", clause, want, planned)
+	}
+	return nil
+}

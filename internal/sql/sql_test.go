@@ -1,0 +1,224 @@
+package sql
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"fastframe/internal/query"
+)
+
+// TestCompileGolden checks accepted grammar against the rendered
+// logical query.
+func TestCompileGolden(t *testing.T) {
+	cases := []struct {
+		sql   string
+		table string
+		want  string // query.Query.String()
+	}{
+		{
+			sql:   "SELECT AVG(DepDelay) FROM flights",
+			table: "flights",
+			want:  "SELECT AVG(DepDelay) [stop: exhaust]",
+		},
+		{
+			sql:   "select avg(DepDelay) from flights where Origin = 'ORD' within 5%",
+			table: "flights",
+			want:  `SELECT AVG(DepDelay) WHERE Origin = "ORD" [stop: rel-width]`,
+		},
+		{
+			sql:   "SELECT AVG(DepDelay) FROM flights WHERE Airline IN ('AA', 'HP') AND DepTime > 1350 GROUP BY DayOfWeek WITHIN ABS 0.5",
+			table: "flights",
+			want:  `SELECT AVG(DepDelay) WHERE Airline IN (AA, HP) AND DepTime >= 1350 GROUP BY DayOfWeek [stop: abs-width]`,
+		},
+		{
+			sql:   "SELECT COUNT(*) FROM flights WHERE Origin = 'ORD' AND DepDelay BETWEEN -5 AND 60",
+			table: "flights",
+			want:  `SELECT COUNT(*) WHERE Origin = "ORD" AND DepDelay BETWEEN -5 AND 60 [stop: exhaust]`,
+		},
+		{
+			sql:   "SELECT AVG(DepDelay) FROM flights GROUP BY Airline HAVING AVG(DepDelay) > 8",
+			table: "flights",
+			want:  "SELECT AVG(DepDelay) GROUP BY Airline [stop: threshold]",
+		},
+		{
+			sql:   "SELECT SUM(DepDelay) FROM flights GROUP BY Origin ORDER BY SUM(DepDelay) DESC LIMIT 3",
+			table: "flights",
+			want:  "SELECT SUM(DepDelay) GROUP BY Origin [stop: top-k]",
+		},
+		{
+			sql:   "SELECT AVG(DepDelay) FROM flights GROUP BY Origin ORDER BY AVG(DepDelay) ASC LIMIT 2",
+			table: "flights",
+			want:  "SELECT AVG(DepDelay) GROUP BY Origin [stop: top-k]",
+		},
+		{
+			sql:   "SELECT AVG(DepDelay) FROM flights GROUP BY Origin, DayOfWeek ORDER BY AVG(DepDelay)",
+			table: "flights",
+			want:  "SELECT AVG(DepDelay) GROUP BY Origin, DayOfWeek [stop: ordered]",
+		},
+		{
+			sql:   "SELECT AVG(DepDelay * DepDelay - 1) FROM flights EXACT",
+			table: "flights",
+			want:  "SELECT AVG(((DepDelay * DepDelay) - 1)) [stop: exhaust]",
+		},
+		{
+			sql:   "SELECT SUM(ABS(DepDelay)) FROM flights WHERE DepTime <= 900 WITHIN 10 %",
+			table: "flights",
+			want:  "SELECT SUM(|DepDelay|) WHERE DepTime <= 900 [stop: rel-width]",
+		},
+		{
+			sql:   "SELECT COUNT(*) FROM ontime WHERE Origin = 'O''Hare'",
+			table: "ontime",
+			want:  `SELECT COUNT(*) WHERE Origin = "O'Hare" [stop: exhaust]`,
+		},
+	}
+	for _, c := range cases {
+		got, err := Compile(c.sql)
+		if err != nil {
+			t.Errorf("Compile(%q): %v", c.sql, err)
+			continue
+		}
+		if got.Table != c.table {
+			t.Errorf("Compile(%q).Table = %q, want %q", c.sql, got.Table, c.table)
+		}
+		if s := got.Query.String(); s != c.want {
+			t.Errorf("Compile(%q) =\n  %s\nwant\n  %s", c.sql, s, c.want)
+		}
+	}
+}
+
+// TestCompileDetails checks planned structure the rendered string does
+// not fully expose.
+func TestCompileDetails(t *testing.T) {
+	c, err := Compile("SELECT AVG(DepDelay) FROM f GROUP BY g HAVING AVG(DepDelay) < 2.5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Query.Stop.Kind != query.StopThreshold || c.Query.Stop.Threshold != 2.5 {
+		t.Errorf("HAVING < stop = %+v", c.Query.Stop)
+	}
+
+	c, err = Compile("SELECT SUM(x) FROM f GROUP BY g ORDER BY SUM(x) LIMIT 4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Query.Stop.Kind != query.StopTopK || c.Query.Stop.K != 4 || c.Query.Stop.Largest {
+		t.Errorf("ASC LIMIT stop = %+v (want bottom-4)", c.Query.Stop)
+	}
+
+	c, err = Compile("SELECT AVG(x) FROM f WITHIN 5%")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Query.Stop.Kind != query.StopRelWidth || c.Query.Stop.Epsilon != 0.05 {
+		t.Errorf("WITHIN 5%% stop = %+v", c.Query.Stop)
+	}
+
+	// Strict > is the half-open range starting just above the bound.
+	c, err = Compile("SELECT AVG(x) FROM f WHERE t > 100")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := c.Query.Pred.Ranges[0]
+	if !(r.Lo > 100) || r.Lo > math.Nextafter(100, math.Inf(1)) {
+		t.Errorf("> compiles to Lo = %v", r.Lo)
+	}
+	// While >= is inclusive.
+	c, err = Compile("SELECT AVG(x) FROM f WHERE t >= 100")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r := c.Query.Pred.Ranges[0]; r.Lo != 100 || !math.IsInf(r.Hi, 1) {
+		t.Errorf(">= compiles to %+v", r)
+	}
+	// < excludes the bound, <= includes it.
+	c, err = Compile("SELECT AVG(x) FROM f WHERE t < 100")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r := c.Query.Pred.Ranges[0]; !(r.Hi < 100) || !math.IsInf(r.Lo, -1) {
+		t.Errorf("< compiles to %+v", r)
+	}
+	c, err = Compile("SELECT AVG(x) FROM f WHERE t <= 100")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r := c.Query.Pred.Ranges[0]; r.Hi != 100 {
+		t.Errorf("<= compiles to %+v", r)
+	}
+
+	// The original SQL text is recorded as the query name.
+	if c.Query.Name != "SELECT AVG(x) FROM f WHERE t <= 100" {
+		t.Errorf("Name = %q", c.Query.Name)
+	}
+}
+
+// TestCompileErrors checks that rejected syntax produces pointed
+// error messages.
+func TestCompileErrors(t *testing.T) {
+	cases := []struct {
+		sql     string
+		wantSub string
+	}{
+		{"", "expected SELECT"},
+		{"SELECT MEDIAN(x) FROM f", `unsupported aggregate "MEDIAN"`},
+		{"SELECT AVG(x) FROM", "expected table name"},
+		{"SELECT AVG(x), SUM(y) FROM f", "exactly one aggregate"},
+		{"SELECT AVG(x) FORM f", `expected FROM, found "FORM"`},
+		{"SELECT COUNT(x) FROM f", "COUNT supports only COUNT(*)"},
+		{"SELECT AVG(x) FROM f WHERE", "expected predicate column"},
+		{"SELECT AVG(x) FROM f WHERE c = 5", "quoted categorical value"},
+		{"SELECT AVG(x) FROM f WHERE c = 'v' OR d = 'w'", "unexpected"},
+		{"SELECT AVG(x) FROM f WHERE c IN ()", "expected quoted value"},
+		{"SELECT AVG(x) FROM f WHERE t BETWEEN 5 AND 1", "bounds reversed"},
+		{"SELECT AVG(x) FROM f WHERE t BETWEEN 'a' AND 'b'", "expected number"},
+		{"SELECT AVG(x) FROM f GROUP BY", "expected GROUP BY column"},
+		{"SELECT AVG(x) FROM f HAVING AVG(x) > 1", "HAVING needs GROUP BY"},
+		{"SELECT AVG(x) FROM f GROUP BY g HAVING AVG(y) > 1", "HAVING must use the selected aggregate"},
+		{"SELECT AVG(x) FROM f GROUP BY g HAVING AVG(x) = 1", "HAVING supports only > and <"},
+		{"SELECT AVG(x) FROM f ORDER BY AVG(x) LIMIT 3", "ORDER BY needs GROUP BY"},
+		{"SELECT AVG(x) FROM f GROUP BY g ORDER BY SUM(x) LIMIT 3", "ORDER BY must use the selected aggregate"},
+		{"SELECT AVG(x) FROM f GROUP BY g ORDER BY AVG(x) LIMIT 0", "positive integer"},
+		{"SELECT AVG(x) FROM f WITHIN 5", "'%'"},
+		{"SELECT AVG(x) FROM f WITHIN -5%", "positive percentage"},
+		{"SELECT AVG(x) FROM f WITHIN ABS 0", "positive width"},
+		{"SELECT AVG(x) FROM f GROUP BY g HAVING AVG(x) > 1 WITHIN 5%", "at most one of HAVING, ORDER BY, WITHIN, and EXACT"},
+		{"SELECT AVG(x) FROM f WHERE s = 'unterminated", "unterminated string"},
+		{"SELECT AVG(x / y) FROM f", "division is not supported"},
+		{"SELECT AVG(x) FROM f; DROP TABLE f", "unexpected character"},
+		{"SELECT AVG(x) FROM f trailing", "unexpected"},
+	}
+	for _, c := range cases {
+		_, err := Compile(c.sql)
+		if err == nil {
+			t.Errorf("Compile(%q) accepted, want error containing %q", c.sql, c.wantSub)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.wantSub) {
+			t.Errorf("Compile(%q) error = %q, want substring %q", c.sql, err.Error(), c.wantSub)
+		}
+	}
+}
+
+// TestErrorPositions checks that syntax errors carry a source offset.
+func TestErrorPositions(t *testing.T) {
+	_, err := Compile("SELECT AVG(x) FROM f WHERE c = 5")
+	var se *Error
+	if !asSQLError(err, &se) {
+		t.Fatalf("error type = %T", err)
+	}
+	if se.Pos < 0 || se.Pos >= len("SELECT AVG(x) FROM f WHERE c = 5") {
+		t.Errorf("Pos = %d", se.Pos)
+	}
+	if !strings.Contains(se.Error(), "offset") {
+		t.Errorf("rendered error lacks offset: %q", se.Error())
+	}
+}
+
+func asSQLError(err error, target **Error) bool {
+	se, ok := err.(*Error)
+	if ok {
+		*target = se
+	}
+	return ok
+}

@@ -1,0 +1,79 @@
+package fastframe
+
+// Option configures one query execution. Options apply in order, so a
+// later option overrides an earlier one; the zero configuration is the
+// paper's default setup (Bernstein+RT, ActivePeek, δ = 1e−15, bound
+// recomputation every 40000 rows).
+type Option func(*runSettings)
+
+// runSettings is the resolved execution configuration. The zero value
+// selects the defaults, matching the zero ExecOptions.
+type runSettings struct {
+	bounder          Bounder
+	strategy         Strategy
+	delta            float64
+	roundRows        int
+	seed             uint64
+	maxRows          int
+	exactCountBounds bool
+	onProgress       func(Progress) bool
+}
+
+func (s *runSettings) apply(opts []Option) {
+	for _, o := range opts {
+		o(s)
+	}
+}
+
+// WithBounder selects the confidence-interval technique (default
+// BernsteinRT, the paper's headline configuration).
+func WithBounder(b Bounder) Option {
+	return func(s *runSettings) { s.bounder = b }
+}
+
+// WithStrategy selects the sampling strategy (default ActivePeek).
+func WithStrategy(st Strategy) Option {
+	return func(s *runSettings) { s.strategy = st }
+}
+
+// WithDelta sets the query's total error probability, divided across
+// its aggregate views (default 1e−15). Queries issued through an
+// Engine draw their δ from the session budget instead; WithDelta
+// overrides it for one query.
+func WithDelta(delta float64) Option {
+	return func(s *runSettings) { s.delta = delta }
+}
+
+// WithRoundRows sets the number of covered rows between interval
+// recomputations (the paper's B; default 40000). Smaller rounds stop
+// closer to the earliest possible point and react to cancellation
+// faster, at more bound-computation CPU.
+func WithRoundRows(n int) Option {
+	return func(s *runSettings) { s.roundRows = n }
+}
+
+// WithSeed randomizes the scan's starting position within the scramble
+// (queries start at a seed-derived block).
+func WithSeed(seed uint64) Option {
+	return func(s *runSettings) { s.seed = seed }
+}
+
+// WithMaxRows aborts the scan after covering n rows even if the
+// stopping condition has not been reached.
+func WithMaxRows(n int) Option {
+	return func(s *runSettings) { s.maxRows = n }
+}
+
+// WithExactCountBounds switches the unknown-view-size bound to the
+// exact hypergeometric tail (slightly more CPU per round, tighter N⁺).
+func WithExactCountBounds() Option {
+	return func(s *runSettings) { s.exactCountBounds = true }
+}
+
+// WithProgress registers an online-aggregation callback: fn receives a
+// snapshot after every interval recomputation; return false to stop
+// early (Result.Aborted is then set and the reported intervals remain
+// valid).
+func WithProgress(fn func(Progress) bool) Option {
+	return func(s *runSettings) { s.onProgress = fn }
+}

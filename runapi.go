@@ -1,14 +1,17 @@
 package fastframe
 
 import (
+	"context"
 	"fmt"
 	"math/rand/v2"
+	"sort"
 	"time"
 
 	"fastframe/internal/ci"
 	"fastframe/internal/core"
 	"fastframe/internal/exact"
 	"fastframe/internal/exec"
+	"fastframe/internal/query"
 )
 
 // Bounder selects the confidence-interval technique (§5.2 of the
@@ -111,6 +114,10 @@ func (s Strategy) impl() exec.Strategy {
 // ExecOptions configures one query execution. The zero value selects
 // the paper's defaults: Bernstein+RT, ActivePeek, δ = 1e−15, bound
 // recomputation every 40000 rows, and a seed-0 starting position.
+//
+// Deprecated: use the functional options (WithBounder, WithDelta,
+// WithRoundRows, WithProgress, ...) with Table.Query or Engine.Query.
+// ExecOptions remains as a compatibility shim for existing callers.
 type ExecOptions struct {
 	// Bounder is the CI technique (default BernsteinRT).
 	Bounder Bounder
@@ -170,6 +177,42 @@ func fromCI(iv ci.Interval) Interval {
 	return Interval{Lo: iv.Lo, Hi: iv.Hi, Estimate: iv.Estimate}
 }
 
+// Agg identifies a query's aggregate function; Result.Agg and
+// ExactResult.Agg report which aggregate the query computed.
+type Agg int
+
+const (
+	// AggAvg is AVG(...).
+	AggAvg Agg = iota
+	// AggSum is SUM(...).
+	AggSum
+	// AggCount is COUNT(*).
+	AggCount
+)
+
+// String returns AVG, SUM, or COUNT.
+func (a Agg) String() string {
+	switch a {
+	case AggSum:
+		return "SUM"
+	case AggCount:
+		return "COUNT"
+	default:
+		return "AVG"
+	}
+}
+
+func aggOf(k query.AggKind) Agg {
+	switch k {
+	case query.Sum:
+		return AggSum
+	case query.Count:
+		return AggCount
+	default:
+		return AggAvg
+	}
+}
+
 // GroupResult is the approximate answer for one group (aggregate view).
 type GroupResult struct {
 	// Key is the GROUP BY key ("" for ungrouped queries; composite keys
@@ -187,8 +230,25 @@ type GroupResult struct {
 	Exact bool
 }
 
+// Answer returns the interval of the given aggregate — pass the
+// Result's Agg to get the interval carrying the query's full
+// guarantee.
+func (g GroupResult) Answer(a Agg) Interval {
+	switch a {
+	case AggSum:
+		return g.Sum
+	case AggCount:
+		return g.Count
+	default:
+		return g.Avg
+	}
+}
+
 // Result is the outcome of an approximate query.
 type Result struct {
+	// Agg is the aggregate the query computed; each group's
+	// Answer(Agg) interval carries the query's full guarantee.
+	Agg Agg
 	// Groups holds one entry per observed group, sorted by Key.
 	Groups []GroupResult
 	// BlocksFetched counts storage blocks actually read, the paper's
@@ -206,12 +266,12 @@ type Result struct {
 	Duration time.Duration
 }
 
-// Group returns the result for a key, or nil.
+// Group returns the result for a key, or nil. Groups is sorted by Key,
+// so the lookup is a binary search.
 func (r *Result) Group(key string) *GroupResult {
-	for i := range r.Groups {
-		if r.Groups[i].Key == key {
-			return &r.Groups[i]
-		}
+	i := sort.Search(len(r.Groups), func(i int) bool { return r.Groups[i].Key >= key })
+	if i < len(r.Groups) && r.Groups[i].Key == key {
+		return &r.Groups[i]
 	}
 	return nil
 }
@@ -267,23 +327,59 @@ func SessionDelta(total float64, q int) float64 {
 	return total / float64(q)
 }
 
+// Query executes an approximate query against the table. The context
+// is checked at every interval-recomputation round: when it is
+// cancelled or its deadline expires, the scan stops and the partial
+// Result is returned with Aborted set — its intervals remain valid
+// (1−δ) CIs at the point the scan stopped. A context that is already
+// done before any work starts returns ctx.Err() instead.
+func (t *Table) Query(ctx context.Context, q QueryBuilder, opts ...Option) (*Result, error) {
+	var s runSettings
+	s.apply(opts)
+	return t.runQuery(ctx, q.build(), s)
+}
+
 // Run executes an approximate query against the table.
+//
+// Deprecated: use Query, which adds context cancellation and takes
+// functional options.
 func (t *Table) Run(q QueryBuilder, opts ExecOptions) (*Result, error) {
-	b, err := opts.Bounder.impl()
+	return t.runQuery(context.Background(), q.build(), opts.settings())
+}
+
+// settings converts the deprecated options struct onto the resolved
+// configuration the functional options build.
+func (o ExecOptions) settings() runSettings {
+	return runSettings{
+		bounder:          o.Bounder,
+		strategy:         o.Strategy,
+		delta:            o.Delta,
+		roundRows:        o.RoundRows,
+		seed:             o.Seed,
+		maxRows:          o.MaxRows,
+		exactCountBounds: o.ExactCountBounds,
+		onProgress:       o.OnProgress,
+	}
+}
+
+// runQuery is the shared execution path beneath Table.Query, Table.Run
+// and Engine.Query.
+func (t *Table) runQuery(ctx context.Context, q query.Query, s runSettings) (*Result, error) {
+	b, err := s.bounder.impl()
 	if err != nil {
 		return nil, err
 	}
 	execOpts := exec.Options{
 		Bounder:          b,
-		Strategy:         opts.Strategy.impl(),
-		Delta:            opts.Delta,
-		RoundRows:        opts.RoundRows,
-		Rng:              rand.New(rand.NewPCG(opts.Seed, 0x9a7)),
-		MaxRows:          opts.MaxRows,
-		ExactCountBounds: opts.ExactCountBounds,
+		Strategy:         s.strategy.impl(),
+		Delta:            s.delta,
+		RoundRows:        s.roundRows,
+		Rng:              rand.New(rand.NewPCG(s.seed, 0x9a7)),
+		MaxRows:          s.maxRows,
+		ExactCountBounds: s.exactCountBounds,
 	}
-	if opts.OnProgress != nil {
-		cb := opts.OnProgress
+	if s.onProgress != nil {
+		cb := s.onProgress
 		execOpts.OnRound = func(s exec.RoundSnapshot) bool {
 			p := Progress{
 				Round:         s.Round,
@@ -304,11 +400,12 @@ func (t *Table) Run(q QueryBuilder, opts ExecOptions) (*Result, error) {
 			return cb(p)
 		}
 	}
-	res, err := exec.Run(t.t, q.build(), execOpts)
+	res, err := exec.RunContext(ctx, t.t, q, execOpts)
 	if err != nil {
 		return nil, err
 	}
 	out := &Result{
+		Agg:           aggOf(q.Agg.Kind),
 		BlocksFetched: res.BlocksFetched,
 		RowsCovered:   res.RowsCovered,
 		Rounds:        res.Rounds,
@@ -338,32 +435,56 @@ type ExactGroup struct {
 	Avg   float64
 }
 
+// Value returns the given aggregate's exact value.
+func (g ExactGroup) Value(a Agg) float64 {
+	switch a {
+	case AggSum:
+		return g.Sum
+	case AggCount:
+		return float64(g.Count)
+	default:
+		return g.Avg
+	}
+}
+
 // ExactResult is the exact evaluation of a query via a full scan.
 type ExactResult struct {
+	// Agg is the aggregate the query computed.
+	Agg      Agg
 	Groups   []ExactGroup
 	Duration time.Duration
 }
 
-// Group returns the exact values for a key, or nil.
+// Group returns the exact values for a key, or nil. Groups is sorted
+// by Key, so the lookup is a binary search.
 func (r *ExactResult) Group(key string) *ExactGroup {
-	for i := range r.Groups {
-		if r.Groups[i].Key == key {
-			return &r.Groups[i]
-		}
+	i := sort.Search(len(r.Groups), func(i int) bool { return r.Groups[i].Key >= key })
+	if i < len(r.Groups) && r.Groups[i].Key == key {
+		return &r.Groups[i]
 	}
 	return nil
 }
 
-// RunExact evaluates the query exactly with a full scan (the paper's
-// Exact baseline; also the ground truth for validation).
-func (t *Table) RunExact(q QueryBuilder) (*ExactResult, error) {
-	res, err := exact.Run(t.t, q.build())
+// QueryExact evaluates the query exactly with a full scan (the
+// paper's Exact baseline; also the ground truth for validation). The
+// context is checked periodically during the scan; an exact answer
+// has no valid partial form, so cancellation returns ctx.Err().
+func (t *Table) QueryExact(ctx context.Context, q QueryBuilder) (*ExactResult, error) {
+	qq := q.build()
+	res, err := exact.RunContext(ctx, t.t, qq)
 	if err != nil {
 		return nil, err
 	}
-	out := &ExactResult{Duration: res.Duration}
+	out := &ExactResult{Agg: aggOf(qq.Agg.Kind), Duration: res.Duration}
 	for _, g := range res.Groups {
 		out.Groups = append(out.Groups, ExactGroup{Key: g.Key, Count: g.Count, Sum: g.Sum, Avg: g.Avg})
 	}
 	return out, nil
+}
+
+// RunExact evaluates the query exactly with a full scan.
+//
+// Deprecated: use QueryExact, which adds context cancellation.
+func (t *Table) RunExact(q QueryBuilder) (*ExactResult, error) {
+	return t.QueryExact(context.Background(), q)
 }

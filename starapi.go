@@ -1,6 +1,10 @@
 package fastframe
 
-import "fastframe/internal/star"
+import (
+	"context"
+
+	"fastframe/internal/star"
+)
 
 // Dimension is a small dimension table in a star/snowflake schema:
 // rows keyed by the value appearing in a fact table's foreign-key
@@ -55,7 +59,16 @@ func (ss *StarSchema) WhereDimension(qb QueryBuilder, fkColumn, attr, value stri
 	return qb, nil
 }
 
+// Query executes an approximate query against the fact table with
+// context cancellation and functional options.
+func (ss *StarSchema) Query(ctx context.Context, q QueryBuilder, opts ...Option) (*Result, error) {
+	return ss.t.Query(ctx, q, opts...)
+}
+
 // Run executes an approximate query against the fact table.
+//
+// Deprecated: use Query, which adds context cancellation and takes
+// functional options.
 func (ss *StarSchema) Run(q QueryBuilder, opts ExecOptions) (*Result, error) {
 	return ss.t.Run(q, opts)
 }
