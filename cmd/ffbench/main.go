@@ -20,6 +20,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"time"
 
 	"fastframe/internal/exec"
@@ -34,15 +35,21 @@ func main() {
 		seed      = flag.Uint64("seed", 42, "dataset and scan seed")
 		delta     = flag.Float64("delta", exec.DefaultDelta, "per-query error probability")
 		roundRows = flag.Int("round", 40_000, "rows between bound recomputations (paper: 40000)")
+		parallel  = flag.Int("parallel", 1, "scan workers per query; 1 = the sequential path the paper's numbers correspond to, 0 = one per CPU (results are identical, only wall time changes)")
 	)
 	flag.Parse()
 
+	par := *parallel
+	if par <= 0 {
+		par = runtime.GOMAXPROCS(0)
+	}
 	cfg := experiments.Config{
-		Rows:      *rows,
-		Seed:      *seed,
-		Delta:     *delta,
-		RoundRows: *roundRows,
-		Strategy:  exec.ActivePeek,
+		Rows:        *rows,
+		Seed:        *seed,
+		Delta:       *delta,
+		RoundRows:   *roundRows,
+		Strategy:    exec.ActivePeek,
+		Parallelism: par,
 	}
 
 	if err := run(*exp, cfg); err != nil {

@@ -18,6 +18,7 @@
 //	[HAVING AGG(c) > v | < v]     stop: threshold decided per group
 //	[ORDER BY AGG(c) [DESC] [LIMIT k]]   stop: top-/bottom-k or full order
 //	[WITHIN p% | WITHIN ABS e | EXACT]   stop: CI width target / full scan
+//	[PARALLEL n]                  hint: scan workers (results identical)
 package main
 
 import (
@@ -38,6 +39,7 @@ func main() {
 		delta    = flag.Float64("delta", 0, "per-query error probability (default 1e-15)")
 		timeout  = flag.Duration("timeout", 0, "cancel the query after this long (0 = no limit)")
 		exact    = flag.Bool("exact", true, "also compute the exact answer for comparison")
+		parallel = flag.Int("parallel", 0, "scan workers; 0 = one per CPU, 1 = sequential (results are identical across counts; a PARALLEL n clause in the query overrides this flag's default only)")
 	)
 	flag.Usage = func() {
 		fmt.Fprintf(flag.CommandLine.Output(), "usage: ffquery [flags] \"SELECT ...\"\n\n")
@@ -89,6 +91,9 @@ func main() {
 	if *delta > 0 {
 		opts = append(opts, fastframe.WithDelta(*delta))
 	}
+	if *parallel > 0 {
+		opts = append(opts, fastframe.WithParallelism(*parallel))
+	}
 	res, err := eng.Query(ctx, sqlText, opts...)
 	if err != nil {
 		fatal(err)
@@ -101,8 +106,9 @@ func main() {
 	if *exact {
 		// The ground-truth comparison deliberately ignores -timeout:
 		// it exists to judge the approximate answer. Use -exact=false
-		// to skip it.
-		ex, err = eng.QueryExact(context.Background(), sqlText)
+		// to skip it. It honors -parallel (and any PARALLEL hint in
+		// the query text).
+		ex, err = eng.QueryExact(context.Background(), sqlText, opts...)
 		if err != nil {
 			fatal(err)
 		}

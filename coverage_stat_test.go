@@ -1,0 +1,139 @@
+package fastframe
+
+import (
+	"context"
+	"fmt"
+	"math/rand/v2"
+	"testing"
+
+	"fastframe/internal/stats"
+)
+
+// Monte-Carlo coverage harness: on data drawn from known distributions,
+// the empirical probability that a query's (1−δ) interval misses the
+// true aggregate must stay below δ (plus a sampling tolerance), for
+// the sequential and the parallel execution path alike. The scan is
+// cut off mid-stream with WithMaxRows so the intervals under test are
+// genuine partial-coverage CIs, not exact finalizations.
+
+// coverageTolerance absorbs the Monte-Carlo noise of estimating a miss
+// rate from a finite number of trials.
+const coverageTolerance = 0.02
+
+type coverageDist struct {
+	name string
+	gen  func(rng *rand.Rand) float64
+	lo   float64 // a-priori catalog bounds fed to the builder
+	hi   float64
+}
+
+func coverageDists() []coverageDist {
+	return []coverageDist{
+		{
+			name: "uniform",
+			gen:  func(rng *rand.Rand) float64 { return rng.Float64() * 100 },
+			lo:   0, hi: 100,
+		},
+		{
+			name: "heavy-tail",
+			// Exponential with a hard cap: skewed, most mass far from
+			// the upper catalog bound — the regime RangeTrim targets.
+			gen: func(rng *rand.Rand) float64 { return min(rng.ExpFloat64()*8, 400) },
+			lo:  0, hi: 400,
+		},
+		{
+			name: "bimodal",
+			gen: func(rng *rand.Rand) float64 {
+				if rng.Float64() < 0.3 {
+					return -20 + rng.NormFloat64()
+				}
+				return 35 + rng.NormFloat64()
+			},
+			lo: -60, hi: 80,
+		},
+	}
+}
+
+// buildCoverageTable synthesizes one trial's table and returns it with
+// the true mean and the true count of values above 20.
+func buildCoverageTable(t *testing.T, d coverageDist, seed uint64) (tab *Table, mean float64, above int) {
+	t.Helper()
+	const rows = 2500
+	rng := rand.New(rand.NewPCG(seed, 0xc0ffee))
+	tb, err := NewTableBuilder(Column{Name: "v", Kind: Float})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var w stats.Welford
+	for i := 0; i < rows; i++ {
+		v := d.gen(rng)
+		w.Add(v)
+		if v > 20 {
+			above++
+		}
+		if err := tb.AppendRow(map[string]float64{"v": v}, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	tb.WidenBounds("v", d.lo, d.hi)
+	tab, err = tb.Build(seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tab, w.Mean(), above
+}
+
+// TestStatisticalCoverage runs ≥ 500 seeded trials per execution path
+// (short mode: 60) across the distributions, checking that empirical
+// CI coverage of AVG and COUNT stays at or above 1−δ within tolerance.
+func TestStatisticalCoverage(t *testing.T) {
+	trials := 500
+	if testing.Short() {
+		trials = 60
+	}
+	const delta = 0.05
+	ctx := context.Background()
+	for _, par := range []int{1, 4} {
+		for _, d := range coverageDists() {
+			t.Run(fmt.Sprintf("%s/P=%d", d.name, par), func(t *testing.T) {
+				avgMiss, cntMiss := 0, 0
+				for trial := 0; trial < trials; trial++ {
+					tab, mean, above := buildCoverageTable(t, d, uint64(trial)+1)
+					opts := []Option{
+						WithDelta(delta),
+						WithRoundRows(150),
+						WithMaxRows(600), // stop mid-scan: partial-coverage CIs
+						WithSeed(uint64(trial) * 31),
+						WithParallelism(par),
+					}
+					res, err := tab.Query(ctx, Avg("v"), opts...)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if len(res.Groups) != 1 {
+						t.Fatalf("trial %d: %d groups", trial, len(res.Groups))
+					}
+					if !res.Groups[0].Avg.Contains(mean) {
+						avgMiss++
+					}
+					cres, err := tab.Query(ctx, CountRows().WhereGreater("v", 20), opts...)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if len(cres.Groups) == 1 && !cres.Groups[0].Count.Contains(float64(above)) {
+						cntMiss++
+					}
+				}
+				maxMiss := (delta + coverageTolerance) * float64(trials)
+				if float64(avgMiss) > maxMiss {
+					t.Errorf("P=%d: AVG coverage %.3f below 1-δ (%d/%d misses)",
+						par, 1-float64(avgMiss)/float64(trials), avgMiss, trials)
+				}
+				if float64(cntMiss) > maxMiss {
+					t.Errorf("P=%d: COUNT coverage %.3f below 1-δ (%d/%d misses)",
+						par, 1-float64(cntMiss)/float64(trials), cntMiss, trials)
+				}
+			})
+		}
+	}
+}

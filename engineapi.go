@@ -30,6 +30,7 @@ import (
 //	[HAVING AGG(c) > v | HAVING AGG(c) < v]
 //	[ORDER BY AGG(c) [ASC|DESC] [LIMIT k]]
 //	[WITHIN p% | WITHIN ABS eps | EXACT]
+//	[PARALLEL n]
 //
 // with predicates col = 'v', col IN ('a','b'), col > x (also >=, <,
 // <=), and col BETWEEN lo AND hi. The tail clauses select the paper's
@@ -39,7 +40,9 @@ import (
 // bottom-k (ASC) groups separate; ORDER BY without LIMIT stops once
 // all groups are totally ordered; WITHIN stops at a relative or
 // absolute CI-width target; EXACT (or no tail clause) scans everything
-// and returns exact answers.
+// and returns exact answers. PARALLEL n is an execution hint — scan
+// with n workers (default: one per CPU; results are bit-identical
+// across worker counts, see WithParallelism).
 type Engine struct {
 	mu      sync.RWMutex
 	tables  map[string]*Table
@@ -154,6 +157,9 @@ func (e *Engine) Query(ctx context.Context, sqlText string, opts ...Option) (*Re
 		return nil, err
 	}
 
+	// The PARALLEL hint sets the baseline; explicit WithParallelism
+	// options override it.
+	s.parallelism = c.Parallel
 	s.apply(opts)
 	res, err := t.runQuery(ctx, c.Query, s)
 	if err != nil {
@@ -174,11 +180,14 @@ func (e *Engine) Query(ctx context.Context, sqlText string, opts ...Option) (*Re
 }
 
 // QueryExact compiles the SQL query and evaluates it exactly with a
-// full scan — the ground truth the approximate answer converges to.
-// The tail stopping clause, if any, is ignored. The context is
-// checked periodically during the scan; an exact answer has no valid
-// partial form, so cancellation returns ctx.Err().
-func (e *Engine) QueryExact(ctx context.Context, sqlText string) (*ExactResult, error) {
+// partitioned full scan — the ground truth the approximate answer
+// converges to. The tail stopping clause, if any, is ignored; a
+// PARALLEL hint (or WithParallelism option, which overrides it) sets
+// the worker count — PARALLEL 1 restores strictly sequential
+// summation. The context is checked periodically during the scan; an
+// exact answer has no valid partial form, so cancellation returns
+// ctx.Err().
+func (e *Engine) QueryExact(ctx context.Context, sqlText string, opts ...Option) (*ExactResult, error) {
 	c, err := sql.Compile(sqlText)
 	if err != nil {
 		return nil, err
@@ -187,7 +196,10 @@ func (e *Engine) QueryExact(ctx context.Context, sqlText string) (*ExactResult, 
 	if err != nil {
 		return nil, err
 	}
-	return t.QueryExact(ctx, QueryBuilder{q: c.Query})
+	if c.Parallel > 0 {
+		opts = append([]Option{WithParallelism(c.Parallel)}, opts...)
+	}
+	return t.QueryExact(ctx, QueryBuilder{q: c.Query}, opts...)
 }
 
 // Explain compiles the SQL query and returns the logical plan

@@ -61,48 +61,11 @@ const ctxCheckRows = 1 << 16
 // RunContext is Run with cancellation: the scan checks the context
 // every ctxCheckRows rows and returns ctx.Err() when it is done — an
 // exact answer has no valid partial form, so nothing else is returned.
+// It is the single-partition case of the partitioned scan, so it
+// shares the per-partition accumulators (and their row-order float
+// summation) with RunParallelContext.
 func RunContext(ctx context.Context, t *table.Table, q query.Query) (*Result, error) {
-	if err := q.Validate(); err != nil {
-		return nil, err
-	}
-	start := time.Now()
-
-	eval, err := newEvaluator(t, q)
-	if err != nil {
-		return nil, err
-	}
-
-	counts := map[int]int{}
-	sums := map[int]float64{}
-	for row := 0; row < t.NumRows(); row++ {
-		if row%ctxCheckRows == 0 {
-			select {
-			case <-ctx.Done():
-				return nil, ctx.Err()
-			default:
-			}
-		}
-		if !eval.match(row) {
-			continue
-		}
-		id := eval.groupOf(row)
-		counts[id]++
-		if eval.aggValue != nil {
-			sums[id] += eval.aggValue(row)
-		}
-	}
-
-	res := &Result{}
-	for id, c := range counts {
-		gv := GroupValue{Key: keyOf(eval.groupCols, id), Count: c, Sum: sums[id]}
-		if c > 0 {
-			gv.Avg = gv.Sum / float64(c)
-		}
-		res.Groups = append(res.Groups, gv)
-	}
-	sort.Slice(res.Groups, func(i, j int) bool { return res.Groups[i].Key < res.Groups[j].Key })
-	res.Duration = time.Since(start)
-	return res, nil
+	return RunParallelContext(ctx, t, q, 1)
 }
 
 func keyOf(groupCols []*table.CatColumn, id int) string {

@@ -1,6 +1,7 @@
 package exact
 
 import (
+	"context"
 	"runtime"
 	"sort"
 	"sync"
@@ -11,6 +12,46 @@ import (
 	"fastframe/internal/table"
 )
 
+// partial is one worker's per-group accumulator over a disjoint row
+// range. Counts and sums merge additively, so exact scans partition
+// trivially.
+type partial struct {
+	counts map[int]int
+	sums   map[int]float64
+}
+
+// Merge folds another partition's accumulator into p. Merging is exact
+// for counts; sums combine in whatever partition order the caller
+// walks, so callers iterate partitions in row order to keep results
+// deterministic for a fixed worker count.
+func (p *partial) Merge(o *partial) {
+	for id, c := range o.counts {
+		p.counts[id] += c
+	}
+	for id, s := range o.sums {
+		p.sums[id] += s
+	}
+}
+
+// scanPartition accumulates one contiguous row range, checking the
+// context every ctxCheckRows rows; a cancelled context abandons the
+// partition early (the caller discards all partials).
+func (e *evaluator) scanPartition(ctx context.Context, lo, hi int, p *partial) {
+	for row := lo; row < hi; row++ {
+		if (row-lo)%ctxCheckRows == 0 && ctx.Err() != nil {
+			return
+		}
+		if !e.match(row) {
+			continue
+		}
+		id := e.groupOf(row)
+		p.counts[id]++
+		if e.aggValue != nil {
+			p.sums[id] += e.aggValue(row)
+		}
+	}
+}
+
 // RunParallel evaluates the query exactly using `workers` goroutines
 // over disjoint row ranges (workers ≤ 0 selects GOMAXPROCS). The paper
 // notes its techniques "can be easily parallelized"; exact scans
@@ -18,7 +59,18 @@ import (
 // additively. Results are identical to Run up to floating-point
 // summation order.
 func RunParallel(t *table.Table, q query.Query, workers int) (*Result, error) {
+	return RunParallelContext(context.Background(), t, q, workers)
+}
+
+// RunParallelContext is RunParallel with cancellation: every worker
+// checks the context periodically, and a cancelled or expired context
+// drains the pool and returns ctx.Err() — an exact answer has no valid
+// partial form, so nothing else is returned.
+func RunParallelContext(ctx context.Context, t *table.Table, q query.Query, workers int) (*Result, error) {
 	if err := q.Validate(); err != nil {
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
 	if workers <= 0 {
@@ -34,53 +86,38 @@ func RunParallel(t *table.Table, q query.Query, workers int) (*Result, error) {
 		return nil, err
 	}
 
-	type partial struct {
-		counts map[int]int
-		sums   map[int]float64
-	}
-	parts := make([]partial, workers)
+	parts := make([]*partial, workers)
 	var wg sync.WaitGroup
 	rowsPer := (t.NumRows() + workers - 1) / workers
 	for w := 0; w < workers; w++ {
-		lo := w * rowsPer
+		lo := min(w*rowsPer, t.NumRows())
 		hi := min(lo+rowsPer, t.NumRows())
+		p := &partial{counts: map[int]int{}, sums: map[int]float64{}}
+		parts[w] = p
 		if lo >= hi {
 			continue
 		}
 		wg.Add(1)
-		go func(w, lo, hi int) {
+		go func(lo, hi int, p *partial) {
 			defer wg.Done()
-			counts := map[int]int{}
-			sums := map[int]float64{}
-			for row := lo; row < hi; row++ {
-				if !eval.match(row) {
-					continue
-				}
-				id := eval.groupOf(row)
-				counts[id]++
-				if eval.aggValue != nil {
-					sums[id] += eval.aggValue(row)
-				}
-			}
-			parts[w] = partial{counts: counts, sums: sums}
-		}(w, lo, hi)
+			eval.scanPartition(ctx, lo, hi, p)
+		}(lo, hi, p)
 	}
 	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 
-	counts := map[int]int{}
-	sums := map[int]float64{}
-	for _, p := range parts {
-		for id, c := range p.counts {
-			counts[id] += c
-		}
-		for id, s := range p.sums {
-			sums[id] += s
-		}
+	// Merge partitions in row order (deterministic float summation for
+	// a fixed worker count).
+	merged := parts[0]
+	for _, p := range parts[1:] {
+		merged.Merge(p)
 	}
 
 	res := &Result{}
-	for id, c := range counts {
-		gv := GroupValue{Key: keyOf(eval.groupCols, id), Count: c, Sum: sums[id]}
+	for id, c := range merged.counts {
+		gv := GroupValue{Key: keyOf(eval.groupCols, id), Count: c, Sum: merged.sums[id]}
 		if c > 0 {
 			gv.Avg = gv.Sum / float64(c)
 		}

@@ -46,7 +46,11 @@ func RunContext(ctx context.Context, t *table.Table, q query.Query, opts Options
 	}
 	e.ctx = ctx
 	start := time.Now()
-	e.run()
+	if e.par >= 2 {
+		e.runParallel()
+	} else {
+		e.run()
+	}
 	res := e.result()
 	res.Duration = time.Since(start)
 	return res, nil
@@ -63,6 +67,7 @@ type engine struct {
 	pred    *compiledPred
 	grp     *grouper
 	cfg     roundConfig
+	par     int // scan workers; ≥ 2 selects the partitioned path
 
 	layout scramble.Layout
 	cursor *scramble.Cursor
@@ -101,6 +106,15 @@ type engine struct {
 
 func newEngine(t *table.Table, q query.Query, opts Options) (*engine, error) {
 	e := &engine{t: t, q: q, opts: opts, layout: t.Layout()}
+	e.par = opts.Parallelism
+	if e.par < 1 {
+		e.par = 1
+	}
+	// A worker needs at least one block to scan each round; more workers
+	// than round blocks would only idle.
+	if nb := e.layout.NumBlocks(); e.par > nb && nb > 0 {
+		e.par = nb
+	}
 
 	switch {
 	case q.Agg.Kind == query.Count:
@@ -189,7 +203,7 @@ func newEngine(t *table.Table, q query.Query, opts Options) (*engine, error) {
 	e.nextRoundAt = opts.RoundRows
 	e.numActive = len(e.ordered)
 
-	if len(q.GroupBy) > 0 && opts.Strategy == ActivePeek {
+	if len(q.GroupBy) > 0 && opts.Strategy == ActivePeek && e.par < 2 {
 		// Key the lookahead on the most selective GROUP BY column (the
 		// one with the largest dictionary): per-block presence of its
 		// values is rarest, so its mask skips the most blocks. For
@@ -302,12 +316,7 @@ func (e *engine) blockHasActiveGroup(b int) bool {
 	case ActiveSync:
 		// Synchronous per-block, per-group bitmap probes (the
 		// cache-unfriendly order the paper ablates).
-		for _, gs := range e.ordered {
-			if gs.active && e.grp.blockContainsGroup(b, gs.codes) {
-				return true
-			}
-		}
-		return false
+		return e.blockHasActiveGroupSync(b)
 	case ActivePeek:
 		return e.peekLookup(b)
 	default:
@@ -385,9 +394,7 @@ func (e *engine) activePeekCodes() []uint32 {
 func (e *engine) closeRound() {
 	e.round++
 	e.nextRoundAt += e.opts.RoundRows
-	for _, gs := range e.ordered {
-		gs.closeRound(e.round, e.coveredAll, e.cfg)
-	}
+	e.closeGroups()
 	e.numActive = refreshActive(e.ordered, e.q.Stop, e.q.Agg.Kind)
 	if e.numActive == 0 && e.q.Stop.Kind != query.StopExhaust {
 		e.stopped = true

@@ -77,6 +77,61 @@ func intersect(dst *ci.Interval, iv ci.Interval) {
 	dst.Samples = iv.Samples
 }
 
+// obs is one buffered view observation: the row's dense group ID and
+// its aggregate value (1 for COUNT). Workers buffer observations in
+// scan order instead of updating shared group states, which is what
+// keeps the parallel path free of locks and bit-identical to the
+// sequential one.
+type obs struct {
+	gid int
+	val float64
+}
+
+// roundAccum is one worker's group-state accumulator for one round of
+// the partitioned scan: coverage counters plus the worker's
+// observations bucketed by group shard, each bucket in scan order.
+// Workers share nothing inside a round; accumulators meet only at the
+// round barrier via Merge and the sharded replay.
+type roundAccum struct {
+	coveredAll int // rows resolved for every view (fetched + pruned)
+	fetched    int // blocks actually read
+	skipped    int // rows of active-scan-skipped blocks
+	shards     [][]obs
+}
+
+// reset prepares the accumulator for a round with the given shard
+// count, retaining buffer capacity across rounds.
+func (a *roundAccum) reset(shards int) {
+	a.coveredAll, a.fetched, a.skipped = 0, 0, 0
+	if len(a.shards) != shards {
+		a.shards = make([][]obs, shards)
+	}
+	for i := range a.shards {
+		a.shards[i] = a.shards[i][:0]
+	}
+}
+
+// add buckets one observation by its group shard.
+func (a *roundAccum) add(gid int, val float64) {
+	s := gid % len(a.shards)
+	a.shards[s] = append(a.shards[s], obs{gid: gid, val: val})
+}
+
+// Merge folds another worker's counters into a at the round barrier.
+// All counters are integers, so merging is exact and order-insensitive;
+// the buffered observations are deliberately NOT concatenated here —
+// the replay step walks accumulators in partition order so every group
+// state sees its values in exactly the sequential scan order. (That
+// order-preserving replay, rather than a state-level merge such as
+// stats.Welford.Merge, is what makes parallel results bit-identical
+// even for order-dependent bounder states like RangeTrim, which clips
+// each value against the running extrema of the whole prefix.)
+func (a *roundAccum) Merge(o *roundAccum) {
+	a.coveredAll += o.coveredAll
+	a.fetched += o.fetched
+	a.skipped += o.skipped
+}
+
 // roundConfig carries the per-round bound-computation context.
 type roundConfig struct {
 	a, b       float64 // catalog range bounds of the aggregate column

@@ -85,6 +85,18 @@ type Options struct {
 	// exact hypergeometric tail bound the paper mentions as the tighter
 	// alternative (§4.1). Slightly more CPU per round, smaller N⁺.
 	ExactCountBounds bool
+	// Parallelism is the number of worker goroutines scanning each
+	// round (≤ 1 selects the sequential legacy path). The parallel
+	// scanner splits every round's block span into contiguous
+	// partitions, accumulates per-worker with no shared mutable state,
+	// and merges at the round barrier in partition order, so results
+	// are bit-identical to sequential execution for a fixed scramble
+	// and the (1−δ) optional-stopping construction is untouched. With
+	// Parallelism ≥ 2 the ActivePeek strategy degrades to ActiveSync
+	// semantics (round-synchronous bitmap probes): the asynchronous
+	// lookahead's batch timing is inherently scan-order-dependent and
+	// would break determinism across worker counts.
+	Parallelism int
 	// OnRound, if set, is called after every bound recomputation with a
 	// snapshot of the current intervals — the paper's "explicit use of
 	// downstream CIs" (§2.1): online-aggregation interfaces display the

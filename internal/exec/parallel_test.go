@@ -1,0 +1,247 @@
+package exec
+
+import (
+	"context"
+	"reflect"
+	"testing"
+
+	"fastframe/internal/ci"
+	"fastframe/internal/query"
+)
+
+// equivQueries is the table of query shapes the equivalence property is
+// checked over: every aggregate kind, grouped and ungrouped views,
+// predicates, expression aggregates, and every stopping family.
+func equivQueries() []query.Query {
+	return []query.Query{
+		{
+			Name: "avg-ungrouped-relwidth",
+			Agg:  query.Aggregate{Kind: query.Avg, Column: "value"},
+			Stop: query.RelWidth(0.05),
+		},
+		{
+			Name:    "sum-grouped-threshold",
+			Agg:     query.Aggregate{Kind: query.Sum, Column: "value"},
+			GroupBy: []string{"airline"},
+			Stop:    query.Threshold(1000),
+		},
+		{
+			Name: "count-pred-abswidth",
+			Agg:  query.Aggregate{Kind: query.Count},
+			Pred: query.Predicate{}.AndGreater("time", 1200),
+			Stop: query.AbsWidth(2000),
+		},
+		{
+			Name:    "avg-grouped-pred-topk",
+			Agg:     query.Aggregate{Kind: query.Avg, Column: "value"},
+			Pred:    query.Predicate{}.AndCatIn("origin", "O0", "O2", "O4"),
+			GroupBy: []string{"airline"},
+			Stop:    query.TopK(2),
+		},
+		{
+			Name:    "avg-two-group-exhaust",
+			Agg:     query.Aggregate{Kind: query.Avg, Column: "value"},
+			GroupBy: []string{"airline", "origin"},
+			Stop:    query.Exhaust(),
+		},
+		{
+			Name: "avg-fixed-samples",
+			Agg:  query.Aggregate{Kind: query.Avg, Column: "value"},
+			Pred: query.Predicate{}.AndCatEquals("airline", "CC"),
+			Stop: query.FixedSamples(2000),
+		},
+	}
+}
+
+// stripDuration zeroes the wall-clock field so Results can be compared
+// byte for byte.
+func stripDuration(r *Result) *Result {
+	r.Duration = 0
+	return r
+}
+
+// TestParallelEquivalence is the headline determinism property: for a
+// fixed scramble and seed, Run with parallelism 1 (the legacy
+// sequential path), 2, 4, and 8 returns identical estimates, intervals,
+// rounds consumed, and blocks fetched — across aggregates, grouping,
+// stopping rules, strategies, and bounders (including the
+// order-dependent RangeTrim wrapper and the O(m)-state Anderson).
+func TestParallelEquivalence(t *testing.T) {
+	tab := buildTestTable(t, 30_000, 7)
+	bounders := []ci.Bounder{bernsteinRT(), ci.HoeffdingSerfling{}, ci.AndersonDKW{}}
+	strategies := []Strategy{Scan, ActiveSync}
+	for _, q := range equivQueries() {
+		for _, b := range bounders {
+			for _, st := range strategies {
+				opts := Options{
+					Bounder:    b,
+					Strategy:   st,
+					Delta:      1e-9,
+					RoundRows:  1000,
+					StartBlock: 17,
+				}
+				base, err := Run(tab, q, opts)
+				if err != nil {
+					t.Fatalf("%s/%s/%s sequential: %v", q.Name, b.Name(), st, err)
+				}
+				stripDuration(base)
+				for _, p := range []int{2, 4, 8} {
+					po := opts
+					po.Parallelism = p
+					got, err := Run(tab, q, po)
+					if err != nil {
+						t.Fatalf("%s/%s/%s P=%d: %v", q.Name, b.Name(), st, p, err)
+					}
+					if !reflect.DeepEqual(base, stripDuration(got)) {
+						t.Errorf("%s/%s/%s: P=%d result differs from sequential\nseq: %+v\npar: %+v",
+							q.Name, b.Name(), st, p, base, got)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestParallelActivePeekMatchesActiveSync pins the documented ActivePeek
+// degradation: with parallelism ≥ 2 the asynchronous lookahead is
+// replaced by round-synchronous probes, so parallel ActivePeek must be
+// bit-identical to sequential (and parallel) ActiveSync.
+func TestParallelActivePeekMatchesActiveSync(t *testing.T) {
+	tab := buildTestTable(t, 30_000, 11)
+	q := query.Query{
+		Name:    "avg-grouped",
+		Agg:     query.Aggregate{Kind: query.Avg, Column: "value"},
+		GroupBy: []string{"origin"},
+		Stop:    query.Threshold(5),
+	}
+	seq, err := Run(tab, q, Options{Bounder: bernsteinRT(), Strategy: ActiveSync, Delta: 1e-9, RoundRows: 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := Run(tab, q, Options{Bounder: bernsteinRT(), Strategy: ActivePeek, Delta: 1e-9, RoundRows: 1000, Parallelism: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(stripDuration(seq), stripDuration(par)) {
+		t.Errorf("parallel ActivePeek differs from sequential ActiveSync:\nseq: %+v\npar: %+v", seq, par)
+	}
+}
+
+// TestParallelAbortEquivalence covers the abort-mid-scan paths: an
+// OnRound callback stopping after a fixed round, and MaxRows cutting a
+// round short, must leave identical partial Results at any parallelism.
+func TestParallelAbortEquivalence(t *testing.T) {
+	tab := buildTestTable(t, 30_000, 13)
+	q := query.Query{
+		Name:    "avg-grouped-exhaust",
+		Agg:     query.Aggregate{Kind: query.Avg, Column: "value"},
+		GroupBy: []string{"airline"},
+		Stop:    query.Exhaust(),
+	}
+	run := func(p, stopRound, maxRows int) *Result {
+		opts := Options{
+			Bounder:     bernsteinRT(),
+			Delta:       1e-9,
+			RoundRows:   1000,
+			Parallelism: p,
+			MaxRows:     maxRows,
+		}
+		if stopRound > 0 {
+			opts.OnRound = func(s RoundSnapshot) bool { return s.Round < stopRound }
+		}
+		res, err := Run(tab, q, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return stripDuration(res)
+	}
+	for _, p := range []int{2, 4, 8} {
+		if base, got := run(1, 3, 0), run(p, 3, 0); !reflect.DeepEqual(base, got) {
+			t.Errorf("OnRound abort: P=%d differs\nseq: %+v\npar: %+v", p, base, got)
+		}
+		// 4321 lands mid-round and mid-block on purpose.
+		if base, got := run(1, 0, 4321), run(p, 0, 4321); !reflect.DeepEqual(base, got) {
+			t.Errorf("MaxRows: P=%d differs\nseq: %+v\npar: %+v", p, base, got)
+		}
+	}
+}
+
+// TestParallelContextCancel checks that a cancelled context ends a
+// parallel scan via the abort path with every worker drained, and that
+// the partial result is well-formed.
+func TestParallelContextCancel(t *testing.T) {
+	tab := buildTestTable(t, 30_000, 17)
+	q := query.Query{
+		Agg:  query.Aggregate{Kind: query.Avg, Column: "value"},
+		Stop: query.Exhaust(),
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	rounds := 0
+	opts := Options{
+		Bounder:     bernsteinRT(),
+		Delta:       1e-9,
+		RoundRows:   1000,
+		Parallelism: 4,
+		OnRound: func(s RoundSnapshot) bool {
+			rounds = s.Round
+			if s.Round == 2 {
+				cancel()
+			}
+			return true
+		},
+	}
+	res, err := RunContext(ctx, tab, q, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Aborted {
+		t.Error("cancelled parallel scan not marked aborted")
+	}
+	if rounds != res.Rounds || res.Rounds != 2 {
+		t.Errorf("scan ran %d rounds after cancellation at round 2", res.Rounds)
+	}
+	if len(res.Groups) != 1 || res.Groups[0].Samples == 0 {
+		t.Errorf("partial parallel result malformed: %+v", res.Groups)
+	}
+}
+
+// TestParallelMoreWorkersThanBlocks exercises the degenerate scales:
+// parallelism exceeding the block count, a single-block table, and an
+// empty span.
+func TestParallelMoreWorkersThanBlocks(t *testing.T) {
+	tab := buildTestTable(t, 60, 19) // 3 blocks of 25
+	q := query.Query{
+		Agg:  query.Aggregate{Kind: query.Avg, Column: "value"},
+		Stop: query.Exhaust(),
+	}
+	seq, err := Run(tab, q, Options{Bounder: bernsteinRT(), Delta: 1e-9, RoundRows: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := Run(tab, q, Options{Bounder: bernsteinRT(), Delta: 1e-9, RoundRows: 10, Parallelism: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(stripDuration(seq), stripDuration(par)) {
+		t.Errorf("tiny table: parallel differs\nseq: %+v\npar: %+v", seq, par)
+	}
+}
+
+// TestRoundAccumMerge pins the barrier merge arithmetic.
+func TestRoundAccumMerge(t *testing.T) {
+	a := &roundAccum{coveredAll: 10, fetched: 2, skipped: 5}
+	b := &roundAccum{coveredAll: 7, fetched: 1, skipped: 0}
+	a.Merge(b)
+	if a.coveredAll != 17 || a.fetched != 3 || a.skipped != 5 {
+		t.Errorf("merge mismatch: %+v", a)
+	}
+	a.reset(4)
+	if a.coveredAll != 0 || a.fetched != 0 || a.skipped != 0 || len(a.shards) != 4 {
+		t.Errorf("reset mismatch: %+v", a)
+	}
+	a.add(5, 1.5)
+	a.add(9, 2.5)
+	if len(a.shards[1]) != 2 { // 5%4 == 9%4 == 1
+		t.Errorf("shard bucketing mismatch: %+v", a.shards)
+	}
+}

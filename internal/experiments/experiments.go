@@ -36,6 +36,10 @@ type Config struct {
 	// Strategy used for bounder ablations (default ActivePeek, the full
 	// system).
 	Strategy exec.Strategy
+	// Parallelism is the scan worker count (≤ 1 = the sequential path
+	// the paper's numbers correspond to; results are identical either
+	// way, only wall time changes).
+	Parallelism int
 }
 
 func (c Config) withDefaults() Config {
@@ -85,11 +89,12 @@ type RunStats struct {
 
 func runOnce(t *table.Table, q query.Query, b ci.Bounder, cfg Config, startSeed uint64) (*exec.Result, error) {
 	return exec.Run(t, q, exec.Options{
-		Bounder:    b,
-		Strategy:   cfg.Strategy,
-		Delta:      cfg.Delta,
-		RoundRows:  cfg.RoundRows,
-		StartBlock: int(startSeed % uint64(maxInt(1, t.Layout().NumBlocks()))),
+		Bounder:     b,
+		Strategy:    cfg.Strategy,
+		Delta:       cfg.Delta,
+		RoundRows:   cfg.RoundRows,
+		StartBlock:  int(startSeed % uint64(maxInt(1, t.Layout().NumBlocks()))),
+		Parallelism: cfg.Parallelism,
 	})
 }
 

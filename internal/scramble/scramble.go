@@ -122,6 +122,11 @@ func (c *Cursor) Fetch(block int) (start, end int) {
 	return c.layout.BlockBounds(block)
 }
 
+// AddFetched credits n fetched blocks at once. The parallel scanner
+// reads blocks on worker goroutines and folds their per-partition fetch
+// counts into the cursor at the round barrier.
+func (c *Cursor) AddFetched(n int) { c.fetched += n }
+
 // BlocksFetched returns the number of blocks read so far.
 func (c *Cursor) BlocksFetched() int { return c.fetched }
 

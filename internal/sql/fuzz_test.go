@@ -1,0 +1,56 @@
+package sql
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParse drives arbitrary query text through the full
+// lex → parse → plan pipeline. The invariant is simple: malformed
+// input must surface as *Error (or any error), never as a panic, and
+// accepted statements must survive planning and re-rendering. The seed
+// corpus is the golden-test query set plus the documented error shapes.
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		"SELECT AVG(DepDelay) FROM flights",
+		"SELECT AVG(DepDelay) FROM flights WHERE Airline IN ('AA', 'HP') AND DepTime > 1350 GROUP BY DayOfWeek WITHIN ABS 0.5",
+		"SELECT COUNT(*) FROM flights WHERE Origin = 'ORD' AND DepDelay BETWEEN -5 AND 60",
+		"SELECT AVG(DepDelay) FROM flights GROUP BY Airline HAVING AVG(DepDelay) > 8",
+		"SELECT SUM(DepDelay) FROM flights GROUP BY Origin ORDER BY SUM(DepDelay) DESC LIMIT 3",
+		"SELECT AVG(DepDelay) FROM flights GROUP BY Origin ORDER BY AVG(DepDelay) ASC LIMIT 2",
+		"SELECT AVG(DepDelay) FROM flights GROUP BY Origin, DayOfWeek ORDER BY AVG(DepDelay)",
+		"SELECT AVG(DepDelay * DepDelay - 1) FROM flights EXACT",
+		"SELECT SUM(ABS(DepDelay)) FROM flights WHERE DepTime <= 900 WITHIN 10 %",
+		"SELECT COUNT(*) FROM ontime WHERE Origin = 'O''Hare'",
+		"SELECT AVG(x) FROM f WITHIN 5% PARALLEL 4",
+		"SELECT AVG(x) FROM f PARALLEL 0",
+		"SELECT MEDIAN(x) FROM f",
+		"SELECT AVG(x) FROM",
+		"SELECT AVG(x), SUM(y) FROM f",
+		"SELECT COUNT(x) FROM f",
+		"SELECT AVG(-(a+b)*3) FROM f WHERE c BETWEEN -1e308 AND 1e308",
+		"select avg(x) from f where g = 'quo''ted' having avg(x) < -2.5",
+		"SELECT AVG(x) FROM f WITHIN -5%",
+		"'", "\"", "(", "%", "--", "\x00", "SELECT",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		c, err := Compile(src)
+		if err != nil {
+			return
+		}
+		// An accepted statement must have planned onto a valid,
+		// renderable logical query.
+		if c.Table == "" {
+			t.Errorf("accepted statement with empty table: %q", src)
+		}
+		if err := c.Query.Validate(); err != nil {
+			t.Errorf("accepted statement failed validation: %q: %v", src, err)
+		}
+		if s := c.Query.String(); !strings.HasPrefix(s, "SELECT") {
+			t.Errorf("unrenderable plan for %q: %q", src, s)
+		}
+	})
+}

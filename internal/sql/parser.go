@@ -9,14 +9,15 @@ import (
 
 // Statement is the parse tree of one SELECT statement, before planning.
 type Statement struct {
-	Agg     AggExpr
-	Table   string
-	Where   []Pred
-	GroupBy []string
-	Having  *Having
-	OrderBy *OrderBy
-	Within  *Within
-	Exact   bool
+	Agg      AggExpr
+	Table    string
+	Where    []Pred
+	GroupBy  []string
+	Having   *Having
+	OrderBy  *OrderBy
+	Within   *Within
+	Exact    bool
+	Parallel int // PARALLEL n execution hint; 0 = unset
 }
 
 // AggExpr is an aggregate call: AVG(expr), SUM(expr), or COUNT(*).
@@ -238,6 +239,23 @@ func (p *parser) parseSelect() (*Statement, error) {
 		if err := p.advance(); err != nil {
 			return nil, err
 		}
+	}
+	// PARALLEL n is an execution hint, not part of the logical query:
+	// it sets the scan worker count (results are bit-identical across
+	// counts, so the hint never changes answers).
+	if p.isKeyword("PARALLEL") {
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		t, err := p.expect(tokNumber, "PARALLEL worker count")
+		if err != nil {
+			return nil, err
+		}
+		n, err := strconv.Atoi(t.text)
+		if err != nil || n <= 0 {
+			return nil, errf(t.pos, "PARALLEL wants a positive integer, found %q", t.text)
+		}
+		st.Parallel = n
 	}
 	return st, nil
 }

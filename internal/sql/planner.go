@@ -9,10 +9,14 @@ import (
 )
 
 // Compiled is the result of planning one SQL statement: the target
-// table name and the logical query the executor runs.
+// table name, the logical query the executor runs, and any execution
+// hints carried alongside (hints never change answers).
 type Compiled struct {
 	Table string
 	Query query.Query
+	// Parallel is the PARALLEL n scan-worker hint (0 = unset; the
+	// engine then defaults to one worker per CPU).
+	Parallel int
 }
 
 // Compile parses and plans a SQL statement.
@@ -68,7 +72,7 @@ func Plan(st *Statement, src string) (Compiled, error) {
 	if err := q.Validate(); err != nil {
 		return Compiled{}, &Error{Pos: -1, Msg: err.Error()}
 	}
-	return Compiled{Table: st.Table, Query: q}, nil
+	return Compiled{Table: st.Table, Query: q, Parallel: st.Parallel}, nil
 }
 
 // planAgg lowers an aggregate call. A bare column argument compiles to

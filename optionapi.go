@@ -15,6 +15,7 @@ type runSettings struct {
 	roundRows        int
 	seed             uint64
 	maxRows          int
+	parallelism      int
 	exactCountBounds bool
 	onProgress       func(Progress) bool
 }
@@ -62,6 +63,23 @@ func WithSeed(seed uint64) Option {
 // stopping condition has not been reached.
 func WithMaxRows(n int) Option {
 	return func(s *runSettings) { s.maxRows = n }
+}
+
+// WithParallelism sets the number of worker goroutines that scan each
+// interval-recomputation round (default runtime.GOMAXPROCS(0);
+// WithParallelism(1) selects the sequential legacy path). Each round's
+// block span is split into n contiguous partitions accumulated without
+// shared mutable state and merged at the round barrier in scan order,
+// so results are bit-identical to sequential execution for a fixed
+// seed and the (1−δ) guarantee is untouched. Exact queries
+// (QueryExact) use the same partitioned scan; there the merge is
+// additive, so answers across different n agree up to floating-point
+// summation order. One semantic note: with n ≥ 2 the ActivePeek
+// strategy runs its block-skipping probes round-synchronously (exactly
+// the ActiveSync decisions) instead of via the asynchronous lookahead,
+// whose batch timing would make fetched-block sets depend on n.
+func WithParallelism(n int) Option {
+	return func(s *runSettings) { s.parallelism = n }
 }
 
 // WithExactCountBounds switches the unknown-view-size bound to the

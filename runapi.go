@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"math/rand/v2"
+	"runtime"
 	"sort"
 	"time"
 
@@ -362,6 +363,16 @@ func (o ExecOptions) settings() runSettings {
 	}
 }
 
+// resolveParallelism maps the WithParallelism setting onto the scan
+// worker count: unset selects one worker per available CPU, explicit
+// values pass through (1 = the sequential legacy path).
+func (s runSettings) resolveParallelism() int {
+	if s.parallelism <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return s.parallelism
+}
+
 // runQuery is the shared execution path beneath Table.Query, Table.Run
 // and Engine.Query.
 func (t *Table) runQuery(ctx context.Context, q query.Query, s runSettings) (*Result, error) {
@@ -377,6 +388,7 @@ func (t *Table) runQuery(ctx context.Context, q query.Query, s runSettings) (*Re
 		Rng:              rand.New(rand.NewPCG(s.seed, 0x9a7)),
 		MaxRows:          s.maxRows,
 		ExactCountBounds: s.exactCountBounds,
+		Parallelism:      s.resolveParallelism(),
 	}
 	if s.onProgress != nil {
 		cb := s.onProgress
@@ -467,11 +479,17 @@ func (r *ExactResult) Group(key string) *ExactGroup {
 
 // QueryExact evaluates the query exactly with a full scan (the
 // paper's Exact baseline; also the ground truth for validation). The
-// context is checked periodically during the scan; an exact answer
-// has no valid partial form, so cancellation returns ctx.Err().
-func (t *Table) QueryExact(ctx context.Context, q QueryBuilder) (*ExactResult, error) {
+// scan is partitioned across WithParallelism workers (default one per
+// CPU); per-group counts merge exactly and sums in partition order, so
+// answers across worker counts agree up to floating-point summation
+// order. The context is checked periodically during the scan; an exact
+// answer has no valid partial form, so cancellation returns ctx.Err().
+// Options other than WithParallelism are ignored.
+func (t *Table) QueryExact(ctx context.Context, q QueryBuilder, opts ...Option) (*ExactResult, error) {
+	var s runSettings
+	s.apply(opts)
 	qq := q.build()
-	res, err := exact.RunContext(ctx, t.t, qq)
+	res, err := exact.RunParallelContext(ctx, t.t, qq, s.resolveParallelism())
 	if err != nil {
 		return nil, err
 	}
