@@ -6,6 +6,12 @@
 //	ffquery "SELECT AVG(DepDelay) FROM flights GROUP BY Airline HAVING AVG(DepDelay) > 8"
 //	ffquery -bounder hoeffding "SELECT AVG(DepDelay) FROM flights GROUP BY Origin ORDER BY AVG(DepDelay) DESC LIMIT 3"
 //	ffquery -timeout 500ms "SELECT COUNT(*) FROM flights WHERE DepTime > 1800 WITHIN 20%"
+//	ffquery -stream "SELECT AVG(DepDelay) FROM flights GROUP BY DayOfWeek WITHIN 2%"
+//
+// With -stream the query runs as a pull-based cursor and every
+// interval-recomputation round prints a progress line, so the
+// intervals can be watched tightening until the stopping rule fires —
+// the paper's interactive online-aggregation loop.
 //
 // The supported grammar (see the Engine documentation for details):
 //
@@ -39,6 +45,7 @@ func main() {
 		delta    = flag.Float64("delta", 0, "per-query error probability (default 1e-15)")
 		timeout  = flag.Duration("timeout", 0, "cancel the query after this long (0 = no limit)")
 		exact    = flag.Bool("exact", true, "also compute the exact answer for comparison")
+		stream   = flag.Bool("stream", false, "stream per-round interval snapshots while the query runs")
 		parallel = flag.Int("parallel", 0, "scan workers; 0 = one per CPU, 1 = sequential (results are identical across counts; a PARALLEL n clause in the query overrides this flag's default only)")
 	)
 	flag.Usage = func() {
@@ -94,7 +101,12 @@ func main() {
 	if *parallel > 0 {
 		opts = append(opts, fastframe.WithParallelism(*parallel))
 	}
-	res, err := eng.Query(ctx, sqlText, opts...)
+	var res *fastframe.Result
+	if *stream {
+		res, err = streamQuery(ctx, eng, sqlText, opts)
+	} else {
+		res, err = eng.Query(ctx, sqlText, opts...)
+	}
 	if err != nil {
 		fatal(err)
 	}
@@ -131,6 +143,33 @@ func main() {
 		}
 		fmt.Printf("%-12s %12.4f %12.4f %12.4f %10d %12s\n", key, iv.Lo, iv.Estimate, iv.Hi, g.Samples, truth)
 	}
+}
+
+// streamQuery runs the query through the prepared-statement streaming
+// cursor, printing one line per interval-recomputation round.
+func streamQuery(ctx context.Context, eng *fastframe.Engine, sqlText string, opts []fastframe.Option) (*fastframe.Result, error) {
+	stmt, err := eng.Prepare(sqlText, opts...)
+	if err != nil {
+		return nil, err
+	}
+	rows, err := stmt.Stream(ctx)
+	if err != nil {
+		return nil, err
+	}
+	defer rows.Close()
+	for p := range rows.Rounds() {
+		// Track the interval that carries the query's guarantee (the
+		// one its stopping rule watches), not always the AVG view.
+		widest := 0.0
+		for _, g := range p.Groups {
+			if w := g.Answer(p.Agg).Width(); w > widest {
+				widest = w
+			}
+		}
+		fmt.Printf("round %3d: %9d rows, %7d blocks, %3d active groups, widest %s CI %.4f\n",
+			p.Round, p.RowsCovered, p.BlocksFetched, p.ActiveGroups, p.Agg, widest)
+	}
+	return rows.Final()
 }
 
 func pickBounder(name string) (fastframe.Bounder, error) {

@@ -1,6 +1,7 @@
 package fastframe
 
 import (
+	"container/list"
 	"context"
 	"fmt"
 	"sort"
@@ -50,6 +51,72 @@ type Engine struct {
 	budget  float64 // total session δ (0 when untracked)
 	spent   float64 // union-bound δ consumed so far
 	queries int
+	plans   planCache // compiled-statement cache keyed by SQL text
+}
+
+// DefaultPlanCacheSize is the number of compiled statements Engine
+// keeps per session (least-recently-used eviction) unless overridden
+// with WithPlanCacheSize.
+const DefaultPlanCacheSize = 256
+
+// planCache is an LRU cache of prepared statement templates keyed by
+// the exact SQL text. Engine.Query and Engine.Prepare both consult it,
+// so repeated traffic — one-shot or prepared — skips the lexer, parser
+// and planner entirely after the first occurrence of a statement.
+type planCache struct {
+	mu           sync.Mutex
+	cap          int
+	ll           *list.List // front = most recently used; elements hold *planEntry
+	m            map[string]*list.Element
+	hits, misses int
+}
+
+type planEntry struct {
+	key  string
+	tmpl *sql.Template
+}
+
+func (c *planCache) init(capacity int) {
+	c.cap = capacity
+	c.ll = list.New()
+	c.m = make(map[string]*list.Element)
+}
+
+func (c *planCache) get(key string) *sql.Template {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.m[key]; ok {
+		c.ll.MoveToFront(el)
+		c.hits++
+		return el.Value.(*planEntry).tmpl
+	}
+	c.misses++
+	return nil
+}
+
+func (c *planCache) put(key string, tmpl *sql.Template) {
+	if c.cap <= 0 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.m[key]; ok {
+		c.ll.MoveToFront(el)
+		el.Value.(*planEntry).tmpl = tmpl
+		return
+	}
+	c.m[key] = c.ll.PushFront(&planEntry{key: key, tmpl: tmpl})
+	for c.ll.Len() > c.cap {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		delete(c.m, oldest.Value.(*planEntry).key)
+	}
+}
+
+func (c *planCache) stats() (hits, misses, size int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses, c.ll.Len()
 }
 
 // EngineOption configures an Engine at construction.
@@ -64,6 +131,7 @@ func NewEngine(opts ...EngineOption) *Engine {
 		tables: make(map[string]*Table),
 		delta:  exec.DefaultDelta,
 	}
+	e.plans.init(DefaultPlanCacheSize)
 	for _, o := range opts {
 		o(e)
 	}
@@ -87,6 +155,13 @@ func WithSessionBudget(total float64, queries int) EngineOption {
 // from a budget.
 func WithQueryDelta(delta float64) EngineOption {
 	return func(e *Engine) { e.delta = delta }
+}
+
+// WithPlanCacheSize sets how many compiled statements the engine
+// caches (default DefaultPlanCacheSize, LRU eviction); n ≤ 0 disables
+// the cache, so every Query/Prepare re-parses its SQL text.
+func WithPlanCacheSize(n int) EngineOption {
+	return func(e *Engine) { e.plans.init(n) }
 }
 
 // Register adds a table to the engine under a name usable in FROM
@@ -138,45 +213,129 @@ func (e *Engine) Tables() []string {
 	return e.namesLocked()
 }
 
-// Query compiles and executes one SQL query. The query draws its error
-// probability from the session budget (override per query with
-// WithDelta); the context is checked at every interval-recomputation
-// round, and cancellation or an expired deadline returns the partial
-// Result with Aborted set — its intervals remain valid CIs at the
-// point the scan stopped.
-func (e *Engine) Query(ctx context.Context, sqlText string, opts ...Option) (*Result, error) {
-	c, err := sql.Compile(sqlText)
+// template resolves SQL text to a prepared-statement template via the
+// plan cache: a hit skips the lexer, parser and planner entirely.
+func (e *Engine) template(sqlText string) (*sql.Template, error) {
+	if t := e.plans.get(sqlText); t != nil {
+		return t, nil
+	}
+	t, err := sql.Prepare(sqlText)
 	if err != nil {
 		return nil, err
 	}
+	e.plans.put(sqlText, t)
+	return t, nil
+}
+
+// recordRun is the one place session accounting happens. The rule: a
+// query is counted in QueriesRun if and only if it produced a result —
+// complete, exhausted, and aborted-with-partial-intervals runs alike;
+// a run that failed before producing a result counts nothing. The δ
+// budget is additionally charged for approximate results only: an
+// approximate answer spends the error probability its intervals
+// consumed even when the scan was aborted early (the partial intervals
+// were still reported), while an exact answer is deterministic and
+// δ-free.
+func (e *Engine) recordRun(delta float64, exact bool) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.queries++
+	if exact {
+		return
+	}
+	if delta <= 0 {
+		delta = exec.DefaultDelta
+	}
+	e.spent += delta
+}
+
+// settings resolves the per-run configuration: the session δ, then the
+// statement's PARALLEL hint, then explicit options (which override the
+// hint).
+func (e *Engine) settings(c sql.Compiled, opts []Option) runSettings {
 	e.mu.RLock()
-	t, err := e.lookupLocked(c.Table)
 	s := runSettings{delta: e.delta}
 	e.mu.RUnlock()
+	s.parallelism = c.Parallel
+	s.apply(opts)
+	return s
+}
+
+// run executes one bound, planned statement approximately.
+func (e *Engine) run(ctx context.Context, c sql.Compiled, opts []Option) (*Result, error) {
+	t, err := e.Table(c.Table)
 	if err != nil {
 		return nil, err
 	}
-
-	// The PARALLEL hint sets the baseline; explicit WithParallelism
-	// options override it.
-	s.parallelism = c.Parallel
-	s.apply(opts)
+	s := e.settings(c, opts)
 	res, err := t.runQuery(ctx, c.Query, s)
 	if err != nil {
 		return nil, err
 	}
-
-	// A query that ran consumed its slice of the session budget, even
-	// if it was aborted early — its intervals were still reported.
-	delta := s.delta
-	if delta <= 0 {
-		delta = exec.DefaultDelta
-	}
-	e.mu.Lock()
-	e.queries++
-	e.spent += delta
-	e.mu.Unlock()
+	e.recordRun(s.delta, false)
 	return res, nil
+}
+
+// runExact executes one bound, planned statement exactly, ignoring its
+// tail stopping clause.
+func (e *Engine) runExact(ctx context.Context, c sql.Compiled, opts []Option) (*ExactResult, error) {
+	t, err := e.Table(c.Table)
+	if err != nil {
+		return nil, err
+	}
+	if c.Parallel > 0 {
+		opts = append([]Option{WithParallelism(c.Parallel)}, opts...)
+	}
+	res, err := t.QueryExact(ctx, QueryBuilder{q: c.Query}, opts...)
+	if err != nil {
+		return nil, err
+	}
+	e.recordRun(0, true)
+	return res, nil
+}
+
+// stream starts one bound, planned statement as a pull-based cursor.
+func (e *Engine) streamRun(ctx context.Context, c sql.Compiled, opts []Option) (*Rows, error) {
+	t, err := e.Table(c.Table)
+	if err != nil {
+		return nil, err
+	}
+	s := e.settings(c, opts)
+	return t.stream(ctx, c.Query, s, func(res *Result, err error) {
+		if err == nil {
+			e.recordRun(s.delta, false)
+		}
+	}), nil
+}
+
+// bindText resolves SQL text through the plan cache and binds it with
+// no arguments, rejecting parameterized statements with a hint toward
+// Prepare.
+func (e *Engine) bindText(sqlText string) (sql.Compiled, error) {
+	tmpl, err := e.template(sqlText)
+	if err != nil {
+		return sql.Compiled{}, err
+	}
+	if n := tmpl.NumParams(); n > 0 {
+		return sql.Compiled{}, fmt.Errorf("fastframe: query has %d parameter placeholder(s) '?'; use Engine.Prepare and bind arguments", n)
+	}
+	return tmpl.Bind()
+}
+
+// Query compiles and executes one SQL query. Compilation goes through
+// the engine's plan cache, so repeated query texts skip parsing and
+// planning entirely (prepare explicitly with Engine.Prepare to also
+// bind '?' parameters). The query draws its error probability from the
+// session budget (override per query with WithDelta); the context is
+// checked at every interval-recomputation round, and cancellation or
+// an expired deadline returns the partial Result with Aborted set —
+// its intervals remain valid CIs at the point the scan stopped.
+func (e *Engine) Query(ctx context.Context, sqlText string, opts ...Option) (*Result, error) {
+	c, err := e.bindText(sqlText)
+	if err != nil {
+		return nil, err
+	}
+	return e.run(ctx, c, opts)
 }
 
 // QueryExact compiles the SQL query and evaluates it exactly with a
@@ -186,30 +345,44 @@ func (e *Engine) Query(ctx context.Context, sqlText string, opts ...Option) (*Re
 // the worker count — PARALLEL 1 restores strictly sequential
 // summation. The context is checked periodically during the scan; an
 // exact answer has no valid partial form, so cancellation returns
-// ctx.Err().
+// ctx.Err(). An exact query counts toward QueriesRun but — being
+// deterministic — charges nothing to the session δ budget (see
+// recordRun for the full accounting rule).
 func (e *Engine) QueryExact(ctx context.Context, sqlText string, opts ...Option) (*ExactResult, error) {
-	c, err := sql.Compile(sqlText)
+	c, err := e.bindText(sqlText)
 	if err != nil {
 		return nil, err
 	}
-	t, err := e.Table(c.Table)
-	if err != nil {
-		return nil, err
-	}
-	if c.Parallel > 0 {
-		opts = append([]Option{WithParallelism(c.Parallel)}, opts...)
-	}
-	return t.QueryExact(ctx, QueryBuilder{q: c.Query}, opts...)
+	return e.runExact(ctx, c, opts)
 }
 
-// Explain compiles the SQL query and returns the logical plan
-// rendering without executing it.
+// Stream compiles one SQL query and starts it as a pull-based cursor
+// over per-round interval snapshots — see Rows. For parameterized
+// statements use Engine.Prepare and Stmt.Stream.
+func (e *Engine) Stream(ctx context.Context, sqlText string, opts ...Option) (*Rows, error) {
+	c, err := e.bindText(sqlText)
+	if err != nil {
+		return nil, err
+	}
+	return e.streamRun(ctx, c, opts)
+}
+
+// Explain compiles the SQL query (through the plan cache) and returns
+// the full logical plan rendering without executing it: aggregate,
+// table, predicates, grouping, the stopping rule the tail clause
+// compiles to, the parallelism hint, and any '?' parameter slots.
 func (e *Engine) Explain(sqlText string) (string, error) {
-	c, err := sql.Compile(sqlText)
+	tmpl, err := e.template(sqlText)
 	if err != nil {
 		return "", err
 	}
-	return c.Query.String() + " FROM " + c.Table, nil
+	return tmpl.Explain(), nil
+}
+
+// PlanCacheStats reports the plan cache's lifetime hit/miss counters
+// and current size.
+func (e *Engine) PlanCacheStats() (hits, misses, size int) {
+	return e.plans.stats()
 }
 
 // QueriesRun returns the number of queries issued through the engine.

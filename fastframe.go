@@ -36,6 +36,23 @@
 //		StopAtRelError(0.05)
 //	res, _ := tab.Query(ctx, q, fastframe.WithDelta(1e-12))
 //
+// Repeated traffic prepares once and binds '?' parameters per run —
+// and can pull the tightening intervals round by round instead of
+// waiting for the final answer:
+//
+//	stmt, _ := eng.Prepare(
+//		"SELECT AVG(DepDelay) FROM flights WHERE Origin = ? WITHIN ?%")
+//	res, _ := stmt.Query(ctx, "ORD", 5.0)
+//	rows, _ := stmt.Stream(ctx, "LAX", 1.0)
+//	defer rows.Close()
+//	for p := range rows.Rounds() {
+//		fmt.Println(p.Round, p.Groups[0].Avg)
+//	}
+//
+// (One-shot Engine.Query text is cached in an LRU plan cache, so it
+// skips re-parsing too; the fastframe/driver package additionally
+// exposes the engine through database/sql.)
+//
 // Execution is context-aware: cancellation or a deadline stops the
 // scan at the next round boundary and returns the partial result with
 // still-valid intervals (Result.Aborted is set). An Engine additionally

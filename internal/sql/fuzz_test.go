@@ -54,3 +54,106 @@ func FuzzParse(f *testing.F) {
 		}
 	})
 }
+
+// FuzzPrepareBind drives arbitrary statements through Prepare and then
+// binds them with varying argument counts and types (derived from the
+// fuzzed inputs). The invariants: no panics anywhere; Prepare-accepted
+// statements expose coherent parameter metadata (each slot's Pos names
+// a '?' byte); a correctly-arity'd, correctly-typed bind either plans
+// or fails with an *Error; and every binding error for a known slot
+// carries that slot's byte offset. The seed corpus covers every slot
+// position plus the documented malformed-'?' shapes.
+func FuzzPrepareBind(f *testing.F) {
+	seeds := []struct {
+		src  string
+		s    string
+		n    float64
+		k    int64
+		mode uint8
+	}{
+		{"SELECT AVG(DepDelay) FROM flights WHERE Origin = ? WITHIN ?%", "ORD", 5, 1, 0},
+		{"SELECT AVG(x) FROM f WHERE c IN (?, 'B', ?) AND t > ?", "A", 1350, 2, 1},
+		{"SELECT COUNT(*) FROM f WHERE d BETWEEN ? AND ? WITHIN ABS ?", "x", -5, 3, 2},
+		{"SELECT AVG(x) FROM f GROUP BY g HAVING AVG(x) > ?", "q", 8, 1, 0},
+		{"SELECT SUM(x) FROM f GROUP BY g ORDER BY SUM(x) DESC LIMIT ? PARALLEL ?", "s", 3, 4, 1},
+		{"SELECT AVG(x) FROM f WHERE a = ? AND b = ? AND c = ?", "v", 0, 0, 2},
+		{"SELECT AVG(?) FROM f", "bad", 1, 1, 0},
+		{"SELECT AVG(x) FROM f GROUP BY ?", "bad", 1, 1, 1},
+		{"SELECT AVG(x) FROM f WHERE ? = 'v'", "bad", 1, 1, 2},
+		{"SELECT AVG(x) FROM f PARALLEL ?", "p", 1, -1, 0},
+		{"SELECT AVG(x) FROM f WITHIN ?%", "w", -10, 1, 1},
+		{"?", "?", 0, 0, 0},
+	}
+	for _, s := range seeds {
+		f.Add(s.src, s.s, s.n, s.k, s.mode)
+	}
+	f.Fuzz(func(t *testing.T, src, sArg string, nArg float64, kArg int64, mode uint8) {
+		tmpl, err := Prepare(src)
+		if err != nil {
+			return
+		}
+		params := tmpl.Params()
+		if len(params) != tmpl.NumParams() {
+			t.Fatalf("Params()/NumParams disagree: %d vs %d", len(params), tmpl.NumParams())
+		}
+		for i, p := range params {
+			if p.Index != i {
+				t.Errorf("slot %d has Index %d: %q", i, p.Index, src)
+			}
+			if p.Pos < 0 || p.Pos >= len(src) || src[p.Pos] != '?' {
+				t.Errorf("slot %d Pos %d does not name a '?' in %q", i, p.Pos, src)
+			}
+		}
+
+		// Build an argument vector per fuzzed mode: 0 = correctly
+		// typed, 1 = everything a string, 2 = everything a float. The
+		// arity is also perturbed by the mode's high bits.
+		args := make([]any, 0, len(params)+1)
+		for _, p := range params {
+			switch mode % 3 {
+			case 0:
+				switch p.Kind {
+				case ParamString:
+					args = append(args, sArg)
+				case ParamFloat:
+					args = append(args, nArg)
+				default:
+					args = append(args, kArg)
+				}
+			case 1:
+				args = append(args, sArg)
+			default:
+				args = append(args, nArg)
+			}
+		}
+		switch (mode / 3) % 3 {
+		case 1:
+			args = append(args, sArg) // one too many
+		case 2:
+			if len(args) > 0 {
+				args = args[:len(args)-1] // one too few
+			}
+		}
+
+		c, err := tmpl.Bind(args...)
+		if err != nil {
+			serr, ok := err.(*Error)
+			if !ok {
+				t.Fatalf("Bind error type %T (%v) for %q", err, err, src)
+			}
+			// Errors attributed to a slot must carry its byte offset.
+			if strings.Contains(serr.Msg, "parameter ") && serr.Pos >= 0 {
+				if serr.Pos >= len(src) || src[serr.Pos] != '?' {
+					t.Errorf("binding error Pos %d does not name a '?' in %q: %v", serr.Pos, src, err)
+				}
+			}
+			return
+		}
+		if err := c.Query.Validate(); err != nil {
+			t.Errorf("bound statement failed validation: %q %v: %v", src, args, err)
+		}
+		if s := c.Query.String(); !strings.HasPrefix(s, "SELECT") {
+			t.Errorf("unrenderable bound plan for %q: %q", src, s)
+		}
+	})
+}

@@ -26,6 +26,13 @@
 // bottom-k separation ⑤, ORDER BY without LIMIT to the full ordering
 // stop ⑥, WITHIN to the absolute/relative CI-width stops ②/③, and
 // EXACT (or no tail clause) to a full scan.
+//
+// Every value position — WHERE comparison values, IN-list members,
+// BETWEEN bounds, the HAVING threshold, the WITHIN target, LIMIT, and
+// PARALLEL — also accepts the positional parameter marker '?'. A
+// statement with parameters is compiled once with Prepare and bound to
+// concrete values many times with Template.Bind; binding is typed per
+// slot and binding errors carry the byte offset of the offending '?'.
 package sql
 
 import (
@@ -53,6 +60,7 @@ const (
 	tokLe
 	tokGe
 	tokPercent
+	tokQuestion
 )
 
 func (k tokenKind) String() string {
@@ -89,6 +97,8 @@ func (k tokenKind) String() string {
 		return "'>='"
 	case tokPercent:
 		return "'%'"
+	case tokQuestion:
+		return "'?'"
 	default:
 		return fmt.Sprintf("token(%d)", int(k))
 	}
@@ -191,6 +201,8 @@ func (l *lexer) next() (token, error) {
 		return token{kind: tokMinus, pos: start}, nil
 	case '%':
 		return token{kind: tokPercent, pos: start}, nil
+	case '?':
+		return token{kind: tokQuestion, pos: start}, nil
 	case '=':
 		return token{kind: tokEq, pos: start}, nil
 	case '<':

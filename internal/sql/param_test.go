@@ -1,0 +1,329 @@
+package sql
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"fastframe/internal/query"
+)
+
+// TestPrepareBindEquivalence checks that a parameterized statement,
+// bound, plans onto exactly the same logical query as the equivalent
+// literal SQL.
+func TestPrepareBindEquivalence(t *testing.T) {
+	cases := []struct {
+		param   string
+		args    []any
+		literal string
+	}{
+		{
+			param:   "SELECT AVG(DepDelay) FROM flights WHERE Origin = ? WITHIN ?%",
+			args:    []any{"ORD", 5.0},
+			literal: "SELECT AVG(DepDelay) FROM flights WHERE Origin = 'ORD' WITHIN 5%",
+		},
+		{
+			param:   "SELECT AVG(x) FROM f WHERE c IN (?, 'B', ?) AND t > ?",
+			args:    []any{"A", "C", 1350},
+			literal: "SELECT AVG(x) FROM f WHERE c IN ('B', 'A', 'C') AND t > 1350",
+		},
+		{
+			param:   "SELECT COUNT(*) FROM f WHERE d BETWEEN ? AND ? WITHIN ABS ?",
+			args:    []any{-5.0, 60.0, 0.5},
+			literal: "SELECT COUNT(*) FROM f WHERE d BETWEEN -5 AND 60 WITHIN ABS 0.5",
+		},
+		{
+			param:   "SELECT AVG(x) FROM f GROUP BY g HAVING AVG(x) > ?",
+			args:    []any{8.25},
+			literal: "SELECT AVG(x) FROM f GROUP BY g HAVING AVG(x) > 8.25",
+		},
+		{
+			param:   "SELECT SUM(x) FROM f GROUP BY g ORDER BY SUM(x) DESC LIMIT ? PARALLEL ?",
+			args:    []any{int64(3), 4},
+			literal: "SELECT SUM(x) FROM f GROUP BY g ORDER BY SUM(x) DESC LIMIT 3 PARALLEL 4",
+		},
+		{
+			param:   "SELECT AVG(x) FROM f WHERE t <= ?",
+			args:    []any{900},
+			literal: "SELECT AVG(x) FROM f WHERE t <= 900",
+		},
+	}
+	for _, c := range cases {
+		tmpl, err := Prepare(c.param)
+		if err != nil {
+			t.Errorf("Prepare(%q): %v", c.param, err)
+			continue
+		}
+		bound, err := tmpl.Bind(c.args...)
+		if err != nil {
+			t.Errorf("Bind(%q, %v): %v", c.param, c.args, err)
+			continue
+		}
+		lit, err := Compile(c.literal)
+		if err != nil {
+			t.Fatalf("Compile(%q): %v", c.literal, err)
+		}
+		// The display name embeds the source text (which differs by
+		// construction); everything else must match exactly.
+		bq, lq := bound.Query, lit.Query
+		bq.Name, lq.Name = "", ""
+		if bq.String() != lq.String() {
+			t.Errorf("bound %q != literal %q:\n  %s\n  %s", c.param, c.literal, bq.String(), lq.String())
+		}
+		if bq.Stop != lq.Stop {
+			t.Errorf("%q: stop %+v != %+v", c.param, bq.Stop, lq.Stop)
+		}
+		if bound.Parallel != lit.Parallel {
+			t.Errorf("%q: parallel %d != %d", c.param, bound.Parallel, lit.Parallel)
+		}
+		// Predicate internals (the rendered string hides exact bounds).
+		if len(bq.Pred.Ranges) != len(lq.Pred.Ranges) {
+			t.Fatalf("%q: range count mismatch", c.param)
+		}
+		for i := range bq.Pred.Ranges {
+			if bq.Pred.Ranges[i] != lq.Pred.Ranges[i] {
+				t.Errorf("%q: range %d: %+v != %+v", c.param, i, bq.Pred.Ranges[i], lq.Pred.Ranges[i])
+			}
+		}
+	}
+}
+
+// TestPrepareParamMetadata checks slot descriptors: order, kind,
+// context, and byte offsets.
+func TestPrepareParamMetadata(t *testing.T) {
+	src := "SELECT AVG(x) FROM f WHERE a = ? AND b IN (?) AND t > ? GROUP BY g HAVING AVG(x) > ? WITHIN ?% PARALLEL ?"
+	tmpl, err := Prepare(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// HAVING and WITHIN cannot combine; re-do with a legal statement.
+	if _, err := tmpl.Bind("A", "B", 1.0, 2.0, 5.0, 2); err == nil {
+		t.Fatal("HAVING+WITHIN statement bound; want planning error")
+	}
+
+	src = "SELECT AVG(x) FROM f WHERE a = ? AND t > ? WITHIN ?% PARALLEL ?"
+	tmpl, err = Prepare(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	params := tmpl.Params()
+	if len(params) != 4 || tmpl.NumParams() != 4 {
+		t.Fatalf("NumParams = %d, want 4", len(params))
+	}
+	wantKinds := []ParamKind{ParamString, ParamFloat, ParamFloat, ParamInt}
+	wantCtx := []string{"WHERE a = ?", "WHERE t > ?", "WITHIN ?%", "PARALLEL ?"}
+	for i, p := range params {
+		if p.Index != i {
+			t.Errorf("param %d: Index = %d", i, p.Index)
+		}
+		if p.Kind != wantKinds[i] {
+			t.Errorf("param %d: Kind = %v, want %v", i, p.Kind, wantKinds[i])
+		}
+		if p.Context != wantCtx[i] {
+			t.Errorf("param %d: Context = %q, want %q", i, p.Context, wantCtx[i])
+		}
+		if src[p.Pos] != '?' {
+			t.Errorf("param %d: Pos %d points at %q, want '?'", i, p.Pos, src[p.Pos])
+		}
+	}
+}
+
+// TestBindErrors checks typed binding failures: position annotation,
+// arity, type mismatches, and deferred validation.
+func TestBindErrors(t *testing.T) {
+	mustPrepare := func(src string) *Template {
+		t.Helper()
+		tmpl, err := Prepare(src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return tmpl
+	}
+
+	// Type mismatch carries the '?' byte offset.
+	src := "SELECT AVG(x) FROM f WHERE a = ?"
+	tmpl := mustPrepare(src)
+	_, err := tmpl.Bind(42)
+	if err == nil {
+		t.Fatal("int bound to string slot")
+	}
+	se, ok := err.(*Error)
+	if !ok {
+		t.Fatalf("error type %T, want *Error", err)
+	}
+	if se.Pos != strings.IndexByte(src, '?') {
+		t.Errorf("error Pos = %d, want %d", se.Pos, strings.IndexByte(src, '?'))
+	}
+	if !strings.Contains(se.Error(), "parameter 1") || !strings.Contains(se.Error(), "WHERE a = ?") {
+		t.Errorf("error %q missing slot identification", se.Error())
+	}
+
+	// Arity errors: too few points at the first unbound slot.
+	tmpl = mustPrepare("SELECT AVG(x) FROM f WHERE a = ? AND t > ?")
+	if _, err := tmpl.Bind("A"); err == nil {
+		t.Error("underbinding accepted")
+	} else if se, ok := err.(*Error); !ok || se.Pos < 0 {
+		t.Errorf("underbinding error = %v, want positional *Error", err)
+	}
+	if _, err := tmpl.Bind("A", 1.0, 2.0); err == nil {
+		t.Error("overbinding accepted")
+	}
+
+	// Parameterless statements reject any arguments.
+	tmpl = mustPrepare("SELECT AVG(x) FROM f")
+	if _, err := tmpl.Bind("stray"); err == nil {
+		t.Error("argument to parameterless statement accepted")
+	}
+	if _, err := tmpl.Bind(); err != nil {
+		t.Errorf("zero-arg bind of parameterless statement: %v", err)
+	}
+
+	// Numeric slot rejects strings.
+	tmpl = mustPrepare("SELECT AVG(x) FROM f WHERE t > ?")
+	if _, err := tmpl.Bind("fast"); err == nil {
+		t.Error("string bound to number slot")
+	}
+
+	// Integer slots reject floats and non-positive values.
+	tmpl = mustPrepare("SELECT AVG(x) FROM f GROUP BY g ORDER BY AVG(x) DESC LIMIT ?")
+	if _, err := tmpl.Bind(2.5); err == nil {
+		t.Error("float bound to LIMIT slot")
+	}
+	if _, err := tmpl.Bind(0); err == nil {
+		t.Error("LIMIT 0 accepted")
+	}
+	if _, err := tmpl.Bind(-3); err == nil {
+		t.Error("negative LIMIT accepted")
+	}
+	if c, err := tmpl.Bind(int64(2)); err != nil {
+		t.Errorf("LIMIT int64(2): %v", err)
+	} else if c.Query.Stop.Kind != query.StopTopK || c.Query.Stop.K != 2 {
+		t.Errorf("LIMIT int64(2) stop = %+v", c.Query.Stop)
+	}
+
+	// WITHIN validation is deferred to bind for '?' targets.
+	tmpl = mustPrepare("SELECT AVG(x) FROM f WITHIN ?%")
+	if _, err := tmpl.Bind(-5.0); err == nil {
+		t.Error("negative WITHIN percentage accepted")
+	}
+	if c, err := tmpl.Bind(5.0); err != nil {
+		t.Errorf("WITHIN 5%%: %v", err)
+	} else if c.Query.Stop.Kind != query.StopRelWidth || c.Query.Stop.Epsilon != 0.05 {
+		t.Errorf("WITHIN ?%% bound 5 → stop %+v, want rel 0.05", c.Query.Stop)
+	}
+
+	// Non-finite numbers are rejected everywhere: no literal can spell
+	// them, and e.g. a NaN HAVING threshold would silently scan to
+	// exhaustion (no CI can ever exclude NaN).
+	tmpl = mustPrepare("SELECT AVG(x) FROM f GROUP BY g HAVING AVG(x) > ?")
+	for _, v := range []float64{math.NaN(), math.Inf(1), math.Inf(-1)} {
+		if _, err := tmpl.Bind(v); err == nil {
+			t.Errorf("non-finite threshold %v accepted", v)
+		}
+	}
+	tmpl = mustPrepare("SELECT AVG(x) FROM f WHERE t > ?")
+	if _, err := tmpl.Bind(math.NaN()); err == nil {
+		t.Error("NaN comparison bound accepted")
+	}
+
+	// BETWEEN bounds reversed is caught at bind-time planning.
+	tmpl = mustPrepare("SELECT AVG(x) FROM f WHERE d BETWEEN ? AND ?")
+	if _, err := tmpl.Bind(10.0, 5.0); err == nil {
+		t.Error("reversed BETWEEN bounds accepted")
+	}
+
+	// PARALLEL '?' must be positive.
+	tmpl = mustPrepare("SELECT AVG(x) FROM f PARALLEL ?")
+	if _, err := tmpl.Bind(0); err == nil {
+		t.Error("PARALLEL 0 accepted")
+	}
+	if c, err := tmpl.Bind(8); err != nil {
+		t.Errorf("PARALLEL 8: %v", err)
+	} else if c.Parallel != 8 {
+		t.Errorf("Parallel = %d, want 8", c.Parallel)
+	}
+}
+
+// TestCompileRejectsParams: the one-step Compile path refuses
+// placeholders, pointing at the first one.
+func TestCompileRejectsParams(t *testing.T) {
+	_, err := Compile("SELECT AVG(x) FROM f WHERE a = ?")
+	if err == nil {
+		t.Fatal("Compile accepted a parameterized statement")
+	}
+	if !strings.Contains(err.Error(), "parameter placeholder") {
+		t.Errorf("error = %v", err)
+	}
+}
+
+// TestMalformedPlaceholders: '?' outside value positions is a parse
+// error, never a panic.
+func TestMalformedPlaceholders(t *testing.T) {
+	bad := []string{
+		"SELECT AVG(?) FROM f",
+		"SELECT ? FROM f",
+		"SELECT AVG(x) FROM ?",
+		"SELECT AVG(x) FROM f GROUP BY ?",
+		"SELECT AVG(x) FROM f WHERE ? = 'v'",
+		"SELECT AVG(x) FROM f ORDER BY ?",
+		"SELECT AVG(x) FROM f WHERE a ? 'v'",
+		"?",
+		"SELECT AVG(x) FROM f WITHIN ABS ? %",
+	}
+	for _, src := range bad {
+		if _, err := Prepare(src); err == nil {
+			t.Errorf("Prepare(%q) accepted", src)
+		}
+	}
+}
+
+// TestTemplateBindIsolated: binding never mutates the template, so a
+// template can serve concurrent binds with different values.
+func TestTemplateBindIsolated(t *testing.T) {
+	tmpl, err := Prepare("SELECT AVG(x) FROM f WHERE a = ? AND c IN (?, 'Z') AND t > ?")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c1, err := tmpl.Bind("A", "B", 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2, err := tmpl.Bind("X", "Y", 2.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := c1.Query.Pred.CatEq[0].Value; got != "A" {
+		t.Errorf("first bind's equality value changed to %q", got)
+	}
+	if got := c2.Query.Pred.CatEq[0].Value; got != "X" {
+		t.Errorf("second bind equality = %q", got)
+	}
+	in1, in2 := c1.Query.Pred.CatIn[0].Values, c2.Query.Pred.CatIn[0].Values
+	if len(in1) != 2 || len(in2) != 2 || in1[1] != "B" || in2[1] != "Y" {
+		t.Errorf("IN lists cross-contaminated: %v vs %v", in1, in2)
+	}
+}
+
+// TestTemplateExplain spot-checks the plan rendering.
+func TestTemplateExplain(t *testing.T) {
+	tmpl, err := Prepare("SELECT AVG(DepDelay) FROM flights WHERE Origin = ? GROUP BY Airline HAVING AVG(DepDelay) > ? PARALLEL 4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan := tmpl.Explain()
+	for _, sub := range []string{
+		"SELECT AVG(DepDelay)",
+		"FROM flights",
+		"Origin = $1",
+		"GROUP BY Airline",
+		"STOP threshold",
+		"HAVING AVG(DepDelay) > $2",
+		"PARALLEL 4 workers",
+		"$1 string — WHERE Origin = ?",
+		"$2 number — HAVING threshold ?",
+	} {
+		if !strings.Contains(plan, sub) {
+			t.Errorf("Explain missing %q in:\n%s", sub, plan)
+		}
+	}
+}

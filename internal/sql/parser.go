@@ -8,16 +8,26 @@ import (
 // ---- AST ----------------------------------------------------------------
 
 // Statement is the parse tree of one SELECT statement, before planning.
+// Value positions written as the parameter marker '?' are recorded in
+// Params (in text order) and referenced from the clause they occur in
+// by their 1-based parameter number; 0 always means "literal value
+// present". Template.Bind substitutes bound arguments before planning.
 type Statement struct {
-	Agg      AggExpr
-	Table    string
-	Where    []Pred
-	GroupBy  []string
-	Having   *Having
-	OrderBy  *OrderBy
-	Within   *Within
-	Exact    bool
-	Parallel int // PARALLEL n execution hint; 0 = unset
+	Agg           AggExpr
+	Table         string
+	Where         []Pred
+	GroupBy       []string
+	Having        *Having
+	OrderBy       *OrderBy
+	Within        *Within
+	Exact         bool
+	Parallel      int     // PARALLEL n execution hint; 0 = unset
+	ParallelParam int     // 1-based parameter number of PARALLEL ?; 0 = literal
+	Params        []Param // '?' slots in text order
+
+	// bound marks a bindClone whose parameter slots have been filled;
+	// Plan refuses a statement with parameters that is not bound.
+	bound bool
 }
 
 // AggExpr is an aggregate call: AVG(expr), SUM(expr), or COUNT(*).
@@ -74,46 +84,79 @@ const (
 	PredBetween
 )
 
-// Pred is one conjunct of the WHERE clause.
+// Pred is one conjunct of the WHERE clause. The *Param fields hold
+// 1-based parameter numbers for values written as '?' (0 = literal).
 type Pred struct {
-	Column string
-	Op     PredOp
-	Str    string   // PredEq
-	Set    []string // PredIn
-	Lo, Hi float64  // numeric forms (Lo for Gt/Ge/Between, Hi for Lt/Le/Between)
-	Pos    int
+	Column    string
+	Op        PredOp
+	Str       string   // PredEq
+	StrParam  int      // PredEq: col = ?
+	Set       []string // PredIn (literal members; bound members are appended at Bind)
+	SetParams []int    // PredIn: parameter numbers of '?' members
+	Lo, Hi    float64  // numeric forms (Lo for Gt/Ge/Between, Hi for Lt/Le/Between)
+	LoParam   int      // Gt/Ge/Between low bound written as '?'
+	HiParam   int      // Lt/Le/Between high bound written as '?'
+	Pos       int
 }
 
 // Having is the HAVING clause: AGG(c) > v or AGG(c) < v.
 type Having struct {
-	Agg     AggExpr
-	Greater bool
-	Value   float64
-	Pos     int
+	Agg        AggExpr
+	Greater    bool
+	Value      float64
+	ValueParam int // 1-based parameter number of a '?' threshold; 0 = literal
+	Pos        int
 }
 
 // OrderBy is the ORDER BY clause; Limit 0 means no LIMIT (full
 // ordering).
 type OrderBy struct {
-	Agg   AggExpr
-	Desc  bool
-	Limit int
-	Pos   int
+	Agg        AggExpr
+	Desc       bool
+	Limit      int
+	LimitParam int // 1-based parameter number of LIMIT ?; 0 = literal
+	Pos        int
 }
 
 // Within is the WITHIN clause: a relative (percent) or absolute CI
 // width target.
 type Within struct {
-	Relative bool
-	Value    float64 // fraction when Relative (5% → 0.05), else absolute width
-	Pos      int
+	Relative   bool
+	Value      float64 // fraction when Relative (5% → 0.05), else absolute width
+	ValueParam int     // 1-based parameter number of a '?' target; 0 = literal
+	Pos        int
 }
 
 // ---- Parser -------------------------------------------------------------
 
 type parser struct {
-	lex lexer
-	tok token // current token
+	lex    lexer
+	tok    token // current token
+	params []Param
+}
+
+// param consumes the current '?' token, records a parameter slot of
+// the given kind, and returns its 1-based parameter number. context is
+// the human-readable slot description used in binding errors.
+func (p *parser) param(kind ParamKind, context string) (int, error) {
+	slot := Param{Index: len(p.params), Pos: p.tok.pos, Kind: kind, Context: context}
+	p.params = append(p.params, slot)
+	if err := p.advance(); err != nil {
+		return 0, err
+	}
+	return slot.Index + 1, nil
+}
+
+// parseNumberOrParam parses a numeric literal or a '?' placeholder,
+// returning the literal value and the 1-based parameter number (0 for
+// literals).
+func (p *parser) parseNumberOrParam(context string) (float64, int, error) {
+	if p.tok.kind == tokQuestion {
+		n, err := p.param(ParamFloat, context)
+		return 0, n, err
+	}
+	v, err := p.parseNumber()
+	return v, 0, err
 }
 
 // Parse parses one SELECT statement.
@@ -247,16 +290,23 @@ func (p *parser) parseSelect() (*Statement, error) {
 		if err := p.advance(); err != nil {
 			return nil, err
 		}
-		t, err := p.expect(tokNumber, "PARALLEL worker count")
-		if err != nil {
-			return nil, err
+		if p.tok.kind == tokQuestion {
+			if st.ParallelParam, err = p.param(ParamInt, "PARALLEL ?"); err != nil {
+				return nil, err
+			}
+		} else {
+			t, err := p.expect(tokNumber, "PARALLEL worker count")
+			if err != nil {
+				return nil, err
+			}
+			n, err := strconv.Atoi(t.text)
+			if err != nil || n <= 0 {
+				return nil, errf(t.pos, "PARALLEL wants a positive integer, found %q", t.text)
+			}
+			st.Parallel = n
 		}
-		n, err := strconv.Atoi(t.text)
-		if err != nil || n <= 0 {
-			return nil, errf(t.pos, "PARALLEL wants a positive integer, found %q", t.text)
-		}
-		st.Parallel = n
 	}
+	st.Params = p.params
 	return st, nil
 }
 
@@ -427,6 +477,14 @@ func (p *parser) parsePred() (Pred, error) {
 		if err := p.advance(); err != nil {
 			return Pred{}, err
 		}
+		if p.tok.kind == tokQuestion {
+			n, err := p.param(ParamString, "WHERE "+col.text+" = ?")
+			if err != nil {
+				return Pred{}, err
+			}
+			pr.Op, pr.StrParam = PredEq, n
+			break
+		}
 		if p.tok.kind == tokNumber {
 			return Pred{}, errf(p.tok.pos, "%s = %s: equality predicates take a quoted categorical value; use BETWEEN for numeric columns", col.text, p.tok.text)
 		}
@@ -443,11 +501,19 @@ func (p *parser) parsePred() (Pred, error) {
 			return Pred{}, err
 		}
 		for {
-			s, err := p.expect(tokString, "quoted value")
-			if err != nil {
-				return Pred{}, err
+			if p.tok.kind == tokQuestion {
+				n, err := p.param(ParamString, "WHERE "+col.text+" IN (?)")
+				if err != nil {
+					return Pred{}, err
+				}
+				pr.SetParams = append(pr.SetParams, n)
+			} else {
+				s, err := p.expect(tokString, "quoted value")
+				if err != nil {
+					return Pred{}, err
+				}
+				pr.Set = append(pr.Set, s.text)
 			}
-			pr.Set = append(pr.Set, s.text)
 			if p.tok.kind != tokComma {
 				break
 			}
@@ -463,36 +529,38 @@ func (p *parser) parsePred() (Pred, error) {
 		if err := p.advance(); err != nil {
 			return Pred{}, err
 		}
-		lo, err := p.parseNumber()
+		lo, loParam, err := p.parseNumberOrParam("WHERE " + col.text + " BETWEEN ? AND …")
 		if err != nil {
 			return Pred{}, err
 		}
 		if err := p.expectKeyword("AND"); err != nil {
 			return Pred{}, err
 		}
-		hi, err := p.parseNumber()
+		hi, hiParam, err := p.parseNumberOrParam("WHERE " + col.text + " BETWEEN … AND ?")
 		if err != nil {
 			return Pred{}, err
 		}
 		pr.Op, pr.Lo, pr.Hi = PredBetween, lo, hi
+		pr.LoParam, pr.HiParam = loParam, hiParam
 	case p.tok.kind == tokGt, p.tok.kind == tokGe, p.tok.kind == tokLt, p.tok.kind == tokLe:
 		kind := p.tok.kind
+		op := map[tokenKind]string{tokGt: ">", tokGe: ">=", tokLt: "<", tokLe: "<="}[kind]
 		if err := p.advance(); err != nil {
 			return Pred{}, err
 		}
-		v, err := p.parseNumber()
+		v, vp, err := p.parseNumberOrParam("WHERE " + col.text + " " + op + " ?")
 		if err != nil {
 			return Pred{}, err
 		}
 		switch kind {
 		case tokGt:
-			pr.Op, pr.Lo = PredGt, v
+			pr.Op, pr.Lo, pr.LoParam = PredGt, v, vp
 		case tokGe:
-			pr.Op, pr.Lo = PredGe, v
+			pr.Op, pr.Lo, pr.LoParam = PredGe, v, vp
 		case tokLt:
-			pr.Op, pr.Hi = PredLt, v
+			pr.Op, pr.Hi, pr.HiParam = PredLt, v, vp
 		case tokLe:
-			pr.Op, pr.Hi = PredLe, v
+			pr.Op, pr.Hi, pr.HiParam = PredLe, v, vp
 		}
 	default:
 		return Pred{}, errf(p.tok.pos, "expected =, IN, BETWEEN, or a comparison after column %q, found %s", col.text, p.tok.describe())
@@ -544,7 +612,7 @@ func (p *parser) parseHaving() (*Having, error) {
 	if err := p.advance(); err != nil {
 		return nil, err
 	}
-	if h.Value, err = p.parseNumber(); err != nil {
+	if h.Value, h.ValueParam, err = p.parseNumberOrParam("HAVING threshold ?"); err != nil {
 		return nil, err
 	}
 	return h, nil
@@ -578,15 +646,21 @@ func (p *parser) parseOrderBy() (*OrderBy, error) {
 		if err := p.advance(); err != nil {
 			return nil, err
 		}
-		t, err := p.expect(tokNumber, "LIMIT count")
-		if err != nil {
-			return nil, err
+		if p.tok.kind == tokQuestion {
+			if ob.LimitParam, err = p.param(ParamInt, "LIMIT ?"); err != nil {
+				return nil, err
+			}
+		} else {
+			t, err := p.expect(tokNumber, "LIMIT count")
+			if err != nil {
+				return nil, err
+			}
+			k, err := strconv.Atoi(t.text)
+			if err != nil || k <= 0 {
+				return nil, errf(t.pos, "LIMIT wants a positive integer, found %q", t.text)
+			}
+			ob.Limit = k
 		}
-		k, err := strconv.Atoi(t.text)
-		if err != nil || k <= 0 {
-			return nil, errf(t.pos, "LIMIT wants a positive integer, found %q", t.text)
-		}
-		ob.Limit = k
 	}
 	return ob, nil
 }
@@ -600,24 +674,27 @@ func (p *parser) parseWithin() (*Within, error) {
 		if err := p.advance(); err != nil {
 			return nil, err
 		}
-		v, err := p.parseNumber()
+		v, vp, err := p.parseNumberOrParam("WITHIN ABS ?")
 		if err != nil {
 			return nil, err
 		}
-		if v <= 0 {
+		if vp == 0 && v <= 0 {
 			return nil, errf(pos, "WITHIN ABS wants a positive width, found %g", v)
 		}
-		return &Within{Relative: false, Value: v, Pos: pos}, nil
+		return &Within{Relative: false, Value: v, ValueParam: vp, Pos: pos}, nil
 	}
-	v, err := p.parseNumber()
+	v, vp, err := p.parseNumberOrParam("WITHIN ?%")
 	if err != nil {
 		return nil, err
 	}
 	if _, err := p.expect(tokPercent, "'%' (or use WITHIN ABS for an absolute width)"); err != nil {
 		return nil, err
 	}
-	if v <= 0 {
-		return nil, errf(pos, "WITHIN wants a positive percentage, found %g%%", v)
+	if vp == 0 {
+		if v <= 0 {
+			return nil, errf(pos, "WITHIN wants a positive percentage, found %g%%", v)
+		}
+		v /= 100
 	}
-	return &Within{Relative: true, Value: v / 100, Pos: pos}, nil
+	return &Within{Relative: true, Value: v, ValueParam: vp, Pos: pos}, nil
 }

@@ -17,20 +17,32 @@ type Compiled struct {
 	// Parallel is the PARALLEL n scan-worker hint (0 = unset; the
 	// engine then defaults to one worker per CPU).
 	Parallel int
+
+	// st is the (bound) parse tree the plan was lowered from, kept for
+	// Explain rendering.
+	st *Statement
 }
 
-// Compile parses and plans a SQL statement.
+// Compile parses and plans a SQL statement in one step. Statements
+// with '?' parameter placeholders cannot be compiled directly — use
+// Prepare and bind arguments with Template.Bind.
 func Compile(src string) (Compiled, error) {
-	st, err := Parse(src)
+	t, err := Prepare(src)
 	if err != nil {
 		return Compiled{}, err
 	}
-	return Plan(st, src)
+	if n := t.NumParams(); n > 0 {
+		return Compiled{}, errf(t.params[0].Pos, "statement has %d parameter placeholder(s) '?'; prepare it and bind arguments", n)
+	}
+	return t.Bind()
 }
 
 // Plan lowers a parsed statement onto the logical query model. src is
 // the original query text, recorded as the query's display name.
 func Plan(st *Statement, src string) (Compiled, error) {
+	if len(st.Params) > 0 && !st.bound {
+		return Compiled{}, errf(st.Params[0].Pos, "statement has unbound parameters; bind arguments via Template.Bind")
+	}
 	q := query.Query{Name: strings.TrimSpace(src)}
 
 	agg, err := planAgg(st.Agg)
@@ -72,7 +84,7 @@ func Plan(st *Statement, src string) (Compiled, error) {
 	if err := q.Validate(); err != nil {
 		return Compiled{}, &Error{Pos: -1, Msg: err.Error()}
 	}
-	return Compiled{Table: st.Table, Query: q, Parallel: st.Parallel}, nil
+	return Compiled{Table: st.Table, Query: q, Parallel: st.Parallel, st: st}, nil
 }
 
 // planAgg lowers an aggregate call. A bare column argument compiles to

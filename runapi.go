@@ -144,8 +144,12 @@ type ExecOptions struct {
 	OnProgress func(Progress) bool
 }
 
-// Progress is a mid-query snapshot delivered to ExecOptions.OnProgress.
+// Progress is a mid-query snapshot delivered to WithProgress callbacks
+// and Rows cursors (and, for compatibility, ExecOptions.OnProgress).
 type Progress struct {
+	// Agg is the aggregate the query computes; each group's
+	// Answer(Agg) interval carries the query's full guarantee.
+	Agg Agg
 	// Round counts interval recomputations so far.
 	Round int
 	// RowsCovered and BlocksFetched are the cost so far.
@@ -394,6 +398,7 @@ func (t *Table) runQuery(ctx context.Context, q query.Query, s runSettings) (*Re
 		cb := s.onProgress
 		execOpts.OnRound = func(s exec.RoundSnapshot) bool {
 			p := Progress{
+				Agg:           aggOf(q.Agg.Kind),
 				Round:         s.Round,
 				RowsCovered:   s.RowsCovered,
 				BlocksFetched: s.BlocksFetched,

@@ -1,0 +1,66 @@
+package fastframe
+
+import "testing"
+
+// benchSQL is a representative parameterized statement: predicate
+// values, a GROUP BY, and a stopping target.
+const benchSQL = "SELECT AVG(DepDelay) FROM flights WHERE Origin = ? AND DepTime > ? GROUP BY Airline WITHIN ABS ?"
+
+// BenchmarkPrepareOnce measures the run-many half of a prepared
+// statement: the SQL text was compiled once, so each iteration only
+// binds arguments and plans the bound statement.
+func BenchmarkPrepareOnce(b *testing.B) {
+	eng := NewEngine()
+	stmt, err := eng.Prepare(benchSQL)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := stmt.Bind("ORD", 1200.0, 0.5); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCompileEachTime is the baseline BenchmarkPrepareOnce beats:
+// the plan cache is disabled, so every iteration re-lexes, re-parses
+// and re-plans the statement text — what Engine.Query cost per call
+// before the prepared-statement redesign.
+func BenchmarkCompileEachTime(b *testing.B) {
+	eng := NewEngine(WithPlanCacheSize(0))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		stmt, err := eng.Prepare(benchSQL)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := stmt.Bind("ORD", 1200.0, 0.5); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPlanCacheHit measures the one-shot Engine path for repeated
+// query text: the LRU plan cache resolves the statement, skipping the
+// parser entirely.
+func BenchmarkPlanCacheHit(b *testing.B) {
+	eng := NewEngine()
+	const literal = "SELECT AVG(DepDelay) FROM flights WHERE Origin = 'ORD' GROUP BY Airline WITHIN ABS 0.5"
+	if _, err := eng.Prepare(literal); err != nil { // warm the cache
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tmpl, err := eng.template(literal)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := tmpl.Bind(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
