@@ -25,6 +25,19 @@
 //	[ORDER BY AGG(c) [DESC] [LIMIT k]]   stop: top-/bottom-k or full order
 //	[WITHIN p% | WITHIN ABS e | EXACT]   stop: CI width target / full scan
 //	[PARALLEL n]                  hint: scan workers (results identical)
+//
+// Star/snowflake joins: load dimension tables from CSV with the
+// repeatable -dim flag and query the join view,
+//
+//	ffquery -dim airports=airports.csv:Origin \
+//	    "SELECT AVG(DepDelay) FROM flights JOIN airports ON flights.Origin = airports.key WHERE airports.region = 'west' WITHIN 5%"
+//
+// where the spec name=path:key registers the CSV at path as dimension
+// "name" (the CSV column headed "key" holds the dimension keys, every
+// other column becomes a string attribute) and attaches it to the fact
+// column of the same name — here flights.Origin. Dimension predicates
+// (dim.attr = / != / IN) compile to fact-side IN key sets, so all
+// interval guarantees and block pruning carry over to the join view.
 package main
 
 import (
@@ -32,9 +45,58 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"fastframe"
 )
+
+// dimFlag collects repeatable -dim name=path:key specs.
+type dimFlag []string
+
+func (d *dimFlag) String() string     { return strings.Join(*d, ",") }
+func (d *dimFlag) Set(v string) error { *d = append(*d, v); return nil }
+
+// parseDimSpec splits "name=path:key" (the path may itself contain
+// ':'; the key is everything after the last one).
+func parseDimSpec(spec string) (name, path, key string, err error) {
+	name, rest, ok := strings.Cut(spec, "=")
+	if !ok || name == "" {
+		return "", "", "", fmt.Errorf("-dim %q: want name=path:key", spec)
+	}
+	i := strings.LastIndex(rest, ":")
+	if i <= 0 || i == len(rest)-1 {
+		return "", "", "", fmt.Errorf("-dim %q: want name=path:key", spec)
+	}
+	return name, rest[:i], rest[i+1:], nil
+}
+
+// loadDims registers each -dim spec's CSV as a dimension and attaches
+// it to the fact column named by the spec's key.
+func loadDims(eng *fastframe.Engine, factTable string, specs []string) error {
+	for _, spec := range specs {
+		name, path, key, err := parseDimSpec(spec)
+		if err != nil {
+			return err
+		}
+		f, err := os.Open(path)
+		if err != nil {
+			return err
+		}
+		d, err := fastframe.LoadDimensionCSV(name, key, f)
+		f.Close()
+		if err != nil {
+			return err
+		}
+		if err := eng.RegisterDimension(name, d); err != nil {
+			return err
+		}
+		if err := eng.AttachDimension(factTable, key, name); err != nil {
+			return err
+		}
+		fmt.Printf("dimension %s: %d rows (keyed by %s.%s)\n", name, d.NumRows(), factTable, key)
+	}
+	return nil
+}
 
 func main() {
 	var (
@@ -47,7 +109,9 @@ func main() {
 		exact    = flag.Bool("exact", true, "also compute the exact answer for comparison")
 		stream   = flag.Bool("stream", false, "stream per-round interval snapshots while the query runs")
 		parallel = flag.Int("parallel", 0, "scan workers; 0 = one per CPU, 1 = sequential (results are identical across counts; a PARALLEL n clause in the query overrides this flag's default only)")
+		dims     dimFlag
 	)
+	flag.Var(&dims, "dim", "dimension CSV as name=path:key — register the CSV at path as dimension name (key column header = key), attached to the fact column of the same name; repeatable")
 	flag.Usage = func() {
 		fmt.Fprintf(flag.CommandLine.Output(), "usage: ffquery [flags] \"SELECT ...\"\n\n")
 		flag.PrintDefaults()
@@ -69,10 +133,14 @@ func main() {
 	}
 
 	eng := fastframe.NewEngine()
-	if plan, err := eng.Explain(sqlText); err != nil {
+	// Fail fast on syntax errors and bad -dim specs before the (slower)
+	// data generation; the full plan — including compiled join key
+	// sets, which need the table registered — prints afterwards.
+	if _, err := eng.Explain(sqlText); err != nil {
 		fatal(err)
-	} else {
-		fmt.Printf("plan: %s\n", plan)
+	}
+	if err := loadDims(eng, "flights", dims); err != nil {
+		fatal(err)
 	}
 
 	fmt.Printf("generating %d flights rows (seed %d)...\n", *rows, *seed)
@@ -82,6 +150,11 @@ func main() {
 	}
 	if err := eng.Register("flights", tab); err != nil {
 		fatal(err)
+	}
+	if plan, err := eng.Explain(sqlText); err != nil {
+		fatal(err)
+	} else {
+		fmt.Printf("plan: %s\n", plan)
 	}
 
 	ctx := context.Background()

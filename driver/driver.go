@@ -11,6 +11,14 @@
 //	    "SELECT AVG(DepDelay) FROM flights WHERE Origin = ? GROUP BY Airline WITHIN ABS ?",
 //	    "ORD", 0.5)
 //
+// Star/snowflake JOINs work through the driver too — register
+// dimensions on the engine (RegisterDimension + AttachDimension) and
+// query the join view, with '?' parameters in dimension predicates:
+//
+//	rows, err := db.Query(
+//	    "SELECT AVG(DepDelay) FROM flights JOIN airports ON flights.Origin = airports.key"+
+//	        " WHERE airports.region = ? GROUP BY DayOfWeek WITHIN 5%", "west")
+//
 // Each result row is one group of the approximate answer, with the
 // columns
 //

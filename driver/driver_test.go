@@ -55,9 +55,9 @@ func TestParameterizedGroupByEndToEnd(t *testing.T) {
 	got := map[string]row{}
 	for rows.Next() {
 		var (
-			key         string
-			est, lo, hi float64
-			samples     int64
+			key            string
+			est, lo, hi    float64
+			samples        int64
 			exact, aborted bool
 		)
 		if err := rows.Scan(&key, &est, &lo, &hi, &samples, &exact, &aborted); err != nil {
@@ -99,6 +99,93 @@ func TestParameterizedGroupByEndToEnd(t *testing.T) {
 		}
 		if d.samples != int64(g.Samples) {
 			t.Errorf("group %q: samples %d vs %d", g.Key, d.samples, g.Samples)
+		}
+	}
+}
+
+// TestParameterizedJoinGroupByEndToEnd drives a star-schema JOIN with
+// a '?'-bound dimension predicate through database/sql and checks it
+// against the engine's answer on the equivalent literal SQL.
+func TestParameterizedJoinGroupByEndToEnd(t *testing.T) {
+	eng := testEngine(t)
+	tab, err := eng.Table("flights")
+	if err != nil {
+		t.Fatal(err)
+	}
+	origins, err := tab.CategoricalValues("Origin")
+	if err != nil {
+		t.Fatal(err)
+	}
+	airports := fastframe.NewDimension("airports")
+	for i, code := range origins {
+		region := "east"
+		if i%2 == 0 {
+			region = "west"
+		}
+		airports.Add(code, map[string]string{"region": region})
+	}
+	if err := eng.RegisterDimension("airports", airports); err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.AttachDimension("flights", "Origin", "airports"); err != nil {
+		t.Fatal(err)
+	}
+
+	db := OpenDB(eng)
+	defer db.Close()
+
+	rows, err := db.Query(
+		"SELECT AVG(DepDelay) FROM flights JOIN airports ON flights.Origin = airports.key "+
+			"WHERE airports.region = ? AND DepDelay > ? GROUP BY DayOfWeek WITHIN ABS ?",
+		"west", -60.0, 3.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rows.Close()
+
+	type row struct {
+		lo, est, hi float64
+		samples     int64
+	}
+	got := map[string]row{}
+	for rows.Next() {
+		var (
+			key            string
+			est, lo, hi    float64
+			samples        int64
+			exact, aborted bool
+		)
+		if err := rows.Scan(&key, &est, &lo, &hi, &samples, &exact, &aborted); err != nil {
+			t.Fatal(err)
+		}
+		got[key] = row{lo: lo, est: est, hi: hi, samples: samples}
+	}
+	if err := rows.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 7 {
+		t.Fatalf("join GROUP BY DayOfWeek returned %d groups, want 7", len(got))
+	}
+
+	ref, err := eng.Query(context.Background(),
+		"SELECT AVG(DepDelay) FROM flights JOIN airports ON flights.Origin = airports.key "+
+			"WHERE airports.region = 'west' AND DepDelay > -60 GROUP BY DayOfWeek WITHIN ABS 3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ref.Groups) != len(got) {
+		t.Fatalf("driver returned %d groups, engine %d", len(got), len(ref.Groups))
+	}
+	for _, g := range ref.Groups {
+		d, ok := got[g.Key]
+		if !ok {
+			t.Errorf("group %q missing from driver result", g.Key)
+			continue
+		}
+		iv := g.Answer(ref.Agg)
+		if d.est != iv.Estimate || d.lo != iv.Lo || d.hi != iv.Hi || d.samples != int64(g.Samples) {
+			t.Errorf("group %q: driver [%v, %v, %v] (%d samples) vs engine %v (%d samples)",
+				g.Key, d.lo, d.est, d.hi, d.samples, iv, g.Samples)
 		}
 	}
 }

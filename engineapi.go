@@ -5,10 +5,12 @@ import (
 	"context"
 	"fmt"
 	"sort"
+	"strings"
 	"sync"
 
 	"fastframe/internal/exec"
 	"fastframe/internal/sql"
+	"fastframe/internal/star"
 )
 
 // Engine is the session-level entry point to FastFrame: it owns a
@@ -47,9 +49,11 @@ import (
 type Engine struct {
 	mu      sync.RWMutex
 	tables  map[string]*Table
-	delta   float64 // per-query δ drawn from the session budget
-	budget  float64 // total session δ (0 when untracked)
-	spent   float64 // union-bound δ consumed so far
+	dims    map[string]*Dimension        // dimension registry, by name
+	attach  map[string]map[string]string // parent (table or dim) → column → dim name
+	delta   float64                      // per-query δ drawn from the session budget
+	budget  float64                      // total session δ (0 when untracked)
+	spent   float64                      // union-bound δ consumed so far
 	queries int
 	plans   planCache // compiled-statement cache keyed by SQL text
 }
@@ -129,6 +133,8 @@ type EngineOption func(*Engine)
 func NewEngine(opts ...EngineOption) *Engine {
 	e := &Engine{
 		tables: make(map[string]*Table),
+		dims:   make(map[string]*Dimension),
+		attach: make(map[string]map[string]string),
 		delta:  exec.DefaultDelta,
 	}
 	e.plans.init(DefaultPlanCacheSize)
@@ -213,6 +219,163 @@ func (e *Engine) Tables() []string {
 	return e.namesLocked()
 }
 
+// RegisterDimension adds a dimension table to the engine under a name
+// usable in JOIN clauses. Registering an existing name replaces the
+// dimension; like table replacement, the new contents are picked up at
+// the next run of any statement — including statements already held by
+// the plan cache or prepared as a Stmt, since dimension predicates
+// resolve at bind time, not compile time. Register fully-built
+// dimensions: the engine reads them without locking during queries.
+func (e *Engine) RegisterDimension(name string, d *Dimension) error {
+	if name == "" {
+		return fmt.Errorf("fastframe: dimension name must be non-empty")
+	}
+	if d == nil {
+		return fmt.Errorf("fastframe: dimension %q is nil", name)
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.dims[name] = d
+	return nil
+}
+
+// AttachDimension declares that parent's column holds the keys of the
+// named dimension, enabling "JOIN dimName ON parent.column =
+// dimName.key" in SQL. parent is a fact table name (a star arm: column
+// is a categorical foreign-key column) or another dimension's name (a
+// snowflake chain: column is an attribute of that dimension). The
+// dimension must already be registered; the parent may be registered
+// or replaced later — the linkage is validated when a joining
+// statement runs. Re-attaching a column replaces the linkage.
+func (e *Engine) AttachDimension(parent, column, dimName string) error {
+	if parent == "" || column == "" {
+		return fmt.Errorf("fastframe: AttachDimension needs a parent and a column")
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if _, ok := e.dims[dimName]; !ok {
+		return fmt.Errorf("fastframe: unknown dimension %q (RegisterDimension first)", dimName)
+	}
+	cols := e.attach[parent]
+	if cols == nil {
+		cols = make(map[string]string)
+		e.attach[parent] = cols
+	}
+	cols[column] = dimName
+	return nil
+}
+
+// Dimensions returns the registered dimension names, sorted.
+func (e *Engine) Dimensions() []string {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	names := make([]string, 0, len(e.dims))
+	for n := range e.dims {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// resolveJoins compiles a statement's JOIN clauses and dimension
+// predicates into fact-side IN atoms against the engine's CURRENT
+// dimension registry — the bind-time counterpart of FROM-table
+// resolution, so re-registered dimensions take effect on the next run
+// even for cached plans and prepared statements. Joins are processed
+// children-first (a snowflake child's key set folds into an IN
+// predicate over its parent's attribute), then each star arm extends
+// the fact predicate through the same star.Schema path the hand-built
+// StarSchema API uses, keeping the two byte-identical.
+func (e *Engine) resolveJoins(t *Table, c sql.Compiled) (sql.Compiled, error) {
+	if len(c.Joins) == 0 {
+		return c, nil
+	}
+	e.mu.RLock()
+	dims := make(map[string]*Dimension, len(c.Joins))
+	attach := make(map[string]string, len(c.Joins))
+	var missing []string
+	for _, j := range c.Joins {
+		if d, ok := e.dims[j.Dim]; ok {
+			dims[j.Dim] = d
+		} else {
+			missing = append(missing, j.Dim)
+		}
+		if dim, ok := e.attach[j.Parent][j.ParentColumn]; ok {
+			attach[j.Parent+"."+j.ParentColumn] = dim
+		}
+	}
+	registered := make([]string, 0, len(e.dims))
+	for n := range e.dims {
+		registered = append(registered, n)
+	}
+	e.mu.RUnlock()
+
+	if len(missing) > 0 {
+		sort.Strings(registered)
+		return c, fmt.Errorf("fastframe: unknown dimension %q (registered: %v)", missing[0], registered)
+	}
+
+	// Attribute predicates per dimension, in statement order.
+	attrPreds := make(map[string][]star.AttrPred, len(c.Joins))
+	for _, dp := range c.DimPreds {
+		var p star.AttrPred
+		switch dp.Op {
+		case sql.PredEq:
+			p = star.Eq(dp.Attr, dp.Values[0])
+		case sql.PredNe:
+			p = star.Ne(dp.Attr, dp.Values[0])
+		default: // sql.PredIn
+			p = star.In(dp.Attr, dp.Values...)
+		}
+		attrPreds[dp.Dim] = append(attrPreds[dp.Dim], p)
+	}
+
+	// Children before parents: joins are in statement order and a
+	// parent always precedes its children (the parser enforces it), so
+	// the reverse walk has every child's key set ready when its parent
+	// folds it in via the snowflake chaining step.
+	keys := make(map[string][]string, len(c.Joins))
+	for i := len(c.Joins) - 1; i >= 0; i-- {
+		j := c.Joins[i]
+		if dim := attach[j.Parent+"."+j.ParentColumn]; dim != j.Dim {
+			return c, fmt.Errorf("fastframe: no dimension %q attached to %s.%s (declare the linkage with AttachDimension(%q, %q, %q))",
+				j.Dim, j.Parent, j.ParentColumn, j.Parent, j.ParentColumn, j.Dim)
+		}
+		ps := attrPreds[j.Dim]
+		for k := i + 1; k < len(c.Joins); k++ {
+			if c.Joins[k].Parent == j.Dim {
+				ps = append(ps, star.ChainIn(c.Joins[k].ParentColumn, keys[c.Joins[k].Dim]))
+			}
+		}
+		ks, err := dims[j.Dim].d.KeysMatching(ps...)
+		if err != nil {
+			return c, fmt.Errorf("fastframe: JOIN %s: %w", j.Dim, err)
+		}
+		keys[j.Dim] = ks
+	}
+
+	// Star arms extend the fact predicate in statement order. Attaching
+	// through star.Schema validates the foreign-key column up front; the
+	// IN atom then carries the key set computed above — the same sorted
+	// set the hand-built StarSchema/CompileWhereAll path produces, so
+	// the two compilations are byte-identical.
+	schema := star.NewSchema(t.t)
+	pred := c.Query.Pred
+	for _, j := range c.Joins {
+		if j.Parent != c.Table {
+			continue
+		}
+		if schema.Dimension(j.ParentColumn) == nil {
+			if err := schema.Attach(j.ParentColumn, dims[j.Dim].d); err != nil {
+				return c, fmt.Errorf("fastframe: JOIN %s: %w", j.Dim, err)
+			}
+		}
+		pred = pred.AndCatIn(j.ParentColumn, keys[j.Dim]...)
+	}
+	c.Query.Pred = pred
+	return c, nil
+}
+
 // template resolves SQL text to a prepared-statement template via the
 // plan cache: a hit skips the lexer, parser and planner entirely.
 func (e *Engine) template(sqlText string) (*sql.Template, error) {
@@ -267,6 +430,9 @@ func (e *Engine) run(ctx context.Context, c sql.Compiled, opts []Option) (*Resul
 	if err != nil {
 		return nil, err
 	}
+	if c, err = e.resolveJoins(t, c); err != nil {
+		return nil, err
+	}
 	s := e.settings(c, opts)
 	res, err := t.runQuery(ctx, c.Query, s)
 	if err != nil {
@@ -281,6 +447,9 @@ func (e *Engine) run(ctx context.Context, c sql.Compiled, opts []Option) (*Resul
 func (e *Engine) runExact(ctx context.Context, c sql.Compiled, opts []Option) (*ExactResult, error) {
 	t, err := e.Table(c.Table)
 	if err != nil {
+		return nil, err
+	}
+	if c, err = e.resolveJoins(t, c); err != nil {
 		return nil, err
 	}
 	if c.Parallel > 0 {
@@ -298,6 +467,9 @@ func (e *Engine) runExact(ctx context.Context, c sql.Compiled, opts []Option) (*
 func (e *Engine) streamRun(ctx context.Context, c sql.Compiled, opts []Option) (*Rows, error) {
 	t, err := e.Table(c.Table)
 	if err != nil {
+		return nil, err
+	}
+	if c, err = e.resolveJoins(t, c); err != nil {
 		return nil, err
 	}
 	s := e.settings(c, opts)
@@ -369,14 +541,72 @@ func (e *Engine) Stream(ctx context.Context, sqlText string, opts ...Option) (*R
 
 // Explain compiles the SQL query (through the plan cache) and returns
 // the full logical plan rendering without executing it: aggregate,
-// table, predicates, grouping, the stopping rule the tail clause
-// compiles to, the parallelism hint, and any '?' parameter slots.
+// table, joins, predicates, grouping, the stopping rule the tail
+// clause compiles to, the parallelism hint, and any '?' parameter
+// slots. For a parameterless statement with JOIN clauses the rendering
+// additionally shows the bind-time join compilation against the
+// current registry — each fact-side IN atom with its key-set size; for
+// parameterized statements, bind first (Stmt.Bind) and use
+// BoundStmt.Explain to see the compiled key sets.
 func (e *Engine) Explain(sqlText string) (string, error) {
 	tmpl, err := e.template(sqlText)
 	if err != nil {
 		return "", err
 	}
-	return tmpl.Explain(), nil
+	plan := tmpl.Explain()
+	if tmpl.NumParams() == 0 {
+		if c, err := tmpl.Bind(); err == nil {
+			plan += e.explainJoins(c)
+		}
+	}
+	return plan, nil
+}
+
+// explainJoins renders the bind-time join compilation of a bound
+// statement: one line per star arm with the fact-side IN atom's
+// key-set size. An empty key set — which no SQL surface syntax can
+// spell as "IN ()" — renders as the provably empty view it compiles
+// to. Resolution failures render as a note instead of failing the
+// explain: the plan itself is still valid, only the current registry
+// cannot satisfy it.
+func (e *Engine) explainJoins(c sql.Compiled) string {
+	if len(c.Joins) == 0 {
+		return ""
+	}
+	t, err := e.Table(c.Table)
+	if err != nil {
+		return fmt.Sprintf("\n  COMPILE JOIN: unresolved (%v)", err)
+	}
+	before := len(c.Query.Pred.CatIn)
+	resolved, err := e.resolveJoins(t, c)
+	if err != nil {
+		return fmt.Sprintf("\n  COMPILE JOIN: unresolved (%v)", err)
+	}
+	var b strings.Builder
+	atoms := resolved.Query.Pred.CatIn[before:]
+	i := 0
+	for _, j := range c.Joins {
+		if j.Parent != c.Table || i >= len(atoms) {
+			continue
+		}
+		atom := atoms[i]
+		i++
+		if len(atom.Values) == 0 {
+			fmt.Fprintf(&b, "\n  COMPILE JOIN %s → %s IN ∅ — provably empty view, resolved without fetching any block", j.Dim, atom.Column)
+			continue
+		}
+		fmt.Fprintf(&b, "\n  COMPILE JOIN %s → %s IN %d key(s): %s", j.Dim, atom.Column, len(atom.Values), previewKeys(atom.Values))
+	}
+	return b.String()
+}
+
+// previewKeys renders a key set for explain output, eliding long sets.
+func previewKeys(keys []string) string {
+	const max = 8
+	if len(keys) <= max {
+		return strings.Join(keys, ", ")
+	}
+	return strings.Join(keys[:max], ", ") + fmt.Sprintf(", … (%d more)", len(keys)-max)
 }
 
 // PlanCacheStats reports the plan cache's lifetime hit/miss counters

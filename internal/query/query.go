@@ -232,7 +232,13 @@ func (q Query) String() string {
 			if !first {
 				b.WriteString(" AND ")
 			}
-			fmt.Fprintf(&b, "%s IN (%s)", ci.Column, strings.Join(ci.Values, ", "))
+			if len(ci.Values) == 0 {
+				// No surface syntax spells an empty IN; render the
+				// provably-empty view explicitly instead of "IN ()".
+				fmt.Fprintf(&b, "%s IN ∅ (provably empty)", ci.Column)
+			} else {
+				fmt.Fprintf(&b, "%s IN (%s)", ci.Column, strings.Join(ci.Values, ", "))
+			}
 			first = false
 		}
 		for _, r := range q.Pred.Ranges {

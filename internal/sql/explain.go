@@ -26,6 +26,9 @@ func explainStatement(st *Statement, params []Param) string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "SELECT %s\n", renderAgg(st.Agg))
 	fmt.Fprintf(&b, "  FROM %s\n", st.Table)
+	for _, j := range st.Joins {
+		fmt.Fprintf(&b, "  JOIN %s ON %s.%s = %s.%s\n", j.Dim, j.Parent, j.ParentColumn, j.Dim, j.KeyColumn)
+	}
 	if len(st.Where) > 0 {
 		parts := make([]string, len(st.Where))
 		for i, pr := range st.Where {
@@ -64,6 +67,9 @@ func renderAgg(a AggExpr) string {
 func renderNode(n Node) string {
 	switch n := n.(type) {
 	case ColRef:
+		if n.Table != "" {
+			return n.Table + "." + n.Name
+		}
 		return n.Name
 	case NumLit:
 		return fmt.Sprintf("%g", n.Value)
@@ -79,14 +85,23 @@ func renderNode(n Node) string {
 	}
 }
 
-// renderPred renders one WHERE conjunct; '?' values render as $n.
+// renderPred renders one WHERE conjunct; '?' values render as $n and
+// qualified (dimension-attribute) columns as table.column.
 func renderPred(pr Pred) string {
+	col := pr.Column
+	if pr.Table != "" {
+		col = pr.Table + "." + pr.Column
+	}
 	switch pr.Op {
-	case PredEq:
-		if pr.StrParam > 0 {
-			return fmt.Sprintf("%s = $%d", pr.Column, pr.StrParam)
+	case PredEq, PredNe:
+		op := "="
+		if pr.Op == PredNe {
+			op = "!="
 		}
-		return fmt.Sprintf("%s = %q", pr.Column, pr.Str)
+		if pr.StrParam > 0 {
+			return fmt.Sprintf("%s %s $%d", col, op, pr.StrParam)
+		}
+		return fmt.Sprintf("%s %s %q", col, op, pr.Str)
 	case PredIn:
 		parts := make([]string, 0, len(pr.Set)+len(pr.SetParams))
 		for _, s := range pr.Set {
@@ -95,20 +110,20 @@ func renderPred(pr Pred) string {
 		for _, n := range pr.SetParams {
 			parts = append(parts, fmt.Sprintf("$%d", n))
 		}
-		return fmt.Sprintf("%s IN (%s)", pr.Column, strings.Join(parts, ", "))
+		return fmt.Sprintf("%s IN (%s)", col, strings.Join(parts, ", "))
 	case PredGt:
-		return fmt.Sprintf("%s > %s", pr.Column, numOrParam(pr.Lo, pr.LoParam))
+		return fmt.Sprintf("%s > %s", col, numOrParam(pr.Lo, pr.LoParam))
 	case PredGe:
-		return fmt.Sprintf("%s >= %s", pr.Column, numOrParam(pr.Lo, pr.LoParam))
+		return fmt.Sprintf("%s >= %s", col, numOrParam(pr.Lo, pr.LoParam))
 	case PredLt:
-		return fmt.Sprintf("%s < %s", pr.Column, numOrParam(pr.Hi, pr.HiParam))
+		return fmt.Sprintf("%s < %s", col, numOrParam(pr.Hi, pr.HiParam))
 	case PredLe:
-		return fmt.Sprintf("%s <= %s", pr.Column, numOrParam(pr.Hi, pr.HiParam))
+		return fmt.Sprintf("%s <= %s", col, numOrParam(pr.Hi, pr.HiParam))
 	case PredBetween:
-		return fmt.Sprintf("%s BETWEEN %s AND %s", pr.Column,
+		return fmt.Sprintf("%s BETWEEN %s AND %s", col,
 			numOrParam(pr.Lo, pr.LoParam), numOrParam(pr.Hi, pr.HiParam))
 	default:
-		return pr.Column + " ?pred?"
+		return col + " ?pred?"
 	}
 }
 

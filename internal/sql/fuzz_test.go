@@ -31,7 +31,21 @@ func FuzzParse(f *testing.F) {
 		"SELECT AVG(-(a+b)*3) FROM f WHERE c BETWEEN -1e308 AND 1e308",
 		"select avg(x) from f where g = 'quo''ted' having avg(x) < -2.5",
 		"SELECT AVG(x) FROM f WITHIN -5%",
-		"'", "\"", "(", "%", "--", "\x00", "SELECT",
+		// JOIN / ON / dimension-predicate shapes.
+		"SELECT AVG(delay) FROM flights JOIN carriers ON flights.carrier = carriers.key WHERE carriers.region = 'west' AND delay > 0 GROUP BY origin WITHIN 5%",
+		"SELECT COUNT(*) FROM f JOIN d ON d.key = f.fk WHERE d.tier != 'a' AND d.cls IN ('p', 'q')",
+		"SELECT AVG(x) FROM f JOIN d ON f.fk = d.key JOIN e ON d.sub = e.key WHERE e.zone <> 'cold'",
+		"SELECT AVG(flights.DepDelay) FROM flights WHERE flights.Origin = 'ORD' GROUP BY flights.DayOfWeek",
+		"SELECT AVG(x) FROM f JOIN d ON f.a = d.id",
+		"SELECT AVG(x) FROM f JOIN f ON f.a = f.key",
+		"SELECT AVG(x) FROM f JOIN d ON a = d.key",
+		"SELECT AVG(d.attr) FROM f JOIN d ON f.a = d.key",
+		"SELECT AVG(x) FROM f WHERE x != 3",
+		"SELECT AVG(x) FROM f JOIN d ON f.fk = d.key WHERE d.r = ? AND d.s IN (?, ?)",
+		"SELECT AVG(x) FROM f JOIN",
+		"SELECT AVG(x) FROM f JOIN d ON",
+		"SELECT AVG(x) FROM f JOIN d ON f. = d.key",
+		"'", "\"", "(", "%", "--", "\x00", "SELECT", "!", ".", "a.b",
 	}
 	for _, s := range seeds {
 		f.Add(s)

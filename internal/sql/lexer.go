@@ -6,6 +6,7 @@
 //
 //	SELECT AVG(expr) | SUM(expr) | COUNT(*)
 //	FROM table
+//	[JOIN dim ON table.fk = dim.key ...]
 //	[WHERE pred AND pred AND ...]
 //	[GROUP BY col, col, ...]
 //	[HAVING AGG(c) > v | HAVING AGG(c) < v]
@@ -18,6 +19,8 @@
 //	col IN ('v1', 'v2', ...)           (categorical membership)
 //	col > x | col >= x | col < x | col <= x
 //	col BETWEEN lo AND hi              (numeric range, inclusive)
+//	dim.attr = 'v' | dim.attr != 'v' | dim.attr IN (...)
+//	                                   (dimension-attribute predicates)
 //
 // and expr is an arithmetic expression over continuous columns built
 // from +, −, ·, unary minus, ABS(...) and parentheses. The tail
@@ -26,6 +29,19 @@
 // bottom-k separation ⑤, ORDER BY without LIMIT to the full ordering
 // stop ⑥, WITHIN to the absolute/relative CI-width stops ②/③, and
 // EXACT (or no tail clause) to a full scan.
+//
+// JOIN joins the fact table to a small, exactly-stored dimension table
+// (the paper's snowflake-schema extension): the ON clause must equate
+// a fact foreign-key column (or, for snowflake chains, an attribute of
+// an earlier-joined dimension) with the joined dimension's key column,
+// which is named "key". Predicates over dimension attributes
+// (dim.attr = / != / IN) are not executed row-by-row; they are
+// resolved at bind time — against the engine's dimension registry —
+// into a fact-side IN atom over the matching dimension keys, so the
+// scan remains a uniform without-replacement sample of the join view
+// and every interval guarantee carries over. != and <> are accepted on
+// dimension attributes only: the fact side would need a dictionary to
+// complement against, which is not available before bind time.
 //
 // Every value position — WHERE comparison values, IN-list members,
 // BETWEEN bounds, the HAVING threshold, the WITHIN target, LIMIT, and
@@ -61,6 +77,8 @@ const (
 	tokGe
 	tokPercent
 	tokQuestion
+	tokDot
+	tokNe
 )
 
 func (k tokenKind) String() string {
@@ -99,6 +117,10 @@ func (k tokenKind) String() string {
 		return "'%'"
 	case tokQuestion:
 		return "'?'"
+	case tokDot:
+		return "'.'"
+	case tokNe:
+		return "'!='"
 	default:
 		return fmt.Sprintf("token(%d)", int(k))
 	}
@@ -134,7 +156,7 @@ type lexer struct {
 // Error is a syntax or planning error with its position in the query
 // text.
 type Error struct {
-	Pos int    // byte offset into the query, -1 if not positional
+	Pos int // byte offset into the query, -1 if not positional
 	Msg string
 }
 
@@ -203,12 +225,24 @@ func (l *lexer) next() (token, error) {
 		return token{kind: tokPercent, pos: start}, nil
 	case '?':
 		return token{kind: tokQuestion, pos: start}, nil
+	case '.':
+		return token{kind: tokDot, pos: start}, nil
 	case '=':
 		return token{kind: tokEq, pos: start}, nil
+	case '!':
+		if l.pos < len(l.src) && l.src[l.pos] == '=' {
+			l.pos++
+			return token{kind: tokNe, pos: start}, nil
+		}
+		return token{}, errf(start, "unexpected character '!' (did you mean '!='?)")
 	case '<':
 		if l.pos < len(l.src) && l.src[l.pos] == '=' {
 			l.pos++
 			return token{kind: tokLe, pos: start}, nil
+		}
+		if l.pos < len(l.src) && l.src[l.pos] == '>' {
+			l.pos++
+			return token{kind: tokNe, pos: start}, nil
 		}
 		return token{kind: tokLt, pos: start}, nil
 	case '>':
@@ -250,7 +284,7 @@ func (l *lexer) scanNumber(start int) (token, error) {
 }
 
 // scanString scans a quoted string; a doubled quote escapes itself
-// ('O''Hare').
+// ("O""Hare", and likewise with single quotes).
 func (l *lexer) scanString(start int, quote byte) (token, error) {
 	l.pos++ // opening quote
 	var b strings.Builder

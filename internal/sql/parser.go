@@ -15,6 +15,7 @@ import (
 type Statement struct {
 	Agg           AggExpr
 	Table         string
+	Joins         []Join
 	Where         []Pred
 	GroupBy       []string
 	Having        *Having
@@ -41,10 +42,26 @@ type AggExpr struct {
 // Node is an arithmetic expression node over continuous columns.
 type Node interface{ node() }
 
-// ColRef references a column.
+// Join is one JOIN clause, normalized so that Dim names the joined
+// dimension table and Parent the side it links to: the FROM table (a
+// star arm, ParentColumn is a fact foreign-key column) or an
+// earlier-joined dimension (a snowflake chain, ParentColumn is an
+// attribute of that dimension). KeyColumn is the joined table's key
+// column as written; it must be "key" — dimensions are keyed maps and
+// "key" names the map key, the value the fact FK stores.
+type Join struct {
+	Dim          string
+	KeyColumn    string
+	Parent       string
+	ParentColumn string
+	Pos          int
+}
+
+// ColRef references a column, optionally qualified as Table.Name.
 type ColRef struct {
-	Name string
-	Pos  int
+	Table string
+	Name  string
+	Pos   int
 }
 
 // NumLit is a numeric literal.
@@ -82,11 +99,18 @@ const (
 	PredLe
 	// PredBetween is an inclusive numeric range.
 	PredBetween
+	// PredNe is categorical inequality: dim.attr != 'value'. Accepted on
+	// dimension attributes only (the planner enforces this).
+	PredNe
 )
 
-// Pred is one conjunct of the WHERE clause. The *Param fields hold
-// 1-based parameter numbers for values written as '?' (0 = literal).
+// Pred is one conjunct of the WHERE clause. Table is the optional
+// qualifier: empty or the FROM table for fact-side predicates, a
+// JOINed table name for dimension-attribute predicates. The *Param
+// fields hold 1-based parameter numbers for values written as '?'
+// (0 = literal).
 type Pred struct {
+	Table     string
 	Column    string
 	Op        PredOp
 	Str       string   // PredEq
@@ -233,6 +257,14 @@ func (p *parser) parseSelect() (*Statement, error) {
 	}
 	st.Table = tbl.text
 
+	for p.isKeyword("JOIN") {
+		j, err := p.parseJoin(st)
+		if err != nil {
+			return nil, err
+		}
+		st.Joins = append(st.Joins, j)
+	}
+
 	if p.isKeyword("WHERE") {
 		if err := p.advance(); err != nil {
 			return nil, err
@@ -249,11 +281,17 @@ func (p *parser) parseSelect() (*Statement, error) {
 			return nil, err
 		}
 		for {
-			col, err := p.expect(tokIdent, "GROUP BY column")
+			qual, col, _, err := p.maybeQualified("GROUP BY column")
 			if err != nil {
 				return nil, err
 			}
-			st.GroupBy = append(st.GroupBy, col.text)
+			// Qualified names are stored as written ("tbl.col");
+			// identifiers cannot contain '.', so the encoding is
+			// unambiguous and the planner resolves the qualifier.
+			if qual != "" {
+				col = qual + "." + col
+			}
+			st.GroupBy = append(st.GroupBy, col)
 			if p.tok.kind != tokComma {
 				break
 			}
@@ -308,6 +346,110 @@ func (p *parser) parseSelect() (*Statement, error) {
 	}
 	st.Params = p.params
 	return st, nil
+}
+
+// maybeQualified consumes an identifier optionally qualified as
+// table.column, returning the qualifier ("" when bare), the column
+// name, and the position of the first identifier.
+func (p *parser) maybeQualified(what string) (qual, name string, pos int, err error) {
+	t, err := p.expect(tokIdent, what)
+	if err != nil {
+		return "", "", 0, err
+	}
+	if p.tok.kind != tokDot {
+		return "", t.text, t.pos, nil
+	}
+	if err := p.advance(); err != nil {
+		return "", "", 0, err
+	}
+	c, err := p.expect(tokIdent, what+" after '.'")
+	if err != nil {
+		return "", "", 0, err
+	}
+	return t.text, c.text, t.pos, nil
+}
+
+// parseJoin parses JOIN dim ON a.x = b.y and normalizes it: exactly
+// one ON operand must belong to the joined table (its column is the
+// dimension key), and the other must reference the FROM table or an
+// earlier-joined dimension.
+func (p *parser) parseJoin(st *Statement) (Join, error) {
+	pos := p.tok.pos
+	if err := p.advance(); err != nil { // JOIN
+		return Join{}, err
+	}
+	dim, err := p.expect(tokIdent, "JOIN table name")
+	if err != nil {
+		return Join{}, err
+	}
+	if dim.text == st.Table {
+		return Join{}, errf(dim.pos, "cannot JOIN the FROM table %q to itself", dim.text)
+	}
+	for _, j := range st.Joins {
+		if j.Dim == dim.text {
+			return Join{}, errf(dim.pos, "table %q is joined twice", dim.text)
+		}
+	}
+	if err := p.expectKeyword("ON"); err != nil {
+		return Join{}, err
+	}
+	lt, lc, lpos, err := p.parseOnOperand()
+	if err != nil {
+		return Join{}, err
+	}
+	if _, err := p.expect(tokEq, "'=' in ON clause"); err != nil {
+		return Join{}, err
+	}
+	rt, rc, rpos, err := p.parseOnOperand()
+	if err != nil {
+		return Join{}, err
+	}
+
+	j := Join{Dim: dim.text, Pos: pos}
+	switch {
+	case lt == dim.text && rt == dim.text:
+		return Join{}, errf(lpos, "ON clause must link %q to the FROM table or an earlier JOIN, found %q on both sides", dim.text, dim.text)
+	case lt == dim.text:
+		j.KeyColumn, j.Parent, j.ParentColumn = lc, rt, rc
+	case rt == dim.text:
+		j.KeyColumn, j.Parent, j.ParentColumn = rc, lt, lc
+	default:
+		return Join{}, errf(lpos, "ON clause must reference the joined table %q on one side", dim.text)
+	}
+	if !st.joinable(j.Parent) {
+		return Join{}, errf(pos, "ON clause links %q to %q, which is neither the FROM table nor an earlier JOIN", j.Dim, j.Parent)
+	}
+	if j.KeyColumn != "key" {
+		return Join{}, errf(rpos, "JOIN must equate against the dimension key column %s.key, found %s.%s (dimensions are keyed by the value the foreign-key column stores)", j.Dim, j.Dim, j.KeyColumn)
+	}
+	return j, nil
+}
+
+// parseOnOperand parses one side of an ON equality, which must be a
+// qualified table.column reference.
+func (p *parser) parseOnOperand() (tbl, col string, pos int, err error) {
+	qual, name, pos, err := p.maybeQualified("ON operand (table.column)")
+	if err != nil {
+		return "", "", 0, err
+	}
+	if qual == "" {
+		return "", "", 0, errf(pos, "ON operands must be qualified as table.column, found bare %q", name)
+	}
+	return qual, name, pos, nil
+}
+
+// joinable reports whether name may appear as a JOIN parent: the FROM
+// table or an already-joined dimension.
+func (st *Statement) joinable(name string) bool {
+	if name == st.Table {
+		return true
+	}
+	for _, j := range st.Joins {
+		if j.Dim == name {
+			return true
+		}
+	}
+	return false
 }
 
 // parseAgg parses AVG(expr), SUM(expr), or COUNT(*).
@@ -429,6 +571,16 @@ func (p *parser) parseFactor() (Node, error) {
 		if err := p.advance(); err != nil {
 			return nil, err
 		}
+		if p.tok.kind == tokDot {
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+			col, err := p.expect(tokIdent, "column after '.'")
+			if err != nil {
+				return nil, err
+			}
+			return ColRef{Table: name, Name: col.text, Pos: pos}, nil
+		}
 		if strings.EqualFold(name, "ABS") && p.tok.kind == tokLParen {
 			if err := p.advance(); err != nil {
 				return nil, err
@@ -467,32 +619,42 @@ func (p *parser) parseWhere() ([]Pred, error) {
 }
 
 func (p *parser) parsePred() (Pred, error) {
-	col, err := p.expect(tokIdent, "predicate column")
+	qual, col, pos, err := p.maybeQualified("predicate column")
 	if err != nil {
 		return Pred{}, err
 	}
-	pr := Pred{Column: col.text, Pos: col.pos}
+	pr := Pred{Table: qual, Column: col, Pos: pos}
+	// display is the column as written, used in parameter-slot contexts
+	// and error messages.
+	display := col
+	if qual != "" {
+		display = qual + "." + col
+	}
 	switch {
-	case p.tok.kind == tokEq:
+	case p.tok.kind == tokEq, p.tok.kind == tokNe:
+		op, opText := PredEq, "="
+		if p.tok.kind == tokNe {
+			op, opText = PredNe, "!="
+		}
 		if err := p.advance(); err != nil {
 			return Pred{}, err
 		}
 		if p.tok.kind == tokQuestion {
-			n, err := p.param(ParamString, "WHERE "+col.text+" = ?")
+			n, err := p.param(ParamString, "WHERE "+display+" "+opText+" ?")
 			if err != nil {
 				return Pred{}, err
 			}
-			pr.Op, pr.StrParam = PredEq, n
+			pr.Op, pr.StrParam = op, n
 			break
 		}
 		if p.tok.kind == tokNumber {
-			return Pred{}, errf(p.tok.pos, "%s = %s: equality predicates take a quoted categorical value; use BETWEEN for numeric columns", col.text, p.tok.text)
+			return Pred{}, errf(p.tok.pos, "%s %s %s: equality predicates take a quoted categorical value; use BETWEEN for numeric columns", display, opText, p.tok.text)
 		}
 		s, err := p.expect(tokString, "quoted value")
 		if err != nil {
 			return Pred{}, err
 		}
-		pr.Op, pr.Str = PredEq, s.text
+		pr.Op, pr.Str = op, s.text
 	case p.isKeyword("IN"):
 		if err := p.advance(); err != nil {
 			return Pred{}, err
@@ -502,7 +664,7 @@ func (p *parser) parsePred() (Pred, error) {
 		}
 		for {
 			if p.tok.kind == tokQuestion {
-				n, err := p.param(ParamString, "WHERE "+col.text+" IN (?)")
+				n, err := p.param(ParamString, "WHERE "+display+" IN (?)")
 				if err != nil {
 					return Pred{}, err
 				}
@@ -529,14 +691,14 @@ func (p *parser) parsePred() (Pred, error) {
 		if err := p.advance(); err != nil {
 			return Pred{}, err
 		}
-		lo, loParam, err := p.parseNumberOrParam("WHERE " + col.text + " BETWEEN ? AND …")
+		lo, loParam, err := p.parseNumberOrParam("WHERE " + display + " BETWEEN ? AND …")
 		if err != nil {
 			return Pred{}, err
 		}
 		if err := p.expectKeyword("AND"); err != nil {
 			return Pred{}, err
 		}
-		hi, hiParam, err := p.parseNumberOrParam("WHERE " + col.text + " BETWEEN … AND ?")
+		hi, hiParam, err := p.parseNumberOrParam("WHERE " + display + " BETWEEN … AND ?")
 		if err != nil {
 			return Pred{}, err
 		}
@@ -548,7 +710,7 @@ func (p *parser) parsePred() (Pred, error) {
 		if err := p.advance(); err != nil {
 			return Pred{}, err
 		}
-		v, vp, err := p.parseNumberOrParam("WHERE " + col.text + " " + op + " ?")
+		v, vp, err := p.parseNumberOrParam("WHERE " + display + " " + op + " ?")
 		if err != nil {
 			return Pred{}, err
 		}
@@ -563,7 +725,7 @@ func (p *parser) parsePred() (Pred, error) {
 			pr.Op, pr.Hi, pr.HiParam = PredLe, v, vp
 		}
 	default:
-		return Pred{}, errf(p.tok.pos, "expected =, IN, BETWEEN, or a comparison after column %q, found %s", col.text, p.tok.describe())
+		return Pred{}, errf(p.tok.pos, "expected =, !=, IN, BETWEEN, or a comparison after column %q, found %s", display, p.tok.describe())
 	}
 	return pr, nil
 }

@@ -11,9 +11,23 @@ import (
 // Compiled is the result of planning one SQL statement: the target
 // table name, the logical query the executor runs, and any execution
 // hints carried alongside (hints never change answers).
+//
+// JOIN clauses and dimension-attribute predicates are NOT lowered into
+// Query here: dimension tables live in the engine's registry and are
+// resolved at bind/run time — the same late resolution the FROM table
+// gets — so a re-registered dimension (or fact table) is picked up by
+// the next run even when the plan came from the cache. The engine
+// compiles Joins + DimPreds into fact-side IN atoms and appends them
+// to Query.Pred before execution.
 type Compiled struct {
 	Table string
-	Query query.Query
+	// Joins are the statement's JOIN clauses in text order (parents
+	// always precede their snowflake children).
+	Joins []Join
+	// DimPreds are the dimension-attribute predicates with their bound
+	// values, awaiting key-set resolution against the registry.
+	DimPreds []DimPred
+	Query    query.Query
 	// Parallel is the PARALLEL n scan-worker hint (0 = unset; the
 	// engine then defaults to one worker per CPU).
 	Parallel int
@@ -21,6 +35,17 @@ type Compiled struct {
 	// st is the (bound) parse tree the plan was lowered from, kept for
 	// Explain rendering.
 	st *Statement
+}
+
+// DimPred is one dimension-attribute predicate of a planned statement:
+// "Dim.Attr Op Values" with parameters already bound. Op is PredEq,
+// PredNe, or PredIn.
+type DimPred struct {
+	Dim    string
+	Attr   string
+	Op     PredOp
+	Values []string // one value for PredEq/PredNe
+	Pos    int
 }
 
 // Compile parses and plans a SQL statement in one step. Statements
@@ -37,24 +62,57 @@ func Compile(src string) (Compiled, error) {
 	return t.Bind()
 }
 
+// colResolver maps a possibly-qualified column reference onto a fact
+// column name, rejecting dimension attributes and unknown qualifiers.
+type colResolver func(c ColRef) (string, error)
+
+// resolver builds the column resolver for a statement: bare names and
+// FROM-table qualifiers pass through; JOINed tables are filter-only.
+func resolver(st *Statement) colResolver {
+	return func(c ColRef) (string, error) {
+		switch {
+		case c.Table == "" || c.Table == st.Table:
+			return c.Name, nil
+		case st.joinable(c.Table):
+			return "", errf(c.Pos, "cannot aggregate or group over dimension attribute %s.%s: dimension predicates filter the fact scan, dimensions are never scanned themselves", c.Table, c.Name)
+		default:
+			return "", errf(c.Pos, "unknown table qualifier %q (FROM table is %q)", c.Table, st.Table)
+		}
+	}
+}
+
 // Plan lowers a parsed statement onto the logical query model. src is
 // the original query text, recorded as the query's display name.
+// Dimension-attribute predicates and JOIN clauses are validated and
+// carried on the Compiled for bind-time resolution, not lowered.
 func Plan(st *Statement, src string) (Compiled, error) {
 	if len(st.Params) > 0 && !st.bound {
 		return Compiled{}, errf(st.Params[0].Pos, "statement has unbound parameters; bind arguments via Template.Bind")
 	}
 	q := query.Query{Name: strings.TrimSpace(src)}
+	resolve := resolver(st)
 
-	agg, err := planAgg(st.Agg)
+	agg, err := planAgg(st.Agg, resolve)
 	if err != nil {
 		return Compiled{}, err
 	}
 	q.Agg = agg
 
+	var dimPreds []DimPred
 	for _, pr := range st.Where {
+		if pr.Table != "" && pr.Table != st.Table {
+			dp, err := planDimPred(st, pr)
+			if err != nil {
+				return Compiled{}, err
+			}
+			dimPreds = append(dimPreds, dp)
+			continue
+		}
 		switch pr.Op {
 		case PredEq:
 			q.Pred = q.Pred.AndCatEquals(pr.Column, pr.Str)
+		case PredNe:
+			return Compiled{}, errf(pr.Pos, "%s != …: != is supported on dimension attributes only (a fact-side complement would need the column dictionary, unavailable before bind time); use IN over the wanted values", pr.Column)
 		case PredIn:
 			q.Pred = q.Pred.AndCatIn(pr.Column, pr.Set...)
 		case PredGt:
@@ -73,9 +131,25 @@ func Plan(st *Statement, src string) (Compiled, error) {
 		}
 	}
 
-	q.GroupBy = st.GroupBy
+	groupBy := make([]string, 0, len(st.GroupBy))
+	for _, g := range st.GroupBy {
+		if tbl, col, ok := strings.Cut(g, "."); ok {
+			switch {
+			case tbl == st.Table:
+				g = col
+			case st.joinable(tbl):
+				return Compiled{}, errf(-1, "GROUP BY over dimension attribute %s is not supported; group by the fact foreign-key column instead", g)
+			default:
+				return Compiled{}, errf(-1, "GROUP BY %s: unknown table qualifier %q (FROM table is %q)", g, tbl, st.Table)
+			}
+		}
+		groupBy = append(groupBy, g)
+	}
+	if len(groupBy) > 0 {
+		q.GroupBy = groupBy
+	}
 
-	stop, err := planStop(st, agg)
+	stop, err := planStop(st, agg, resolve)
 	if err != nil {
 		return Compiled{}, err
 	}
@@ -84,14 +158,32 @@ func Plan(st *Statement, src string) (Compiled, error) {
 	if err := q.Validate(); err != nil {
 		return Compiled{}, &Error{Pos: -1, Msg: err.Error()}
 	}
-	return Compiled{Table: st.Table, Query: q, Parallel: st.Parallel, st: st}, nil
+	return Compiled{Table: st.Table, Joins: st.Joins, DimPreds: dimPreds, Query: q, Parallel: st.Parallel, st: st}, nil
+}
+
+// planDimPred validates one qualified predicate as a dimension-
+// attribute predicate over a JOINed table.
+func planDimPred(st *Statement, pr Pred) (DimPred, error) {
+	if !st.joinable(pr.Table) {
+		return DimPred{}, errf(pr.Pos, "predicate column %s.%s: unknown table qualifier %q (FROM table is %q; JOIN a dimension before filtering on it)", pr.Table, pr.Column, pr.Table, st.Table)
+	}
+	dp := DimPred{Dim: pr.Table, Attr: pr.Column, Op: pr.Op, Pos: pr.Pos}
+	switch pr.Op {
+	case PredEq, PredNe:
+		dp.Values = []string{pr.Str}
+	case PredIn:
+		dp.Values = append([]string(nil), pr.Set...)
+	default:
+		return DimPred{}, errf(pr.Pos, "dimension attribute %s.%s is categorical: only =, != and IN are supported", pr.Table, pr.Column)
+	}
+	return dp, nil
 }
 
 // planAgg lowers an aggregate call. A bare column argument compiles to
 // the simple-column form (catalog bounds used directly); anything else
 // compiles to an expression aggregate with bounds derived per
 // Appendix B.
-func planAgg(a AggExpr) (query.Aggregate, error) {
+func planAgg(a AggExpr, resolve colResolver) (query.Aggregate, error) {
 	if a.Star {
 		return query.Aggregate{Kind: query.Count}, nil
 	}
@@ -100,9 +192,13 @@ func planAgg(a AggExpr) (query.Aggregate, error) {
 		kind = query.Sum
 	}
 	if col, ok := a.Expr.(ColRef); ok {
-		return query.Aggregate{Kind: kind, Column: col.Name}, nil
+		name, err := resolve(col)
+		if err != nil {
+			return query.Aggregate{}, err
+		}
+		return query.Aggregate{Kind: kind, Column: name}, nil
 	}
-	e, err := planExpr(a.Expr)
+	e, err := planExpr(a.Expr, resolve)
 	if err != nil {
 		return query.Aggregate{}, err
 	}
@@ -110,18 +206,22 @@ func planAgg(a AggExpr) (query.Aggregate, error) {
 }
 
 // planExpr lowers an arithmetic parse node onto package expr.
-func planExpr(n Node) (expr.Expr, error) {
+func planExpr(n Node, resolve colResolver) (expr.Expr, error) {
 	switch n := n.(type) {
 	case ColRef:
-		return expr.Col{Name: n.Name}, nil
-	case NumLit:
-		return expr.Const{Value: n.Value}, nil
-	case BinOp:
-		l, err := planExpr(n.L)
+		name, err := resolve(n)
 		if err != nil {
 			return nil, err
 		}
-		r, err := planExpr(n.R)
+		return expr.Col{Name: name}, nil
+	case NumLit:
+		return expr.Const{Value: n.Value}, nil
+	case BinOp:
+		l, err := planExpr(n.L, resolve)
+		if err != nil {
+			return nil, err
+		}
+		r, err := planExpr(n.R, resolve)
 		if err != nil {
 			return nil, err
 		}
@@ -134,7 +234,7 @@ func planExpr(n Node) (expr.Expr, error) {
 			return expr.Mul{X: l, Y: r}, nil
 		}
 	case UnaryOp:
-		x, err := planExpr(n.X)
+		x, err := planExpr(n.X, resolve)
 		if err != nil {
 			return nil, err
 		}
@@ -150,7 +250,7 @@ func planExpr(n Node) (expr.Expr, error) {
 // planStop maps the tail clauses onto a stopping condition. At most
 // one of HAVING, ORDER BY, WITHIN, and EXACT may appear: each fixes
 // the query's termination rule.
-func planStop(st *Statement, agg query.Aggregate) (query.Stop, error) {
+func planStop(st *Statement, agg query.Aggregate, resolve colResolver) (query.Stop, error) {
 	n := 0
 	for _, set := range []bool{st.Having != nil, st.OrderBy != nil, st.Within != nil, st.Exact} {
 		if set {
@@ -167,7 +267,7 @@ func planStop(st *Statement, agg query.Aggregate) (query.Stop, error) {
 		if len(st.GroupBy) == 0 {
 			return query.Stop{}, errf(h.Pos, "HAVING needs GROUP BY")
 		}
-		if err := requireSameAgg(h.Agg, agg, "HAVING"); err != nil {
+		if err := requireSameAgg(h.Agg, agg, "HAVING", resolve); err != nil {
 			return query.Stop{}, err
 		}
 		return query.Threshold(h.Value), nil
@@ -176,7 +276,7 @@ func planStop(st *Statement, agg query.Aggregate) (query.Stop, error) {
 		if len(st.GroupBy) == 0 {
 			return query.Stop{}, errf(ob.Pos, "ORDER BY needs GROUP BY")
 		}
-		if err := requireSameAgg(ob.Agg, agg, "ORDER BY"); err != nil {
+		if err := requireSameAgg(ob.Agg, agg, "ORDER BY", resolve); err != nil {
 			return query.Stop{}, err
 		}
 		if ob.Limit == 0 {
@@ -202,8 +302,8 @@ func planStop(st *Statement, agg query.Aggregate) (query.Stop, error) {
 // requireSameAgg checks that a HAVING / ORDER BY aggregate is the one
 // being selected — the engine maintains one aggregate view per group,
 // so the stopping condition must watch the selected aggregate.
-func requireSameAgg(got AggExpr, want query.Aggregate, clause string) error {
-	planned, err := planAgg(got)
+func requireSameAgg(got AggExpr, want query.Aggregate, clause string, resolve colResolver) error {
+	planned, err := planAgg(got, resolve)
 	if err != nil {
 		return err
 	}

@@ -55,15 +55,125 @@ func (d *Dimension) NumRows() int { return len(d.rows) }
 // HasAttribute reports whether any row defines the attribute.
 func (d *Dimension) HasAttribute(attr string) bool { return d.attrs[attr] }
 
-// KeysWhere returns the sorted keys whose attribute equals value.
-func (d *Dimension) KeysWhere(attr, value string) []string {
+// Keys returns every dimension key, sorted. A JOIN with no attribute
+// predicate compiles to this full set: inner-join semantics still drop
+// fact rows whose foreign key has no dimension row.
+func (d *Dimension) Keys() []string {
+	keys := make([]string, 0, len(d.rows))
+	for key := range d.rows {
+		keys = append(keys, key)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// AttrOp identifies a dimension-attribute predicate form.
+type AttrOp int
+
+const (
+	// AttrEq matches rows whose attribute equals the value.
+	AttrEq AttrOp = iota
+	// AttrNe matches rows whose attribute is present and differs from
+	// the value (SQL semantics: an absent attribute never matches).
+	AttrNe
+	// AttrIn matches rows whose attribute is one of the values. This is
+	// also the snowflake chaining form: a predicate over a child
+	// dimension compiles to a key set, which becomes an AttrIn over the
+	// parent attribute that references it (see ChainIn).
+	AttrIn
+)
+
+// AttrPred is one predicate over a dimension attribute.
+type AttrPred struct {
+	Attr   string
+	Op     AttrOp
+	Values []string // one value for AttrEq/AttrNe
+}
+
+// Eq returns the predicate "attr = value".
+func Eq(attr, value string) AttrPred {
+	return AttrPred{Attr: attr, Op: AttrEq, Values: []string{value}}
+}
+
+// Ne returns the predicate "attr != value".
+func Ne(attr, value string) AttrPred {
+	return AttrPred{Attr: attr, Op: AttrNe, Values: []string{value}}
+}
+
+// In returns the predicate "attr IN (values...)".
+func In(attr string, values ...string) AttrPred {
+	return AttrPred{Attr: attr, Op: AttrIn, Values: append([]string(nil), values...)}
+}
+
+// ChainIn is the snowflake chaining step: given the key set a child
+// dimension's predicates compiled to, it returns the predicate over
+// the parent attribute holding those keys. Applying it to the parent
+// (via KeysMatching) continues the chain toward the fact table.
+func ChainIn(attr string, childKeys []string) AttrPred {
+	return AttrPred{Attr: attr, Op: AttrIn, Values: append([]string(nil), childKeys...)}
+}
+
+// matchRow reports whether one dimension row satisfies the predicate.
+// A row that does not define the attribute never matches — absent is
+// distinct from the empty string (SQL NULL semantics).
+func (p AttrPred) matchRow(row map[string]string) bool {
+	v, ok := row[p.Attr]
+	if !ok {
+		return false
+	}
+	switch p.Op {
+	case AttrEq:
+		return v == p.Values[0]
+	case AttrNe:
+		return v != p.Values[0]
+	default: // AttrIn
+		for _, w := range p.Values {
+			if v == w {
+				return true
+			}
+		}
+		return false
+	}
+}
+
+// KeysMatching returns the sorted keys whose rows satisfy every
+// predicate (conjunction). With no predicates it returns all keys. A
+// predicate over an attribute no row defines is an error — it almost
+// certainly names a typo, not an empty view.
+func (d *Dimension) KeysMatching(preds ...AttrPred) ([]string, error) {
+	for _, p := range preds {
+		if !d.HasAttribute(p.Attr) {
+			return nil, fmt.Errorf("star: dimension %q has no attribute %q", d.name, p.Attr)
+		}
+		if p.Op != AttrIn && len(p.Values) != 1 {
+			return nil, fmt.Errorf("star: predicate on %q wants exactly one value, got %d", p.Attr, len(p.Values))
+		}
+	}
 	var keys []string
 	for key, row := range d.rows {
-		if row[attr] == value {
+		match := true
+		for _, p := range preds {
+			if !p.matchRow(row) {
+				match = false
+				break
+			}
+		}
+		if match {
 			keys = append(keys, key)
 		}
 	}
 	sort.Strings(keys)
+	return keys, nil
+}
+
+// KeysWhere returns the sorted keys whose attribute equals value. Rows
+// that do not define the attribute never match (absent ≠ ""). An
+// unknown attribute yields no keys.
+func (d *Dimension) KeysWhere(attr, value string) []string {
+	keys, err := d.KeysMatching(Eq(attr, value))
+	if err != nil {
+		return nil
+	}
 	return keys
 }
 
@@ -105,12 +215,24 @@ func (s *Schema) Dimension(fkColumn string) *Dimension { return s.dims[fkColumn]
 // view (the IN atom with no values), which the executor resolves
 // without fetching blocks.
 func (s *Schema) CompileWhere(pred query.Predicate, fkColumn, attr, value string) (query.Predicate, error) {
+	return s.CompileWhereAll(pred, fkColumn, Eq(attr, value))
+}
+
+// CompileWhereAll extends pred with the fact-side translation of a
+// conjunction of attribute predicates over the dimension attached to
+// fkColumn: a single IN atom over the keys matching ALL of them.
+// Snowflake chains arrive here too — a child dimension's key set is
+// first folded into an AttrIn over the parent attribute (ChainIn),
+// recursively, until the fact-side foreign key is reached. With no
+// predicates the atom holds every dimension key (a bare inner join).
+func (s *Schema) CompileWhereAll(pred query.Predicate, fkColumn string, preds ...AttrPred) (query.Predicate, error) {
 	d, ok := s.dims[fkColumn]
 	if !ok {
 		return pred, fmt.Errorf("star: no dimension attached to column %q", fkColumn)
 	}
-	if !d.HasAttribute(attr) {
-		return pred, fmt.Errorf("star: dimension %q has no attribute %q", d.name, attr)
+	keys, err := d.KeysMatching(preds...)
+	if err != nil {
+		return pred, err
 	}
-	return pred.AndCatIn(fkColumn, d.KeysWhere(attr, value)...), nil
+	return pred.AndCatIn(fkColumn, keys...), nil
 }

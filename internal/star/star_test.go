@@ -68,6 +68,119 @@ func TestDimensionBasics(t *testing.T) {
 	}
 }
 
+// TestAbsentAttributeNeverMatches is the regression test for the
+// absent-vs-empty bug: a row that does not define an attribute used to
+// look up as "" and wrongly satisfy an equals-empty-string predicate.
+// Absent must never match any predicate form.
+func TestAbsentAttributeNeverMatches(t *testing.T) {
+	d := NewDimension("stores")
+	d.Add("s1", map[string]string{"region": "west", "note": ""})
+	d.Add("s2", map[string]string{"region": "east"}) // no "note" at all
+	d.Add("s3", map[string]string{"note": "x"})      // no "region"
+
+	if got := d.KeysWhere("note", ""); len(got) != 1 || got[0] != "s1" {
+		t.Errorf(`KeysWhere(note, "") = %v, want [s1] (absent must not match "")`, got)
+	}
+	// != and IN also skip rows lacking the attribute (SQL semantics).
+	ne, err := d.KeysMatching(Ne("note", "x"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ne) != 1 || ne[0] != "s1" {
+		t.Errorf(`KeysMatching(note != "x") = %v, want [s1]`, ne)
+	}
+	in, err := d.KeysMatching(In("region", "west", "east", ""))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(in) != 2 || in[0] != "s1" || in[1] != "s2" {
+		t.Errorf(`KeysMatching(region IN ...) = %v, want [s1 s2]`, in)
+	}
+}
+
+func TestKeysMatchingOps(t *testing.T) {
+	d := storeDim()
+	all, err := d.KeysMatching()
+	if err != nil || len(all) != 5 || all[0] != "s1" {
+		t.Errorf("KeysMatching() = %v, %v (want all 5 keys)", all, err)
+	}
+	if got := d.Keys(); len(got) != 5 || got[4] != "s5" {
+		t.Errorf("Keys() = %v", got)
+	}
+	ne, err := d.KeysMatching(Ne("region", "west"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ne) != 2 || ne[0] != "s2" || ne[1] != "s4" {
+		t.Errorf("region != west = %v, want [s2 s4]", ne)
+	}
+	in, err := d.KeysMatching(In("tier", "b"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(in) != 3 || in[0] != "s3" {
+		t.Errorf("tier IN (b) = %v, want [s3 s4 s5]", in)
+	}
+	// Conjunction across predicates.
+	conj, err := d.KeysMatching(Eq("region", "west"), Ne("tier", "a"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(conj) != 2 || conj[0] != "s3" || conj[1] != "s5" {
+		t.Errorf("west ∧ tier!=a = %v, want [s3 s5]", conj)
+	}
+	if _, err := d.KeysMatching(Eq("ghost", "x")); err == nil {
+		t.Error("unknown attribute accepted")
+	}
+	if _, err := d.KeysMatching(AttrPred{Attr: "region", Op: AttrEq, Values: nil}); err == nil {
+		t.Error("malformed Eq predicate accepted")
+	}
+}
+
+// TestSnowflakeChain compiles a predicate over a second-level
+// dimension (region → zone) down to fact-side store keys.
+func TestSnowflakeChain(t *testing.T) {
+	stores := storeDim()
+	regions := NewDimension("regions")
+	regions.Add("west", map[string]string{"zone": "pacific"})
+	regions.Add("east", map[string]string{"zone": "atlantic"})
+
+	// zone = 'pacific' on the regions dimension...
+	regionKeys, err := regions.KeysMatching(Eq("zone", "pacific"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// ...chains into region IN {west} on the stores dimension...
+	storeKeys, err := stores.KeysMatching(ChainIn("region", regionKeys))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(storeKeys) != 3 || storeKeys[0] != "s1" || storeKeys[2] != "s5" {
+		t.Errorf("chained store keys = %v, want [s1 s3 s5]", storeKeys)
+	}
+	// ...and finally into a fact-side IN atom.
+	fact := buildFact(t)
+	s := NewSchema(fact)
+	if err := s.Attach("store", stores); err != nil {
+		t.Fatal(err)
+	}
+	pred, err := s.CompileWhereAll(query.Predicate{}, "store", ChainIn("region", regionKeys))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pred.CatIn) != 1 || len(pred.CatIn[0].Values) != 3 {
+		t.Errorf("compiled pred = %+v", pred)
+	}
+	// An empty chain propagates to a provably empty fact view.
+	empty, err := s.CompileWhereAll(query.Predicate{}, "store", ChainIn("region", nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(empty.CatIn) != 1 || len(empty.CatIn[0].Values) != 0 {
+		t.Errorf("empty chain compiled to %+v", empty)
+	}
+}
+
 func TestAttachValidation(t *testing.T) {
 	fact := buildFact(t)
 	s := NewSchema(fact)

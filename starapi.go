@@ -2,6 +2,9 @@ package fastframe
 
 import (
 	"context"
+	"encoding/csv"
+	"fmt"
+	"io"
 
 	"fastframe/internal/star"
 )
@@ -24,8 +27,64 @@ func (d *Dimension) Add(key string, attrs map[string]string) {
 	d.d.Add(key, attrs)
 }
 
+// Name returns the dimension's name.
+func (d *Dimension) Name() string { return d.d.Name() }
+
 // NumRows returns the dimension's row count.
 func (d *Dimension) NumRows() int { return d.d.NumRows() }
+
+// Keys returns every dimension key, sorted.
+func (d *Dimension) Keys() []string { return d.d.Keys() }
+
+// KeysWhere returns the sorted keys whose attribute equals value. A
+// row that does not define the attribute never matches — absent is
+// distinct from the empty string.
+func (d *Dimension) KeysWhere(attr, value string) []string { return d.d.KeysWhere(attr, value) }
+
+// LoadDimensionCSV builds a dimension from a CSV stream with a header
+// row: the keyColumn header names the column holding the dimension
+// keys (the values a fact foreign-key column stores), and every other
+// column becomes a string attribute. Empty attribute cells are stored
+// as the empty string — distinct, under every dimension predicate,
+// from an attribute that is absent altogether.
+func LoadDimensionCSV(name, keyColumn string, r io.Reader) (*Dimension, error) {
+	cr := csv.NewReader(r)
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("fastframe: dimension %q: reading CSV header: %w", name, err)
+	}
+	keyIdx := -1
+	for i, h := range header {
+		if h == keyColumn {
+			keyIdx = i
+			break
+		}
+	}
+	if keyIdx < 0 {
+		return nil, fmt.Errorf("fastframe: dimension %q: CSV header %v has no key column %q", name, header, keyColumn)
+	}
+	d := NewDimension(name)
+	for line := 2; ; line++ {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("fastframe: dimension %q: %w", name, err)
+		}
+		if rec[keyIdx] == "" {
+			return nil, fmt.Errorf("fastframe: dimension %q: line %d has an empty key", name, line)
+		}
+		attrs := make(map[string]string, len(header)-1)
+		for i, v := range rec {
+			if i != keyIdx {
+				attrs[header[i]] = v
+			}
+		}
+		d.Add(rec[keyIdx], attrs)
+	}
+	return d, nil
+}
 
 // StarSchema binds dimension tables to the foreign-key columns of a
 // fact Table, enabling approximate aggregation over join views
@@ -51,7 +110,25 @@ func (ss *StarSchema) Attach(fkColumn string, d *Dimension) error {
 // WhereDimension extends a query with the dimension predicate
 // "dimension(fkColumn).attr = value", compiled to the fact side.
 func (ss *StarSchema) WhereDimension(qb QueryBuilder, fkColumn, attr, value string) (QueryBuilder, error) {
-	pred, err := ss.s.CompileWhere(qb.q.Pred, fkColumn, attr, value)
+	return ss.whereAll(qb, fkColumn, star.Eq(attr, value))
+}
+
+// WhereDimensionNot extends a query with the dimension predicate
+// "dimension(fkColumn).attr != value". Rows that do not define the
+// attribute never match (SQL semantics), so the compiled fact-side key
+// set is the attribute-bearing complement, not the full complement.
+func (ss *StarSchema) WhereDimensionNot(qb QueryBuilder, fkColumn, attr, value string) (QueryBuilder, error) {
+	return ss.whereAll(qb, fkColumn, star.Ne(attr, value))
+}
+
+// WhereDimensionIn extends a query with the dimension predicate
+// "dimension(fkColumn).attr IN (values...)".
+func (ss *StarSchema) WhereDimensionIn(qb QueryBuilder, fkColumn, attr string, values ...string) (QueryBuilder, error) {
+	return ss.whereAll(qb, fkColumn, star.In(attr, values...))
+}
+
+func (ss *StarSchema) whereAll(qb QueryBuilder, fkColumn string, preds ...star.AttrPred) (QueryBuilder, error) {
+	pred, err := ss.s.CompileWhereAll(qb.q.Pred, fkColumn, preds...)
 	if err != nil {
 		return qb, err
 	}

@@ -55,6 +55,40 @@ func TestStarSchemaPublicAPI(t *testing.T) {
 	}
 }
 
+func TestLoadDimensionCSV(t *testing.T) {
+	const csvData = "code,region,note\nORD,midwest,\nLAX,west,busy\n"
+	d, err := LoadDimensionCSV("airports", "code", strings.NewReader(csvData))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Name() != "airports" || d.NumRows() != 2 {
+		t.Fatalf("dimension = %s/%d rows", d.Name(), d.NumRows())
+	}
+	if keys := d.Keys(); len(keys) != 2 || keys[0] != "LAX" {
+		t.Errorf("Keys = %v", keys)
+	}
+	if got := d.KeysWhere("region", "west"); len(got) != 1 || got[0] != "LAX" {
+		t.Errorf("KeysWhere(region, west) = %v", got)
+	}
+	// Empty CSV cells are present-but-empty attributes, matchable as ''.
+	if got := d.KeysWhere("note", ""); len(got) != 1 || got[0] != "ORD" {
+		t.Errorf("KeysWhere(note, \"\") = %v", got)
+	}
+
+	if _, err := LoadDimensionCSV("d", "nope", strings.NewReader(csvData)); err == nil {
+		t.Error("missing key column accepted")
+	}
+	if _, err := LoadDimensionCSV("d", "code", strings.NewReader("code,x\n,1\n")); err == nil {
+		t.Error("empty key accepted")
+	}
+	if _, err := LoadDimensionCSV("d", "code", strings.NewReader("code,x\n\"bad")); err == nil {
+		t.Error("malformed CSV accepted")
+	}
+	if _, err := LoadDimensionCSV("d", "code", strings.NewReader("")); err == nil {
+		t.Error("empty stream accepted")
+	}
+}
+
 func TestWhereInPublicAPI(t *testing.T) {
 	tab := smallFlights(t)
 	q := Avg("DepDelay").WhereIn("Airline", "NW", "HP").StopAtRelError(0.3)

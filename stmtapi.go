@@ -108,7 +108,13 @@ type BoundStmt struct {
 
 // Explain renders the bound plan: the same full rendering as
 // Stmt.Explain, with every parameter slot replaced by its bound value.
-func (b *BoundStmt) Explain() string { return b.c.Explain() }
+// For statements with JOIN clauses it additionally shows the bind-time
+// join compilation against the engine's current registry — each
+// fact-side IN atom with its key-set size (an empty set renders as the
+// provably empty view it compiles to).
+func (b *BoundStmt) Explain() string {
+	return b.c.Explain() + b.stmt.eng.explainJoins(b.c)
+}
 
 // Query executes the bound statement approximately. Options given here
 // apply after (and override) the Prepare-time options.
