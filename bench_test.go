@@ -10,7 +10,9 @@
 package fastframe
 
 import (
+	"math"
 	"runtime"
+	"sort"
 	"sync"
 	"testing"
 
@@ -238,6 +240,62 @@ func BenchmarkParallelScan(b *testing.B) {
 			b.ReportMetric(float64(rows)*float64(b.N)/b.Elapsed().Seconds()/1e6, "Mrows/s")
 		})
 	}
+}
+
+var (
+	selectiveOnce sync.Once
+	selectiveLo   float64
+)
+
+// selectiveThreshold returns the 99.9th percentile of DepDelay on the
+// shared bench table: the cut that makes "DepDelay ≥ lo" select ~0.1%
+// of rows, the regime where float zone maps prune most blocks.
+func selectiveThreshold(b *testing.B, t *table.Table) float64 {
+	b.Helper()
+	selectiveOnce.Do(func() {
+		col, err := t.Float(flights.ColDepDelay)
+		if err != nil {
+			panic(err)
+		}
+		vals := append([]float64(nil), col.Values...)
+		sort.Float64s(vals)
+		selectiveLo = vals[len(vals)*999/1000]
+	})
+	return selectiveLo
+}
+
+// BenchmarkSelectiveScan measures a highly selective float-range WHERE
+// (the 99.9th-percentile tail of DepDelay) scanned to exhaustion: the
+// workload where per-block float zone maps pay off, since a block with
+// no tail value is pruned without being fetched. blocks/op is the
+// hardware-independent cost metric; ns/op and allocs/op feed the
+// BENCH_5.json perf trajectory.
+func BenchmarkSelectiveScan(b *testing.B) {
+	t := getBenchTable(b)
+	lo := selectiveThreshold(b, t)
+	q := query.Query{
+		Name: "selective-scan",
+		Agg:  query.Aggregate{Kind: query.Avg, Column: flights.ColDepDelay},
+		Pred: query.Predicate{}.AndRange(flights.ColDepDelay, lo, math.Inf(1)),
+		Stop: query.Exhaust(),
+	}
+	bounder := core.RangeTrim{Inner: ci.EmpiricalBernsteinSerfling{}}
+	var blocks, rows int
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := exec.Run(t, q, exec.Options{
+			Bounder:   bounder,
+			Strategy:  exec.Scan,
+			Delta:     exec.DefaultDelta,
+			RoundRows: 40_000,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		blocks, rows = res.BlocksFetched, res.RowsCovered
+	}
+	b.ReportMetric(float64(blocks), "blocks/op")
+	b.ReportMetric(float64(rows), "rows/op")
 }
 
 // BenchmarkScrambleBuild measures the one-time cost the architecture

@@ -1,0 +1,128 @@
+// Command benchjson converts `go test -bench` text output on stdin
+// into machine-readable JSON on stdout, so CI can record the perf
+// trajectory (BENCH_5.json and successors) without scraping logs.
+//
+//	go test . -run '^$' -bench 'BenchmarkSelectiveScan' -benchmem | benchjson
+//
+// Output is a JSON object with the benchmark environment (goos, goarch,
+// cpu, pkg) and one entry per benchmark line:
+//
+//	{"env": {"cpu": "..."}, "benchmarks": [
+//	  {"name": "BenchmarkSelectiveScan", "iterations": 100,
+//	   "metrics": {"ns/op": 1175383, "allocs/op": 20, "blocks/op": 1984}}]}
+//
+// Non-benchmark lines (PASS, ok, warnings) are ignored; malformed
+// metric pairs on a benchmark line are skipped rather than fatal, so a
+// new ReportMetric unit never breaks the job.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Benchmark is one parsed benchmark result line.
+type Benchmark struct {
+	Name       string             `json:"name"`
+	Iterations int64              `json:"iterations"`
+	Metrics    map[string]float64 `json:"metrics"`
+}
+
+// Report is the full document written to stdout.
+type Report struct {
+	Env        map[string]string `json:"env"`
+	Benchmarks []Benchmark       `json:"benchmarks"`
+}
+
+func main() {
+	rep, err := parse(os.Stdin)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}
+
+func parse(r io.Reader) (*Report, error) {
+	rep := &Report{Env: map[string]string{}}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case strings.HasPrefix(line, "goos:"),
+			strings.HasPrefix(line, "goarch:"),
+			strings.HasPrefix(line, "pkg:"),
+			strings.HasPrefix(line, "cpu:"):
+			k, v, _ := strings.Cut(line, ":")
+			rep.Env[k] = strings.TrimSpace(v)
+		case strings.HasPrefix(line, "Benchmark"):
+			if b, ok := parseBenchLine(line); ok {
+				rep.Benchmarks = append(rep.Benchmarks, b)
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(rep.Benchmarks) == 0 {
+		return nil, fmt.Errorf("no benchmark lines found on stdin")
+	}
+	return rep, nil
+}
+
+// parseBenchLine parses one result line of the standard Go benchmark
+// format: name, iteration count, then value–unit pairs.
+//
+//	BenchmarkX-8  100  12345 ns/op  16 B/op  2 allocs/op  55 blocks/op
+func parseBenchLine(line string) (Benchmark, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 {
+		return Benchmark{}, false
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Benchmark{}, false
+	}
+	b := Benchmark{
+		// Strip the trailing -GOMAXPROCS suffix for stable names.
+		Name:       stripProcs(fields[0]),
+		Iterations: iters,
+		Metrics:    map[string]float64{},
+	}
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			continue
+		}
+		b.Metrics[fields[i+1]] = v
+	}
+	if len(b.Metrics) == 0 {
+		return Benchmark{}, false
+	}
+	return b, true
+}
+
+// stripProcs removes the "-N" GOMAXPROCS suffix Go appends to benchmark
+// names, keeping sub-benchmark paths intact (the suffix is only ever on
+// the final path element).
+func stripProcs(name string) string {
+	i := strings.LastIndexByte(name, '-')
+	if i < 0 {
+		return name
+	}
+	if _, err := strconv.Atoi(name[i+1:]); err != nil {
+		return name
+	}
+	return name[:i]
+}

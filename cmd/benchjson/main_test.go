@@ -1,0 +1,61 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: fastframe
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkSelectiveScan 	       3	   1175383 ns/op	      1984 blocks/op	   2000000 rows/op	   12402 B/op	      20 allocs/op
+BenchmarkParallelScan/P=1-8         	       3	  34459972 ns/op	        58.04 Mrows/s	   2000000 rows/op	   40818 B/op	     383 allocs/op
+PASS
+ok  	fastframe	2.262s
+`
+
+func TestParse(t *testing.T) {
+	rep, err := parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Env["cpu"] == "" || rep.Env["goos"] != "linux" {
+		t.Errorf("env not captured: %+v", rep.Env)
+	}
+	if len(rep.Benchmarks) != 2 {
+		t.Fatalf("parsed %d benchmarks, want 2", len(rep.Benchmarks))
+	}
+	b := rep.Benchmarks[0]
+	if b.Name != "BenchmarkSelectiveScan" || b.Iterations != 3 {
+		t.Errorf("first bench: %+v", b)
+	}
+	if b.Metrics["ns/op"] != 1175383 || b.Metrics["blocks/op"] != 1984 || b.Metrics["allocs/op"] != 20 {
+		t.Errorf("metrics: %+v", b.Metrics)
+	}
+	if got := rep.Benchmarks[1].Name; got != "BenchmarkParallelScan/P=1" {
+		t.Errorf("GOMAXPROCS suffix not stripped: %q", got)
+	}
+	if rep.Benchmarks[1].Metrics["Mrows/s"] != 58.04 {
+		t.Errorf("float metric: %+v", rep.Benchmarks[1].Metrics)
+	}
+}
+
+func TestParseRejectsEmpty(t *testing.T) {
+	if _, err := parse(strings.NewReader("PASS\nok x 1s\n")); err == nil {
+		t.Error("empty input accepted")
+	}
+}
+
+func TestStripProcs(t *testing.T) {
+	for in, want := range map[string]string{
+		"BenchmarkX-8":      "BenchmarkX",
+		"BenchmarkX":        "BenchmarkX",
+		"BenchmarkX/P=4-16": "BenchmarkX/P=4",
+		"BenchmarkX/sub":    "BenchmarkX/sub",
+	} {
+		if got := stripProcs(in); got != want {
+			t.Errorf("stripProcs(%q) = %q, want %q", in, got, want)
+		}
+	}
+}

@@ -2,6 +2,7 @@ package fastframe
 
 import (
 	"context"
+	"fmt"
 	"math"
 	"strings"
 	"testing"
@@ -266,6 +267,49 @@ func TestEngineExplain(t *testing.T) {
 	}
 	if _, err := eng.Explain("SELECT"); err == nil {
 		t.Error("Explain accepted bad SQL")
+	}
+}
+
+// TestEngineExplainScanPrune checks Explain renders the zone-map
+// prunability of float-range predicates against the registered table:
+// one PRUNE line per range atom plus the combined-mask summary, with
+// the possible-block count matching what a scan would actually fetch.
+func TestEngineExplainScanPrune(t *testing.T) {
+	eng := testEngine(t)
+	plan, err := eng.Explain("SELECT COUNT(*) FROM flights WHERE DepDelay >= 100")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(plan, "PRUNE range DepDelay >= 100") ||
+		!strings.Contains(plan, "blocks possible") ||
+		!strings.Contains(plan, "PRUNE scan:") {
+		t.Fatalf("Explain missing zone-map prune rendering:\n%s", plan)
+	}
+	// The rendered possible-block count is the scan's actual fetch
+	// ceiling: run the query to exhaustion and compare.
+	res, err := eng.Query(context.Background(), "SELECT COUNT(*) FROM flights WHERE DepDelay >= 100")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var possible, total int
+	if _, err := fmt.Sscanf(plan[strings.Index(plan, "PRUNE scan:"):], "PRUNE scan: %d of %d blocks possible", &possible, &total); err != nil {
+		t.Fatalf("cannot parse PRUNE scan line in:\n%s", plan)
+	}
+	if res.BlocksFetched > possible {
+		t.Errorf("scan fetched %d blocks, plan promised at most %d", res.BlocksFetched, possible)
+	}
+	if possible >= total {
+		t.Errorf("tail predicate pruned nothing: %d of %d", possible, total)
+	}
+
+	// A predicate over a value absent from the dictionary renders the
+	// provably empty view.
+	plan, err = eng.Explain("SELECT COUNT(*) FROM flights WHERE Origin = 'NOWHERE'")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(plan, "provably empty view") {
+		t.Errorf("empty view not rendered:\n%s", plan)
 	}
 }
 

@@ -557,9 +557,42 @@ func (e *Engine) Explain(sqlText string) (string, error) {
 	if tmpl.NumParams() == 0 {
 		if c, err := tmpl.Bind(); err == nil {
 			plan += e.explainJoins(c)
+			plan += e.explainScanPrune(c)
 		}
 	}
 	return plan, nil
+}
+
+// explainScanPrune renders the static block-pruning prospect of a bound
+// statement's WHERE clause against the registered FROM table: one line
+// per float-range atom showing its zone-map prunability, and a summary
+// line for the combined mask (categorical bitmaps ∧ IN unions ∧ zone
+// maps) — how much of the scramble the scan rules out before fetching a
+// single block. Resolution failures render nothing: the logical plan is
+// still valid, only the current registry cannot quantify it.
+func (e *Engine) explainScanPrune(c sql.Compiled) string {
+	t, err := e.Table(c.Table)
+	if err != nil {
+		return ""
+	}
+	if resolved, err := e.resolveJoins(t, c); err == nil {
+		c = resolved
+	}
+	st, err := exec.PredicateScanStats(t.t, c.Query.Pred)
+	if err != nil {
+		return ""
+	}
+	var b strings.Builder
+	for _, r := range st.Ranges {
+		fmt.Fprintf(&b, "\n  PRUNE %s (zone map)", r)
+	}
+	switch {
+	case st.Empty:
+		fmt.Fprintf(&b, "\n  PRUNE scan: 0 of %d blocks possible — provably empty view", st.NumBlocks)
+	case st.Masked:
+		fmt.Fprintf(&b, "\n  PRUNE scan: %d of %d blocks possible", st.Possible, st.NumBlocks)
+	}
+	return b.String()
 }
 
 // explainJoins renders the bind-time join compilation of a bound

@@ -79,6 +79,17 @@ func (b *Bitset) Reset() {
 	}
 }
 
+// SetAll sets every bit in [0, Len). Bits beyond Len in the last word
+// stay clear, so Count and NextSet remain consistent.
+func (b *Bitset) SetAll() {
+	for i := range b.words {
+		b.words[i] = ^uint64(0)
+	}
+	if tail := b.n % wordBits; tail != 0 && len(b.words) > 0 {
+		b.words[len(b.words)-1] = (1 << uint(tail)) - 1
+	}
+}
+
 // Clone returns an independent copy.
 func (b *Bitset) Clone() *Bitset {
 	c := &Bitset{words: make([]uint64, len(b.words)), n: b.n}

@@ -356,3 +356,28 @@ func TestLookaheadCloseIdempotent(t *testing.T) {
 	la.Close()
 	la.Close() // must not panic
 }
+
+// TestSetAll checks SetAll fills exactly [0, Len): every bit reads set,
+// Count equals Len, and bits beyond Len in the tail word stay clear so
+// Count/NextSet invariants hold.
+func TestSetAll(t *testing.T) {
+	for _, n := range []int{1, 63, 64, 65, 130} {
+		b := NewBitset(n)
+		b.SetAll()
+		if b.Count() != n {
+			t.Errorf("n=%d: Count after SetAll = %d", n, b.Count())
+		}
+		for i := 0; i < n; i++ {
+			if !b.Get(i) {
+				t.Fatalf("n=%d: bit %d clear after SetAll", n, i)
+			}
+		}
+		if got := b.NextSet(n - 1); got != n-1 {
+			t.Errorf("n=%d: NextSet(n-1) = %d", n, got)
+		}
+		b.Clear(0)
+		if b.Count() != n-1 {
+			t.Errorf("n=%d: Count after Clear = %d", n, b.Count())
+		}
+	}
+}

@@ -39,6 +39,13 @@ func (s *andersonState) Update(v float64) {
 	s.sum += v
 }
 
+func (s *andersonState) UpdateBatch(vs []float64) {
+	s.ecdf.AddAll(vs)
+	for _, v := range vs {
+		s.sum += v
+	}
+}
+
 func (s *andersonState) Count() int { return s.ecdf.Count() }
 
 func (s *andersonState) Estimate() float64 {

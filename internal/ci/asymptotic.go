@@ -31,7 +31,13 @@ type cltState struct {
 	w stats.Welford
 }
 
-func (s *cltState) Update(v float64)  { s.w.Add(v) }
+func (s *cltState) Update(v float64) { s.w.Add(v) }
+
+func (s *cltState) UpdateBatch(vs []float64) {
+	for _, v := range vs {
+		s.w.Add(v)
+	}
+}
 func (s *cltState) Count() int        { return s.w.Count() }
 func (s *cltState) Estimate() float64 { return s.w.Mean() }
 func (s *cltState) Reset()            { s.w.Reset() }

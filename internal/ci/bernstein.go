@@ -32,7 +32,13 @@ type bernsteinState struct {
 	w stats.Welford
 }
 
-func (s *bernsteinState) Update(v float64)  { s.w.Add(v) }
+func (s *bernsteinState) Update(v float64) { s.w.Add(v) }
+
+func (s *bernsteinState) UpdateBatch(vs []float64) {
+	for _, v := range vs {
+		s.w.Add(v)
+	}
+}
 func (s *bernsteinState) Count() int        { return s.w.Count() }
 func (s *bernsteinState) Estimate() float64 { return s.w.Mean() }
 func (s *bernsteinState) Reset()            { s.w.Reset() }
@@ -91,6 +97,13 @@ type oracleBernsteinState struct {
 func (s *oracleBernsteinState) Update(v float64) {
 	s.m++
 	s.avg += (v - s.avg) / float64(s.m)
+}
+
+func (s *oracleBernsteinState) UpdateBatch(vs []float64) {
+	for _, v := range vs {
+		s.m++
+		s.avg += (v - s.avg) / float64(s.m)
+	}
 }
 
 func (s *oracleBernsteinState) Count() int        { return s.m }

@@ -36,6 +36,14 @@ type Params struct {
 type State interface {
 	// Update incorporates a newly sampled value.
 	Update(v float64)
+	// UpdateBatch incorporates a batch of sampled values, exactly
+	// equivalent to calling Update(v) for each value in order — the
+	// same sequential recurrence with the same float arithmetic, so
+	// downstream results are byte-identical. It exists so the
+	// vectorized scan kernel pays one interface dispatch per batch
+	// instead of one per row; inside the concrete state the loop is
+	// devirtualized.
+	UpdateBatch(vs []float64)
 	// Count returns the number of values incorporated so far.
 	Count() int
 	// Estimate returns the current point estimate of the mean

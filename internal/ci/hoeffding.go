@@ -33,6 +33,13 @@ func (s *hoeffdingState) Update(v float64) {
 	s.avg += (v - s.avg) / float64(s.m)
 }
 
+func (s *hoeffdingState) UpdateBatch(vs []float64) {
+	for _, v := range vs {
+		s.m++
+		s.avg += (v - s.avg) / float64(s.m)
+	}
+}
+
 func (s *hoeffdingState) Count() int        { return s.m }
 func (s *hoeffdingState) Estimate() float64 { return s.avg }
 func (s *hoeffdingState) Reset()            { *s = hoeffdingState{} }

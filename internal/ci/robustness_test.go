@@ -13,12 +13,13 @@ func (nanBounder) NewState() State { return &nanState{} }
 
 type nanState struct{ m int }
 
-func (s *nanState) Update(float64)       { s.m++ }
-func (s *nanState) Count() int           { return s.m }
-func (s *nanState) Estimate() float64    { return math.NaN() }
-func (s *nanState) Lower(Params) float64 { return math.NaN() }
-func (s *nanState) Upper(Params) float64 { return math.NaN() }
-func (s *nanState) Reset()               { s.m = 0 }
+func (s *nanState) Update(float64)           { s.m++ }
+func (s *nanState) UpdateBatch(vs []float64) { s.m += len(vs) }
+func (s *nanState) Count() int               { return s.m }
+func (s *nanState) Estimate() float64        { return math.NaN() }
+func (s *nanState) Lower(Params) float64     { return math.NaN() }
+func (s *nanState) Upper(Params) float64     { return math.NaN() }
+func (s *nanState) Reset()                   { s.m = 0 }
 
 func TestBoundIntervalNaNDegradesToTrivial(t *testing.T) {
 	s := nanBounder{}.NewState()

@@ -79,6 +79,16 @@ func (s *rangeTrimState) Update(v float64) {
 	s.avg += (v - s.avg) / float64(s.m)
 }
 
+// UpdateBatch runs the same streaming recurrence as repeated Update
+// calls — identical float arithmetic, one dispatch per batch. The inner
+// left/right states are concrete here, so their own batch loops stay
+// devirtualized.
+func (s *rangeTrimState) UpdateBatch(vs []float64) {
+	for _, v := range vs {
+		s.Update(v)
+	}
+}
+
 func (s *rangeTrimState) Count() int        { return s.m }
 func (s *rangeTrimState) Estimate() float64 { return s.avg }
 

@@ -144,9 +144,11 @@ type catAtom struct {
 	ok   bool
 }
 
+// inAtom holds a dense code-indexed membership table (not a Go map):
+// one bounds-checked load per row on the scan path.
 type inAtom struct {
-	col *table.CatColumn
-	set map[uint32]bool
+	col   *table.CatColumn
+	dense []bool
 }
 
 type rangeAtom struct {
@@ -190,13 +192,13 @@ func newEvaluator(t *table.Table, q query.Query) (*evaluator, error) {
 		if err != nil {
 			return nil, err
 		}
-		set := map[uint32]bool{}
+		dense := make([]bool, col.NumValues())
 		for _, v := range atom.Values {
 			if code, ok := col.Code(v); ok {
-				set[code] = true
+				dense[code] = true
 			}
 		}
-		e.inAtoms = append(e.inAtoms, inAtom{col: col, set: set})
+		e.inAtoms = append(e.inAtoms, inAtom{col: col, dense: dense})
 	}
 	for _, r := range q.Pred.Ranges {
 		col, err := t.Float(r.Column)
@@ -222,7 +224,7 @@ func (e *evaluator) match(row int) bool {
 		}
 	}
 	for _, a := range e.inAtoms {
-		if !a.set[a.col.Codes[row]] {
+		if !a.dense[a.col.Codes[row]] {
 			return false
 		}
 	}

@@ -3,6 +3,7 @@ package exec
 import (
 	"context"
 	"errors"
+	"math"
 	"sort"
 	"time"
 
@@ -102,7 +103,36 @@ type engine struct {
 	peekPending  bool
 	pendingStart int // start block of the in-flight lookahead request
 	pendingLen   int
+	// peekSeen/peekCodeBufs are the allocation-free form of the active
+	// code snapshot: a dense dedup table indexed by dictionary code and
+	// two code buffers alternating with the mask buffers (the lookahead
+	// worker reads a request's codes until Wait returns, so the buffer
+	// being refilled is always the one no request is reading).
+	peekSeen     []bool
+	peekCodeBufs [2][]uint32
+
+	// Vectorized-kernel scratch, sized once to the block size and reused
+	// for every fetched block — nothing is allocated inside the scan
+	// loop. The parallel path gives each worker its own copies (in
+	// roundAccum); these belong to the sequential scan.
+	sel  []int32   // selection vector: matching row indices of a block
+	vals []float64 // gathered aggregate inputs of the selected rows
+	gids []int32   // per-selected-row dense group IDs
+
+	// vectorOK gates the columnar kernel: the selection vector holds row
+	// indices and group IDs in int32 (denser scratch, faster scans), so
+	// tables or GROUP BY code spaces beyond 2³¹ fall back to the scalar
+	// reference kernel.
+	vectorOK bool
+
+	stopScr stopScratch // refreshActive's reusable sort buffers
 }
+
+// scalarKernel forces the row-at-a-time reference interpreter in place
+// of the vectorized block kernel. It exists for the kernel-equivalence
+// property tests, which pin the two paths byte-identical; only tests
+// set it, before any engine runs.
+var scalarKernel = false
 
 func newEngine(t *table.Table, q query.Query, opts Options) (*engine, error) {
 	e := &engine{t: t, q: q, opts: opts, layout: t.Layout()}
@@ -175,7 +205,7 @@ func newEngine(t *table.Table, q query.Query, opts Options) (*engine, error) {
 	e.grp = grp
 
 	e.cfg.bigR = t.NumRows()
-	e.cfg.knownN = pred.IsTrivialFor() && len(q.GroupBy) == 0
+	e.cfg.knownN = pred.matchAll() && len(q.GroupBy) == 0
 	e.cfg.alpha = opts.Alpha
 	e.cfg.deltaView = opts.Delta / float64(grp.numGroups())
 	e.cfg.isSum = q.Agg.Kind == query.Sum
@@ -194,6 +224,20 @@ func newEngine(t *table.Table, q query.Query, opts Options) (*engine, error) {
 		e.states[id] = newGroupState(id, grp.codesOf(id), opts.Bounder, e.cfg.a, e.cfg.b, e.cfg.bigR)
 	}
 	e.ordered = e.states
+
+	// Kernel scratch: one selection vector, value buffer and group-ID
+	// buffer sized to the block, allocated here and never inside the
+	// scan loop. int32 scratch caps the vector path at 2³¹ rows/groups;
+	// beyond that the scalar reference kernel takes over.
+	bs := e.layout.BlockSize
+	e.vectorOK = t.NumRows() <= math.MaxInt32 && grp.total <= math.MaxInt32
+	if e.vectorOK {
+		e.sel = make([]int32, 0, bs)
+		e.vals = make([]float64, 0, bs)
+		if !grp.isGlobal() {
+			e.gids = make([]int32, bs)
+		}
+	}
 
 	startBlock := opts.StartBlock
 	if opts.Rng != nil && e.layout.NumBlocks() > 0 {
@@ -217,14 +261,13 @@ func newEngine(t *table.Table, q query.Query, opts Options) (*engine, error) {
 		e.peek = bitmap.NewLookahead(grp.indexes[e.peekCol])
 		e.peekBufs[0] = bitmap.NewBitset(bitmap.LookaheadBatchBlocks)
 		e.peekBufs[1] = bitmap.NewBitset(bitmap.LookaheadBatchBlocks)
+		nv := grp.indexes[e.peekCol].NumValues()
+		e.peekSeen = make([]bool, nv)
+		e.peekCodeBufs[0] = make([]uint32, 0, nv)
+		e.peekCodeBufs[1] = make([]uint32, 0, nv)
 		e.peekStart = -1
 	}
 	return e, nil
-}
-
-// IsTrivialFor reports whether the compiled predicate matches all rows.
-func (cp *compiledPred) IsTrivialFor() bool {
-	return !cp.empty && len(cp.catColumns) == 0 && len(cp.inColumns) == 0 && len(cp.rangeCols) == 0
 }
 
 func (e *engine) run() {
@@ -289,8 +332,51 @@ func (e *engine) step(b int) {
 	e.totalCovered += n
 }
 
+// fetch reads block b through the vectorized kernel: the predicate is
+// evaluated column-at-a-time into the engine's selection vector, the
+// aggregate inputs of the survivors are gathered into a value buffer,
+// and consecutive same-group runs are fed to the bounder states through
+// one observeBatch dispatch per run — the same sequential recurrence as
+// the row-at-a-time reference, hence byte-identical intervals.
 func (e *engine) fetch(b, start, end int) {
 	e.cursor.Fetch(b)
+	if scalarKernel || !e.vectorOK {
+		e.fetchScalar(start, end)
+		return
+	}
+	sel := e.pred.matchBlock(start, end, e.sel)
+	e.sel = sel
+	if len(sel) == 0 {
+		return
+	}
+	vals := e.gatherValsInto(sel, e.vals)
+	e.vals = vals
+	if e.grp.isGlobal() {
+		gs := e.states[0]
+		if !gs.exact {
+			gs.observeBatch(vals)
+		}
+		return
+	}
+	gids := e.gatherGidsInto(sel, e.gids)
+	for i := 0; i < len(sel); {
+		gid := gids[i]
+		j := i + 1
+		for j < len(sel) && gids[j] == gid {
+			j++
+		}
+		gs := e.states[gid]
+		if !gs.exact {
+			gs.observeBatch(vals[i:j])
+		}
+		i = j
+	}
+}
+
+// fetchScalar is the seed row-at-a-time interpreter, kept as the
+// reference the property tests pin the vectorized kernel against and as
+// the fallback for tables whose row or group space overflows int32.
+func (e *engine) fetchScalar(start, end int) {
 	for row := start; row < end; row++ {
 		if !e.pred.match(row) {
 			continue
@@ -308,6 +394,46 @@ func (e *engine) fetch(b, start, end int) {
 			gs.observe(1) // COUNT: only membership matters
 		}
 	}
+}
+
+// gatherValsInto fills dst (reusing its backing array) with the
+// aggregate input of each selected row: the aggregate column's values,
+// the compiled expression's output, or 1 for COUNT.
+func (e *engine) gatherValsInto(sel []int32, dst []float64) []float64 {
+	dst = dst[:0]
+	switch {
+	case e.agg != nil:
+		src := e.agg.Values
+		for _, r := range sel {
+			dst = append(dst, src[r])
+		}
+	case e.aggProg != nil:
+		for _, r := range sel {
+			dst = append(dst, e.aggProg(int(r)))
+		}
+	default:
+		for range sel {
+			dst = append(dst, 1)
+		}
+	}
+	return dst
+}
+
+// gatherGidsInto computes the dense group ID of each selected row
+// column-at-a-time: one pass per GROUP BY column accumulating the
+// mixed-radix code, instead of one multi-column walk per row.
+func (e *engine) gatherGidsInto(sel []int32, dst []int32) []int32 {
+	dst = dst[:len(sel)]
+	for i := range dst {
+		dst[i] = 0
+	}
+	for c, col := range e.grp.cols {
+		radix, codes := int32(e.grp.radix[c]), col.Codes
+		for i, r := range sel {
+			dst[i] = dst[i]*radix + int32(codes[r])
+		}
+	}
+	return dst
 }
 
 // blockHasActiveGroup implements the per-strategy skip check.
@@ -353,7 +479,7 @@ func (e *engine) peekLookup(b int) bool {
 	}
 	if e.peekStart != start {
 		buf := e.peekBufs[1-e.peekCur]
-		e.peek.Request(buf, start, count, e.activePeekCodes())
+		e.peek.Request(buf, start, count, e.activePeekCodes(1-e.peekCur))
 		e.peekMask = e.peek.Wait()
 		e.peekStart = start
 		e.peekLen = count
@@ -367,7 +493,7 @@ func (e *engine) peekLookup(b int) bool {
 		if nextStart+nextCount > e.layout.NumBlocks() {
 			nextCount = e.layout.NumBlocks() - nextStart
 		}
-		e.peek.Request(e.peekBufs[1-e.peekCur], nextStart, nextCount, e.activePeekCodes())
+		e.peek.Request(e.peekBufs[1-e.peekCur], nextStart, nextCount, e.activePeekCodes(1-e.peekCur))
 		e.peekPending = true
 		e.pendingStart = nextStart
 		e.pendingLen = nextCount
@@ -376,18 +502,27 @@ func (e *engine) peekLookup(b int) bool {
 }
 
 // activePeekCodes snapshots the distinct codes of active groups in the
-// lookahead's key column. For composite groups this is a superset check
-// (conservative: may fetch extra blocks, never skips a block containing
-// an active group).
-func (e *engine) activePeekCodes() []uint32 {
-	seen := make(map[uint32]bool)
-	var codes []uint32
+// lookahead's key column into the code buffer paired with the given
+// mask buffer (the lookahead worker reads a request's codes until its
+// Wait, so codes alternate buffers exactly as masks do — nothing is
+// allocated, nothing races). For composite groups this is a superset
+// check (conservative: may fetch extra blocks, never skips a block
+// containing an active group).
+func (e *engine) activePeekCodes(buf int) []uint32 {
+	for i := range e.peekSeen {
+		e.peekSeen[i] = false
+	}
+	codes := e.peekCodeBufs[buf][:0]
 	for _, gs := range e.ordered {
-		if gs.active && len(gs.codes) > 0 && !seen[gs.codes[e.peekCol]] {
-			seen[gs.codes[e.peekCol]] = true
-			codes = append(codes, gs.codes[e.peekCol])
+		if gs.active && len(gs.codes) > 0 {
+			c := gs.codes[e.peekCol]
+			if !e.peekSeen[c] {
+				e.peekSeen[c] = true
+				codes = append(codes, c)
+			}
 		}
 	}
+	e.peekCodeBufs[buf] = codes
 	return codes
 }
 
@@ -395,7 +530,7 @@ func (e *engine) closeRound() {
 	e.round++
 	e.nextRoundAt += e.opts.RoundRows
 	e.closeGroups()
-	e.numActive = refreshActive(e.ordered, e.q.Stop, e.q.Agg.Kind)
+	e.numActive = refreshActive(e.ordered, e.q.Stop, e.q.Agg.Kind, &e.stopScr)
 	if e.numActive == 0 && e.q.Stop.Kind != query.StopExhaust {
 		e.stopped = true
 	}

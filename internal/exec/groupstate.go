@@ -58,6 +58,20 @@ func (gs *groupState) observe(v float64) {
 	gs.absSum += math.Abs(v)
 }
 
+// observeBatch incorporates a batch of view rows' values in order —
+// byte-identical to calling observe per value (the running sums
+// accumulate left-to-right and State.UpdateBatch is contractually the
+// same recurrence as repeated Update), with one bounder dispatch per
+// batch instead of per row.
+func (gs *groupState) observeBatch(vs []float64) {
+	gs.state.UpdateBatch(vs)
+	gs.mv += len(vs)
+	for _, v := range vs {
+		gs.sum += v
+		gs.absSum += math.Abs(v)
+	}
+}
+
 // covered returns the rows whose membership in this view is resolved.
 func (gs *groupState) covered(coveredAll int) int { return coveredAll + gs.extra }
 
@@ -97,6 +111,13 @@ type roundAccum struct {
 	fetched    int // blocks actually read
 	skipped    int // rows of active-scan-skipped blocks
 	shards     [][]obs
+
+	// Per-worker kernel scratch, allocated once with the accumulator
+	// and reused for every block of every round (the parallel
+	// counterpart of the engine's sequential scratch).
+	sel  []int32
+	vals []float64
+	gids []int32
 }
 
 // reset prepares the accumulator for a round with the given shard

@@ -41,8 +41,16 @@ const minParallelCloseGroups = 64
 // runParallel is the partitioned counterpart of run.
 func (e *engine) runParallel() {
 	accs := make([]*roundAccum, e.par)
+	bs := e.layout.BlockSize
 	for i := range accs {
 		accs[i] = &roundAccum{}
+		if e.vectorOK {
+			accs[i].sel = make([]int32, 0, bs)
+			accs[i].vals = make([]float64, 0, bs)
+			if !e.grp.isGlobal() {
+				accs[i].gids = make([]int32, bs)
+			}
+		}
 	}
 	var blocks []int
 	for {
@@ -131,19 +139,31 @@ func (e *engine) scanRound(blocks []int, accs []*roundAccum) {
 
 	// Step two: sharded replay. Worker s owns the group states of
 	// shard s and walks the partitions in scan order, so each state
-	// sees its observations in the sequential order.
+	// sees its observations in the sequential order. Consecutive
+	// observations of one group replay through a stack-buffered
+	// observeBatch — the same value sequence with one bounder dispatch
+	// per run instead of per observation.
 	var rg sync.WaitGroup
 	for s := 0; s < p; s++ {
 		rg.Add(1)
 		go func(s int) {
 			defer rg.Done()
+			var buf [256]float64
 			for _, acc := range accs {
-				for _, o := range acc.shards[s] {
-					gs := e.states[o.gid]
-					if gs.exact {
-						continue
+				shard := acc.shards[s]
+				for i := 0; i < len(shard); {
+					gid := shard[i].gid
+					k, j := 0, i
+					for j < len(shard) && shard[j].gid == gid && k < len(buf) {
+						buf[k] = shard[j].val
+						k++
+						j++
 					}
-					gs.observe(o.val)
+					gs := e.states[gid]
+					if !gs.exact {
+						gs.observeBatch(buf[:k])
+					}
+					i = j
 				}
 			}
 		}(s)
@@ -172,19 +192,45 @@ func (e *engine) scanPartition(seg []int, acc *roundAccum) {
 		}
 		acc.fetched++
 		acc.coveredAll += n
-		for row := start; row < end; row++ {
-			if !e.pred.match(row) {
-				continue
+		if scalarKernel || !e.vectorOK {
+			e.scanBlockScalar(start, end, acc)
+			continue
+		}
+		sel := e.pred.matchBlock(start, end, acc.sel)
+		acc.sel = sel
+		if len(sel) == 0 {
+			continue
+		}
+		vals := e.gatherValsInto(sel, acc.vals)
+		acc.vals = vals
+		if e.grp.isGlobal() {
+			for _, v := range vals {
+				acc.add(0, v)
 			}
-			gid := e.grp.groupOf(row)
-			switch {
-			case e.agg != nil:
-				acc.add(gid, e.agg.Values[row])
-			case e.aggProg != nil:
-				acc.add(gid, e.aggProg(row))
-			default:
-				acc.add(gid, 1) // COUNT: only membership matters
-			}
+			continue
+		}
+		gids := e.gatherGidsInto(sel, acc.gids)
+		for i := range sel {
+			acc.add(int(gids[i]), vals[i])
+		}
+	}
+}
+
+// scanBlockScalar is the row-at-a-time reference for one partition
+// block, mirroring fetchScalar with buffered observations.
+func (e *engine) scanBlockScalar(start, end int, acc *roundAccum) {
+	for row := start; row < end; row++ {
+		if !e.pred.match(row) {
+			continue
+		}
+		gid := e.grp.groupOf(row)
+		switch {
+		case e.agg != nil:
+			acc.add(gid, e.agg.Values[row])
+		case e.aggProg != nil:
+			acc.add(gid, e.aggProg(row))
+		default:
+			acc.add(gid, 1) // COUNT: only membership matters
 		}
 	}
 }

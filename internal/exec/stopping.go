@@ -38,11 +38,56 @@ func relativeError(iv ci.Interval) float64 {
 	return math.Max(rel(iv.Hi-iv.Estimate, iv.Hi), rel(iv.Estimate-iv.Lo, iv.Lo))
 }
 
+// stopScratch holds the sort and sweep buffers the top-k and ordered
+// activeness rules need each round. The engine owns one and passes it
+// to every refreshActive call, so steady-state rounds allocate nothing
+// (the buffers are sized on first use — group count is fixed per
+// query — and the sorters below implement sort.Interface on pointers
+// already held here, avoiding sort.Slice's closure allocations).
+type stopScratch struct {
+	est        estimateSorter
+	lo         loSorter
+	overlapped []bool
+}
+
+// estimateSorter stably orders group states by interval estimate for
+// refreshTopK. sort.Stable with the same comparator produces the same
+// permutation as the sort.SliceStable it replaces, so activeness — and
+// therefore results — are unchanged.
+type estimateSorter struct {
+	order   []*groupState
+	kind    query.AggKind
+	largest bool
+}
+
+func (s *estimateSorter) Len() int      { return len(s.order) }
+func (s *estimateSorter) Swap(i, j int) { s.order[i], s.order[j] = s.order[j], s.order[i] }
+func (s *estimateSorter) Less(i, j int) bool {
+	if s.largest {
+		return answerInterval(s.order[i], s.kind).Estimate > answerInterval(s.order[j], s.kind).Estimate
+	}
+	return answerInterval(s.order[i], s.kind).Estimate < answerInterval(s.order[j], s.kind).Estimate
+}
+
+// loSorter orders interval indices by lower endpoint for the overlap
+// sweep of refreshOrdered. The sweep's marking is independent of how
+// equal-Lo ties are permuted, so swapping sort algorithms cannot change
+// which groups end up active.
+type loSorter struct {
+	idx []int
+	ivs []ci.Interval
+}
+
+func (s *loSorter) Len() int           { return len(s.idx) }
+func (s *loSorter) Swap(i, j int)      { s.idx[i], s.idx[j] = s.idx[j], s.idx[i] }
+func (s *loSorter) Less(i, j int) bool { return s.ivs[s.idx[i]].Lo < s.ivs[s.idx[j]].Lo }
+
 // refreshActive recomputes the active flag of every group for the given
 // stopping condition (the activeness rules of §4.3). It returns the
 // number of active groups; zero means the stopping condition holds and
-// the query can terminate.
-func refreshActive(groups []*groupState, stop query.Stop, kind query.AggKind) int {
+// the query can terminate. scr carries the reusable sort buffers; the
+// non-sorting rules never touch it.
+func refreshActive(groups []*groupState, stop query.Stop, kind query.AggKind, scr *stopScratch) int {
 	switch stop.Kind {
 	case query.StopFixedSamples:
 		for _, gs := range groups {
@@ -61,9 +106,9 @@ func refreshActive(groups []*groupState, stop query.Stop, kind query.AggKind) in
 			gs.active = !gs.exact && answerInterval(gs, kind).Contains(stop.Threshold)
 		}
 	case query.StopTopK:
-		refreshTopK(groups, stop, kind)
+		refreshTopK(groups, stop, kind, scr)
 	case query.StopOrdered:
-		refreshOrdered(groups, kind)
+		refreshOrdered(groups, kind, scr)
 	case query.StopExhaust:
 		for _, gs := range groups {
 			gs.active = !gs.exact
@@ -82,24 +127,22 @@ func refreshActive(groups []*groupState, stop query.Stop, kind query.AggKind) in
 // order groups by estimate; the midpoint between the K-th and (K+1)-th
 // estimates splits "in" from "out"; an in-group is active while its
 // bound on the out-side crosses the midpoint, and vice versa.
-func refreshTopK(groups []*groupState, stop query.Stop, kind query.AggKind) {
+func refreshTopK(groups []*groupState, stop query.Stop, kind query.AggKind, scr *stopScratch) {
 	if len(groups) <= stop.K {
 		for _, gs := range groups {
 			gs.active = false // trivially separated
 		}
 		return
 	}
-	order := make([]*groupState, len(groups))
-	copy(order, groups)
-	if stop.Largest {
-		sort.SliceStable(order, func(i, j int) bool {
-			return answerInterval(order[i], kind).Estimate > answerInterval(order[j], kind).Estimate
-		})
-	} else {
-		sort.SliceStable(order, func(i, j int) bool {
-			return answerInterval(order[i], kind).Estimate < answerInterval(order[j], kind).Estimate
-		})
+	if cap(scr.est.order) < len(groups) {
+		scr.est.order = make([]*groupState, len(groups))
 	}
+	order := scr.est.order[:len(groups)]
+	copy(order, groups)
+	scr.est.order = order
+	scr.est.kind = kind
+	scr.est.largest = stop.Largest
+	sort.Stable(&scr.est)
 	kth := answerInterval(order[stop.K-1], kind).Estimate
 	next := answerInterval(order[stop.K], kind).Estimate
 	mid := (kth + next) / 2
@@ -129,18 +172,27 @@ func refreshTopK(groups []*groupState, stop query.Stop, kind query.AggKind) {
 // while its interval intersects any other group's interval. Exact groups
 // cannot tighten further and are never active, but they still
 // participate in the intersection tests of others.
-func refreshOrdered(groups []*groupState, kind query.AggKind) {
-	ivs := make([]ci.Interval, len(groups))
+func refreshOrdered(groups []*groupState, kind query.AggKind, scr *stopScratch) {
+	if cap(scr.lo.ivs) < len(groups) {
+		scr.lo.ivs = make([]ci.Interval, len(groups))
+		scr.lo.idx = make([]int, len(groups))
+		scr.overlapped = make([]bool, len(groups))
+	}
+	ivs := scr.lo.ivs[:len(groups)]
 	for i, gs := range groups {
 		ivs[i] = answerInterval(gs, kind)
 	}
 	// Sort index order by Lo for an O(n log n) overlap sweep.
-	idx := make([]int, len(groups))
+	idx := scr.lo.idx[:len(groups)]
 	for i := range idx {
 		idx[i] = i
 	}
-	sort.Slice(idx, func(a, b int) bool { return ivs[idx[a]].Lo < ivs[idx[b]].Lo })
-	overlapped := make([]bool, len(groups))
+	scr.lo.ivs, scr.lo.idx = ivs, idx
+	sort.Sort(&scr.lo)
+	overlapped := scr.overlapped[:len(groups)]
+	for i := range overlapped {
+		overlapped[i] = false
+	}
 	for a := 0; a < len(idx); a++ {
 		i := idx[a]
 		for b := a + 1; b < len(idx); b++ {

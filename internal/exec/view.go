@@ -16,30 +16,49 @@ import (
 // compiledPred is a query predicate resolved against a concrete table:
 // categorical equality and set-membership atoms become code comparisons
 // and a static block-level mask; float ranges become per-row value
-// checks.
+// checks plus zone-map block pruning. The hot path is matchBlock, which
+// evaluates the conjunction column-at-a-time over a whole block into a
+// caller-owned selection vector; the row-at-a-time match is kept as the
+// reference interpreter for the kernel-equivalence property tests.
 type compiledPred struct {
 	catCodes   []uint32
 	catColumns []*table.CatColumn
-	inSets     []map[uint32]bool
-	inColumns  []*table.CatColumn
-	ranges     []query.FloatRange
-	rangeCols  []*table.FloatColumn
+
+	// inDense[i] is a dense membership table indexed by dictionary code:
+	// inDense[i][code] reports whether code belongs to IN-set i. Dense
+	// tables replace the former map[uint32]bool probes — one bounds-
+	// checked load per row instead of a hash lookup — and join views
+	// (fact-side key sets from AndCatIn) compile through the same path.
+	inDense   [][]bool
+	inColumns []*table.CatColumn
+
+	ranges    []query.FloatRange
+	rangeCols []*table.FloatColumn
 
 	// blockMask, if non-nil, marks blocks that can contain matching
 	// rows: the intersection of the block bitmaps of every categorical
-	// equality atom. Blocks outside the mask are skipped without being
-	// fetched, by every strategy (§5.2's Scan "may leverage bitmaps for
-	// evaluation of whether a block contains tuples that satisfy a fixed
-	// predicate").
+	// equality atom, the bitmap unions of every IN atom, and the
+	// zone-map masks of every float-range atom. Blocks outside the mask
+	// are skipped without being fetched, by every strategy (§5.2's Scan
+	// "may leverage bitmaps for evaluation of whether a block contains
+	// tuples that satisfy a fixed predicate").
 	blockMask *bitmap.Bitset
 
+	// rangePossible[i] counts the blocks the i-th float-range atom's
+	// zone-map mask left possible; numBlocks is the table's block count.
+	// Both feed Explain's prunability rendering only.
+	rangePossible []int
+	numBlocks     int
+
 	// empty is set when a categorical atom references a value absent
-	// from the dictionary: the view is provably empty.
+	// from the dictionary: the view is provably empty. The check is
+	// hoisted out of the per-row path — blockPossible answers false for
+	// every block, so an empty view never fetches and never matches.
 	empty bool
 }
 
 func compilePredicate(t *table.Table, p query.Predicate) (*compiledPred, error) {
-	cp := &compiledPred{}
+	cp := &compiledPred{numBlocks: t.Layout().NumBlocks()}
 	for _, atom := range p.CatEq {
 		col, err := t.Cat(atom.Column)
 		if err != nil {
@@ -71,22 +90,26 @@ func compilePredicate(t *table.Table, p query.Predicate) (*compiledPred, error) 
 		if err != nil {
 			return nil, err
 		}
-		set := make(map[uint32]bool, len(atom.Values))
+		dense := make([]bool, col.NumValues())
+		n := 0
 		union := bitmap.NewBitset(ix.NumBlocks())
 		for _, v := range atom.Values {
 			code, ok := col.Code(v)
 			if !ok {
 				continue // absent values cannot match
 			}
-			set[code] = true
+			if !dense[code] {
+				dense[code] = true
+				n++
+			}
 			union.OrInto(ix.Blocks(code))
 		}
-		if len(set) == 0 {
+		if n == 0 {
 			cp.empty = true
 			continue
 		}
 		cp.inColumns = append(cp.inColumns, col)
-		cp.inSets = append(cp.inSets, set)
+		cp.inDense = append(cp.inDense, dense)
 		if cp.blockMask == nil {
 			cp.blockMask = union
 		} else {
@@ -100,22 +123,119 @@ func compilePredicate(t *table.Table, p query.Predicate) (*compiledPred, error) 
 		}
 		cp.rangeCols = append(cp.rangeCols, col)
 		cp.ranges = append(cp.ranges, r)
+
+		// Zone-map pruning: a block whose [min, max] does not intersect
+		// [Lo, Hi] provably contains no matching row, so it joins the
+		// static mask exactly like a categorical bitmap miss. Over a
+		// scramble this pays off for selective tail predicates — the
+		// more selective the range, the more blocks hold no qualifying
+		// row at all.
+		zm, err := t.Zones(r.Column)
+		if err != nil {
+			return nil, err
+		}
+		zoneMask := bitmap.NewBitset(cp.numBlocks)
+		zoneMask.SetAll()
+		possible := cp.numBlocks
+		for b := 0; b < cp.numBlocks; b++ {
+			if !zm.Possible(b, r.Lo, r.Hi) {
+				zoneMask.Clear(b)
+				possible--
+			}
+		}
+		cp.rangePossible = append(cp.rangePossible, possible)
+		if possible == cp.numBlocks {
+			continue // every block possible: the mask would prune nothing
+		}
+		if cp.blockMask == nil {
+			cp.blockMask = zoneMask
+		} else {
+			cp.blockMask.AndInto(zoneMask)
+		}
 	}
 	return cp, nil
 }
 
-// match reports whether the row passes every predicate atom.
-func (cp *compiledPred) match(row int) bool {
-	if cp.empty {
-		return false
+// matchAll reports whether the predicate has no atoms at all, so every
+// row of every block matches.
+func (cp *compiledPred) matchAll() bool {
+	return !cp.empty && len(cp.catColumns) == 0 && len(cp.inColumns) == 0 && len(cp.rangeCols) == 0
+}
+
+// matchBlock evaluates the predicate column-at-a-time over rows
+// [start, end) and returns the matching row indices, reusing sel's
+// backing array (the caller owns one selection-vector scratch per
+// engine or worker; nothing is allocated here once the scratch has
+// block-size capacity). Atom order — equalities, IN sets, ranges —
+// matches the row-at-a-time reference exactly, so the surviving set is
+// identical; callers never invoke matchBlock on blocks blockPossible
+// rejected, which is where the hoisted empty check lives.
+func (cp *compiledPred) matchBlock(start, end int, sel []int32) []int32 {
+	sel = sel[:0]
+	for r := start; r < end; r++ {
+		sel = append(sel, int32(r))
 	}
+	if cp.matchAll() {
+		return sel
+	}
+	for i, col := range cp.catColumns {
+		code, codes := cp.catCodes[i], col.Codes
+		k := 0
+		for _, r := range sel {
+			if codes[r] == code {
+				sel[k] = r
+				k++
+			}
+		}
+		sel = sel[:k]
+		if k == 0 {
+			return sel
+		}
+	}
+	for i, col := range cp.inColumns {
+		dense, codes := cp.inDense[i], col.Codes
+		k := 0
+		for _, r := range sel {
+			if dense[codes[r]] {
+				sel[k] = r
+				k++
+			}
+		}
+		sel = sel[:k]
+		if k == 0 {
+			return sel
+		}
+	}
+	for i, col := range cp.rangeCols {
+		lo, hi, vals := cp.ranges[i].Lo, cp.ranges[i].Hi, col.Values
+		k := 0
+		for _, r := range sel {
+			if v := vals[r]; v >= lo && v <= hi {
+				sel[k] = r
+				k++
+			}
+		}
+		sel = sel[:k]
+		if k == 0 {
+			return sel
+		}
+	}
+	return sel
+}
+
+// match reports whether the row passes every predicate atom. This is
+// the row-at-a-time reference interpreter: the equivalence property
+// tests pin matchBlock to it, and the scalar fallback kernel uses it.
+// The provably-empty case is hoisted to blockPossible, which rejects
+// every block up front, so match no longer tests it per row.
+func (cp *compiledPred) match(row int) bool {
 	for i, col := range cp.catColumns {
 		if col.Codes[row] != cp.catCodes[i] {
 			return false
 		}
 	}
 	for i, col := range cp.inColumns {
-		if !cp.inSets[i][col.Codes[row]] {
+		if !cp.inDense[i][col.Codes[row]] {
 			return false
 		}
 	}
@@ -129,7 +249,7 @@ func (cp *compiledPred) match(row int) bool {
 }
 
 // blockPossible reports whether a block can contain matching rows
-// according to the static categorical mask.
+// according to the static mask (categorical bitmaps ∧ zone maps).
 func (cp *compiledPred) blockPossible(block int) bool {
 	if cp.empty {
 		return false
@@ -138,6 +258,18 @@ func (cp *compiledPred) blockPossible(block int) bool {
 		return true
 	}
 	return cp.blockMask.Get(block)
+}
+
+// possibleBlocks returns how many blocks the static mask leaves
+// possible (numBlocks when there is no mask, 0 for an empty view).
+func (cp *compiledPred) possibleBlocks() int {
+	if cp.empty {
+		return 0
+	}
+	if cp.blockMask == nil {
+		return cp.numBlocks
+	}
+	return cp.blockMask.Count()
 }
 
 // grouper maps rows to dense group IDs over the GROUP BY columns using
@@ -172,6 +304,9 @@ func newGrouper(t *table.Table, groupBy []string) (*grouper, error) {
 // (the product of dictionary sizes; 1 with no GROUP BY). The paper
 // divides δ by this count to preserve guarantees across views.
 func (g *grouper) numGroups() int { return g.total }
+
+// isGlobal reports whether there is no GROUP BY (one global view).
+func (g *grouper) isGlobal() bool { return len(g.cols) == 0 }
 
 // groupOf returns the dense group ID of a row (0 with no GROUP BY).
 func (g *grouper) groupOf(row int) int {

@@ -28,6 +28,50 @@ func (c *CatColumn) Code(value string) (uint32, bool) {
 // Value returns the string for a code.
 func (c *CatColumn) Value(code uint32) string { return c.Dict[code] }
 
+// ZoneMap holds per-block minima and maxima of a float column in
+// scramble order: Min[b] and Max[b] bound every value of block b. The
+// executor consults zone maps at predicate-compile time to prune blocks
+// that provably contain no row satisfying a float-range atom — the
+// continuous-column counterpart of the categorical block bitmap
+// indexes. Like those indexes, zone maps are derived data: they are
+// persisted (format v2) but can always be recomputed from the values.
+type ZoneMap struct {
+	Min, Max []float64
+}
+
+// NumBlocks returns the number of blocks covered.
+func (z *ZoneMap) NumBlocks() int { return len(z.Min) }
+
+// Possible reports whether block b can contain a value in [lo, hi].
+func (z *ZoneMap) Possible(b int, lo, hi float64) bool {
+	return z.Max[b] >= lo && z.Min[b] <= hi
+}
+
+// ComputeZoneMap builds the zone map of a column given its per-row
+// values in scramble order and the block size in rows.
+func ComputeZoneMap(values []float64, blockSize int) *ZoneMap {
+	if blockSize <= 0 {
+		panic("table: non-positive block size")
+	}
+	nb := (len(values) + blockSize - 1) / blockSize
+	z := &ZoneMap{Min: make([]float64, nb), Max: make([]float64, nb)}
+	for b := 0; b < nb; b++ {
+		start := b * blockSize
+		end := min(start+blockSize, len(values))
+		lo, hi := values[start], values[start]
+		for _, v := range values[start+1 : end] {
+			if v < lo {
+				lo = v
+			}
+			if v > hi {
+				hi = v
+			}
+		}
+		z.Min[b], z.Max[b] = lo, hi
+	}
+	return z
+}
+
 // RangeBounds is the catalog entry for a continuous column: the
 // a-priori bounds [A, B] ⊇ [MIN, MAX] maintained at load time and fed to
 // the range-based error bounders. The catalog may widen the bounds

@@ -16,27 +16,44 @@ import (
 //	magic "FFSC" | u32 version | u32 blockSize | u64 rows | u32 numCols
 //	per column: u8 kind | u16 nameLen | name
 //	  Float:       f64 boundsLo | f64 boundsHi | rows × f64
+//	               | numBlocks × f64 zoneMin | numBlocks × f64 zoneMax  (v2+)
 //	  Categorical: u32 dictLen | dict entries (u16 len | bytes) | rows × u32
+//
+// Version 2 adds per-block min/max zone maps after each float column's
+// values, so loading skips the recomputation pass the executor's
+// float-range block pruning would otherwise pay. Version 1 files are
+// still readable: their zone maps are recomputed from the values on
+// load, exactly as bitmap indexes are rebuilt.
 //
 // Bitmap indexes are rebuilt on load (they are derived data and cheaper
 // to rebuild than to store). The paper's scramble shuffle is paid once
 // at build time; persistence lets it amortize across process restarts.
 
 const (
-	persistMagic   = "FFSC"
-	persistVersion = 1
+	persistMagic = "FFSC"
+	// persistVersionLegacy is the pre-zone-map format, readable forever.
+	persistVersionLegacy = 1
+	// persistVersion is the current written format (adds zone maps).
+	persistVersion = 2
 )
 
-// WriteTo serializes the table. The returned byte count is approximate
-// (bufio internally); errors are from the underlying writer or format.
+// WriteTo serializes the table in the current format version. The
+// returned byte count is approximate (bufio internally); errors are
+// from the underlying writer or format.
 func (t *Table) WriteTo(w io.Writer) (int64, error) {
+	return t.writeTo(w, persistVersion)
+}
+
+// writeTo serializes in a specific format version; version 1 omits the
+// zone maps (kept for the legacy-format compatibility tests).
+func (t *Table) writeTo(w io.Writer, version uint32) (int64, error) {
 	bw := bufio.NewWriterSize(w, 1<<20)
 	cw := &countWriter{w: bw}
 
 	if _, err := cw.Write([]byte(persistMagic)); err != nil {
 		return cw.n, err
 	}
-	hdr := []uint32{persistVersion, uint32(t.layout.BlockSize)}
+	hdr := []uint32{version, uint32(t.layout.BlockSize)}
 	for _, v := range hdr {
 		if err := binary.Write(cw, binary.LittleEndian, v); err != nil {
 			return cw.n, err
@@ -67,6 +84,15 @@ func (t *Table) WriteTo(w io.Writer) (int64, error) {
 			}
 			if err := writeFloats(cw, col.Values); err != nil {
 				return cw.n, err
+			}
+			if version >= 2 {
+				z := t.zones[spec.Name]
+				if err := writeFloats(cw, z.Min); err != nil {
+					return cw.n, err
+				}
+				if err := writeFloats(cw, z.Max); err != nil {
+					return cw.n, err
+				}
 			}
 		case Categorical:
 			col := t.cats[spec.Name]
@@ -105,7 +131,7 @@ func ReadTable(r io.Reader) (*Table, error) {
 	if err := binary.Read(br, binary.LittleEndian, &version); err != nil {
 		return nil, err
 	}
-	if version != persistVersion {
+	if version != persistVersionLegacy && version != persistVersion {
 		return nil, fmt.Errorf("table: unsupported format version %d", version)
 	}
 	if err := binary.Read(br, binary.LittleEndian, &blockSize); err != nil {
@@ -128,6 +154,7 @@ func ReadTable(r io.Reader) (*Table, error) {
 		cats:    map[string]*CatColumn{},
 		indexes: map[string]*bitmap.BlockIndex{},
 		catalog: map[string]RangeBounds{},
+		zones:   map[string]*ZoneMap{},
 	}
 	specs := make([]ColumnSpec, numCols)
 	for i := range specs {
@@ -156,6 +183,22 @@ func ReadTable(r io.Reader) (*Table, error) {
 			}
 			t.floats[name] = &FloatColumn{Values: vals}
 			t.catalog[name] = RangeBounds{A: lo, B: hi}
+			if version >= 2 {
+				nb := t.layout.NumBlocks()
+				zmin, err := readFloats(br, nb)
+				if err != nil {
+					return nil, err
+				}
+				zmax, err := readFloats(br, nb)
+				if err != nil {
+					return nil, err
+				}
+				t.zones[name] = &ZoneMap{Min: zmin, Max: zmax}
+			} else {
+				// Legacy v1 file: zone maps were not persisted yet;
+				// recompute them from the values like bitmap indexes.
+				t.zones[name] = ComputeZoneMap(vals, t.layout.BlockSize)
+			}
 		case Categorical:
 			var dictLen uint32
 			if err := binary.Read(br, binary.LittleEndian, &dictLen); err != nil {

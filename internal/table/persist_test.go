@@ -133,3 +133,87 @@ func TestReadTableErrors(t *testing.T) {
 		t.Error("wrong version accepted")
 	}
 }
+
+// TestPersistZoneMapRoundTrip checks the v2 format carries the zone
+// maps through byte-exactly: the loaded table's per-block min/max match
+// the original's without recomputation, and both match a recomputation
+// from the loaded values.
+func TestPersistZoneMapRoundTrip(t *testing.T) {
+	orig := buildSmallTable(t)
+	var buf bytes.Buffer
+	if _, err := orig.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadTable(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oz, err := orig.Zones("delay")
+	if err != nil {
+		t.Fatal(err)
+	}
+	gz, err := got.Zones("delay")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gz.NumBlocks() != oz.NumBlocks() || gz.NumBlocks() != got.Layout().NumBlocks() {
+		t.Fatalf("zone map blocks %d vs %d (layout %d)", gz.NumBlocks(), oz.NumBlocks(), got.Layout().NumBlocks())
+	}
+	for b := 0; b < oz.NumBlocks(); b++ {
+		if math.Float64bits(gz.Min[b]) != math.Float64bits(oz.Min[b]) ||
+			math.Float64bits(gz.Max[b]) != math.Float64bits(oz.Max[b]) {
+			t.Fatalf("zone map differs at block %d: [%v,%v] vs [%v,%v]", b, gz.Min[b], gz.Max[b], oz.Min[b], oz.Max[b])
+		}
+	}
+	gf, _ := got.Float("delay")
+	rz := ComputeZoneMap(gf.Values, got.Layout().BlockSize)
+	for b := 0; b < rz.NumBlocks(); b++ {
+		if gz.Min[b] != rz.Min[b] || gz.Max[b] != rz.Max[b] {
+			t.Fatalf("persisted zone map inconsistent with values at block %d", b)
+		}
+	}
+}
+
+// TestPersistLegacyV1Recompute checks old persisted scrambles keep
+// working: a version-1 stream (no zone maps on disk) loads fine and its
+// zone maps are recomputed from the values, identical to the ones the
+// v2 format would have carried.
+func TestPersistLegacyV1Recompute(t *testing.T) {
+	orig := buildSmallTable(t)
+	var buf bytes.Buffer
+	if _, err := orig.writeTo(&buf, persistVersionLegacy); err != nil {
+		t.Fatal(err)
+	}
+	v1Size := buf.Len()
+	got, err := ReadTable(&buf)
+	if err != nil {
+		t.Fatalf("legacy v1 stream rejected: %v", err)
+	}
+	// Data round-trips.
+	gf, _ := got.Float("delay")
+	of, _ := orig.Float("delay")
+	for i := range of.Values {
+		if gf.Values[i] != of.Values[i] {
+			t.Fatalf("float row %d differs", i)
+		}
+	}
+	// Zone maps were recomputed, matching the original's exactly.
+	oz, _ := orig.Zones("delay")
+	gz, err := got.Zones("delay")
+	if err != nil {
+		t.Fatalf("legacy load has no zone map: %v", err)
+	}
+	for b := 0; b < oz.NumBlocks(); b++ {
+		if gz.Min[b] != oz.Min[b] || gz.Max[b] != oz.Max[b] {
+			t.Fatalf("recomputed zone map differs at block %d", b)
+		}
+	}
+	// And a v1 stream is strictly smaller (no zone arrays).
+	var v2 bytes.Buffer
+	if _, err := orig.WriteTo(&v2); err != nil {
+		t.Fatal(err)
+	}
+	if v1Size >= v2.Len() {
+		t.Errorf("v1 stream (%d bytes) not smaller than v2 (%d): zone maps missing from v2?", v1Size, v2.Len())
+	}
+}

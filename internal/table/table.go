@@ -21,6 +21,7 @@ type Table struct {
 	cats    map[string]*CatColumn
 	indexes map[string]*bitmap.BlockIndex
 	catalog map[string]RangeBounds
+	zones   map[string]*ZoneMap
 }
 
 // Schema returns the table schema.
@@ -58,6 +59,17 @@ func (t *Table) Index(name string) (*bitmap.BlockIndex, error) {
 		return nil, fmt.Errorf("table: no index for column %q", name)
 	}
 	return ix, nil
+}
+
+// Zones returns the per-block min/max zone map for a continuous
+// column, or an error. Every float column of a built or loaded table
+// has one.
+func (t *Table) Zones(name string) (*ZoneMap, error) {
+	z, ok := t.zones[name]
+	if !ok {
+		return nil, fmt.Errorf("table: no zone map for column %q", name)
+	}
+	return z, nil
 }
 
 // Bounds returns the catalog range bounds for a continuous column.
@@ -234,6 +246,7 @@ func (b *Builder) Build(rng *rand.Rand) (*Table, error) {
 		cats:    map[string]*CatColumn{},
 		indexes: map[string]*bitmap.BlockIndex{},
 		catalog: map[string]RangeBounds{},
+		zones:   map[string]*ZoneMap{},
 	}
 	for _, c := range b.schema.Columns() {
 		switch c.Kind {
@@ -261,6 +274,7 @@ func (b *Builder) Build(rng *rand.Rand) (*Table, error) {
 			}
 			t.floats[c.Name] = &FloatColumn{Values: dst}
 			t.catalog[c.Name] = RangeBounds{A: lo, B: hi}
+			t.zones[c.Name] = ComputeZoneMap(dst, t.layout.BlockSize)
 		case Categorical:
 			src := b.catVals[c.Name]
 			dst := make([]uint32, b.rows)

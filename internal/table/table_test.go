@@ -314,3 +314,39 @@ func TestAppendColumnsValidation(t *testing.T) {
 		t.Errorf("rows after failed appends = %d", b.NumRows())
 	}
 }
+
+// TestComputeZoneMap pins the zone-map computation: per-block extrema,
+// the partial last block, and the Possible intersection test.
+func TestComputeZoneMap(t *testing.T) {
+	vals := []float64{5, 1, 3, -2, 7, 10, 10, 10, 42}
+	z := ComputeZoneMap(vals, 4) // blocks: [5,1,3,-2] [7,10,10,10] [42]
+	if z.NumBlocks() != 3 {
+		t.Fatalf("blocks = %d, want 3", z.NumBlocks())
+	}
+	wantMin := []float64{-2, 7, 42}
+	wantMax := []float64{5, 10, 42}
+	for b := range wantMin {
+		if z.Min[b] != wantMin[b] || z.Max[b] != wantMax[b] {
+			t.Errorf("block %d = [%v,%v], want [%v,%v]", b, z.Min[b], z.Max[b], wantMin[b], wantMax[b])
+		}
+	}
+	if !z.Possible(0, 4, 6) || z.Possible(1, 11, 20) || !z.Possible(2, 42, 42) {
+		t.Error("Possible intersection test wrong")
+	}
+	// Builder attaches the same zone map to built tables.
+	tab := buildSmallTable(t)
+	col, _ := tab.Float("delay")
+	want := ComputeZoneMap(col.Values, tab.Layout().BlockSize)
+	got, err := tab.Zones("delay")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for b := 0; b < want.NumBlocks(); b++ {
+		if got.Min[b] != want.Min[b] || got.Max[b] != want.Max[b] {
+			t.Fatalf("built zone map differs at block %d", b)
+		}
+	}
+	if _, err := tab.Zones("nope"); err == nil {
+		t.Error("unknown column accepted")
+	}
+}

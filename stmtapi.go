@@ -111,9 +111,11 @@ type BoundStmt struct {
 // For statements with JOIN clauses it additionally shows the bind-time
 // join compilation against the engine's current registry — each
 // fact-side IN atom with its key-set size (an empty set renders as the
-// provably empty view it compiles to).
+// provably empty view it compiles to) — and, when the FROM table is
+// registered, the static block-pruning prospect of the WHERE clause
+// (zone-map range prunability and the combined block mask).
 func (b *BoundStmt) Explain() string {
-	return b.c.Explain() + b.stmt.eng.explainJoins(b.c)
+	return b.c.Explain() + b.stmt.eng.explainJoins(b.c) + b.stmt.eng.explainScanPrune(b.c)
 }
 
 // Query executes the bound statement approximately. Options given here
