@@ -5,6 +5,13 @@
 //
 //	ffgen -rows 100000 -summary
 //	ffgen -rows 100000 -csv /tmp/flights.csv
+//
+// With -table the scrambled table is persisted in the binary format
+// (Table.WriteTo), ready to be served by ffserved -table or loaded
+// with fastframe.ReadTable — the one-time scramble shuffle then
+// amortizes across daemon restarts:
+//
+//	ffgen -rows 1000000 -table /tmp/flights.ff
 package main
 
 import (
@@ -28,6 +35,7 @@ func main() {
 		seed    = flag.Uint64("seed", 42, "generator seed")
 		summary = flag.Bool("summary", true, "print aggregate summary")
 		csvPath = flag.String("csv", "", "write rows to this CSV file")
+		tabPath = flag.String("table", "", "persist the scrambled table (binary format, for ffserved -table / ReadTable)")
 	)
 	flag.Parse()
 
@@ -53,6 +61,30 @@ func main() {
 		}
 		fmt.Printf("wrote %s\n", *csvPath)
 	}
+	if *tabPath != "" {
+		if err := writeTable(tab, *tabPath); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %s\n", *tabPath)
+	}
+}
+
+// writeTable persists the scramble in the binary table format.
+func writeTable(tab *table.Table, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	bw := bufio.NewWriter(f)
+	if _, err := tab.WriteTo(bw); err != nil {
+		f.Close()
+		return err
+	}
+	if err := bw.Flush(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 func printSummary(tab *table.Table) error {

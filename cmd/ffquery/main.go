@@ -13,6 +13,16 @@
 // intervals can be watched tightening until the stopping rule fires —
 // the paper's interactive online-aggregation loop.
 //
+// With -url the query is not run locally at all: it is POSTed to a
+// running ffserved daemon (-token supplies the tenant's bearer token)
+// and the response — one-shot /v1/query, or /v1/stream per-round lines
+// with -stream — renders exactly like local mode; -exact additionally
+// requests the server's exact answer for the comparison column:
+//
+//	ffquery -url http://localhost:8080 -token s3cret \
+//	    "SELECT AVG(DepDelay) FROM flights GROUP BY Airline WITHIN 5%"
+//	ffquery -url http://localhost:8080 -stream "SELECT COUNT(*) FROM flights WITHIN 10%"
+//
 // The supported grammar (see the Engine documentation for details):
 //
 //	SELECT AVG(expr) | SUM(expr) | COUNT(*)
@@ -45,73 +55,27 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"strings"
 
 	"fastframe"
+	"fastframe/internal/cliload"
 )
-
-// dimFlag collects repeatable -dim name=path:key specs.
-type dimFlag []string
-
-func (d *dimFlag) String() string     { return strings.Join(*d, ",") }
-func (d *dimFlag) Set(v string) error { *d = append(*d, v); return nil }
-
-// parseDimSpec splits "name=path:key" (the path may itself contain
-// ':'; the key is everything after the last one).
-func parseDimSpec(spec string) (name, path, key string, err error) {
-	name, rest, ok := strings.Cut(spec, "=")
-	if !ok || name == "" {
-		return "", "", "", fmt.Errorf("-dim %q: want name=path:key", spec)
-	}
-	i := strings.LastIndex(rest, ":")
-	if i <= 0 || i == len(rest)-1 {
-		return "", "", "", fmt.Errorf("-dim %q: want name=path:key", spec)
-	}
-	return name, rest[:i], rest[i+1:], nil
-}
-
-// loadDims registers each -dim spec's CSV as a dimension and attaches
-// it to the fact column named by the spec's key.
-func loadDims(eng *fastframe.Engine, factTable string, specs []string) error {
-	for _, spec := range specs {
-		name, path, key, err := parseDimSpec(spec)
-		if err != nil {
-			return err
-		}
-		f, err := os.Open(path)
-		if err != nil {
-			return err
-		}
-		d, err := fastframe.LoadDimensionCSV(name, key, f)
-		f.Close()
-		if err != nil {
-			return err
-		}
-		if err := eng.RegisterDimension(name, d); err != nil {
-			return err
-		}
-		if err := eng.AttachDimension(factTable, key, name); err != nil {
-			return err
-		}
-		fmt.Printf("dimension %s: %d rows (keyed by %s.%s)\n", name, d.NumRows(), factTable, key)
-	}
-	return nil
-}
 
 func main() {
 	var (
-		rows     = flag.Int("rows", 500_000, "synthesized Flights rows")
-		seed     = flag.Uint64("seed", 42, "dataset seed and scan starting position")
-		bounder  = flag.String("bounder", "bernstein+rt", "hoeffding|hoeffding+rt|bernstein|bernstein+rt|anderson")
-		strategy = flag.String("strategy", "active-peek", "scan|active-sync|active-peek")
-		delta    = flag.Float64("delta", 0, "per-query error probability (default 1e-15)")
+		rows     = flag.Int("rows", 500_000, "synthesized Flights rows (local mode)")
+		seed     = flag.Uint64("seed", 42, "dataset seed and scan starting position (local mode)")
+		bounder  = flag.String("bounder", "bernstein+rt", "hoeffding|hoeffding+rt|bernstein|bernstein+rt|anderson (local mode)")
+		strategy = flag.String("strategy", "active-peek", "scan|active-sync|active-peek (local mode)")
+		delta    = flag.Float64("delta", 0, "per-query error probability (default 1e-15; local mode)")
 		timeout  = flag.Duration("timeout", 0, "cancel the query after this long (0 = no limit)")
 		exact    = flag.Bool("exact", true, "also compute the exact answer for comparison")
 		stream   = flag.Bool("stream", false, "stream per-round interval snapshots while the query runs")
-		parallel = flag.Int("parallel", 0, "scan workers; 0 = one per CPU, 1 = sequential (results are identical across counts; a PARALLEL n clause in the query overrides this flag's default only)")
-		dims     dimFlag
+		parallel = flag.Int("parallel", 0, "scan workers; 0 = one per CPU, 1 = sequential (results are identical across counts; a PARALLEL n clause in the query overrides this flag's default only; local mode)")
+		url      = flag.String("url", "", "client mode: POST the query to the ffserved daemon at this base URL instead of running locally")
+		token    = flag.String("token", "", "client mode: tenant bearer token for -url")
+		dims     cliload.Specs
 	)
-	flag.Var(&dims, "dim", "dimension CSV as name=path:key — register the CSV at path as dimension name (key column header = key), attached to the fact column of the same name; repeatable")
+	flag.Var(&dims, "dim", "dimension CSV as name=path:key — register the CSV at path as dimension name (key column header = key), attached to the fact column of the same name; repeatable (local mode)")
 	flag.Usage = func() {
 		fmt.Fprintf(flag.CommandLine.Output(), "usage: ffquery [flags] \"SELECT ...\"\n\n")
 		flag.PrintDefaults()
@@ -122,6 +86,25 @@ func main() {
 		os.Exit(2)
 	}
 	sqlText := flag.Arg(0)
+
+	// -timeout bounds query execution only, so its clock starts when
+	// the query does — after data generation in local mode.
+	queryCtx := func() (context.Context, context.CancelFunc) {
+		if *timeout > 0 {
+			return context.WithTimeout(context.Background(), *timeout)
+		}
+		return context.Background(), func() {}
+	}
+
+	if *url != "" {
+		ctx, cancel := queryCtx()
+		defer cancel()
+		cl := &client{base: *url, token: *token}
+		if err := cl.run(ctx, sqlText, *stream, *exact); err != nil {
+			fatal(err)
+		}
+		return
+	}
 
 	b, err := pickBounder(*bounder)
 	if err != nil {
@@ -139,7 +122,8 @@ func main() {
 	if _, err := eng.Explain(sqlText); err != nil {
 		fatal(err)
 	}
-	if err := loadDims(eng, "flights", dims); err != nil {
+	logf := func(format string, args ...any) { fmt.Printf(format+"\n", args...) }
+	if err := cliload.LoadDims(eng, []string{"flights"}, dims, logf); err != nil {
 		fatal(err)
 	}
 
@@ -157,12 +141,6 @@ func main() {
 		fmt.Printf("plan: %s\n", plan)
 	}
 
-	ctx := context.Background()
-	if *timeout > 0 {
-		var cancel context.CancelFunc
-		ctx, cancel = context.WithTimeout(ctx, *timeout)
-		defer cancel()
-	}
 	opts := []fastframe.Option{
 		fastframe.WithBounder(b),
 		fastframe.WithStrategy(st),
@@ -174,6 +152,8 @@ func main() {
 	if *parallel > 0 {
 		opts = append(opts, fastframe.WithParallelism(*parallel))
 	}
+	ctx, cancel := queryCtx()
+	defer cancel()
 	var res *fastframe.Result
 	if *stream {
 		res, err = streamQuery(ctx, eng, sqlText, opts)
@@ -183,9 +163,6 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-
-	fmt.Printf("\napprox: %.3fs, %d blocks fetched, %d rows covered, %d rounds, stopped=%v exhausted=%v aborted=%v\n",
-		res.Duration.Seconds(), res.BlocksFetched, res.RowsCovered, res.Rounds, res.Stopped, res.Exhausted, res.Aborted)
 
 	var ex *fastframe.ExactResult
 	if *exact {
@@ -197,6 +174,17 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
+	}
+	printResult(res, ex)
+}
+
+// printResult renders the approximate result (and the optional exact
+// comparison) — shared by local and client mode, so the two render
+// identically.
+func printResult(res *fastframe.Result, ex *fastframe.ExactResult) {
+	fmt.Printf("\napprox: %.3fs, %d blocks fetched, %d rows covered, %d rounds, stopped=%v exhausted=%v aborted=%v\n",
+		res.Duration.Seconds(), res.BlocksFetched, res.RowsCovered, res.Rounds, res.Stopped, res.Exhausted, res.Aborted)
+	if ex != nil {
 		fmt.Printf("exact:  %.3fs (speedup %.1fx)\n",
 			ex.Duration.Seconds(), ex.Duration.Seconds()/res.Duration.Seconds())
 	}
@@ -218,6 +206,21 @@ func main() {
 	}
 }
 
+// printProgress renders one per-round streaming line — shared by local
+// and client mode.
+func printProgress(p fastframe.Progress) {
+	// Track the interval that carries the query's guarantee (the
+	// one its stopping rule watches), not always the AVG view.
+	widest := 0.0
+	for _, g := range p.Groups {
+		if w := g.Answer(p.Agg).Width(); w > widest {
+			widest = w
+		}
+	}
+	fmt.Printf("round %3d: %9d rows, %7d blocks, %3d active groups, widest %s CI %.4f\n",
+		p.Round, p.RowsCovered, p.BlocksFetched, p.ActiveGroups, p.Agg, widest)
+}
+
 // streamQuery runs the query through the prepared-statement streaming
 // cursor, printing one line per interval-recomputation round.
 func streamQuery(ctx context.Context, eng *fastframe.Engine, sqlText string, opts []fastframe.Option) (*fastframe.Result, error) {
@@ -231,16 +234,7 @@ func streamQuery(ctx context.Context, eng *fastframe.Engine, sqlText string, opt
 	}
 	defer rows.Close()
 	for p := range rows.Rounds() {
-		// Track the interval that carries the query's guarantee (the
-		// one its stopping rule watches), not always the AVG view.
-		widest := 0.0
-		for _, g := range p.Groups {
-			if w := g.Answer(p.Agg).Width(); w > widest {
-				widest = w
-			}
-		}
-		fmt.Printf("round %3d: %9d rows, %7d blocks, %3d active groups, widest %s CI %.4f\n",
-			p.Round, p.RowsCovered, p.BlocksFetched, p.ActiveGroups, p.Agg, widest)
+		printProgress(p)
 	}
 	return rows.Final()
 }

@@ -1,54 +1,13 @@
 package main
 
 import (
-	"os"
-	"path/filepath"
 	"testing"
 
 	"fastframe"
 )
 
-func TestParseDimSpec(t *testing.T) {
-	name, path, key, err := parseDimSpec("airports=data/airports.csv:Origin")
-	if err != nil || name != "airports" || path != "data/airports.csv" || key != "Origin" {
-		t.Errorf("parseDimSpec = %q %q %q %v", name, path, key, err)
-	}
-	// A path containing ':' splits on the last one.
-	_, path, key, err = parseDimSpec("d=C:/tmp/d.csv:fk")
-	if err != nil || path != "C:/tmp/d.csv" || key != "fk" {
-		t.Errorf("colon path: %q %q %v", path, key, err)
-	}
-	for _, bad := range []string{"", "noequals", "=x:y", "a=pathonly", "a=path:", "a=:key"} {
-		if _, _, _, err := parseDimSpec(bad); err == nil {
-			t.Errorf("parseDimSpec(%q) accepted", bad)
-		}
-	}
-}
-
-func TestLoadDims(t *testing.T) {
-	dir := t.TempDir()
-	csvPath := filepath.Join(dir, "airports.csv")
-	if err := os.WriteFile(csvPath, []byte("Origin,region\nORD,midwest\nLAX,west\n"), 0o644); err != nil {
-		t.Fatal(err)
-	}
-	tab, err := fastframe.GenerateFlights(5_000, 7)
-	if err != nil {
-		t.Fatal(err)
-	}
-	eng := fastframe.NewEngine()
-	if err := eng.Register("flights", tab); err != nil {
-		t.Fatal(err)
-	}
-	if err := loadDims(eng, "flights", []string{"airports=" + csvPath + ":Origin"}); err != nil {
-		t.Fatal(err)
-	}
-	if got := eng.Dimensions(); len(got) != 1 || got[0] != "airports" {
-		t.Errorf("Dimensions = %v", got)
-	}
-	if err := loadDims(eng, "flights", []string{"bad=" + filepath.Join(dir, "missing.csv") + ":Origin"}); err == nil {
-		t.Error("missing CSV accepted")
-	}
-}
+// Dim-spec parsing and loading are covered in internal/cliload, the
+// shared helper ffquery and ffserved both use.
 
 func TestPickBounder(t *testing.T) {
 	cases := map[string]fastframe.Bounder{

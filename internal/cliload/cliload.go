@@ -1,0 +1,108 @@
+// Package cliload holds the table/dimension loading helpers shared by
+// the command-line binaries (ffquery, ffserved): repeatable flag
+// values, the spec grammars, and the loaders that register persisted
+// tables and CSV dimensions on an Engine.
+package cliload
+
+import (
+	"fmt"
+	"os"
+	"strings"
+
+	"fastframe"
+)
+
+// Specs is a repeatable string flag (flag.Var target): each occurrence
+// appends one spec.
+type Specs []string
+
+func (s *Specs) String() string     { return strings.Join(*s, ",") }
+func (s *Specs) Set(v string) error { *s = append(*s, v); return nil }
+
+// ParseTableSpec splits a -table spec "name=path".
+func ParseTableSpec(spec string) (name, path string, err error) {
+	name, path, ok := strings.Cut(spec, "=")
+	if !ok || name == "" || path == "" {
+		return "", "", fmt.Errorf("-table %q: want name=path", spec)
+	}
+	return name, path, nil
+}
+
+// LoadTables reads each -table spec's persisted scramble (a file
+// written by Table.WriteTo / ffgen -table) and registers it on the
+// engine, returning the registered names in spec order. logf, if
+// non-nil, receives one progress line per table.
+func LoadTables(eng *fastframe.Engine, specs []string, logf func(format string, args ...any)) ([]string, error) {
+	names := make([]string, 0, len(specs))
+	for _, spec := range specs {
+		name, path, err := ParseTableSpec(spec)
+		if err != nil {
+			return nil, err
+		}
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, err
+		}
+		tab, err := fastframe.ReadTable(f)
+		f.Close()
+		if err != nil {
+			return nil, fmt.Errorf("-table %s: %w", spec, err)
+		}
+		if err := eng.Register(name, tab); err != nil {
+			return nil, err
+		}
+		names = append(names, name)
+		if logf != nil {
+			logf("table %s: %d rows in %d blocks (%s)", name, tab.NumRows(), tab.NumBlocks(), path)
+		}
+	}
+	return names, nil
+}
+
+// ParseDimSpec splits a -dim spec "name=path:key" (the path may itself
+// contain ':'; the key is everything after the last one).
+func ParseDimSpec(spec string) (name, path, key string, err error) {
+	name, rest, ok := strings.Cut(spec, "=")
+	if !ok || name == "" {
+		return "", "", "", fmt.Errorf("-dim %q: want name=path:key", spec)
+	}
+	i := strings.LastIndex(rest, ":")
+	if i <= 0 || i == len(rest)-1 {
+		return "", "", "", fmt.Errorf("-dim %q: want name=path:key", spec)
+	}
+	return name, rest[:i], rest[i+1:], nil
+}
+
+// LoadDims registers each -dim spec's CSV as a dimension and attaches
+// it to the fact column named by the spec's key on every table in
+// factTables (the linkage is validated lazily, when a joining
+// statement runs, so tables without that column are unaffected).
+func LoadDims(eng *fastframe.Engine, factTables []string, specs []string, logf func(format string, args ...any)) error {
+	for _, spec := range specs {
+		name, path, key, err := ParseDimSpec(spec)
+		if err != nil {
+			return err
+		}
+		f, err := os.Open(path)
+		if err != nil {
+			return err
+		}
+		d, err := fastframe.LoadDimensionCSV(name, key, f)
+		f.Close()
+		if err != nil {
+			return err
+		}
+		if err := eng.RegisterDimension(name, d); err != nil {
+			return err
+		}
+		for _, fact := range factTables {
+			if err := eng.AttachDimension(fact, key, name); err != nil {
+				return err
+			}
+		}
+		if logf != nil {
+			logf("dimension %s: %d rows (keyed by %s on %s)", name, d.NumRows(), key, strings.Join(factTables, ", "))
+		}
+	}
+	return nil
+}

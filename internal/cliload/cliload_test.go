@@ -1,0 +1,113 @@
+package cliload
+
+import (
+	"context"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"fastframe"
+)
+
+func TestParseTableSpec(t *testing.T) {
+	name, path, err := ParseTableSpec("flights=/data/flights.ff")
+	if err != nil || name != "flights" || path != "/data/flights.ff" {
+		t.Errorf("ParseTableSpec = %q %q %v", name, path, err)
+	}
+	for _, bad := range []string{"", "noequals", "=path", "name="} {
+		if _, _, err := ParseTableSpec(bad); err == nil {
+			t.Errorf("ParseTableSpec(%q) accepted", bad)
+		}
+	}
+}
+
+func TestParseDimSpec(t *testing.T) {
+	name, path, key, err := ParseDimSpec("airports=data/airports.csv:Origin")
+	if err != nil || name != "airports" || path != "data/airports.csv" || key != "Origin" {
+		t.Errorf("ParseDimSpec = %q %q %q %v", name, path, key, err)
+	}
+	// A path containing ':' splits on the last one.
+	_, path, key, err = ParseDimSpec("d=C:/tmp/d.csv:fk")
+	if err != nil || path != "C:/tmp/d.csv" || key != "fk" {
+		t.Errorf("colon path: %q %q %v", path, key, err)
+	}
+	for _, bad := range []string{"", "noequals", "=x:y", "a=pathonly", "a=path:", "a=:key"} {
+		if _, _, _, err := ParseDimSpec(bad); err == nil {
+			t.Errorf("ParseDimSpec(%q) accepted", bad)
+		}
+	}
+}
+
+// TestLoadTables persists a table with WriteTo and loads it back
+// through the -table spec path, checking the registration round-trips.
+func TestLoadTables(t *testing.T) {
+	tab, err := fastframe.GenerateFlights(5_000, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	path := filepath.Join(dir, "flights.ff")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tab.WriteTo(f); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	eng := fastframe.NewEngine()
+	names, err := LoadTables(eng, []string{"flights=" + path}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(names) != 1 || names[0] != "flights" {
+		t.Errorf("names = %v", names)
+	}
+	got, err := eng.Table("flights")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NumRows() != tab.NumRows() {
+		t.Errorf("loaded %d rows, want %d", got.NumRows(), tab.NumRows())
+	}
+
+	if _, err := LoadTables(eng, []string{"bad=" + filepath.Join(dir, "missing.ff")}, nil); err == nil {
+		t.Error("missing table file accepted")
+	}
+	if _, err := LoadTables(eng, []string{"badspec"}, nil); err == nil {
+		t.Error("bad spec accepted")
+	}
+}
+
+func TestLoadDims(t *testing.T) {
+	dir := t.TempDir()
+	csvPath := filepath.Join(dir, "airports.csv")
+	if err := os.WriteFile(csvPath, []byte("Origin,region\nORD,midwest\nLAX,west\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	tab, err := fastframe.GenerateFlights(5_000, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := fastframe.NewEngine()
+	if err := eng.Register("flights", tab); err != nil {
+		t.Fatal(err)
+	}
+	if err := LoadDims(eng, []string{"flights"}, []string{"airports=" + csvPath + ":Origin"}, nil); err != nil {
+		t.Fatal(err)
+	}
+	if got := eng.Dimensions(); len(got) != 1 || got[0] != "airports" {
+		t.Errorf("Dimensions = %v", got)
+	}
+	// The attachment is live: a joining statement resolves.
+	if _, err := eng.Query(context.Background(),
+		"SELECT AVG(DepDelay) FROM flights JOIN airports ON flights.Origin = airports.key WHERE airports.region = 'west' WITHIN 50%"); err != nil {
+		t.Errorf("join over loaded dim: %v", err)
+	}
+	if err := LoadDims(eng, []string{"flights"}, []string{"bad=" + filepath.Join(dir, "missing.csv") + ":Origin"}, nil); err == nil {
+		t.Error("missing CSV accepted")
+	}
+}

@@ -1,0 +1,55 @@
+package serve
+
+import (
+	"sync"
+	"time"
+)
+
+// tokenBucket is a classic token-bucket rate limiter gating query
+// admission: capacity burst, refilled at rate tokens per second. It is
+// deliberately dependency-free (no x/time/rate in the container) and
+// takes its clock as a function so tests can drive it deterministically.
+type tokenBucket struct {
+	mu     sync.Mutex
+	rate   float64 // tokens per second; <= 0 means unlimited
+	burst  float64 // bucket capacity
+	tokens float64
+	last   time.Time
+	now    func() time.Time
+}
+
+// newTokenBucket returns a full bucket. rate <= 0 disables limiting;
+// burst < 1 is raised to 1 so a nonzero rate always admits something.
+func newTokenBucket(rate float64, burst int, now func() time.Time) *tokenBucket {
+	if now == nil {
+		now = time.Now
+	}
+	b := float64(burst)
+	if b < 1 {
+		b = 1
+	}
+	return &tokenBucket{rate: rate, burst: b, tokens: b, now: now}
+}
+
+// allow consumes one token if available and reports whether admission
+// succeeded. Refill happens lazily on each call.
+func (tb *tokenBucket) allow() bool {
+	if tb == nil || tb.rate <= 0 {
+		return true
+	}
+	tb.mu.Lock()
+	defer tb.mu.Unlock()
+	t := tb.now()
+	if !tb.last.IsZero() {
+		tb.tokens += t.Sub(tb.last).Seconds() * tb.rate
+		if tb.tokens > tb.burst {
+			tb.tokens = tb.burst
+		}
+	}
+	tb.last = t
+	if tb.tokens < 1 {
+		return false
+	}
+	tb.tokens--
+	return true
+}
