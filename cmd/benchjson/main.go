@@ -22,6 +22,8 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"os/exec"
+	"runtime"
 	"strconv"
 	"strings"
 )
@@ -45,11 +47,28 @@ func main() {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)
 	}
+	addEnvMeta(rep.Env)
 	enc := json.NewEncoder(os.Stdout)
 	enc.SetIndent("", "  ")
 	if err := enc.Encode(rep); err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)
+	}
+}
+
+// addEnvMeta stamps the report with the parallelism the numbers were
+// produced under and the commit they belong to — a solo/shared
+// concurrency benchmark on a 1-CPU runner means something very
+// different than on 16 cores, and trajectory comparisons across
+// BENCH_N.json files need both anchors. git_sha is omitted when git or
+// the work tree is unavailable (e.g. running from a tarball).
+func addEnvMeta(env map[string]string) {
+	env["gomaxprocs"] = strconv.Itoa(runtime.GOMAXPROCS(0))
+	env["numcpu"] = strconv.Itoa(runtime.NumCPU())
+	if out, err := exec.Command("git", "rev-parse", "HEAD").Output(); err == nil {
+		if sha := strings.TrimSpace(string(out)); sha != "" {
+			env["git_sha"] = sha
+		}
 	}
 }
 

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"strconv"
 	"strings"
 	"testing"
 )
@@ -57,5 +58,25 @@ func TestStripProcs(t *testing.T) {
 		if got := stripProcs(in); got != want {
 			t.Errorf("stripProcs(%q) = %q, want %q", in, got, want)
 		}
+	}
+}
+
+func TestAddEnvMeta(t *testing.T) {
+	env := map[string]string{"cpu": "x"}
+	addEnvMeta(env)
+	for _, k := range []string{"gomaxprocs", "numcpu"} {
+		n, err := strconv.Atoi(env[k])
+		if err != nil || n < 1 {
+			t.Errorf("env[%q] = %q, want a positive integer", k, env[k])
+		}
+	}
+	// git_sha is best-effort: when present it must look like a commit.
+	if sha, ok := env["git_sha"]; ok {
+		if len(sha) != 40 {
+			t.Errorf("git_sha = %q, want a 40-hex commit", sha)
+		}
+	}
+	if env["cpu"] != "x" {
+		t.Error("existing env keys clobbered")
 	}
 }

@@ -20,7 +20,11 @@
 // Tenants authenticate with "Authorization: Bearer <token>"; each has
 // its own session δ budget, token-bucket rate limit and concurrency
 // cap (-token spec or -tokens file, one spec per line; with neither, a
-// single anonymous unlimited tenant is created). On SIGTERM/SIGINT the
+// single anonymous unlimited tenant is created). Concurrent queries
+// against the same table coalesce onto one cooperative shared scan —
+// answers stay byte-identical to solo execution, only the physical
+// block reads are shared (disable with -no-shared-scan; see /v1/stats
+// shared_scan for the realized sharing factor). On SIGTERM/SIGINT the
 // daemon stops admitting, aborts in-flight scans at their next round
 // boundary — every streamed response still ends with a valid partial
 // interval — flushes the usage log, and exits 0.
@@ -50,6 +54,8 @@ func main() {
 		seed         = flag.Uint64("seed", 42, "scan starting-position seed (fixed: answers reproduce across restarts)")
 		queryTimeout = flag.Duration("query-timeout", 30*time.Second, "per-query execution cap; expiry yields a valid partial interval (0 = none)")
 		maxBody      = flag.Int64("max-body", serve.DefaultMaxBody, "request body cap in bytes")
+		noShared     = flag.Bool("no-shared-scan", false, "run each query as its own scan instead of coalescing concurrent queries onto one cooperative scan per table")
+		keepAlive    = flag.Duration("stream-keepalive", serve.DefaultStreamKeepAlive, "SSE keepalive comment interval for /v1/stream (negative = none)")
 		usageLog     = flag.String("usage-log", "", "append usage records (JSONL) to this file")
 		drainWait    = flag.Duration("drain-timeout", 10*time.Second, "graceful-shutdown deadline")
 		tables       cliload.Specs
@@ -79,9 +85,11 @@ func main() {
 	}
 
 	cfg := serve.Config{
-		Options:      []fastframe.Option{fastframe.WithSeed(*seed)},
-		QueryTimeout: *queryTimeout,
-		MaxBody:      *maxBody,
+		Options:         []fastframe.Option{fastframe.WithSeed(*seed)},
+		QueryTimeout:    *queryTimeout,
+		MaxBody:         *maxBody,
+		NoSharedScan:    *noShared,
+		StreamKeepAlive: *keepAlive,
 	}
 	if cfg.Tenants, err = tenantConfigs(tokens, *tokenFile); err != nil {
 		fatal(err)

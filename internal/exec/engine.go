@@ -292,14 +292,56 @@ func (e *engine) run() {
 			return
 		}
 	}
-	// Exhausted the scramble: every still-active view has been fully
-	// observed (blocks were only skipped when they provably contained
-	// none of its rows), so its answer is exact.
+	e.finalizeExhausted()
+}
+
+// finalizeExhausted runs when the scan walked the whole scramble: every
+// still-active view has been fully observed (blocks were only skipped
+// when they provably contained none of its rows), so its answer is
+// exact.
+func (e *engine) finalizeExhausted() {
 	for _, gs := range e.ordered {
 		if gs.covered(e.coveredAll) == e.cfg.bigR {
 			gs.finalizeExact(e.cfg.bigR)
 		}
 	}
+}
+
+// sharedStep advances this engine by exactly one block of the shared
+// driver's circulating scan. It is the body of run's loop — same
+// statements, same order — so a query stepped by the driver from its
+// admission block traverses the identical state sequence as a solo run
+// started at that block. done reports that the query is finished
+// (stopped, row-capped, or exhausted) and must detach; roundClosed
+// reports that a round barrier was crossed, which is the driver's
+// admission point for newly-arrived queries.
+func (e *engine) sharedStep() (roundClosed, done bool) {
+	b := e.cursor.Next()
+	if b == -1 {
+		// Degenerate layouts only (zero blocks): the exhaustion check
+		// below fires before the cursor can run dry mid-scan.
+		e.finalizeExhausted()
+		return false, true
+	}
+	e.step(b)
+	if e.totalCovered >= e.nextRoundAt {
+		e.closeRound()
+		roundClosed = true
+		if e.stopped {
+			return roundClosed, true
+		}
+	}
+	if e.opts.MaxRows > 0 && e.totalCovered >= e.opts.MaxRows {
+		return roundClosed, true
+	}
+	if e.cursor.Exhausted() {
+		// Mirrors run: the loop iteration after the last block sees
+		// Next() == -1 and finalizes — unless a round stop or MaxRows
+		// returned first, which the checks above already replicated.
+		e.finalizeExhausted()
+		return roundClosed, true
+	}
+	return roundClosed, false
 }
 
 // step decides whether to fetch block b, processes or credits it, and
@@ -444,7 +486,13 @@ func (e *engine) blockHasActiveGroup(b int) bool {
 		// cache-unfriendly order the paper ablates).
 		return e.blockHasActiveGroupSync(b)
 	case ActivePeek:
-		return e.peekLookup(b)
+		if e.peek != nil {
+			return e.peekLookup(b)
+		}
+		// No lookahead worker (Parallelism ≥ 2, where ActivePeek already
+		// degrades to round-synchronous probes): same decision, same
+		// result, computed synchronously.
+		return e.blockHasActiveGroupSync(b)
 	default:
 		return true
 	}
@@ -584,6 +632,7 @@ func (e *engine) result() *Result {
 		BlocksFetched: e.cursor.BlocksFetched(),
 		RowsCovered:   e.totalCovered,
 		Rounds:        e.round,
+		StartBlock:    e.cursor.Start(),
 		Exhausted:     e.cursor.Exhausted(),
 		Stopped:       e.stopped,
 		Aborted:       e.aborted,

@@ -91,11 +91,7 @@ func (e *engine) runParallel() {
 		}
 	}
 	// Exhausted the scramble: mirror run's exact finalization.
-	for _, gs := range e.ordered {
-		if gs.covered(e.coveredAll) == e.cfg.bigR {
-			gs.finalizeExact(e.cfg.bigR)
-		}
-	}
+	e.finalizeExhausted()
 }
 
 // scanRound scans one round's block span with P workers and merges

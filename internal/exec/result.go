@@ -50,6 +50,12 @@ type Result struct {
 	RowsCovered int
 	// Rounds is the number of closed optional-stopping rounds.
 	Rounds int
+	// StartBlock is the block the scan began at — the seed-drawn random
+	// position for solo runs, or the shared driver's frontier at
+	// admission for cooperative runs. Re-running the same query solo
+	// with Options.StartBlock set to this value (and no Rng) reproduces
+	// the execution byte for byte.
+	StartBlock int
 	// Exhausted is set when the scan walked the whole scramble.
 	Exhausted bool
 	// Stopped is set when the stopping condition was met before

@@ -1,0 +1,273 @@
+package exec
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"fastframe/internal/query"
+	"fastframe/internal/table"
+)
+
+// SharedDriver coordinates cooperative scans over one table: instead of
+// N concurrent queries each running their own scan loop over largely
+// the same blocks, a single driver goroutine circulates over the
+// scramble and steps every attached query through each block in
+// lockstep, so the physical read of a block is shared by all queries
+// that want it.
+//
+// The identity argument: each attached query keeps a complete private
+// engine — its own cursor, coverage counters, round arithmetic, bounder
+// states and OnRound callback — admitted at the driver's current
+// frontier position. From that position the driver feeds it exactly
+// the block sequence a solo run started at the same block would visit
+// (sharedStep is the body of run's loop), and nothing about sharing
+// touches per-query state: the only shared effect is that a block's
+// rows are resident once instead of N times. Every query's Result,
+// Progress stream and interval sequence is therefore byte-identical to
+// a solo execution with Options.StartBlock set to its admission block —
+// which is what Result.StartBlock records. A query whose admission
+// finds the driver idle anchors the frontier at its own requested start
+// (the seed-drawn random position), so non-overlapping queries degrade
+// to exactly solo behavior.
+//
+// Queries are admitted at round boundaries only — the paper's interval
+// recomputation points — never mid-round, and detach the moment their
+// stopping condition, row cap, context abort or exhaustion fires,
+// without disturbing the others. Per-query block pruning (static mask +
+// zone maps) and active-scan skipping still apply individually: a block
+// is physically fetched only if at least one attached query wants its
+// rows.
+//
+// OnRound callbacks run synchronously on the driver goroutine, so a
+// consumer that stalls inside one (e.g. an unread Rows stream) paces
+// every query sharing the scan until its context times out or it
+// closes — the same consumer-paced contract as solo streaming, widened
+// to the cohort. Serving layers should bound query lifetimes.
+type SharedDriver struct {
+	t *table.Table
+
+	mu      sync.Mutex
+	pending []*sharedQuery
+	running bool
+
+	queriesServed  atomic.Int64
+	blocksFetched  atomic.Int64 // physical reads: union over attached queries
+	blocksDemanded atomic.Int64 // solo-equivalent reads: sum over queries
+}
+
+// SharedScanStats is a snapshot of a driver's cumulative sharing
+// effectiveness. BlocksDemanded is what the same queries would have
+// read running solo; BlocksFetched is what the cooperative scan
+// actually read (each block once per circulation, if anyone wanted it).
+type SharedScanStats struct {
+	QueriesServed  int64
+	BlocksFetched  int64
+	BlocksDemanded int64
+}
+
+// sharedQuery is one query's seat on the driver: its inputs, its
+// private engine once admitted, and its completion signal.
+type sharedQuery struct {
+	ctx   context.Context
+	q     query.Query
+	opts  Options
+	start int // requested start block; anchors the frontier when idle
+	t0    time.Time
+
+	e    *engine
+	res  *Result
+	err  error
+	done chan struct{}
+}
+
+// NewSharedDriver returns a driver for t with no queries attached. The
+// driver goroutine starts on demand and exits when idle.
+func NewSharedDriver(t *table.Table) *SharedDriver {
+	return &SharedDriver{t: t}
+}
+
+// Stats returns the driver's cumulative counters.
+func (d *SharedDriver) Stats() SharedScanStats {
+	return SharedScanStats{
+		QueriesServed:  d.queriesServed.Load(),
+		BlocksFetched:  d.blocksFetched.Load(),
+		BlocksDemanded: d.blocksDemanded.Load(),
+	}
+}
+
+// Run executes q cooperatively and blocks until it completes. It is the
+// shared-scan counterpart of RunContext: same validation, same Options
+// semantics (the seed Rng draws the query's preferred start position),
+// same Result — byte-identical to RunContext for the same start block.
+func (d *SharedDriver) Run(ctx context.Context, q query.Query, opts Options) (*Result, error) {
+	opts = opts.withDefaults()
+	if opts.Bounder == nil {
+		return nil, errors.New("exec: Options.Bounder is required")
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if err := q.Validate(); err != nil {
+		return nil, err
+	}
+
+	// Resolve the requested start now, consuming the same first Rng draw
+	// a solo newEngine would, so a given seed lands on the same block
+	// whether or not the scan is shared.
+	nb := d.t.Layout().NumBlocks()
+	start := opts.StartBlock
+	if opts.Rng != nil && nb > 0 {
+		start = opts.Rng.IntN(nb)
+	}
+	if nb > 0 {
+		start = ((start % nb) + nb) % nb
+	} else {
+		start = 0
+	}
+	opts.Rng = nil
+
+	sq := &sharedQuery{
+		ctx: ctx, q: q, opts: opts, start: start,
+		t0: time.Now(), done: make(chan struct{}),
+	}
+	d.mu.Lock()
+	d.pending = append(d.pending, sq)
+	if !d.running {
+		d.running = true
+		go d.loop()
+	}
+	d.mu.Unlock()
+	<-sq.done
+	return sq.res, sq.err
+}
+
+// loop is the driver goroutine: admit pending queries, scan to the next
+// round boundary, repeat; exit when nothing is attached or pending (the
+// exit decision and Run's start decision are serialized by d.mu, so a
+// query is never stranded in pending).
+func (d *SharedDriver) loop() {
+	layout := d.t.Layout()
+	nb := layout.NumBlocks()
+	var attached []*sharedQuery
+	pos := 0
+
+	for {
+		// Admission point. Yield first: the scan segment below is
+		// CPU-bound with no blocking calls, so on a saturated (or
+		// single-CPU) machine goroutines waiting to enqueue in Run would
+		// otherwise never be scheduled before the boundary closes and
+		// concurrent queries would degrade to serial solo scans. Then
+		// take the lock once per round boundary, not per block.
+		runtime.Gosched()
+		d.mu.Lock()
+		incoming := d.pending
+		d.pending = nil
+		if len(incoming) == 0 && len(attached) == 0 {
+			d.running = false
+			d.mu.Unlock()
+			return
+		}
+		d.mu.Unlock()
+
+		for _, sq := range incoming {
+			if err := sq.ctx.Err(); err != nil {
+				// Mirrors RunContext's pre-check: a context already done
+				// before any work starts returns ctx.Err, no Result.
+				sq.err = err
+				close(sq.done)
+				continue
+			}
+			if len(attached) == 0 {
+				// Idle driver: anchor the frontier at the newcomer's own
+				// requested start, making a lone shared query exactly a
+				// solo run.
+				pos = sq.start
+			}
+			o := sq.opts
+			o.StartBlock = pos
+			e, err := newEngine(d.t, sq.q, o)
+			if err != nil {
+				sq.err = err
+				close(sq.done)
+				continue
+			}
+			e.ctx = sq.ctx
+			sq.e = e
+			attached = append(attached, sq)
+		}
+
+		// Forced-admission cadence: boundaries normally arrive from the
+		// attached queries' own round closes (every RoundRows covered
+		// rows), but a cohort of huge-round queries must still admit
+		// newcomers within one smallest-round span.
+		admitEvery := 0
+		for _, sq := range attached {
+			if admitEvery == 0 || sq.opts.RoundRows < admitEvery {
+				admitEvery = sq.opts.RoundRows
+			}
+		}
+		sinceAdmit := 0
+
+		// Scan segment: one block of the circulation per iteration,
+		// every attached query stepped through it in lockstep.
+		for len(attached) > 0 {
+			boundary := false
+			anyFetch := false
+			for i := 0; i < len(attached); {
+				sq := attached[i]
+				f0 := sq.e.cursor.BlocksFetched()
+				roundClosed, done := sq.e.sharedStep()
+				if sq.e.cursor.BlocksFetched() != f0 {
+					anyFetch = true
+				}
+				if roundClosed {
+					boundary = true
+				}
+				if done {
+					d.finish(sq)
+					attached = append(attached[:i], attached[i+1:]...)
+					boundary = true
+					continue
+				}
+				i++
+			}
+			if anyFetch {
+				d.blocksFetched.Add(1)
+			}
+			if nb > 0 {
+				s, end := layout.BlockBounds(pos)
+				sinceAdmit += end - s
+				pos++
+				if pos >= nb {
+					pos = 0
+				}
+			}
+			if sinceAdmit >= admitEvery {
+				boundary = true
+			}
+			if boundary {
+				break
+			}
+		}
+	}
+}
+
+// finish detaches a completed query: release its lookahead worker,
+// fold its cost into the sharing counters, stamp its Result and wake
+// its Run.
+func (d *SharedDriver) finish(sq *sharedQuery) {
+	e := sq.e
+	if e.peek != nil {
+		e.peek.Close()
+	}
+	d.blocksDemanded.Add(int64(e.cursor.BlocksFetched()))
+	d.queriesServed.Add(1)
+	res := e.result()
+	res.Duration = time.Since(sq.t0)
+	sq.res = res
+	close(sq.done)
+}

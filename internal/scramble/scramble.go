@@ -130,6 +130,9 @@ func (c *Cursor) AddFetched(n int) { c.fetched += n }
 // BlocksFetched returns the number of blocks read so far.
 func (c *Cursor) BlocksFetched() int { return c.fetched }
 
+// Start returns the normalized block the walk began at.
+func (c *Cursor) Start() int { return c.start }
+
 // BlocksVisited returns the number of blocks iterated (fetched or
 // skipped).
 func (c *Cursor) BlocksVisited() int { return c.visited }

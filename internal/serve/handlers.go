@@ -6,7 +6,9 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"strconv"
 	"strings"
+	"sync"
 	"time"
 
 	"fastframe"
@@ -43,6 +45,11 @@ func writeJSON(w http.ResponseWriter, status int, body any) {
 }
 
 func writeError(w http.ResponseWriter, e *ErrorBody) {
+	if e.RetryAfterSeconds > 0 {
+		// Standard header form of the JSON field, for clients and
+		// proxies that implement backoff generically.
+		w.Header().Set("Retry-After", strconv.Itoa(e.RetryAfterSeconds))
+	}
 	writeJSON(w, statusOf(e.Code), ErrorResponse{Error: *e})
 }
 
@@ -178,8 +185,11 @@ func (s *Server) finishError(w http.ResponseWriter, t *tenant, kind, sql string,
 	})
 }
 
-// lineWriter renders stream lines as NDJSON or SSE.
+// lineWriter renders stream lines as NDJSON or SSE. The mutex
+// serializes the handler's event lines with the keepalive goroutine's
+// comment lines — http.ResponseWriter is not safe for concurrent Write.
 type lineWriter struct {
+	mu    sync.Mutex
 	w     http.ResponseWriter
 	flush func()
 	sse   bool
@@ -193,6 +203,9 @@ func newLineWriter(w http.ResponseWriter, r *http.Request) *lineWriter {
 	if strings.Contains(r.Header.Get("Accept"), "text/event-stream") {
 		lw.sse = true
 		w.Header().Set("Content-Type", "text/event-stream")
+		// Tell buffering reverse proxies (nginx & friends) to pass SSE
+		// frames through as they are flushed, not on buffer fill.
+		w.Header().Set("X-Accel-Buffering", "no")
 	} else {
 		w.Header().Set("Content-Type", "application/x-ndjson")
 	}
@@ -207,6 +220,8 @@ func (lw *lineWriter) write(event string, line StreamLine) error {
 	if err != nil {
 		return err
 	}
+	lw.mu.Lock()
+	defer lw.mu.Unlock()
 	if lw.sse {
 		_, err = fmt.Fprintf(lw.w, "event: %s\ndata: %s\n\n", event, payload)
 	} else {
@@ -214,6 +229,48 @@ func (lw *lineWriter) write(event string, line StreamLine) error {
 	}
 	lw.flush()
 	return err
+}
+
+// comment emits an SSE comment line (": <text>") — invisible to
+// EventSource consumers, but enough traffic to hold idle-timeout
+// middleboxes open between slow rounds. No-op for NDJSON, where every
+// emitted line must parse as JSON.
+func (lw *lineWriter) comment(text string) {
+	if !lw.sse {
+		return
+	}
+	lw.mu.Lock()
+	defer lw.mu.Unlock()
+	fmt.Fprintf(lw.w, ": %s\n\n", text)
+	lw.flush()
+}
+
+// keepAlive writes ": keepalive" comments every interval until stop is
+// closed; the returned function signals stop and waits for the writer
+// goroutine to exit (the ResponseWriter is invalid once the handler
+// returns, so the handler must not outrun it). SSE only.
+func (lw *lineWriter) keepAlive(interval time.Duration) (stop func()) {
+	if !lw.sse || interval <= 0 {
+		return func() {}
+	}
+	quit, done := make(chan struct{}), make(chan struct{})
+	go func() {
+		defer close(done)
+		tick := time.NewTicker(interval)
+		defer tick.Stop()
+		for {
+			select {
+			case <-tick.C:
+				lw.comment("keepalive")
+			case <-quit:
+				return
+			}
+		}
+	}()
+	return func() {
+		close(quit)
+		<-done
+	}
 }
 
 // handleStream is POST /v1/stream: the online-aggregation wire. One
@@ -259,6 +316,8 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 
 	lw := newLineWriter(w, r)
 	w.WriteHeader(http.StatusOK)
+	stopKeepAlive := lw.keepAlive(s.cfg.StreamKeepAlive)
+	defer stopKeepAlive()
 	rounds := 0
 	for rows.Next() {
 		if lw.write("progress", StreamLine{Progress: FromProgress(rows.Snapshot())}) != nil {

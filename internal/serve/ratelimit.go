@@ -32,10 +32,13 @@ func newTokenBucket(rate float64, burst int, now func() time.Time) *tokenBucket 
 }
 
 // allow consumes one token if available and reports whether admission
-// succeeded. Refill happens lazily on each call.
-func (tb *tokenBucket) allow() bool {
+// succeeded. Refill happens lazily on each call. On rejection, wait is
+// the time until the bucket refills back to one token — (1 − tokens) /
+// rate — i.e. the earliest instant an identical retry could succeed
+// (absent competing consumers); it backs the Retry-After header.
+func (tb *tokenBucket) allow() (ok bool, wait time.Duration) {
 	if tb == nil || tb.rate <= 0 {
-		return true
+		return true, 0
 	}
 	tb.mu.Lock()
 	defer tb.mu.Unlock()
@@ -48,8 +51,9 @@ func (tb *tokenBucket) allow() bool {
 	}
 	tb.last = t
 	if tb.tokens < 1 {
-		return false
+		deficit := (1 - tb.tokens) / tb.rate
+		return false, time.Duration(deficit * float64(time.Second))
 	}
 	tb.tokens--
-	return true
+	return true, 0
 }

@@ -25,6 +25,18 @@ type Config struct {
 	// scan at the next round boundary, so the answer is still a valid
 	// partial interval. 0 = unbounded.
 	QueryTimeout time.Duration
+	// NoSharedScan opts out of cooperative shared scans. By default the
+	// server runs every query with fastframe.WithSharedScan(), so
+	// concurrent tenants hitting the same table coalesce onto one
+	// circulating scan — answers stay byte-identical to solo runs, only
+	// the physical block reads are shared.
+	NoSharedScan bool
+	// StreamKeepAlive is the interval between SSE keepalive comment
+	// lines (": keepalive") written while a round is in flight, so
+	// proxies and idle-timeout middleboxes don't sever slow streams
+	// between events. 0 = DefaultStreamKeepAlive; negative disables.
+	// NDJSON streams are never padded.
+	StreamKeepAlive time.Duration
 	// MaxBody caps request body size in bytes (default 1 MiB).
 	MaxBody int64
 	// UsageLog receives one JSON line per produced result (or terminal
@@ -39,6 +51,11 @@ type Config struct {
 
 // DefaultMaxBody is the request-body cap when Config.MaxBody is 0.
 const DefaultMaxBody = 1 << 20
+
+// DefaultStreamKeepAlive is the SSE keepalive interval when
+// Config.StreamKeepAlive is 0 — comfortably inside the common 30–60 s
+// proxy idle timeouts.
+const DefaultStreamKeepAlive = 15 * time.Second
 
 // Server is a multi-tenant HTTP query service over one long-lived
 // Engine. It implements http.Handler; mount it directly on an
@@ -78,6 +95,15 @@ func New(eng *fastframe.Engine, cfg Config) (*Server, error) {
 	}
 	if cfg.MaxBody <= 0 {
 		cfg.MaxBody = DefaultMaxBody
+	}
+	if cfg.StreamKeepAlive == 0 {
+		cfg.StreamKeepAlive = DefaultStreamKeepAlive
+	}
+	if !cfg.NoSharedScan {
+		// Prepend so explicit per-deployment Options stay able to win
+		// any future conflicting knob; queryOptions appends request-level
+		// options after these.
+		cfg.Options = append([]fastframe.Option{fastframe.WithSharedScan()}, cfg.Options...)
 	}
 	ctx, cancel := context.WithCancel(context.Background())
 	s := &Server{
@@ -169,14 +195,25 @@ func (s *Server) queryOptions(t *tenant, req *QueryRequest) []fastframe.Option {
 
 // Stats is the body of GET /v1/stats.
 type Stats struct {
-	UptimeSeconds float64       `json:"uptime_seconds"`
-	Tables        []string      `json:"tables"`
-	Dimensions    []string      `json:"dimensions,omitempty"`
-	QueriesRun    int           `json:"queries_run"` // engine-wide, incl. embedded use
-	SessionError  float64       `json:"session_error"`
-	PlanCache     PlanCacheInfo `json:"plan_cache"`
-	Usage         UsageStats    `json:"usage"`
-	Tenants       []TenantUsage `json:"tenants"`
+	UptimeSeconds float64        `json:"uptime_seconds"`
+	Tables        []string       `json:"tables"`
+	Dimensions    []string       `json:"dimensions,omitempty"`
+	QueriesRun    int            `json:"queries_run"` // engine-wide, incl. embedded use
+	SessionError  float64        `json:"session_error"`
+	PlanCache     PlanCacheInfo  `json:"plan_cache"`
+	SharedScan    SharedScanInfo `json:"shared_scan"`
+	Usage         UsageStats     `json:"usage"`
+	Tenants       []TenantUsage  `json:"tenants"`
+}
+
+// SharedScanInfo mirrors Engine.SharedScanStats: the cooperative-scan
+// coalescing counters summed over the engine's tables. The sharing
+// factor is BlocksDemanded / BlocksFetched — what concurrent queries
+// would have read solo over what the shared circulations actually read.
+type SharedScanInfo struct {
+	QueriesServed  int64 `json:"queries_served"`
+	BlocksFetched  int64 `json:"blocks_fetched"`
+	BlocksDemanded int64 `json:"blocks_demanded"`
 }
 
 // PlanCacheInfo mirrors Engine.PlanCacheStats.
@@ -202,6 +239,7 @@ type UsageStats struct {
 // merged with the accounter's asynchronous counters.
 func (s *Server) stats() Stats {
 	hits, misses, size := s.eng.PlanCacheStats()
+	shared := s.eng.SharedScanStats()
 	global, recorded, dropped := s.acct.globalCounters()
 	st := Stats{
 		UptimeSeconds: time.Since(s.started).Seconds(),
@@ -210,6 +248,11 @@ func (s *Server) stats() Stats {
 		QueriesRun:    s.eng.QueriesRun(),
 		SessionError:  s.eng.SessionError(),
 		PlanCache:     PlanCacheInfo{Hits: hits, Misses: misses, Size: size},
+		SharedScan: SharedScanInfo{
+			QueriesServed:  shared.QueriesServed,
+			BlocksFetched:  shared.BlocksFetched,
+			BlocksDemanded: shared.BlocksDemanded,
+		},
 		Usage: UsageStats{
 			Queries:        global.Queries,
 			Streams:        global.Streams,

@@ -5,8 +5,11 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"fmt"
+	"net"
 	"net/http"
 	"net/http/httptest"
+	"net/url"
 	"runtime"
 	"strings"
 	"testing"
@@ -356,5 +359,104 @@ func TestStreamSSE(t *testing.T) {
 	}
 	if line.Result == nil || line.Accounting == nil {
 		t.Errorf("terminal SSE data = %+v", line)
+	}
+}
+
+// TestStreamSSEKeepAlive is the slow-round keepalive regression test: a
+// query whose rounds take ~250 ms (a sleeping WithProgress callback in
+// the server baseline) must not leave the SSE connection silent between
+// events — the server pads the gaps with ": keepalive" comment lines.
+// The client reads the raw TCP stream under a deadline much shorter
+// than a round, so a missing keepalive fails the test the way a proxy
+// idle timeout would sever the stream. NDJSON responses must stay pure
+// JSON lines, never padded.
+func TestStreamSSEKeepAlive(t *testing.T) {
+	_, ts, _ := newTestServer(t, Config{
+		StreamKeepAlive: 20 * time.Millisecond,
+		Options: append(longStreamOptions(),
+			fastframe.WithProgress(func(fastframe.Progress) bool {
+				time.Sleep(250 * time.Millisecond)
+				return true
+			}),
+			fastframe.WithMaxRows(600), // 3 slow rounds of 200 rows
+		),
+	})
+	payload, err := json.Marshal(QueryRequest{SQL: neverSQL})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	u, err := url.Parse(ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	conn, err := net.Dial("tcp", u.Host)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	fmt.Fprintf(conn, "POST /v1/stream HTTP/1.1\r\nHost: %s\r\nContent-Type: application/json\r\nAccept: text/event-stream\r\nContent-Length: %d\r\n\r\n%s",
+		u.Host, len(payload), payload)
+
+	// Each read must complete well inside a round's 250 ms gap: only
+	// the 20 ms keepalive cadence can satisfy that.
+	var buf bytes.Buffer
+	tmp := make([]byte, 4096)
+	for !bytes.Contains(buf.Bytes(), []byte("event: result")) {
+		conn.SetReadDeadline(time.Now().Add(125 * time.Millisecond))
+		n, err := conn.Read(tmp)
+		buf.Write(tmp[:n])
+		if err != nil {
+			t.Fatalf("read stalled mid-round (keepalives missing?): %v\nstream so far:\n%s", err, buf.String())
+		}
+	}
+	raw := buf.String()
+
+	if !strings.Contains(raw, "X-Accel-Buffering: no") {
+		t.Error("SSE response missing X-Accel-Buffering: no")
+	}
+	if n := strings.Count(raw, ": keepalive"); n < 2 {
+		t.Errorf("saw %d keepalive comments across ~750ms of slow rounds, want several", n)
+	}
+	// The comments are invisible to the event layer: every data payload
+	// still parses, terminal result last.
+	var events int
+	for _, line := range strings.Split(raw, "\n") {
+		line = strings.TrimSuffix(line, "\r")
+		if !strings.HasPrefix(line, "data: ") {
+			continue
+		}
+		events++
+		var sl StreamLine
+		if err := json.Unmarshal([]byte(strings.TrimPrefix(line, "data: ")), &sl); err != nil {
+			t.Fatalf("bad SSE data line %q: %v", line, err)
+		}
+	}
+	if events < 2 {
+		t.Errorf("parsed %d SSE data payloads, want progress rounds plus a terminal", events)
+	}
+
+	// The NDJSON rendering of the same slow stream carries no padding:
+	// every line is JSON, none is a comment.
+	resp := postJSON(t, ts.URL, "/v1/stream", "", QueryRequest{SQL: neverSQL})
+	defer resp.Body.Close()
+	sc := bufio.NewScanner(resp.Body)
+	lines := 0
+	for sc.Scan() {
+		line := sc.Text()
+		if strings.TrimSpace(line) == "" {
+			continue
+		}
+		lines++
+		var sl StreamLine
+		if err := json.Unmarshal([]byte(line), &sl); err != nil {
+			t.Fatalf("NDJSON line %q does not parse: %v", line, err)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if lines < 2 {
+		t.Errorf("NDJSON stream produced %d lines", lines)
 	}
 }

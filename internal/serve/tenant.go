@@ -4,6 +4,7 @@ import (
 	"bufio"
 	"fmt"
 	"io"
+	"math"
 	"sort"
 	"strconv"
 	"strings"
@@ -155,14 +156,21 @@ type TenantUsage struct {
 // refunds its reservation; a produced approximate answer converts the
 // reservation into spend.
 func (t *tenant) admit(delta float64, exact bool) (release func(produced bool), errb *ErrorBody) {
-	if !t.bucket.allow() {
+	if ok, wait := t.bucket.allow(); !ok {
 		t.mu.Lock()
 		t.rejected.rate++
 		t.mu.Unlock()
+		// Round the refill deficit up to whole seconds (minimum 1: a
+		// sub-second wait must not round to "retry immediately").
+		retry := int(math.Ceil(wait.Seconds()))
+		if retry < 1 {
+			retry = 1
+		}
 		return nil, &ErrorBody{
-			Code:    "rate_limited",
-			Message: fmt.Sprintf("rate limit %g queries/s exceeded; retry later", t.cfg.RatePerSec),
-			Tenant:  t.cfg.Name,
+			Code:              "rate_limited",
+			Message:           fmt.Sprintf("rate limit %g queries/s exceeded; retry in %ds", t.cfg.RatePerSec, retry),
+			Tenant:            t.cfg.Name,
+			RetryAfterSeconds: retry,
 		}
 	}
 	t.mu.Lock()

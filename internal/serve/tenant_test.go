@@ -2,6 +2,9 @@ package serve
 
 import (
 	"context"
+	"encoding/json"
+	"io"
+	"net/http"
 	"reflect"
 	"strings"
 	"sync"
@@ -74,42 +77,62 @@ func (c *fakeClock) Advance(d time.Duration) {
 func TestTokenBucket(t *testing.T) {
 	clk := &fakeClock{t: time.Unix(1000, 0)}
 	tb := newTokenBucket(2, 2, clk.Now)
+	admit := func(b *tokenBucket) bool { ok, _ := b.allow(); return ok }
 
 	// The bucket starts full at its burst capacity.
-	if !tb.allow() || !tb.allow() {
+	if !admit(tb) || !admit(tb) {
 		t.Fatal("burst capacity not available")
 	}
-	if tb.allow() {
+	// An empty bucket reports the exact refill deficit: one full token
+	// at 2/s is half a second away.
+	if ok, wait := tb.allow(); ok {
 		t.Fatal("admission beyond burst")
+	} else if wait != 500*time.Millisecond {
+		t.Fatalf("empty-bucket wait = %v, want 500ms", wait)
 	}
-	// Refill is continuous: 2/s means half a second buys one token.
+	// Refill is continuous: 2/s means half a second buys one token, and
+	// the reported wait shrinks with the accrued fraction.
 	clk.Advance(499 * time.Millisecond)
-	if tb.allow() {
+	if ok, wait := tb.allow(); ok {
 		t.Fatal("admitted before a full token accrued")
+	} else if wait != 1*time.Millisecond {
+		t.Fatalf("near-full wait = %v, want 1ms", wait)
 	}
 	clk.Advance(1 * time.Millisecond)
-	if !tb.allow() {
+	if !admit(tb) {
 		t.Fatal("token not refilled")
 	}
 	// Refill caps at burst.
 	clk.Advance(time.Hour)
-	if !tb.allow() || !tb.allow() {
+	if !admit(tb) || !admit(tb) {
 		t.Fatal("bucket not refilled to burst")
 	}
-	if tb.allow() {
+	if admit(tb) {
 		t.Fatal("refill exceeded burst")
 	}
 
 	// rate 0 = unlimited; burst < 1 is raised to 1.
 	free := newTokenBucket(0, 0, clk.Now)
 	for i := 0; i < 100; i++ {
-		if !free.allow() {
+		if ok, wait := free.allow(); !ok || wait != 0 {
 			t.Fatal("unlimited bucket refused")
 		}
 	}
 	one := newTokenBucket(1, 0, clk.Now)
-	if !one.allow() {
+	if !admit(one) {
 		t.Fatal("burst<1 bucket should still hold one token")
+	}
+
+	// A slow bucket's deficit spans whole seconds: 0.25/s from empty is
+	// 4 s to the next token.
+	slow := newTokenBucket(0.25, 1, clk.Now)
+	if !admit(slow) {
+		t.Fatal("slow bucket's single burst token missing")
+	}
+	if ok, wait := slow.allow(); ok {
+		t.Fatal("slow bucket over-admitted")
+	} else if wait != 4*time.Second {
+		t.Fatalf("slow-bucket wait = %v, want 4s", wait)
 	}
 }
 
@@ -285,4 +308,82 @@ func TestRegistryValidation(t *testing.T) {
 			t.Errorf("case %d accepted: %+v", i, cfgs)
 		}
 	}
+}
+
+// TestRateLimitRetryAfter: a rate-limited 429 tells the client exactly
+// when to come back — the token bucket's refill deficit, rounded up to
+// whole seconds, as both the Retry-After header and the structured
+// retry_after_seconds field — and following the advice succeeds.
+func TestRateLimitRetryAfter(t *testing.T) {
+	clk := &fakeClock{t: time.Unix(1000, 0)}
+	_, ts, _ := newTestServer(t, Config{
+		Tenants: []TenantConfig{
+			{Name: "slow", Token: "ts", RatePerSec: 0.25, Burst: 1},
+			{Name: "fast", Token: "tf", RatePerSec: 2, Burst: 1},
+		},
+		now: clk.Now,
+	})
+	q := QueryRequest{SQL: "SELECT COUNT(*) FROM flights WITHIN 50%"}
+
+	rejected := func(token string) (*http.Response, *ErrorBody) {
+		t.Helper()
+		resp := postJSON(t, ts.URL, "/v1/query", token, q)
+		t.Cleanup(func() { resp.Body.Close() })
+		if resp.StatusCode != http.StatusTooManyRequests {
+			t.Fatalf("status = %d, want 429", resp.StatusCode)
+		}
+		var e ErrorResponse
+		if err := json.NewDecoder(resp.Body).Decode(&e); err != nil {
+			t.Fatal(err)
+		}
+		if e.Error.Code != "rate_limited" {
+			t.Fatalf("code = %q", e.Error.Code)
+		}
+		return resp, &e.Error
+	}
+
+	// Burst token consumed; at 0.25/s an empty bucket is 4 s from the
+	// next token.
+	if _, errb := wireQuery(t, ts.URL, "ts", q); errb != nil {
+		t.Fatalf("first query: %+v", errb)
+	}
+	resp, errb := rejected("ts")
+	if got := resp.Header.Get("Retry-After"); got != "4" {
+		t.Errorf("Retry-After = %q, want 4", got)
+	}
+	if errb.RetryAfterSeconds != 4 {
+		t.Errorf("retry_after_seconds = %d, want 4", errb.RetryAfterSeconds)
+	}
+
+	// The deficit shrinks as time accrues fractional tokens.
+	clk.Advance(time.Second)
+	if resp, errb = rejected("ts"); resp.Header.Get("Retry-After") != "3" || errb.RetryAfterSeconds != 3 {
+		t.Errorf("after 1s: header %q field %d, want 3/3", resp.Header.Get("Retry-After"), errb.RetryAfterSeconds)
+	}
+
+	// Following the advice works: 3 more seconds refills the token.
+	clk.Advance(3 * time.Second)
+	if _, errb := wireQuery(t, ts.URL, "ts", q); errb != nil {
+		t.Fatalf("query after advertised wait: %+v", errb)
+	}
+
+	// Sub-second deficits round up to 1, never down to "retry now".
+	if _, errb := wireQuery(t, ts.URL, "tf", q); errb != nil {
+		t.Fatalf("fast tenant first query: %+v", errb)
+	}
+	if resp, errb = rejected("tf"); resp.Header.Get("Retry-After") != "1" || errb.RetryAfterSeconds != 1 {
+		t.Errorf("sub-second deficit: header %q field %d, want 1/1", resp.Header.Get("Retry-After"), errb.RetryAfterSeconds)
+	}
+
+	// Success responses advertise nothing.
+	clk.Advance(time.Second)
+	okResp := postJSON(t, ts.URL, "/v1/query", "tf", q)
+	defer okResp.Body.Close()
+	if okResp.StatusCode != http.StatusOK {
+		t.Fatalf("fast tenant after refill: status %d", okResp.StatusCode)
+	}
+	if got := okResp.Header.Get("Retry-After"); got != "" {
+		t.Errorf("200 carries Retry-After %q", got)
+	}
+	io.Copy(io.Discard, okResp.Body)
 }

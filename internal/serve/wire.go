@@ -73,6 +73,7 @@ type Result struct {
 	BlocksFetched int     `json:"blocks_fetched"`
 	RowsCovered   int     `json:"rows_covered"`
 	Rounds        int     `json:"rounds"`
+	StartBlock    int     `json:"start_block"`
 	Stopped       bool    `json:"stopped"`
 	Exhausted     bool    `json:"exhausted"`
 	Aborted       bool    `json:"aborted"`
@@ -144,6 +145,10 @@ type ErrorBody struct {
 	Code    string `json:"code"`
 	Message string `json:"message"`
 	Tenant  string `json:"tenant,omitempty"`
+	// RetryAfterSeconds accompanies rate_limited rejections: the whole
+	// seconds until the tenant's token bucket readmits (also sent as the
+	// HTTP Retry-After header).
+	RetryAfterSeconds int `json:"retry_after_seconds,omitempty"`
 }
 
 // ErrorResponse is the body of a non-2xx response.
@@ -201,6 +206,7 @@ func FromResult(r *fastframe.Result) *Result {
 		BlocksFetched: r.BlocksFetched,
 		RowsCovered:   r.RowsCovered,
 		Rounds:        r.Rounds,
+		StartBlock:    r.StartBlock,
 		Stopped:       r.Stopped,
 		Exhausted:     r.Exhausted,
 		Aborted:       r.Aborted,
@@ -224,6 +230,7 @@ func (r *Result) ToResult() (*fastframe.Result, error) {
 		BlocksFetched: r.BlocksFetched,
 		RowsCovered:   r.RowsCovered,
 		Rounds:        r.Rounds,
+		StartBlock:    r.StartBlock,
 		Stopped:       r.Stopped,
 		Exhausted:     r.Exhausted,
 		Aborted:       r.Aborted,

@@ -17,6 +17,9 @@ type runSettings struct {
 	maxRows          int
 	parallelism      int
 	exactCountBounds bool
+	sharedScan       bool
+	startBlock       int
+	haveStartBlock   bool
 	onProgress       func(Progress) bool
 }
 
@@ -63,6 +66,31 @@ func WithSeed(seed uint64) Option {
 // stopping condition has not been reached.
 func WithMaxRows(n int) Option {
 	return func(s *runSettings) { s.maxRows = n }
+}
+
+// WithStartBlock pins the scan's starting block instead of deriving it
+// from the seed — the reproducibility hook: re-running a query with
+// WithStartBlock(res.StartBlock) replays the recorded execution byte
+// for byte, whether the original ran solo or on a shared scan.
+func WithStartBlock(b int) Option {
+	return func(s *runSettings) { s.startBlock, s.haveStartBlock = b, true }
+}
+
+// WithSharedScan routes the query through the table's cooperative scan
+// driver: concurrent queries against the same table coalesce onto one
+// circulating block scan that fetches each wanted block once and steps
+// every attached query through it, instead of N independent scans
+// reading largely the same data. New queries are admitted at round
+// boundaries; queries that converge, abort, or hit their row cap
+// detach without disturbing the rest. The Result, Progress stream and
+// δ accounting are byte-identical to solo execution started at the
+// same block (Result.StartBlock records it — the seed-derived position
+// when the driver was idle at admission, the scan frontier otherwise).
+// One coupling to note: progress consumers pace the scan (as in solo
+// streaming), so under a shared scan a stalled consumer paces the
+// whole cohort until its context deadline or Close.
+func WithSharedScan() Option {
+	return func(s *runSettings) { s.sharedScan = true }
 }
 
 // WithParallelism sets the number of worker goroutines that scan each

@@ -263,6 +263,12 @@ type Result struct {
 	RowsCovered int
 	// Rounds is the number of interval recomputations performed.
 	Rounds int
+	// StartBlock is the storage block the scan began at: the
+	// seed-derived random position for solo runs, or the shared scan's
+	// admission frontier under WithSharedScan. Re-running the query
+	// with WithStartBlock(StartBlock) reproduces the execution byte for
+	// byte.
+	StartBlock int
 	// Stopped reports early termination via the stopping condition;
 	// Exhausted reports a complete scan; Aborted reports that an
 	// OnProgress callback ended the scan (intervals remain valid).
@@ -394,6 +400,9 @@ func (t *Table) runQuery(ctx context.Context, q query.Query, s runSettings) (*Re
 		ExactCountBounds: s.exactCountBounds,
 		Parallelism:      s.resolveParallelism(),
 	}
+	if s.haveStartBlock {
+		execOpts.StartBlock, execOpts.Rng = s.startBlock, nil
+	}
 	if s.onProgress != nil {
 		cb := s.onProgress
 		execOpts.OnRound = func(s exec.RoundSnapshot) bool {
@@ -417,7 +426,12 @@ func (t *Table) runQuery(ctx context.Context, q query.Query, s runSettings) (*Re
 			return cb(p)
 		}
 	}
-	res, err := exec.RunContext(ctx, t.t, q, execOpts)
+	var res *exec.Result
+	if s.sharedScan {
+		res, err = t.sharedDriver().Run(ctx, q, execOpts)
+	} else {
+		res, err = exec.RunContext(ctx, t.t, q, execOpts)
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -426,6 +440,7 @@ func (t *Table) runQuery(ctx context.Context, q query.Query, s runSettings) (*Re
 		BlocksFetched: res.BlocksFetched,
 		RowsCovered:   res.RowsCovered,
 		Rounds:        res.Rounds,
+		StartBlock:    res.StartBlock,
 		Stopped:       res.Stopped,
 		Exhausted:     res.Exhausted,
 		Aborted:       res.Aborted,
