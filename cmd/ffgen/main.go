@@ -33,13 +33,14 @@ func main() {
 	var (
 		rows    = flag.Int("rows", 100_000, "rows to synthesize")
 		seed    = flag.Uint64("seed", 42, "generator seed")
+		block   = flag.Int("block", 0, "scramble block size in rows (0 = the paper's 25); larger blocks mean fewer, bigger compressed segments in -table output")
 		summary = flag.Bool("summary", true, "print aggregate summary")
 		csvPath = flag.String("csv", "", "write rows to this CSV file")
 		tabPath = flag.String("table", "", "persist the scrambled table (binary format, for ffserved -table / ReadTable)")
 	)
 	flag.Parse()
 
-	tab, err := flights.Generate(flights.Config{Rows: *rows, Seed: *seed})
+	tab, err := flights.Generate(flights.Config{Rows: *rows, Seed: *seed, BlockSize: *block})
 	if err != nil {
 		fatal(err)
 	}

@@ -58,28 +58,40 @@ func main() {
 		keepAlive    = flag.Duration("stream-keepalive", serve.DefaultStreamKeepAlive, "SSE keepalive comment interval for /v1/stream (negative = none)")
 		usageLog     = flag.String("usage-log", "", "append usage records (JSONL) to this file")
 		drainWait    = flag.Duration("drain-timeout", 10*time.Second, "graceful-shutdown deadline")
+		poolBytes    = flag.Int64("pool-bytes", 0, "open format-v3 tables out-of-core, paging blocks through a shared buffer pool with this decoded-byte budget (0 = load everything resident)")
 		tables       cliload.Specs
+		csvTables    cliload.Specs
 		dims         cliload.Specs
 		tokens       cliload.Specs
 	)
-	flag.Var(&tables, "table", "persisted table as name=path (written by ffgen -table / Table.WriteTo); repeatable, at least one required")
-	flag.Var(&dims, "dim", "dimension CSV as name=path:key, attached to the fact column named key on every -table; repeatable")
+	flag.Var(&tables, "table", "persisted table as name=path (written by ffgen -table / Table.WriteTo); repeatable")
+	flag.Var(&csvTables, "csv-table", "CSV fact table as name=path#col:kind,... (kind float or cat), streamed and scrambled at startup; repeatable")
+	flag.Var(&dims, "dim", "dimension CSV as name=path:key, attached to the fact column named key on every fact table; repeatable")
 	flag.Var(&tokens, "token", "tenant spec name=token[,delta=D][,budget=B][,rate=R][,burst=N][,conc=C]; repeatable")
 	flag.Usage = func() {
 		fmt.Fprintf(flag.CommandLine.Output(), "usage: ffserved -table name=path [flags]\n\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
-	if len(tables) == 0 {
+	if len(tables) == 0 && len(csvTables) == 0 {
 		flag.Usage()
 		os.Exit(2)
 	}
 
 	eng := fastframe.NewEngine()
-	names, err := cliload.LoadTables(eng, tables, log.Printf)
+	var pool *fastframe.BufferPool
+	if *poolBytes > 0 {
+		pool = fastframe.NewBufferPool(*poolBytes)
+	}
+	names, err := cliload.LoadTables(eng, tables, pool, log.Printf)
 	if err != nil {
 		fatal(err)
 	}
+	csvNames, err := cliload.LoadCSVTables(eng, csvTables, *seed, log.Printf)
+	if err != nil {
+		fatal(err)
+	}
+	names = append(names, csvNames...)
 	if err := cliload.LoadDims(eng, names, dims, log.Printf); err != nil {
 		fatal(err)
 	}

@@ -8,6 +8,7 @@ import (
 	"strings"
 	"sync"
 
+	"fastframe/internal/blockstore"
 	"fastframe/internal/exec"
 	"fastframe/internal/sql"
 	"fastframe/internal/star"
@@ -663,6 +664,41 @@ func (e *Engine) SharedScanStats() SharedScanStats {
 		out.QueriesServed += s.QueriesServed
 		out.BlocksFetched += s.BlocksFetched
 		out.BlocksDemanded += s.BlocksDemanded
+	}
+	return out
+}
+
+// PoolStats aggregates the buffer-pool counters of every registered
+// out-of-core table. Tables sharing one pool are counted once; budgets
+// and usage sum across distinct pools. All-resident engines report zero
+// stats.
+func (e *Engine) PoolStats() PoolStats {
+	e.mu.RLock()
+	seen := make(map[*Table]bool, len(e.tables))
+	tabs := make([]*Table, 0, len(e.tables))
+	for _, t := range e.tables {
+		if !seen[t] {
+			seen[t] = true
+			tabs = append(tabs, t)
+		}
+	}
+	e.mu.RUnlock()
+	var out PoolStats
+	seenPools := map[*blockstore.Pool]bool{}
+	for _, t := range tabs {
+		p := t.t.Pool()
+		if p == nil || seenPools[p] {
+			continue
+		}
+		seenPools[p] = true
+		s := t.PoolStats()
+		out.BudgetBytes += s.BudgetBytes
+		out.UsedBytes += s.UsedBytes
+		out.Hits += s.Hits
+		out.Misses += s.Misses
+		out.Evictions += s.Evictions
+		out.Prefetched += s.Prefetched
+		out.BytesRead += s.BytesRead
 	}
 	return out
 }

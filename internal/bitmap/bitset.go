@@ -90,6 +90,25 @@ func (b *Bitset) SetAll() {
 	}
 }
 
+// Words exposes the backing words (bit i lives in words[i/64]) for
+// serialization. The slice is owned by the bitset and must not be
+// modified.
+func (b *Bitset) Words() []uint64 { return b.words }
+
+// NewBitsetFromWords reconstructs a bitset of n bits from serialized
+// words. The slice is copied; bits beyond n in the last word are
+// cleared so Count and NextSet stay consistent.
+func NewBitsetFromWords(words []uint64, n int) *Bitset {
+	if len(words) != (n+wordBits-1)/wordBits {
+		panic("bitmap: word count does not match bit length")
+	}
+	b := &Bitset{words: append([]uint64(nil), words...), n: n}
+	if tail := n % wordBits; tail != 0 && len(b.words) > 0 {
+		b.words[len(b.words)-1] &= (1 << uint(tail)) - 1
+	}
+	return b
+}
+
 // Clone returns an independent copy.
 func (b *Bitset) Clone() *Bitset {
 	c := &Bitset{words: make([]uint64, len(b.words)), n: b.n}

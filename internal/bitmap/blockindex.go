@@ -26,6 +26,18 @@ func NewBlockIndex(codes []uint32, numValues, blockSize int) *BlockIndex {
 	return idx
 }
 
+// NewBlockIndexFromWords reconstructs an index from serialized per-code
+// bitset words (as produced by Blocks(code).Words()), the form the
+// block store persists in its file header so out-of-core opens skip the
+// full-column rebuild pass.
+func NewBlockIndexFromWords(words [][]uint64, numBlocks int) *BlockIndex {
+	idx := &BlockIndex{perValue: make([]*Bitset, len(words)), numBlocks: numBlocks}
+	for v, w := range words {
+		idx.perValue[v] = NewBitsetFromWords(w, numBlocks)
+	}
+	return idx
+}
+
 // NumBlocks returns the number of blocks covered by the index.
 func (ix *BlockIndex) NumBlocks() int { return ix.numBlocks }
 

@@ -1,0 +1,467 @@
+package blockstore
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+)
+
+// Format v3 (little-endian). The header carries everything query
+// compilation needs — schema, catalog bounds, zone maps, dictionaries
+// and block bitmap indexes — so predicate pruning and active-scan
+// skipping never read a data segment. Data segments follow
+// column-major, each independently addressable and compressed; the
+// footer is the segment directory enabling random block access:
+//
+//	magic "FFSC" | u32 version=3 | u32 blockSize | u64 rows | u32 numCols
+//	per column: u8 kind | u16 nameLen | name
+//	  Float (kind 0): f64 boundsLo | f64 boundsHi
+//	                  | nb × f64 zoneMin | nb × f64 zoneMax
+//	  Cat   (kind 1): u32 dictLen | dict entries (u16 len | bytes)
+//	                  | per code: ceil(nb/64) × u64 index bitset words
+//	per column, per block: u32 segLen | segment (see encode.go)
+//	footer: per column: nb × u64 offsets | nb × u32 lengths
+//	u64 footerOffset | magic "FF3E"
+//
+// Segments are self-describing and written in a fixed order, so the
+// whole file also reads sequentially without the footer — that is the
+// resident ReadTable load path; the footer serves out-of-core opens.
+
+const (
+	// Magic is the leading file magic shared by every scramble format
+	// version; Version is the blockstore format introduced here.
+	Magic   = "FFSC"
+	Version = 3
+	// footerMagic trails the file, after the footer offset.
+	footerMagic = "FF3E"
+
+	// KindFloat and KindCat are the column kind bytes (matching
+	// table.Float and table.Categorical).
+	KindFloat = 0
+	KindCat   = 1
+)
+
+// ColumnMeta is the header metadata of one column.
+type ColumnMeta struct {
+	Name string
+	Kind uint8
+
+	// Float columns: catalog bounds and the per-block zone map.
+	BoundsLo, BoundsHi float64
+	ZoneMin, ZoneMax   []float64
+
+	// Categorical columns: the dictionary and the block bitmap index
+	// (IndexWords[code] is the bitset words of blocks containing code).
+	Dict       []string
+	IndexWords [][]uint64
+}
+
+// Meta is the header of a v3 file.
+type Meta struct {
+	BlockSize int
+	Rows      int
+	Cols      []ColumnMeta
+}
+
+// NumBlocks returns the block count (the last block possibly partial).
+func (m *Meta) NumBlocks() int {
+	if m.Rows == 0 {
+		return 0
+	}
+	return (m.Rows + m.BlockSize - 1) / m.BlockSize
+}
+
+// BlockRows returns the number of rows in block b.
+func (m *Meta) BlockRows(b int) int {
+	start := b * m.BlockSize
+	end := start + m.BlockSize
+	if end > m.Rows {
+		end = m.Rows
+	}
+	return end - start
+}
+
+// Writer emits a v3 file to a streaming destination: header at
+// construction, then every column's blocks in schema order, then the
+// footer. The destination needs no seeking — offsets are tracked as
+// bytes are written.
+type Writer struct {
+	w       *bufio.Writer
+	off     int64
+	meta    *Meta
+	nextCol int
+	offs    [][]int64
+	lens    [][]int32
+	scratch []byte
+	err     error
+}
+
+// NewWriter writes the v3 header and returns a Writer expecting each
+// column's data in schema order.
+func NewWriter(dst io.Writer, meta *Meta) (*Writer, error) {
+	w := &Writer{w: bufio.NewWriterSize(dst, 1<<20), meta: meta}
+	if meta.BlockSize <= 0 || meta.Rows <= 0 {
+		return nil, fmt.Errorf("blockstore: bad meta (blockSize=%d rows=%d)", meta.BlockSize, meta.Rows)
+	}
+	nb := meta.NumBlocks()
+	w.offs = make([][]int64, len(meta.Cols))
+	w.lens = make([][]int32, len(meta.Cols))
+	for i := range meta.Cols {
+		w.offs[i] = make([]int64, nb)
+		w.lens[i] = make([]int32, nb)
+	}
+
+	w.writeBytes([]byte(Magic))
+	w.writeU32(Version)
+	w.writeU32(uint32(meta.BlockSize))
+	w.writeU64(uint64(meta.Rows))
+	w.writeU32(uint32(len(meta.Cols)))
+	for _, c := range meta.Cols {
+		w.writeBytes([]byte{c.Kind})
+		w.writeString16(c.Name)
+		switch c.Kind {
+		case KindFloat:
+			w.writeF64(c.BoundsLo)
+			w.writeF64(c.BoundsHi)
+			if len(c.ZoneMin) != nb || len(c.ZoneMax) != nb {
+				return nil, fmt.Errorf("blockstore: column %q zone map has %d/%d blocks, want %d", c.Name, len(c.ZoneMin), len(c.ZoneMax), nb)
+			}
+			w.writeF64s(c.ZoneMin)
+			w.writeF64s(c.ZoneMax)
+		case KindCat:
+			w.writeU32(uint32(len(c.Dict)))
+			for _, s := range c.Dict {
+				w.writeString16(s)
+			}
+			nw := (nb + 63) / 64
+			if len(c.IndexWords) != len(c.Dict) {
+				return nil, fmt.Errorf("blockstore: column %q index has %d codes, want %d", c.Name, len(c.IndexWords), len(c.Dict))
+			}
+			for _, words := range c.IndexWords {
+				if len(words) != nw {
+					return nil, fmt.Errorf("blockstore: column %q index words %d, want %d", c.Name, len(words), nw)
+				}
+				w.writeU64s(words)
+			}
+		default:
+			return nil, fmt.Errorf("blockstore: unknown column kind %d", c.Kind)
+		}
+	}
+	return w, w.err
+}
+
+// WriteFloatColumn writes every block segment of float column ci,
+// which must be the next schema column.
+func (w *Writer) WriteFloatColumn(ci int, values []float64) error {
+	if err := w.checkCol(ci, KindFloat, len(values)); err != nil {
+		return err
+	}
+	nb := w.meta.NumBlocks()
+	for b := 0; b < nb; b++ {
+		start := b * w.meta.BlockSize
+		end := min(start+w.meta.BlockSize, len(values))
+		w.scratch = AppendFloatBlock(w.scratch[:0], values[start:end])
+		w.writeSegment(ci, b)
+	}
+	w.nextCol++
+	return w.err
+}
+
+// WriteCatColumn writes every block segment of categorical column ci,
+// which must be the next schema column.
+func (w *Writer) WriteCatColumn(ci int, codes []uint32) error {
+	if err := w.checkCol(ci, KindCat, len(codes)); err != nil {
+		return err
+	}
+	nb := w.meta.NumBlocks()
+	for b := 0; b < nb; b++ {
+		start := b * w.meta.BlockSize
+		end := min(start+w.meta.BlockSize, len(codes))
+		w.scratch = AppendCatBlock(w.scratch[:0], codes[start:end])
+		w.writeSegment(ci, b)
+	}
+	w.nextCol++
+	return w.err
+}
+
+// Finish writes the footer and flushes. The Writer is spent afterwards.
+func (w *Writer) Finish() (int64, error) {
+	if w.err != nil {
+		return w.off, w.err
+	}
+	if w.nextCol != len(w.meta.Cols) {
+		return w.off, fmt.Errorf("blockstore: Finish after %d of %d columns", w.nextCol, len(w.meta.Cols))
+	}
+	footerOff := w.off
+	for ci := range w.meta.Cols {
+		for _, o := range w.offs[ci] {
+			w.writeU64(uint64(o))
+		}
+		for _, l := range w.lens[ci] {
+			w.writeU32(uint32(l))
+		}
+	}
+	w.writeU64(uint64(footerOff))
+	w.writeBytes([]byte(footerMagic))
+	if w.err == nil {
+		w.err = w.w.Flush()
+	}
+	return w.off, w.err
+}
+
+func (w *Writer) checkCol(ci int, kind uint8, n int) error {
+	if w.err != nil {
+		return w.err
+	}
+	if ci != w.nextCol {
+		return fmt.Errorf("blockstore: column %d written out of order (want %d)", ci, w.nextCol)
+	}
+	if ci >= len(w.meta.Cols) || w.meta.Cols[ci].Kind != kind {
+		return fmt.Errorf("blockstore: column %d kind mismatch", ci)
+	}
+	if n != w.meta.Rows {
+		return fmt.Errorf("blockstore: column %d has %d rows, want %d", ci, n, w.meta.Rows)
+	}
+	return nil
+}
+
+// writeSegment frames w.scratch as the next segment of (ci, b).
+func (w *Writer) writeSegment(ci, b int) {
+	w.writeU32(uint32(len(w.scratch)))
+	w.offs[ci][b] = w.off
+	w.lens[ci][b] = int32(len(w.scratch))
+	w.writeBytes(w.scratch)
+}
+
+func (w *Writer) writeBytes(p []byte) {
+	if w.err != nil {
+		return
+	}
+	n, err := w.w.Write(p)
+	w.off += int64(n)
+	w.err = err
+}
+
+func (w *Writer) writeU32(v uint32) {
+	var buf [4]byte
+	binary.LittleEndian.PutUint32(buf[:], v)
+	w.writeBytes(buf[:])
+}
+
+func (w *Writer) writeU64(v uint64) {
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], v)
+	w.writeBytes(buf[:])
+}
+
+func (w *Writer) writeF64(v float64) { w.writeU64(math.Float64bits(v)) }
+
+func (w *Writer) writeF64s(vals []float64) {
+	for _, v := range vals {
+		if w.err != nil {
+			return
+		}
+		w.writeF64(v)
+	}
+}
+
+func (w *Writer) writeU64s(vals []uint64) {
+	for _, v := range vals {
+		if w.err != nil {
+			return
+		}
+		w.writeU64(v)
+	}
+}
+
+func (w *Writer) writeString16(s string) {
+	if len(s) > math.MaxUint16 {
+		w.err = fmt.Errorf("blockstore: string too long (%d bytes)", len(s))
+		return
+	}
+	var buf [2]byte
+	binary.LittleEndian.PutUint16(buf[:], uint16(len(s)))
+	w.writeBytes(buf[:])
+	w.writeBytes([]byte(s))
+}
+
+// ReadMeta parses the v3 header from a stream positioned immediately
+// after the magic and version fields (the caller dispatches on those).
+func ReadMeta(r io.Reader) (*Meta, error) {
+	var blockSize, numCols uint32
+	var rows uint64
+	if err := binary.Read(r, binary.LittleEndian, &blockSize); err != nil {
+		return nil, err
+	}
+	if err := binary.Read(r, binary.LittleEndian, &rows); err != nil {
+		return nil, err
+	}
+	if err := binary.Read(r, binary.LittleEndian, &numCols); err != nil {
+		return nil, err
+	}
+	if blockSize == 0 || rows == 0 {
+		return nil, fmt.Errorf("blockstore: corrupt header (blockSize=%d rows=%d)", blockSize, rows)
+	}
+	m := &Meta{BlockSize: int(blockSize), Rows: int(rows), Cols: make([]ColumnMeta, numCols)}
+	nb := m.NumBlocks()
+	for i := range m.Cols {
+		c := &m.Cols[i]
+		var kind [1]byte
+		if _, err := io.ReadFull(r, kind[:]); err != nil {
+			return nil, err
+		}
+		c.Kind = kind[0]
+		name, err := readString16(r)
+		if err != nil {
+			return nil, err
+		}
+		c.Name = name
+		switch c.Kind {
+		case KindFloat:
+			var lo, hi uint64
+			if err := binary.Read(r, binary.LittleEndian, &lo); err != nil {
+				return nil, err
+			}
+			if err := binary.Read(r, binary.LittleEndian, &hi); err != nil {
+				return nil, err
+			}
+			c.BoundsLo = math.Float64frombits(lo)
+			c.BoundsHi = math.Float64frombits(hi)
+			if c.ZoneMin, err = readF64s(r, nb); err != nil {
+				return nil, err
+			}
+			if c.ZoneMax, err = readF64s(r, nb); err != nil {
+				return nil, err
+			}
+		case KindCat:
+			var dictLen uint32
+			if err := binary.Read(r, binary.LittleEndian, &dictLen); err != nil {
+				return nil, err
+			}
+			c.Dict = make([]string, dictLen)
+			for d := range c.Dict {
+				if c.Dict[d], err = readString16(r); err != nil {
+					return nil, err
+				}
+			}
+			nw := (nb + 63) / 64
+			c.IndexWords = make([][]uint64, dictLen)
+			for d := range c.IndexWords {
+				if c.IndexWords[d], err = readU64s(r, nw); err != nil {
+					return nil, err
+				}
+			}
+		default:
+			return nil, fmt.Errorf("blockstore: unknown column kind %d", c.Kind)
+		}
+	}
+	return m, nil
+}
+
+// ReadSequential decodes every data segment of a v3 stream positioned
+// after the magic and version fields into fully resident column
+// slices: floats[ci] for float columns, codes[ci] for categorical
+// columns (the other slot is nil). The footer is consumed and
+// validated. This is the resident ReadTable load path.
+func ReadSequential(r io.Reader) (m *Meta, floats [][]float64, codes [][]uint32, err error) {
+	m, err = ReadMeta(r)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	nb := m.NumBlocks()
+	floats = make([][]float64, len(m.Cols))
+	codes = make([][]uint32, len(m.Cols))
+	var seg []byte
+	var fblock []float64
+	var cblock []uint32
+	for ci := range m.Cols {
+		isFloat := m.Cols[ci].Kind == KindFloat
+		if isFloat {
+			floats[ci] = make([]float64, 0, m.Rows)
+		} else {
+			codes[ci] = make([]uint32, 0, m.Rows)
+		}
+		for b := 0; b < nb; b++ {
+			var segLen uint32
+			if err := binary.Read(r, binary.LittleEndian, &segLen); err != nil {
+				return nil, nil, nil, fmt.Errorf("blockstore: column %d block %d: %w", ci, b, err)
+			}
+			if cap(seg) < int(segLen) {
+				seg = make([]byte, segLen)
+			}
+			seg = seg[:segLen]
+			if _, err := io.ReadFull(r, seg); err != nil {
+				return nil, nil, nil, fmt.Errorf("blockstore: column %d block %d: %w", ci, b, err)
+			}
+			n := m.BlockRows(b)
+			if isFloat {
+				fblock, err = DecodeFloatBlock(seg, fblock, n)
+				if err != nil {
+					return nil, nil, nil, err
+				}
+				floats[ci] = append(floats[ci], fblock...)
+			} else {
+				cblock, err = DecodeCatBlock(seg, cblock, n)
+				if err != nil {
+					return nil, nil, nil, err
+				}
+				codes[ci] = append(codes[ci], cblock...)
+			}
+		}
+	}
+	// Drain and validate the footer so the stream is left at EOF.
+	footer := int64(0)
+	for ci := range m.Cols {
+		footer += int64(nb) * 12
+		_ = ci
+	}
+	if _, err := io.CopyN(io.Discard, r, footer); err != nil {
+		return nil, nil, nil, fmt.Errorf("blockstore: footer: %w", err)
+	}
+	var tail [12]byte
+	if _, err := io.ReadFull(r, tail[:]); err != nil {
+		return nil, nil, nil, fmt.Errorf("blockstore: footer tail: %w", err)
+	}
+	if string(tail[8:]) != footerMagic {
+		return nil, nil, nil, fmt.Errorf("blockstore: bad footer magic %q", tail[8:])
+	}
+	return m, floats, codes, nil
+}
+
+func readString16(r io.Reader) (string, error) {
+	var n uint16
+	if err := binary.Read(r, binary.LittleEndian, &n); err != nil {
+		return "", err
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return "", err
+	}
+	return string(buf), nil
+}
+
+func readF64s(r io.Reader, n int) ([]float64, error) {
+	buf := make([]byte, 8*n)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return nil, err
+	}
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = math.Float64frombits(binary.LittleEndian.Uint64(buf[8*i:]))
+	}
+	return out, nil
+}
+
+func readU64s(r io.Reader, n int) ([]uint64, error) {
+	buf := make([]byte, 8*n)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return nil, err
+	}
+	out := make([]uint64, n)
+	for i := range out {
+		out[i] = binary.LittleEndian.Uint64(buf[8*i:])
+	}
+	return out, nil
+}

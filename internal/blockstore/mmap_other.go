@@ -1,0 +1,14 @@
+//go:build !unix
+
+package blockstore
+
+import (
+	"fmt"
+	"os"
+)
+
+func mmapFile(f *os.File, size int64) ([]byte, error) {
+	return nil, fmt.Errorf("mmap not supported on this platform; use the pread backend")
+}
+
+func munmap(b []byte) error { return nil }

@@ -1,0 +1,367 @@
+package blockstore
+
+import (
+	"sync"
+)
+
+// Pool is a shared buffer pool of decoded column blocks: queries pin
+// the blocks they are scanning, an LRU keeps recently used blocks
+// decoded under a byte budget, and a background prefetcher warms the
+// next wanted blocks of a scan. One pool is typically shared by every
+// out-of-core table of a process, so the budget bounds total decoded
+// block memory.
+//
+// Concurrency: a single mutex guards the frame map, the LRU list and
+// the counters; segment reads and decodes happen outside the lock with
+// the frame held in a loading state, and concurrent pinners of the
+// same block wait on a condition variable (one physical read per
+// block, no matter how many queries want it — the buffer-pool
+// counterpart of the shared scans' one-fetch-per-cohort property).
+//
+// Memory: evicted frames keep their decoded buffers on a freelist, so
+// a warmed-up pool pins and evicts without allocating.
+type Pool struct {
+	mu   sync.Mutex
+	cond *sync.Cond
+
+	budget int64
+	used   int64
+
+	frames map[frameKey]*Frame
+	// lruHead is the most recently used unpinned frame; lruTail the
+	// eviction candidate.
+	lruHead, lruTail *Frame
+
+	freeFloat []*Frame
+	freeCat   []*Frame
+
+	hits, misses, evictions, prefetched int64
+	bytesRead                           int64
+
+	prefetchCh   chan prefetchReq
+	prefetchOnce sync.Once
+	closed       chan struct{}
+}
+
+type frameKey struct {
+	store *Store
+	col   int32
+	block int32
+}
+
+// Frame is one pinned decoded block. Callers read Floats or Codes
+// (whichever matches the column kind) and must Unpin when done with
+// the block; the slices are invalid after the unpin.
+type Frame struct {
+	key     frameKey
+	isFloat bool
+	pins    int
+	loading bool
+	err     error
+
+	floats  []float64
+	codes   []uint32
+	scratch []byte // segment read buffer (pread path)
+	bytes   int64  // budget charge
+
+	prev, next *Frame
+	inLRU      bool
+}
+
+// Floats returns the decoded float values of the pinned block.
+func (f *Frame) Floats() []float64 { return f.floats }
+
+// Codes returns the decoded dictionary codes of the pinned block.
+func (f *Frame) Codes() []uint32 { return f.codes }
+
+type prefetchReq struct {
+	store *Store
+	block int32
+	// fcols and ccols are the float/cat column indices to warm. The
+	// slices are owned by the requester and must stay immutable.
+	fcols, ccols []int32
+}
+
+// DefaultPoolBytes is the pool budget used when none is configured:
+// 64 MiB of decoded blocks.
+const DefaultPoolBytes = 64 << 20
+
+// NewPool returns a pool with the given decoded-byte budget
+// (DefaultPoolBytes if budget ≤ 0). The budget is a target, not a hard
+// cap: pinned frames are never evicted, so a working set larger than
+// the budget temporarily exceeds it.
+func NewPool(budget int64) *Pool {
+	if budget <= 0 {
+		budget = DefaultPoolBytes
+	}
+	p := &Pool{
+		budget: budget,
+		frames: map[frameKey]*Frame{},
+		closed: make(chan struct{}),
+	}
+	p.cond = sync.NewCond(&p.mu)
+	return p
+}
+
+// Close stops the prefetcher. Frames become unusable; the caller must
+// have unpinned everything.
+func (p *Pool) Close() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	select {
+	case <-p.closed:
+	default:
+		close(p.closed)
+	}
+}
+
+// Stats is a snapshot of the pool counters.
+type Stats struct {
+	// BudgetBytes and UsedBytes are the configured target and the
+	// decoded bytes currently cached (pinned + LRU).
+	BudgetBytes int64
+	UsedBytes   int64
+	// Hits and Misses count Pin calls served from cache vs loaded from
+	// disk; Evictions counts frames dropped under budget pressure;
+	// Prefetched counts blocks loaded by the background prefetcher.
+	Hits, Misses, Evictions, Prefetched int64
+	// BytesRead is the compressed segment bytes physically read.
+	BytesRead int64
+}
+
+// Stats returns a snapshot of the counters.
+func (p *Pool) Stats() Stats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return Stats{
+		BudgetBytes: p.budget,
+		UsedBytes:   p.used,
+		Hits:        p.hits,
+		Misses:      p.misses,
+		Evictions:   p.evictions,
+		Prefetched:  p.prefetched,
+		BytesRead:   p.bytesRead,
+	}
+}
+
+// PinFloat pins block b of float column ci, loading and decoding it if
+// absent. The frame stays resident until the matching Unpin.
+func (p *Pool) PinFloat(s *Store, ci, b int) (*Frame, error) {
+	return p.pin(s, ci, b, true, false)
+}
+
+// PinCat pins block b of categorical column ci.
+func (p *Pool) PinCat(s *Store, ci, b int) (*Frame, error) {
+	return p.pin(s, ci, b, false, false)
+}
+
+func (p *Pool) pin(s *Store, ci, b int, isFloat, prefetch bool) (*Frame, error) {
+	key := frameKey{store: s, col: int32(ci), block: int32(b)}
+	p.mu.Lock()
+	for {
+		f, ok := p.frames[key]
+		if !ok {
+			break
+		}
+		if f.loading {
+			// Another goroutine is reading this very block: wait for it
+			// rather than issuing a duplicate read, then re-check (the
+			// load may have failed and removed the frame).
+			p.cond.Wait()
+			continue
+		}
+		if prefetch {
+			// Already resident: the prefetch is a no-op and counts
+			// nothing.
+			p.mu.Unlock()
+			return nil, nil
+		}
+		f.pins++
+		if f.inLRU {
+			p.lruRemove(f)
+		}
+		p.hits++
+		p.mu.Unlock()
+		return f, nil
+	}
+
+	// Miss: claim the key with a loading frame, then read outside the
+	// lock.
+	f := p.allocFrame(isFloat)
+	f.key = key
+	f.isFloat = isFloat
+	f.pins = 1
+	f.loading = true
+	f.err = nil
+	rows := int64(s.meta.BlockRows(b))
+	if isFloat {
+		f.bytes = rows * 8
+	} else {
+		f.bytes = rows * 4
+	}
+	p.frames[key] = f
+	p.used += f.bytes
+	if prefetch {
+		p.prefetched++
+	} else {
+		p.misses++
+	}
+	p.bytesRead += int64(s.dir[ci].lens[b])
+	p.evictLocked()
+	p.mu.Unlock()
+
+	var err error
+	if isFloat {
+		f.floats, f.scratch, err = s.ReadFloatBlock(ci, b, f.floats, f.scratch)
+	} else {
+		f.codes, f.scratch, err = s.ReadCatBlock(ci, b, f.codes, f.scratch)
+	}
+
+	p.mu.Lock()
+	f.loading = false
+	if err != nil {
+		// Failed loads are not cached: remove the frame so a later pin
+		// retries the read, and recycle the buffers.
+		f.pins = 0
+		delete(p.frames, key)
+		p.used -= f.bytes
+		p.freeFrame(f)
+		p.cond.Broadcast()
+		p.mu.Unlock()
+		return nil, err
+	}
+	p.cond.Broadcast()
+	if prefetch {
+		// The prefetcher holds no pin: park the frame straight in the
+		// LRU for the scan to hit.
+		f.pins = 0
+		p.lruPush(f)
+	}
+	p.mu.Unlock()
+	if prefetch {
+		return nil, nil
+	}
+	return f, nil
+}
+
+// Unpin releases a pinned frame. The frame's slices must not be used
+// afterwards.
+func (p *Pool) Unpin(f *Frame) {
+	if f == nil {
+		return
+	}
+	p.mu.Lock()
+	f.pins--
+	if f.pins == 0 {
+		p.lruPush(f)
+		if p.used > p.budget {
+			p.evictLocked()
+		}
+	}
+	p.mu.Unlock()
+}
+
+// evictLocked drops LRU frames until the budget holds or only pinned
+// frames remain. Caller holds p.mu.
+func (p *Pool) evictLocked() {
+	for p.used > p.budget && p.lruTail != nil {
+		f := p.lruTail
+		p.lruRemove(f)
+		delete(p.frames, f.key)
+		p.used -= f.bytes
+		p.evictions++
+		p.freeFrame(f)
+	}
+}
+
+// allocFrame takes a frame off the matching freelist or allocates one.
+// Caller holds p.mu.
+func (p *Pool) allocFrame(isFloat bool) *Frame {
+	var list *[]*Frame
+	if isFloat {
+		list = &p.freeFloat
+	} else {
+		list = &p.freeCat
+	}
+	if n := len(*list); n > 0 {
+		f := (*list)[n-1]
+		*list = (*list)[:n-1]
+		return f
+	}
+	return &Frame{}
+}
+
+// freeFrame parks a frame's buffers for reuse. Caller holds p.mu.
+func (p *Pool) freeFrame(f *Frame) {
+	f.key = frameKey{}
+	f.prev, f.next = nil, nil
+	f.inLRU = false
+	if f.isFloat {
+		p.freeFloat = append(p.freeFloat, f)
+	} else {
+		p.freeCat = append(p.freeCat, f)
+	}
+}
+
+// lruPush inserts f at the head (most recently used). Caller holds
+// p.mu.
+func (p *Pool) lruPush(f *Frame) {
+	f.inLRU = true
+	f.prev = nil
+	f.next = p.lruHead
+	if p.lruHead != nil {
+		p.lruHead.prev = f
+	}
+	p.lruHead = f
+	if p.lruTail == nil {
+		p.lruTail = f
+	}
+}
+
+// lruRemove unlinks f. Caller holds p.mu.
+func (p *Pool) lruRemove(f *Frame) {
+	if f.prev != nil {
+		f.prev.next = f.next
+	} else {
+		p.lruHead = f.next
+	}
+	if f.next != nil {
+		f.next.prev = f.prev
+	} else {
+		p.lruTail = f.prev
+	}
+	f.prev, f.next = nil, nil
+	f.inLRU = false
+}
+
+// Prefetch asks the background prefetcher to warm block b of the given
+// float and cat columns. Non-blocking: requests are dropped when the
+// prefetcher is saturated (prefetching is advisory — the scan will
+// simply miss and read synchronously). The column slices must stay
+// immutable after the call.
+func (p *Pool) Prefetch(s *Store, b int, fcols, ccols []int32) {
+	p.prefetchOnce.Do(func() {
+		p.prefetchCh = make(chan prefetchReq, 128)
+		go p.prefetchLoop()
+	})
+	select {
+	case p.prefetchCh <- prefetchReq{store: s, block: int32(b), fcols: fcols, ccols: ccols}:
+	default:
+	}
+}
+
+func (p *Pool) prefetchLoop() {
+	for {
+		select {
+		case <-p.closed:
+			return
+		case req := <-p.prefetchCh:
+			for _, ci := range req.fcols {
+				_, _ = p.pin(req.store, int(ci), int(req.block), true, true)
+			}
+			for _, ci := range req.ccols {
+				_, _ = p.pin(req.store, int(ci), int(req.block), false, true)
+			}
+		}
+	}
+}

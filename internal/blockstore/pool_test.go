@@ -1,0 +1,271 @@
+package blockstore
+
+import (
+	"math"
+	"math/rand/v2"
+	"sync"
+	"testing"
+	"time"
+)
+
+func openFixtureStore(t *testing.T, rows, blockSize, dictLen int, seed uint64) (*Store, *Meta, [][]float64, [][]uint32) {
+	t.Helper()
+	path, meta, floats, codes := writeFixtureFile(t, rows, blockSize, dictLen, seed)
+	s, err := Open(path, OpenOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+	return s, meta, floats, codes
+}
+
+// TestPoolHitMiss pins the basic caching contract: first pin misses and
+// reads, second pin of the same block hits without a read, and the
+// decoded data is correct.
+func TestPoolHitMiss(t *testing.T) {
+	s, meta, floats, _ := openFixtureStore(t, 500, 25, 4, 21)
+	p := NewPool(1 << 20)
+	defer p.Close()
+
+	f1, err := p.PinFloat(s, 0, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := 3 * meta.BlockSize
+	for i, v := range f1.Floats() {
+		if math.Float64bits(v) != math.Float64bits(floats[0][start+i]) {
+			t.Fatalf("row %d mismatch", i)
+		}
+	}
+	f2, err := p.PinFloat(s, 0, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f2 != f1 {
+		t.Error("second pin returned a different frame")
+	}
+	st := p.Stats()
+	if st.Hits != 1 || st.Misses != 1 {
+		t.Errorf("hits=%d misses=%d, want 1/1", st.Hits, st.Misses)
+	}
+	if got := s.BlocksRead(); got != 1 {
+		t.Errorf("BlocksRead = %d, want 1 (hit must not re-read)", got)
+	}
+	p.Unpin(f1)
+	p.Unpin(f2)
+
+	// Still cached after full unpin: a third pin is a hit.
+	f3, err := p.PinFloat(s, 0, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Stats().Hits != 2 {
+		t.Errorf("hits=%d after re-pin, want 2", p.Stats().Hits)
+	}
+	p.Unpin(f3)
+}
+
+// TestPoolEviction forces the working set past the budget and checks
+// that unpinned frames are evicted LRU-first while pinned frames
+// survive.
+func TestPoolEviction(t *testing.T) {
+	s, meta, _, _ := openFixtureStore(t, 1000, 25, 4, 22)
+	// Budget of exactly 4 float blocks (25 rows × 8 bytes each).
+	p := NewPool(4 * 25 * 8)
+	defer p.Close()
+
+	pinned, err := p.PinFloat(s, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Unpin(pinned)
+	for b := 1; b <= 10; b++ {
+		f, err := p.PinFloat(s, 0, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p.Unpin(f)
+	}
+	st := p.Stats()
+	if st.Evictions == 0 {
+		t.Fatal("no evictions under a 4-block budget with an 11-block sweep")
+	}
+	if st.UsedBytes > st.BudgetBytes {
+		t.Errorf("used %d exceeds budget %d after unpins", st.UsedBytes, st.BudgetBytes)
+	}
+
+	// The pinned block must never have been evicted: re-pin is a hit.
+	if _, err := p.PinFloat(s, 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	if p.Stats().Hits == 0 {
+		t.Error("pinned block was evicted")
+	}
+	// Block 1 (oldest unpinned) must be gone; block 10 (newest) resident.
+	reads := s.BlocksRead()
+	f10, err := p.PinFloat(s, 0, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.BlocksRead() != reads {
+		t.Error("most recently used block was evicted before older ones")
+	}
+	f1, err := p.PinFloat(s, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.BlocksRead() != reads+1 {
+		t.Error("least recently used block was not evicted")
+	}
+	p.Unpin(f10)
+	p.Unpin(f1)
+	_ = meta
+}
+
+// TestPoolConcurrentPins hammers the pool from many goroutines over a
+// tiny budget, checking data integrity under constant eviction and the
+// singleflight property (run with -race).
+func TestPoolConcurrentPins(t *testing.T) {
+	s, meta, floats, codes := openFixtureStore(t, 2000, 25, 5, 23)
+	p := NewPool(6 * 25 * 8) // ~6 blocks: constant eviction pressure
+	defer p.Close()
+
+	nb := meta.NumBlocks()
+	var wg sync.WaitGroup
+	errs := make(chan error, 8)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(seed uint64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewPCG(seed, seed*3+1))
+			for trial := 0; trial < 300; trial++ {
+				b := int(rng.Uint32N(uint32(nb)))
+				start := b * meta.BlockSize
+				n := meta.BlockRows(b)
+				if rng.Uint32N(2) == 0 {
+					f, err := p.PinFloat(s, 0, b)
+					if err != nil {
+						errs <- err
+						return
+					}
+					for i := 0; i < n; i++ {
+						if math.Float64bits(f.Floats()[i]) != math.Float64bits(floats[0][start+i]) {
+							t.Errorf("float block %d row %d corrupt", b, i)
+							p.Unpin(f)
+							return
+						}
+					}
+					p.Unpin(f)
+				} else {
+					f, err := p.PinCat(s, 1, b)
+					if err != nil {
+						errs <- err
+						return
+					}
+					for i := 0; i < n; i++ {
+						if f.Codes()[i] != codes[1][start+i] {
+							t.Errorf("cat block %d row %d corrupt", b, i)
+							p.Unpin(f)
+							return
+						}
+					}
+					p.Unpin(f)
+				}
+			}
+		}(uint64(g + 1))
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	st := p.Stats()
+	if st.Hits+st.Misses != 8*300 {
+		t.Errorf("hits+misses = %d, want %d", st.Hits+st.Misses, 8*300)
+	}
+}
+
+// TestPoolSingleflight checks that concurrent pinners of one absent
+// block trigger exactly one physical read.
+func TestPoolSingleflight(t *testing.T) {
+	s, _, _, _ := openFixtureStore(t, 500, 25, 4, 24)
+	p := NewPool(1 << 20)
+	defer p.Close()
+
+	const G = 16
+	var wg sync.WaitGroup
+	frames := make([]*Frame, G)
+	start := make(chan struct{})
+	for g := 0; g < G; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			<-start
+			f, err := p.PinFloat(s, 0, 7)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			frames[g] = f
+		}(g)
+	}
+	close(start)
+	wg.Wait()
+	if got := s.BlocksRead(); got != 1 {
+		t.Errorf("BlocksRead = %d, want 1 (singleflight)", got)
+	}
+	for _, f := range frames {
+		p.Unpin(f)
+	}
+}
+
+// TestPoolPrefetch checks prefetched blocks land in the cache so the
+// next pin hits without a physical read.
+func TestPoolPrefetch(t *testing.T) {
+	s, _, _, _ := openFixtureStore(t, 500, 25, 4, 25)
+	p := NewPool(1 << 20)
+	defer p.Close()
+
+	p.Prefetch(s, 5, []int32{0, 2}, []int32{1})
+	// The prefetcher is asynchronous; poll until it lands.
+	deadline := time.Now().Add(5 * time.Second)
+	for p.Stats().Prefetched < 3 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if p.Stats().Prefetched < 3 {
+		t.Fatalf("prefetched = %d after polling, want 3", p.Stats().Prefetched)
+	}
+	reads := s.BlocksRead()
+	f, err := p.PinFloat(s, 0, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.BlocksRead() != reads {
+		t.Error("pin of prefetched block issued a physical read")
+	}
+	p.Unpin(f)
+}
+
+// TestPoolWarmNoAlloc checks a warmed pool pins and unpins a cached
+// block without allocating — required to keep steady-state rounds
+// allocation-free.
+func TestPoolWarmNoAlloc(t *testing.T) {
+	s, _, _, _ := openFixtureStore(t, 500, 25, 4, 26)
+	p := NewPool(1 << 20)
+	defer p.Close()
+	f, err := p.PinFloat(s, 0, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Unpin(f)
+	allocs := testing.AllocsPerRun(100, func() {
+		f, err := p.PinFloat(s, 0, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p.Unpin(f)
+	})
+	if allocs != 0 {
+		t.Errorf("warm pin/unpin allocates %v per op, want 0", allocs)
+	}
+}

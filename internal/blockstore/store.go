@@ -1,0 +1,203 @@
+package blockstore
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"os"
+	"sync/atomic"
+)
+
+// Store is an open v3 file ready for random block access: header and
+// segment directory resident, data segments read on demand (pread by
+// default, or zero-copy out of an mmap'd region). A Store is safe for
+// concurrent readers and is normally accessed through a Pool, which
+// adds caching, pinning and eviction.
+type Store struct {
+	f    *os.File
+	mm   []byte // non-nil when the file is memory-mapped
+	meta *Meta
+
+	// dir is the segment directory: dir[ci].offs[b] / lens[b] locate
+	// column ci's block b in the file.
+	dir []colDir
+
+	// bytesRead and blocksRead count physical segment reads (both pread
+	// and mmap paths), for the pool counters.
+	bytesRead  atomic.Int64
+	blocksRead atomic.Int64
+}
+
+type colDir struct {
+	offs []int64
+	lens []int32
+}
+
+// OpenOptions configures Open.
+type OpenOptions struct {
+	// Mmap maps the file read-only and decodes segments straight out of
+	// the mapping instead of issuing preads. Page residency is then
+	// managed by the OS in addition to the pool's decoded-block budget.
+	Mmap bool
+}
+
+// Open opens a v3 file for random block access. Files in older
+// formats (v1/v2) have no segment directory and return an error —
+// load those resident via the table reader.
+func Open(path string, opts OpenOptions) (*Store, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	s, err := newStore(f, opts)
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	return s, nil
+}
+
+func newStore(f *os.File, opts OpenOptions) (*Store, error) {
+	fi, err := f.Stat()
+	if err != nil {
+		return nil, err
+	}
+	size := fi.Size()
+
+	// Header: magic, version, then the shared meta parser.
+	br := bufio.NewReaderSize(io.NewSectionReader(f, 0, size), 1<<16)
+	magic := make([]byte, 4)
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, fmt.Errorf("blockstore: reading magic: %w", err)
+	}
+	if string(magic) != Magic {
+		return nil, fmt.Errorf("blockstore: bad magic %q", magic)
+	}
+	var version uint32
+	if err := binary.Read(br, binary.LittleEndian, &version); err != nil {
+		return nil, err
+	}
+	if version != Version {
+		return nil, fmt.Errorf("blockstore: format v%d has no segment directory (out-of-core needs v%d; load resident instead)", version, Version)
+	}
+	meta, err := ReadMeta(br)
+	if err != nil {
+		return nil, err
+	}
+
+	// Footer: the trailing 12 bytes locate the directory.
+	var tail [12]byte
+	if size < int64(len(tail)) {
+		return nil, fmt.Errorf("blockstore: file too small (%d bytes)", size)
+	}
+	if _, err := f.ReadAt(tail[:], size-12); err != nil {
+		return nil, err
+	}
+	if string(tail[8:]) != footerMagic {
+		return nil, fmt.Errorf("blockstore: bad footer magic %q", tail[8:])
+	}
+	footerOff := int64(binary.LittleEndian.Uint64(tail[:8]))
+	nb := meta.NumBlocks()
+	footerLen := int64(len(meta.Cols)) * int64(nb) * 12
+	if footerOff < 0 || footerOff+footerLen != size-12 {
+		return nil, fmt.Errorf("blockstore: corrupt footer offset %d", footerOff)
+	}
+	fr := bufio.NewReaderSize(io.NewSectionReader(f, footerOff, footerLen), 1<<16)
+	dir := make([]colDir, len(meta.Cols))
+	for ci := range dir {
+		offs := make([]int64, nb)
+		lens := make([]int32, nb)
+		buf := make([]byte, 8*nb)
+		if _, err := io.ReadFull(fr, buf); err != nil {
+			return nil, err
+		}
+		for b := range offs {
+			offs[b] = int64(binary.LittleEndian.Uint64(buf[8*b:]))
+		}
+		if _, err := io.ReadFull(fr, buf[:4*nb]); err != nil {
+			return nil, err
+		}
+		for b := range lens {
+			lens[b] = int32(binary.LittleEndian.Uint32(buf[4*b:]))
+		}
+		for b := range offs {
+			if offs[b] < 0 || offs[b]+int64(lens[b]) > footerOff {
+				return nil, fmt.Errorf("blockstore: segment (%d,%d) out of bounds", ci, b)
+			}
+		}
+		dir[ci] = colDir{offs: offs, lens: lens}
+	}
+
+	s := &Store{f: f, meta: meta, dir: dir}
+	if opts.Mmap {
+		mm, err := mmapFile(f, size)
+		if err != nil {
+			return nil, fmt.Errorf("blockstore: mmap: %w", err)
+		}
+		s.mm = mm
+	}
+	return s, nil
+}
+
+// Meta returns the file header.
+func (s *Store) Meta() *Meta { return s.meta }
+
+// Close unmaps and closes the underlying file. The caller must ensure
+// no pinned frames of this store remain in any pool.
+func (s *Store) Close() error {
+	if s.mm != nil {
+		if err := munmap(s.mm); err != nil {
+			return err
+		}
+		s.mm = nil
+	}
+	return s.f.Close()
+}
+
+// BytesRead and BlocksRead report cumulative physical segment reads.
+func (s *Store) BytesRead() int64  { return s.bytesRead.Load() }
+func (s *Store) BlocksRead() int64 { return s.blocksRead.Load() }
+
+// segment returns the raw bytes of segment (ci, b), reading into
+// scratch on the pread path or slicing the mapping on the mmap path.
+// The returned scratch slice must be passed back on the next call to
+// reuse its backing array.
+func (s *Store) segment(ci, b int, scratch []byte) (seg, newScratch []byte, err error) {
+	off, ln := s.dir[ci].offs[b], int(s.dir[ci].lens[b])
+	s.bytesRead.Add(int64(ln))
+	s.blocksRead.Add(1)
+	if s.mm != nil {
+		return s.mm[off : off+int64(ln)], scratch, nil
+	}
+	if cap(scratch) < ln {
+		scratch = make([]byte, ln)
+	}
+	scratch = scratch[:ln]
+	if _, err := s.f.ReadAt(scratch, off); err != nil {
+		return nil, scratch, fmt.Errorf("blockstore: reading segment (%d,%d): %w", ci, b, err)
+	}
+	return scratch, scratch, nil
+}
+
+// ReadFloatBlock decodes block b of float column ci into dst (reusing
+// its backing array). scratch is the caller's read buffer, returned
+// possibly regrown.
+func (s *Store) ReadFloatBlock(ci, b int, dst []float64, scratch []byte) ([]float64, []byte, error) {
+	seg, scratch, err := s.segment(ci, b, scratch)
+	if err != nil {
+		return dst[:0], scratch, err
+	}
+	dst, err = DecodeFloatBlock(seg, dst, s.meta.BlockRows(b))
+	return dst, scratch, err
+}
+
+// ReadCatBlock decodes block b of categorical column ci into dst.
+func (s *Store) ReadCatBlock(ci, b int, dst []uint32, scratch []byte) ([]uint32, []byte, error) {
+	seg, scratch, err := s.segment(ci, b, scratch)
+	if err != nil {
+		return dst[:0], scratch, err
+	}
+	dst, err = DecodeCatBlock(seg, dst, s.meta.BlockRows(b))
+	return dst, scratch, err
+}

@@ -30,21 +30,19 @@ func ParseTableSpec(spec string) (name, path string, err error) {
 
 // LoadTables reads each -table spec's persisted scramble (a file
 // written by Table.WriteTo / ffgen -table) and registers it on the
-// engine, returning the registered names in spec order. logf, if
-// non-nil, receives one progress line per table.
-func LoadTables(eng *fastframe.Engine, specs []string, logf func(format string, args ...any)) ([]string, error) {
+// engine, returning the registered names in spec order. With a non-nil
+// pool, format-v3 files open out-of-core — header metadata resident,
+// data blocks paged through the pool on demand — and older formats fall
+// back to a fully resident load. logf, if non-nil, receives one
+// progress line per table.
+func LoadTables(eng *fastframe.Engine, specs []string, pool *fastframe.BufferPool, logf func(format string, args ...any)) ([]string, error) {
 	names := make([]string, 0, len(specs))
 	for _, spec := range specs {
 		name, path, err := ParseTableSpec(spec)
 		if err != nil {
 			return nil, err
 		}
-		f, err := os.Open(path)
-		if err != nil {
-			return nil, err
-		}
-		tab, err := fastframe.ReadTable(f)
-		f.Close()
+		tab, how, err := openTable(path, pool)
 		if err != nil {
 			return nil, fmt.Errorf("-table %s: %w", spec, err)
 		}
@@ -53,7 +51,109 @@ func LoadTables(eng *fastframe.Engine, specs []string, logf func(format string, 
 		}
 		names = append(names, name)
 		if logf != nil {
-			logf("table %s: %d rows in %d blocks (%s)", name, tab.NumRows(), tab.NumBlocks(), path)
+			logf("table %s: %d rows in %d blocks (%s, %s)", name, tab.NumRows(), tab.NumBlocks(), path, how)
+		}
+	}
+	return names, nil
+}
+
+// openTable opens one table file, out-of-core when a pool is given and
+// the file's format supports it (v3), resident otherwise.
+func openTable(path string, pool *fastframe.BufferPool) (*fastframe.Table, string, error) {
+	if pool != nil {
+		tab, oocErr := fastframe.OpenTable(path, pool)
+		if oocErr == nil {
+			return tab, "out-of-core", nil
+		}
+		// Older formats have no segment directory; load them resident.
+		tab, resErr := readTableFile(path)
+		if resErr != nil {
+			return nil, "", oocErr
+		}
+		return tab, "resident: not out-of-core capable", nil
+	}
+	tab, err := readTableFile(path)
+	if err != nil {
+		return nil, "", err
+	}
+	return tab, "resident", nil
+}
+
+func readTableFile(path string) (*fastframe.Table, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return fastframe.ReadTable(f)
+}
+
+// ParseCSVTableSpec splits a -csv-table spec
+// "name=path#Col:float,Col2:cat,..." — the schema rides after the '#'
+// as comma-separated column:kind pairs (kind float or cat).
+func ParseCSVTableSpec(spec string) (name, path string, cols []fastframe.Column, err error) {
+	name, rest, ok := strings.Cut(spec, "=")
+	if !ok || name == "" {
+		return "", "", nil, fmt.Errorf("-csv-table %q: want name=path#col:kind,...", spec)
+	}
+	path, schema, ok := strings.Cut(rest, "#")
+	if !ok || path == "" || schema == "" {
+		return "", "", nil, fmt.Errorf("-csv-table %q: want name=path#col:kind,...", spec)
+	}
+	for _, part := range strings.Split(schema, ",") {
+		col, kind, ok := strings.Cut(part, ":")
+		if !ok || col == "" {
+			return "", "", nil, fmt.Errorf("-csv-table %q: bad column spec %q (want col:float or col:cat)", spec, part)
+		}
+		switch kind {
+		case "float":
+			cols = append(cols, fastframe.Column{Name: col, Kind: fastframe.Float})
+		case "cat":
+			cols = append(cols, fastframe.Column{Name: col, Kind: fastframe.Categorical})
+		default:
+			return "", "", nil, fmt.Errorf("-csv-table %q: unknown kind %q (want float or cat)", spec, kind)
+		}
+	}
+	return name, path, cols, nil
+}
+
+// LoadCSVTables builds a scramble from each -csv-table spec's CSV and
+// registers it on the engine, returning the registered names in spec
+// order. Rows stream straight from the file into the builder (nothing
+// is materialized besides the builder's column buffers), and the build
+// releases each source column as soon as it is permuted, so peak RSS is
+// bounded by the output table plus one column. The shuffle is seeded,
+// so identical inputs give identical scrambles.
+func LoadCSVTables(eng *fastframe.Engine, specs []string, seed uint64, logf func(format string, args ...any)) ([]string, error) {
+	names := make([]string, 0, len(specs))
+	for _, spec := range specs {
+		name, path, cols, err := ParseCSVTableSpec(spec)
+		if err != nil {
+			return nil, err
+		}
+		tb, err := fastframe.NewTableBuilder(cols...)
+		if err != nil {
+			return nil, fmt.Errorf("-csv-table %s: %w", spec, err)
+		}
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, err
+		}
+		err = tb.LoadCSV(f)
+		f.Close()
+		if err != nil {
+			return nil, fmt.Errorf("-csv-table %s: %w", spec, err)
+		}
+		tab, err := tb.Build(seed)
+		if err != nil {
+			return nil, fmt.Errorf("-csv-table %s: %w", spec, err)
+		}
+		if err := eng.Register(name, tab); err != nil {
+			return nil, err
+		}
+		names = append(names, name)
+		if logf != nil {
+			logf("table %s: %d rows in %d blocks (%s, streamed from CSV)", name, tab.NumRows(), tab.NumBlocks(), path)
 		}
 	}
 	return names, nil

@@ -59,7 +59,7 @@ func TestLoadTables(t *testing.T) {
 	}
 
 	eng := fastframe.NewEngine()
-	names, err := LoadTables(eng, []string{"flights=" + path}, nil)
+	names, err := LoadTables(eng, []string{"flights=" + path}, nil, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -74,11 +74,100 @@ func TestLoadTables(t *testing.T) {
 		t.Errorf("loaded %d rows, want %d", got.NumRows(), tab.NumRows())
 	}
 
-	if _, err := LoadTables(eng, []string{"bad=" + filepath.Join(dir, "missing.ff")}, nil); err == nil {
+	if _, err := LoadTables(eng, []string{"bad=" + filepath.Join(dir, "missing.ff")}, nil, nil); err == nil {
 		t.Error("missing table file accepted")
 	}
-	if _, err := LoadTables(eng, []string{"badspec"}, nil); err == nil {
+	if _, err := LoadTables(eng, []string{"badspec"}, nil, nil); err == nil {
 		t.Error("bad spec accepted")
+	}
+}
+
+// TestLoadTablesOutOfCore loads the same file resident and through a
+// pool, checking the pool path really pages (counters move) and answers
+// agree.
+func TestLoadTablesOutOfCore(t *testing.T) {
+	tab, err := fastframe.GenerateFlights(5_000, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	path := filepath.Join(dir, "flights.ff")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tab.WriteTo(f); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	pool := fastframe.NewBufferPool(1 << 20)
+	defer pool.Close()
+	eng := fastframe.NewEngine()
+	if _, err := LoadTables(eng, []string{"flights=" + path}, pool, nil); err != nil {
+		t.Fatal(err)
+	}
+	got, err := eng.Table("flights")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.OutOfCore() {
+		t.Fatal("pool given but table not out-of-core")
+	}
+	defer got.Close()
+	res, err := eng.Query(context.Background(), "SELECT AVG(DepDelay) FROM flights WITHIN 5%")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Groups) == 0 {
+		t.Fatal("no groups")
+	}
+	if st := got.PoolStats(); st.Misses == 0 || st.BytesRead == 0 {
+		t.Errorf("pool counters did not move: %+v", st)
+	}
+}
+
+func TestParseCSVTableSpec(t *testing.T) {
+	name, path, cols, err := ParseCSVTableSpec("fl=data/fl.csv#DepDelay:float,Origin:cat")
+	if err != nil || name != "fl" || path != "data/fl.csv" || len(cols) != 2 {
+		t.Fatalf("ParseCSVTableSpec = %q %q %v %v", name, path, cols, err)
+	}
+	if cols[0].Name != "DepDelay" || cols[0].Kind != fastframe.Float ||
+		cols[1].Name != "Origin" || cols[1].Kind != fastframe.Categorical {
+		t.Errorf("cols = %v", cols)
+	}
+	for _, bad := range []string{"", "noequals", "=p#c:float", "a=p", "a=p#", "a=p#c", "a=p#c:int", "a=p#:float"} {
+		if _, _, _, err := ParseCSVTableSpec(bad); err == nil {
+			t.Errorf("ParseCSVTableSpec(%q) accepted", bad)
+		}
+	}
+}
+
+func TestLoadCSVTables(t *testing.T) {
+	dir := t.TempDir()
+	csvPath := filepath.Join(dir, "fl.csv")
+	if err := os.WriteFile(csvPath, []byte("Origin,DepDelay\nORD,5.5\nLAX,-2\nORD,11\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	eng := fastframe.NewEngine()
+	names, err := LoadCSVTables(eng, []string{"fl=" + csvPath + "#Origin:cat,DepDelay:float"}, 7, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(names) != 1 || names[0] != "fl" {
+		t.Fatalf("names = %v", names)
+	}
+	tab, err := eng.Table("fl")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tab.NumRows() != 3 {
+		t.Errorf("NumRows = %d, want 3", tab.NumRows())
+	}
+	if _, err := LoadCSVTables(eng, []string{"bad=" + filepath.Join(dir, "missing.csv") + "#A:float"}, 7, nil); err == nil {
+		t.Error("missing CSV accepted")
 	}
 }
 

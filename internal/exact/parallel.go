@@ -7,6 +7,7 @@ import (
 	"sync"
 	"time"
 
+	"fastframe/internal/blockstore"
 	"fastframe/internal/expr"
 	"fastframe/internal/query"
 	"fastframe/internal/table"
@@ -18,6 +19,7 @@ import (
 type partial struct {
 	counts map[int]int
 	sums   map[int]float64
+	err    error // first out-of-core read failure in this partition
 }
 
 // Merge folds another partition's accumulator into p. Merging is exact
@@ -33,22 +35,47 @@ func (p *partial) Merge(o *partial) {
 	}
 }
 
-// scanPartition accumulates one contiguous row range, checking the
-// context every ctxCheckRows rows; a cancelled context abandons the
-// partition early (the caller discards all partials).
+// scanPartition accumulates one contiguous row range, walking it block
+// by block through a binder (resident subslices or pinned buffer-pool
+// frames) while visiting rows in exactly the old global order — float
+// sums are unchanged. The context is checked every ctxCheckRows rows; a
+// cancelled context abandons the partition early (the caller discards
+// all partials).
 func (e *evaluator) scanPartition(ctx context.Context, lo, hi int, p *partial) {
-	for row := lo; row < hi; row++ {
-		if (row-lo)%ctxCheckRows == 0 && ctx.Err() != nil {
+	bd := e.newBinder()
+	layout := e.t.Layout()
+	sinceCheck := ctxCheckRows // check once at entry, like the row-loop did
+	for row := lo; row < hi; {
+		if sinceCheck >= ctxCheckRows {
+			if ctx.Err() != nil {
+				return
+			}
+			sinceCheck = 0
+		}
+		b := layout.BlockOf(row)
+		s, end := layout.BlockBounds(b)
+		if err := bd.bind(b); err != nil {
+			p.err = err
 			return
 		}
-		if !e.match(row) {
-			continue
+		stop := min(end, hi)
+		for r := row; r < stop; r++ {
+			lr := r - s
+			if !e.match(bd, lr) {
+				continue
+			}
+			id := e.groupOf(bd, lr)
+			p.counts[id]++
+			switch {
+			case e.aggSlot >= 0:
+				p.sums[id] += bd.fvals[e.aggSlot][lr]
+			case e.aggKernel != nil:
+				p.sums[id] += e.aggKernel(bd.fvals, lr)
+			}
 		}
-		id := e.groupOf(row)
-		p.counts[id]++
-		if e.aggValue != nil {
-			p.sums[id] += e.aggValue(row)
-		}
+		bd.release()
+		sinceCheck += stop - row
+		row = stop
 	}
 }
 
@@ -107,6 +134,11 @@ func RunParallelContext(ctx context.Context, t *table.Table, q query.Query, work
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
+	for _, p := range parts {
+		if p.err != nil {
+			return nil, p.err
+		}
+	}
 
 	// Merge partitions in row order (deterministic float summation for
 	// a fixed worker count).
@@ -129,17 +161,31 @@ func RunParallelContext(ctx context.Context, t *table.Table, q query.Query, work
 }
 
 // evaluator is the resolved per-row machinery shared by Run and
-// RunParallel.
+// RunParallel. Columns are referenced by slot into a binder's bound
+// block views, so exact evaluation works identically over resident and
+// out-of-core tables.
 type evaluator struct {
-	aggValue   func(row int) float64
+	t *table.Table
+
+	// Aggregate input: aggSlot ≥ 0 reads one float column's view;
+	// aggKernel evaluates a compiled expression; neither means COUNT.
+	aggSlot   int
+	aggKernel func(vars [][]float64, row int) float64
+
 	catAtoms   []catAtom
 	inAtoms    []inAtom
 	rangeAtoms []rangeAtom
-	groupCols  []*table.CatColumn
+	groupCols  []*table.CatColumn // dictionaries for keyOf and radix
+	groupSlots []int
+
+	fnames  []string
+	cnames  []string
+	fblocks []table.FloatBlocks
+	cblocks []table.CatBlocks
 }
 
 type catAtom struct {
-	col  *table.CatColumn
+	slot int
 	code uint32
 	ok   bool
 }
@@ -147,36 +193,118 @@ type catAtom struct {
 // inAtom holds a dense code-indexed membership table (not a Go map):
 // one bounds-checked load per row on the scan path.
 type inAtom struct {
-	col   *table.CatColumn
+	slot  int
 	dense []bool
 }
 
 type rangeAtom struct {
-	col *table.FloatColumn
-	r   query.FloatRange
+	slot int
+	r    query.FloatRange
+}
+
+// floatSlot resolves a float column to a dense slot, adding it on first
+// use.
+func (e *evaluator) floatSlot(name string) (int, error) {
+	for i, n := range e.fnames {
+		if n == name {
+			return i, nil
+		}
+	}
+	fb, err := e.t.FloatBlocks(name)
+	if err != nil {
+		return 0, err
+	}
+	e.fnames = append(e.fnames, name)
+	e.fblocks = append(e.fblocks, fb)
+	return len(e.fnames) - 1, nil
+}
+
+// catSlot resolves a categorical column to a dense slot, adding it on
+// first use.
+func (e *evaluator) catSlot(name string) (int, error) {
+	for i, n := range e.cnames {
+		if n == name {
+			return i, nil
+		}
+	}
+	cb, err := e.t.CatBlocks(name)
+	if err != nil {
+		return 0, err
+	}
+	e.cnames = append(e.cnames, name)
+	e.cblocks = append(e.cblocks, cb)
+	return len(e.cnames) - 1, nil
+}
+
+// binder is one worker's bound per-block column views.
+type binder struct {
+	e       *evaluator
+	fvals   [][]float64
+	cvals   [][]uint32
+	fframes []*blockstore.Frame
+	cframes []*blockstore.Frame
+}
+
+func (e *evaluator) newBinder() *binder {
+	return &binder{
+		e:       e,
+		fvals:   make([][]float64, len(e.fblocks)),
+		cvals:   make([][]uint32, len(e.cblocks)),
+		fframes: make([]*blockstore.Frame, len(e.fblocks)),
+		cframes: make([]*blockstore.Frame, len(e.cblocks)),
+	}
+}
+
+func (bd *binder) bind(b int) error {
+	for i := range bd.e.fblocks {
+		v, f, err := bd.e.fblocks[i].Pin(b)
+		if err != nil {
+			bd.release()
+			return err
+		}
+		bd.fvals[i], bd.fframes[i] = v, f
+	}
+	for i := range bd.e.cblocks {
+		v, f, err := bd.e.cblocks[i].Pin(b)
+		if err != nil {
+			bd.release()
+			return err
+		}
+		bd.cvals[i], bd.cframes[i] = v, f
+	}
+	return nil
+}
+
+func (bd *binder) release() {
+	for i, f := range bd.fframes {
+		if f != nil {
+			bd.e.fblocks[i].Unpin(f)
+			bd.fframes[i] = nil
+		}
+	}
+	for i, f := range bd.cframes {
+		if f != nil {
+			bd.e.cblocks[i].Unpin(f)
+			bd.cframes[i] = nil
+		}
+	}
 }
 
 func newEvaluator(t *table.Table, q query.Query) (*evaluator, error) {
-	e := &evaluator{}
+	e := &evaluator{t: t, aggSlot: -1}
 	if q.Agg.Kind != query.Count {
 		if q.Agg.Expr != nil {
-			prog, err := expr.CompileProgram(q.Agg.Expr, func(name string) ([]float64, error) {
-				col, err := t.Float(name)
-				if err != nil {
-					return nil, err
-				}
-				return col.Values, nil
-			})
+			kern, err := expr.CompileKernel(q.Agg.Expr, e.floatSlot)
 			if err != nil {
 				return nil, err
 			}
-			e.aggValue = prog
+			e.aggKernel = kern
 		} else {
-			col, err := t.Float(q.Agg.Column)
+			slot, err := e.floatSlot(q.Agg.Column)
 			if err != nil {
 				return nil, err
 			}
-			e.aggValue = func(row int) float64 { return col.Values[row] }
+			e.aggSlot = slot
 		}
 	}
 	for _, atom := range q.Pred.CatEq {
@@ -184,11 +312,19 @@ func newEvaluator(t *table.Table, q query.Query) (*evaluator, error) {
 		if err != nil {
 			return nil, err
 		}
+		slot, err := e.catSlot(atom.Column)
+		if err != nil {
+			return nil, err
+		}
 		code, ok := col.Code(atom.Value)
-		e.catAtoms = append(e.catAtoms, catAtom{col: col, code: code, ok: ok})
+		e.catAtoms = append(e.catAtoms, catAtom{slot: slot, code: code, ok: ok})
 	}
 	for _, atom := range q.Pred.CatIn {
 		col, err := t.Cat(atom.Column)
+		if err != nil {
+			return nil, err
+		}
+		slot, err := e.catSlot(atom.Column)
 		if err != nil {
 			return nil, err
 		}
@@ -198,38 +334,44 @@ func newEvaluator(t *table.Table, q query.Query) (*evaluator, error) {
 				dense[code] = true
 			}
 		}
-		e.inAtoms = append(e.inAtoms, inAtom{col: col, dense: dense})
+		e.inAtoms = append(e.inAtoms, inAtom{slot: slot, dense: dense})
 	}
 	for _, r := range q.Pred.Ranges {
-		col, err := t.Float(r.Column)
+		slot, err := e.floatSlot(r.Column)
 		if err != nil {
 			return nil, err
 		}
-		e.rangeAtoms = append(e.rangeAtoms, rangeAtom{col: col, r: r})
+		e.rangeAtoms = append(e.rangeAtoms, rangeAtom{slot: slot, r: r})
 	}
 	for _, name := range q.GroupBy {
 		col, err := t.Cat(name)
 		if err != nil {
 			return nil, err
 		}
+		slot, err := e.catSlot(name)
+		if err != nil {
+			return nil, err
+		}
 		e.groupCols = append(e.groupCols, col)
+		e.groupSlots = append(e.groupSlots, slot)
 	}
 	return e, nil
 }
 
-func (e *evaluator) match(row int) bool {
+// match evaluates the predicate against the bound block's local row.
+func (e *evaluator) match(bd *binder, row int) bool {
 	for _, a := range e.catAtoms {
-		if !a.ok || a.col.Codes[row] != a.code {
+		if !a.ok || bd.cvals[a.slot][row] != a.code {
 			return false
 		}
 	}
 	for _, a := range e.inAtoms {
-		if !a.dense[a.col.Codes[row]] {
+		if !a.dense[bd.cvals[a.slot][row]] {
 			return false
 		}
 	}
 	for _, a := range e.rangeAtoms {
-		v := a.col.Values[row]
+		v := bd.fvals[a.slot][row]
 		if v < a.r.Lo || v > a.r.Hi {
 			return false
 		}
@@ -237,10 +379,12 @@ func (e *evaluator) match(row int) bool {
 	return true
 }
 
-func (e *evaluator) groupOf(row int) int {
+// groupOf returns the mixed-radix group ID of the bound block's local
+// row.
+func (e *evaluator) groupOf(bd *binder, row int) int {
 	id := 0
-	for _, col := range e.groupCols {
-		id = id*col.NumValues() + int(col.Codes[row])
+	for i, col := range e.groupCols {
+		id = id*col.NumValues() + int(bd.cvals[e.groupSlots[i]][row])
 	}
 	return id
 }

@@ -52,6 +52,12 @@ func RunContext(ctx context.Context, t *table.Table, q query.Query, opts Options
 	} else {
 		e.run()
 	}
+	if e.ioErr != nil {
+		// An out-of-core read failed mid-scan. Partial intervals over
+		// partially-read blocks have no (1−δ) story, so the scan surfaces
+		// the I/O error instead of a Result.
+		return nil, e.ioErr
+	}
 	res := e.result()
 	res.Duration = time.Since(start)
 	return res, nil
@@ -63,12 +69,29 @@ type engine struct {
 	opts Options
 	ctx  context.Context
 
-	agg     *table.FloatColumn    // simple-column aggregate input
-	aggProg func(row int) float64 // expression aggregate input
-	pred    *compiledPred
-	grp     *grouper
-	cfg     roundConfig
-	par     int // scan workers; ≥ 2 selects the partitioned path
+	// Aggregate input, resolved against the colSet: aggSlot ≥ 0 reads a
+	// single float column's view directly; aggKernel evaluates a compiled
+	// expression over the bound views; neither set means COUNT.
+	aggSlot   int
+	aggKernel func(vars [][]float64, row int) float64
+
+	pred *compiledPred
+	grp  *grouper
+	cfg  roundConfig
+	par  int // scan workers; ≥ 2 selects the partitioned path
+
+	// cols is the deduplicated set of columns this query touches; views
+	// is the sequential scan's bound per-block views (parallel workers
+	// own their own viewSets in roundAccum). ioErr records the first
+	// out-of-core read failure; the scan aborts on it and RunContext
+	// surfaces it instead of a Result.
+	cols  *colSet
+	views *viewSet
+	ioErr error
+
+	// prefetchedThrough is the cursor visit count through which buffer-
+	// pool prefetch requests have been issued (out-of-core scans only).
+	prefetchedThrough int
 
 	layout scramble.Layout
 	cursor *scramble.Cursor
@@ -135,7 +158,8 @@ type engine struct {
 var scalarKernel = false
 
 func newEngine(t *table.Table, q query.Query, opts Options) (*engine, error) {
-	e := &engine{t: t, q: q, opts: opts, layout: t.Layout()}
+	e := &engine{t: t, q: q, opts: opts, layout: t.Layout(), aggSlot: -1}
+	e.cols = newColSet(t)
 	e.par = opts.Parallelism
 	if e.par < 1 {
 		e.par = 1
@@ -150,16 +174,10 @@ func newEngine(t *table.Table, q query.Query, opts Options) (*engine, error) {
 	case q.Agg.Kind == query.Count:
 		e.cfg.a, e.cfg.b = 0, 1 // selectivity bounds; AVG interval unused
 	case q.Agg.Expr != nil:
-		// Expression aggregate: compile a per-row program and derive
+		// Expression aggregate: compile a slot-indexed kernel and derive
 		// range bounds from the referenced columns' catalog bounds
 		// (Appendix B; always sound, corner-tight for monotone/convex).
-		prog, err := expr.CompileProgram(q.Agg.Expr, func(name string) ([]float64, error) {
-			col, err := t.Float(name)
-			if err != nil {
-				return nil, err
-			}
-			return col.Values, nil
-		})
+		kern, err := expr.CompileKernel(q.Agg.Expr, e.cols.floatSlot)
 		if err != nil {
 			return nil, err
 		}
@@ -177,14 +195,14 @@ func newEngine(t *table.Table, q query.Query, opts Options) (*engine, error) {
 		if err != nil {
 			return nil, err
 		}
-		e.aggProg = prog
+		e.aggKernel = kern
 		e.cfg.a, e.cfg.b = box.Lo, box.Hi
 	default:
-		col, err := t.Float(q.Agg.Column)
+		slot, err := e.cols.floatSlot(q.Agg.Column)
 		if err != nil {
 			return nil, err
 		}
-		e.agg = col
+		e.aggSlot = slot
 		rb, err := t.Bounds(q.Agg.Column)
 		if err != nil {
 			return nil, err
@@ -192,13 +210,13 @@ func newEngine(t *table.Table, q query.Query, opts Options) (*engine, error) {
 		e.cfg.a, e.cfg.b = rb.A, rb.B
 	}
 
-	pred, err := compilePredicate(t, q.Pred)
+	pred, err := compilePredicate(t, q.Pred, e.cols)
 	if err != nil {
 		return nil, err
 	}
 	e.pred = pred
 
-	grp, err := newGrouper(t, q.GroupBy)
+	grp, err := newGrouper(t, q.GroupBy, e.cols)
 	if err != nil {
 		return nil, err
 	}
@@ -267,6 +285,10 @@ func newEngine(t *table.Table, q query.Query, opts Options) (*engine, error) {
 		e.peekCodeBufs[1] = make([]uint32, 0, nv)
 		e.peekStart = -1
 	}
+
+	// All slots are resolved; materialize the sequential scan's viewSet.
+	// (Parallel round workers build their own from the same colSet.)
+	e.views = e.cols.newViewSet()
 	return e, nil
 }
 
@@ -282,6 +304,9 @@ func (e *engine) run() {
 			break
 		}
 		e.step(b)
+		if e.ioErr != nil {
+			return
+		}
 		if e.totalCovered >= e.nextRoundAt {
 			e.closeRound()
 			if e.stopped {
@@ -324,6 +349,9 @@ func (e *engine) sharedStep() (roundClosed, done bool) {
 		return false, true
 	}
 	e.step(b)
+	if e.ioErr != nil {
+		return false, true
+	}
 	if e.totalCovered >= e.nextRoundAt {
 		e.closeRound()
 		roundClosed = true
@@ -347,6 +375,9 @@ func (e *engine) sharedStep() (roundClosed, done bool) {
 // step decides whether to fetch block b, processes or credits it, and
 // maintains coverage counters.
 func (e *engine) step(b int) {
+	if e.cols.ooc {
+		e.prefetchAhead()
+	}
 	s, end := e.layout.BlockBounds(b)
 	n := end - s
 
@@ -374,24 +405,55 @@ func (e *engine) step(b int) {
 	e.totalCovered += n
 }
 
-// fetch reads block b through the vectorized kernel: the predicate is
-// evaluated column-at-a-time into the engine's selection vector, the
-// aggregate inputs of the survivors are gathered into a value buffer,
-// and consecutive same-group runs are fed to the bounder states through
-// one observeBatch dispatch per run — the same sequential recurrence as
-// the row-at-a-time reference, hence byte-identical intervals.
+// prefetchAhead issues buffer-pool prefetch requests for the upcoming
+// cursor positions (current block included), skipping blocks the static
+// mask prunes — those are never fetched, so warming them would only
+// pollute the pool. Each block is requested at most once per scan.
+func (e *engine) prefetchAhead() {
+	nb := e.layout.NumBlocks()
+	limit := e.cursor.BlocksVisited() + prefetchBlocksAhead
+	if limit > nb {
+		limit = nb
+	}
+	for ; e.prefetchedThrough < limit; e.prefetchedThrough++ {
+		b := (e.cursor.Start() + e.prefetchedThrough) % nb
+		if !e.pred.blockPossible(b) {
+			continue
+		}
+		e.t.Prefetch(b, e.cols.fcols, e.cols.ccols)
+	}
+}
+
+// fetch reads block b through the vectorized kernel: the block's column
+// views are bound (a subslice for resident tables, pinned pool frames
+// for out-of-core ones), the predicate is evaluated column-at-a-time
+// into the engine's selection vector, the aggregate inputs of the
+// survivors are gathered into a value buffer, and consecutive
+// same-group runs are fed to the bounder states through one
+// observeBatch dispatch per run — the same sequential recurrence as the
+// row-at-a-time reference, hence byte-identical intervals.
 func (e *engine) fetch(b, start, end int) {
 	e.cursor.Fetch(b)
-	if scalarKernel || !e.vectorOK {
-		e.fetchScalar(start, end)
+	if err := e.views.bind(b); err != nil {
+		e.ioErr = err
 		return
 	}
-	sel := e.pred.matchBlock(start, end, e.sel)
+	e.fetchBound(end - start)
+	e.views.release()
+}
+
+// fetchBound processes the bound block's n local rows.
+func (e *engine) fetchBound(n int) {
+	if scalarKernel || !e.vectorOK {
+		e.fetchScalar(n)
+		return
+	}
+	sel := e.pred.matchBlock(e.views, n, e.sel)
 	e.sel = sel
 	if len(sel) == 0 {
 		return
 	}
-	vals := e.gatherValsInto(sel, e.vals)
+	vals := e.gatherValsInto(e.views, sel, e.vals)
 	e.vals = vals
 	if e.grp.isGlobal() {
 		gs := e.states[0]
@@ -400,7 +462,7 @@ func (e *engine) fetch(b, start, end int) {
 		}
 		return
 	}
-	gids := e.gatherGidsInto(sel, e.gids)
+	gids := e.gatherGidsInto(e.views, sel, e.gids)
 	for i := 0; i < len(sel); {
 		gid := gids[i]
 		j := i + 1
@@ -418,20 +480,22 @@ func (e *engine) fetch(b, start, end int) {
 // fetchScalar is the seed row-at-a-time interpreter, kept as the
 // reference the property tests pin the vectorized kernel against and as
 // the fallback for tables whose row or group space overflows int32.
-func (e *engine) fetchScalar(start, end int) {
-	for row := start; row < end; row++ {
-		if !e.pred.match(row) {
+// Rows are block-local indices into the bound views.
+func (e *engine) fetchScalar(n int) {
+	vs := e.views
+	for row := 0; row < n; row++ {
+		if !e.pred.match(vs, row) {
 			continue
 		}
-		gs := e.states[e.grp.groupOf(row)]
+		gs := e.states[e.grp.groupOf(vs, row)]
 		if gs.exact {
 			continue
 		}
 		switch {
-		case e.agg != nil:
-			gs.observe(e.agg.Values[row])
-		case e.aggProg != nil:
-			gs.observe(e.aggProg(row))
+		case e.aggSlot >= 0:
+			gs.observe(vs.fvals[e.aggSlot][row])
+		case e.aggKernel != nil:
+			gs.observe(e.aggKernel(vs.fvals, row))
 		default:
 			gs.observe(1) // COUNT: only membership matters
 		}
@@ -439,19 +503,19 @@ func (e *engine) fetchScalar(start, end int) {
 }
 
 // gatherValsInto fills dst (reusing its backing array) with the
-// aggregate input of each selected row: the aggregate column's values,
-// the compiled expression's output, or 1 for COUNT.
-func (e *engine) gatherValsInto(sel []int32, dst []float64) []float64 {
+// aggregate input of each selected row: the aggregate column's bound
+// view, the compiled expression kernel's output, or 1 for COUNT.
+func (e *engine) gatherValsInto(vs *viewSet, sel []int32, dst []float64) []float64 {
 	dst = dst[:0]
 	switch {
-	case e.agg != nil:
-		src := e.agg.Values
+	case e.aggSlot >= 0:
+		src := vs.fvals[e.aggSlot]
 		for _, r := range sel {
 			dst = append(dst, src[r])
 		}
-	case e.aggProg != nil:
+	case e.aggKernel != nil:
 		for _, r := range sel {
-			dst = append(dst, e.aggProg(int(r)))
+			dst = append(dst, e.aggKernel(vs.fvals, int(r)))
 		}
 	default:
 		for range sel {
@@ -464,13 +528,13 @@ func (e *engine) gatherValsInto(sel []int32, dst []float64) []float64 {
 // gatherGidsInto computes the dense group ID of each selected row
 // column-at-a-time: one pass per GROUP BY column accumulating the
 // mixed-radix code, instead of one multi-column walk per row.
-func (e *engine) gatherGidsInto(sel []int32, dst []int32) []int32 {
+func (e *engine) gatherGidsInto(vs *viewSet, sel []int32, dst []int32) []int32 {
 	dst = dst[:len(sel)]
 	for i := range dst {
 		dst[i] = 0
 	}
-	for c, col := range e.grp.cols {
-		radix, codes := int32(e.grp.radix[c]), col.Codes
+	for c, slot := range e.grp.slots {
+		radix, codes := int32(e.grp.radix[c]), vs.cvals[slot]
 		for i, r := range sel {
 			dst[i] = dst[i]*radix + int32(codes[r])
 		}

@@ -55,7 +55,7 @@ type ScanPruneStats struct {
 // can see how much of the scramble a WHERE clause rules out before any
 // block is fetched.
 func PredicateScanStats(t *table.Table, p query.Predicate) (ScanPruneStats, error) {
-	cp, err := compilePredicate(t, p)
+	cp, err := compilePredicate(t, p, newColSet(t))
 	if err != nil {
 		return ScanPruneStats{}, err
 	}

@@ -118,12 +118,18 @@ type roundAccum struct {
 	sel  []int32
 	vals []float64
 	gids []int32
+
+	// views is this worker's bound per-block column views; err records
+	// the worker's first out-of-core read failure, collected by the
+	// coordinator at the round barrier.
+	views *viewSet
+	err   error
 }
 
 // reset prepares the accumulator for a round with the given shard
 // count, retaining buffer capacity across rounds.
 func (a *roundAccum) reset(shards int) {
-	a.coveredAll, a.fetched, a.skipped = 0, 0, 0
+	a.coveredAll, a.fetched, a.skipped, a.err = 0, 0, 0, nil
 	if len(a.shards) != shards {
 		a.shards = make([][]obs, shards)
 	}

@@ -43,7 +43,7 @@ func (e *engine) runParallel() {
 	accs := make([]*roundAccum, e.par)
 	bs := e.layout.BlockSize
 	for i := range accs {
-		accs[i] = &roundAccum{}
+		accs[i] = &roundAccum{views: e.cols.newViewSet()}
 		if e.vectorOK {
 			accs[i].sel = make([]int32, 0, bs)
 			accs[i].vals = make([]float64, 0, bs)
@@ -80,6 +80,9 @@ func (e *engine) runParallel() {
 			break // scramble exhausted
 		}
 		e.scanRound(blocks, accs)
+		if e.ioErr != nil {
+			return
+		}
 		if closeAfter {
 			e.closeRound()
 			if e.stopped {
@@ -115,6 +118,16 @@ func (e *engine) scanRound(blocks []int, accs []*roundAccum) {
 		}(blocks[lo:hi], acc)
 	}
 	wg.Wait()
+
+	// An out-of-core read failure in any partition aborts the scan
+	// before counters merge or observations replay: a partially-observed
+	// round must not move any bounder state.
+	for _, acc := range accs {
+		if acc.err != nil {
+			e.ioErr = acc.err
+			return
+		}
+	}
 
 	// Round barrier, step one: fold the integer coverage counters.
 	var m roundAccum
@@ -188,43 +201,55 @@ func (e *engine) scanPartition(seg []int, acc *roundAccum) {
 		}
 		acc.fetched++
 		acc.coveredAll += n
-		if scalarKernel || !e.vectorOK {
-			e.scanBlockScalar(start, end, acc)
-			continue
+		if err := acc.views.bind(b); err != nil {
+			acc.err = err
+			return
 		}
-		sel := e.pred.matchBlock(start, end, acc.sel)
-		acc.sel = sel
-		if len(sel) == 0 {
-			continue
+		e.scanBoundBlock(n, acc)
+		acc.views.release()
+	}
+}
+
+// scanBoundBlock processes the n local rows of the worker's bound block.
+func (e *engine) scanBoundBlock(n int, acc *roundAccum) {
+	if scalarKernel || !e.vectorOK {
+		e.scanBlockScalar(n, acc)
+		return
+	}
+	sel := e.pred.matchBlock(acc.views, n, acc.sel)
+	acc.sel = sel
+	if len(sel) == 0 {
+		return
+	}
+	vals := e.gatherValsInto(acc.views, sel, acc.vals)
+	acc.vals = vals
+	if e.grp.isGlobal() {
+		for _, v := range vals {
+			acc.add(0, v)
 		}
-		vals := e.gatherValsInto(sel, acc.vals)
-		acc.vals = vals
-		if e.grp.isGlobal() {
-			for _, v := range vals {
-				acc.add(0, v)
-			}
-			continue
-		}
-		gids := e.gatherGidsInto(sel, acc.gids)
-		for i := range sel {
-			acc.add(int(gids[i]), vals[i])
-		}
+		return
+	}
+	gids := e.gatherGidsInto(acc.views, sel, acc.gids)
+	for i := range sel {
+		acc.add(int(gids[i]), vals[i])
 	}
 }
 
 // scanBlockScalar is the row-at-a-time reference for one partition
-// block, mirroring fetchScalar with buffered observations.
-func (e *engine) scanBlockScalar(start, end int, acc *roundAccum) {
-	for row := start; row < end; row++ {
-		if !e.pred.match(row) {
+// block, mirroring fetchScalar with buffered observations over the
+// worker's bound views.
+func (e *engine) scanBlockScalar(n int, acc *roundAccum) {
+	vs := acc.views
+	for row := 0; row < n; row++ {
+		if !e.pred.match(vs, row) {
 			continue
 		}
-		gid := e.grp.groupOf(row)
+		gid := e.grp.groupOf(vs, row)
 		switch {
-		case e.agg != nil:
-			acc.add(gid, e.agg.Values[row])
-		case e.aggProg != nil:
-			acc.add(gid, e.aggProg(row))
+		case e.aggSlot >= 0:
+			acc.add(gid, vs.fvals[e.aggSlot][row])
+		case e.aggKernel != nil:
+			acc.add(gid, e.aggKernel(vs.fvals, row))
 		default:
 			acc.add(gid, 1) // COUNT: only membership matters
 		}

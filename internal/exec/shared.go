@@ -266,6 +266,13 @@ func (d *SharedDriver) finish(sq *sharedQuery) {
 	}
 	d.blocksDemanded.Add(int64(e.cursor.BlocksFetched()))
 	d.queriesServed.Add(1)
+	if e.ioErr != nil {
+		// Same contract as RunContext: an out-of-core read failure
+		// surfaces as an error, not a partial Result.
+		sq.err = e.ioErr
+		close(sq.done)
+		return
+	}
 	res := e.result()
 	res.Duration = time.Since(sq.t0)
 	sq.res = res

@@ -16,24 +16,27 @@ import (
 // compiledPred is a query predicate resolved against a concrete table:
 // categorical equality and set-membership atoms become code comparisons
 // and a static block-level mask; float ranges become per-row value
-// checks plus zone-map block pruning. The hot path is matchBlock, which
-// evaluates the conjunction column-at-a-time over a whole block into a
-// caller-owned selection vector; the row-at-a-time match is kept as the
-// reference interpreter for the kernel-equivalence property tests.
+// checks plus zone-map block pruning. Columns are referenced by viewSet
+// slot, so the same compiled predicate evaluates over resident
+// subslices and pinned out-of-core frames alike, with block-local row
+// indexing. The hot path is matchBlock, which evaluates the conjunction
+// column-at-a-time over a whole block into a caller-owned selection
+// vector; the row-at-a-time match is kept as the reference interpreter
+// for the kernel-equivalence property tests.
 type compiledPred struct {
-	catCodes   []uint32
-	catColumns []*table.CatColumn
+	catCodes []uint32
+	catSlots []int // viewSet cat slots of the equality atoms
 
 	// inDense[i] is a dense membership table indexed by dictionary code:
 	// inDense[i][code] reports whether code belongs to IN-set i. Dense
 	// tables replace the former map[uint32]bool probes — one bounds-
 	// checked load per row instead of a hash lookup — and join views
 	// (fact-side key sets from AndCatIn) compile through the same path.
-	inDense   [][]bool
-	inColumns []*table.CatColumn
+	inDense [][]bool
+	inSlots []int
 
-	ranges    []query.FloatRange
-	rangeCols []*table.FloatColumn
+	ranges     []query.FloatRange
+	rangeSlots []int
 
 	// blockMask, if non-nil, marks blocks that can contain matching
 	// rows: the intersection of the block bitmaps of every categorical
@@ -57,7 +60,7 @@ type compiledPred struct {
 	empty bool
 }
 
-func compilePredicate(t *table.Table, p query.Predicate) (*compiledPred, error) {
+func compilePredicate(t *table.Table, p query.Predicate, cs *colSet) (*compiledPred, error) {
 	cp := &compiledPred{numBlocks: t.Layout().NumBlocks()}
 	for _, atom := range p.CatEq {
 		col, err := t.Cat(atom.Column)
@@ -69,7 +72,11 @@ func compilePredicate(t *table.Table, p query.Predicate) (*compiledPred, error) 
 			cp.empty = true
 			continue
 		}
-		cp.catColumns = append(cp.catColumns, col)
+		slot, err := cs.catSlot(atom.Column)
+		if err != nil {
+			return nil, err
+		}
+		cp.catSlots = append(cp.catSlots, slot)
 		cp.catCodes = append(cp.catCodes, code)
 		ix, err := t.Index(atom.Column)
 		if err != nil {
@@ -108,7 +115,11 @@ func compilePredicate(t *table.Table, p query.Predicate) (*compiledPred, error) 
 			cp.empty = true
 			continue
 		}
-		cp.inColumns = append(cp.inColumns, col)
+		slot, err := cs.catSlot(atom.Column)
+		if err != nil {
+			return nil, err
+		}
+		cp.inSlots = append(cp.inSlots, slot)
 		cp.inDense = append(cp.inDense, dense)
 		if cp.blockMask == nil {
 			cp.blockMask = union
@@ -117,11 +128,11 @@ func compilePredicate(t *table.Table, p query.Predicate) (*compiledPred, error) 
 		}
 	}
 	for _, r := range p.Ranges {
-		col, err := t.Float(r.Column)
+		slot, err := cs.floatSlot(r.Column)
 		if err != nil {
 			return nil, err
 		}
-		cp.rangeCols = append(cp.rangeCols, col)
+		cp.rangeSlots = append(cp.rangeSlots, slot)
 		cp.ranges = append(cp.ranges, r)
 
 		// Zone-map pruning: a block whose [min, max] does not intersect
@@ -159,27 +170,27 @@ func compilePredicate(t *table.Table, p query.Predicate) (*compiledPred, error) 
 // matchAll reports whether the predicate has no atoms at all, so every
 // row of every block matches.
 func (cp *compiledPred) matchAll() bool {
-	return !cp.empty && len(cp.catColumns) == 0 && len(cp.inColumns) == 0 && len(cp.rangeCols) == 0
+	return !cp.empty && len(cp.catSlots) == 0 && len(cp.inSlots) == 0 && len(cp.rangeSlots) == 0
 }
 
-// matchBlock evaluates the predicate column-at-a-time over rows
-// [start, end) and returns the matching row indices, reusing sel's
-// backing array (the caller owns one selection-vector scratch per
-// engine or worker; nothing is allocated here once the scratch has
-// block-size capacity). Atom order — equalities, IN sets, ranges —
-// matches the row-at-a-time reference exactly, so the surviving set is
-// identical; callers never invoke matchBlock on blocks blockPossible
-// rejected, which is where the hoisted empty check lives.
-func (cp *compiledPred) matchBlock(start, end int, sel []int32) []int32 {
+// matchBlock evaluates the predicate column-at-a-time over the bound
+// block's rows [0, n) and returns the matching local row indices,
+// reusing sel's backing array (the caller owns one selection-vector
+// scratch per engine or worker; nothing is allocated here once the
+// scratch has block-size capacity). Atom order — equalities, IN sets,
+// ranges — matches the row-at-a-time reference exactly, so the
+// surviving set is identical; callers never invoke matchBlock on blocks
+// blockPossible rejected, which is where the hoisted empty check lives.
+func (cp *compiledPred) matchBlock(vs *viewSet, n int, sel []int32) []int32 {
 	sel = sel[:0]
-	for r := start; r < end; r++ {
+	for r := 0; r < n; r++ {
 		sel = append(sel, int32(r))
 	}
 	if cp.matchAll() {
 		return sel
 	}
-	for i, col := range cp.catColumns {
-		code, codes := cp.catCodes[i], col.Codes
+	for i, slot := range cp.catSlots {
+		code, codes := cp.catCodes[i], vs.cvals[slot]
 		k := 0
 		for _, r := range sel {
 			if codes[r] == code {
@@ -192,8 +203,8 @@ func (cp *compiledPred) matchBlock(start, end int, sel []int32) []int32 {
 			return sel
 		}
 	}
-	for i, col := range cp.inColumns {
-		dense, codes := cp.inDense[i], col.Codes
+	for i, slot := range cp.inSlots {
+		dense, codes := cp.inDense[i], vs.cvals[slot]
 		k := 0
 		for _, r := range sel {
 			if dense[codes[r]] {
@@ -206,8 +217,8 @@ func (cp *compiledPred) matchBlock(start, end int, sel []int32) []int32 {
 			return sel
 		}
 	}
-	for i, col := range cp.rangeCols {
-		lo, hi, vals := cp.ranges[i].Lo, cp.ranges[i].Hi, col.Values
+	for i, slot := range cp.rangeSlots {
+		lo, hi, vals := cp.ranges[i].Lo, cp.ranges[i].Hi, vs.fvals[slot]
 		k := 0
 		for _, r := range sel {
 			if v := vals[r]; v >= lo && v <= hi {
@@ -223,24 +234,25 @@ func (cp *compiledPred) matchBlock(start, end int, sel []int32) []int32 {
 	return sel
 }
 
-// match reports whether the row passes every predicate atom. This is
-// the row-at-a-time reference interpreter: the equivalence property
-// tests pin matchBlock to it, and the scalar fallback kernel uses it.
-// The provably-empty case is hoisted to blockPossible, which rejects
-// every block up front, so match no longer tests it per row.
-func (cp *compiledPred) match(row int) bool {
-	for i, col := range cp.catColumns {
-		if col.Codes[row] != cp.catCodes[i] {
+// match reports whether the bound block's local row passes every
+// predicate atom. This is the row-at-a-time reference interpreter: the
+// equivalence property tests pin matchBlock to it, and the scalar
+// fallback kernel uses it. The provably-empty case is hoisted to
+// blockPossible, which rejects every block up front, so match no longer
+// tests it per row.
+func (cp *compiledPred) match(vs *viewSet, row int) bool {
+	for i, slot := range cp.catSlots {
+		if vs.cvals[slot][row] != cp.catCodes[i] {
 			return false
 		}
 	}
-	for i, col := range cp.inColumns {
-		if !cp.inDense[i][col.Codes[row]] {
+	for i, slot := range cp.inSlots {
+		if !cp.inDense[i][vs.cvals[slot][row]] {
 			return false
 		}
 	}
-	for i, col := range cp.rangeCols {
-		v := col.Values[row]
+	for i, slot := range cp.rangeSlots {
+		v := vs.fvals[slot][row]
 		if v < cp.ranges[i].Lo || v > cp.ranges[i].Hi {
 			return false
 		}
@@ -273,15 +285,18 @@ func (cp *compiledPred) possibleBlocks() int {
 }
 
 // grouper maps rows to dense group IDs over the GROUP BY columns using
-// mixed-radix dictionary codes, and renders group keys for output.
+// mixed-radix dictionary codes, and renders group keys for output. The
+// dictionary metadata (cols) is always resident; per-row codes are read
+// through viewSet slots.
 type grouper struct {
 	cols    []*table.CatColumn
+	slots   []int // viewSet cat slots of the GROUP BY columns
 	indexes []*bitmap.BlockIndex
 	radix   []int
 	total   int
 }
 
-func newGrouper(t *table.Table, groupBy []string) (*grouper, error) {
+func newGrouper(t *table.Table, groupBy []string, cs *colSet) (*grouper, error) {
 	g := &grouper{total: 1}
 	for _, name := range groupBy {
 		col, err := t.Cat(name)
@@ -292,7 +307,12 @@ func newGrouper(t *table.Table, groupBy []string) (*grouper, error) {
 		if err != nil {
 			return nil, err
 		}
+		slot, err := cs.catSlot(name)
+		if err != nil {
+			return nil, err
+		}
 		g.cols = append(g.cols, col)
+		g.slots = append(g.slots, slot)
 		g.indexes = append(g.indexes, ix)
 		g.radix = append(g.radix, col.NumValues())
 		g.total *= col.NumValues()
@@ -308,11 +328,12 @@ func (g *grouper) numGroups() int { return g.total }
 // isGlobal reports whether there is no GROUP BY (one global view).
 func (g *grouper) isGlobal() bool { return len(g.cols) == 0 }
 
-// groupOf returns the dense group ID of a row (0 with no GROUP BY).
-func (g *grouper) groupOf(row int) int {
+// groupOf returns the dense group ID of the bound block's local row (0
+// with no GROUP BY).
+func (g *grouper) groupOf(vs *viewSet, row int) int {
 	id := 0
-	for i, col := range g.cols {
-		id = id*g.radix[i] + int(col.Codes[row])
+	for i, slot := range g.slots {
+		id = id*g.radix[i] + int(vs.cvals[slot][row])
 	}
 	return id
 }

@@ -4,11 +4,25 @@ import (
 	"testing"
 
 	"fastframe/internal/query"
+	"fastframe/internal/table"
 )
+
+// bindAt binds vs to the block containing a global row and returns the
+// block-local index, letting these tests keep addressing rows globally.
+// Resident tables bind to subslices, so rebinding per row is free.
+func bindAt(tb testing.TB, tab *table.Table, vs *viewSet, row int) int {
+	tb.Helper()
+	b := tab.Layout().BlockOf(row)
+	if err := vs.bind(b); err != nil {
+		tb.Fatal(err)
+	}
+	s, _ := tab.Layout().BlockBounds(b)
+	return row - s
+}
 
 func TestGrouperRoundTrip(t *testing.T) {
 	tab := buildTestTable(t, 2000, 61)
-	g, err := newGrouper(tab, []string{"airline", "origin"})
+	g, err := newGrouper(tab, []string{"airline", "origin"}, newColSet(tab))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -34,7 +48,8 @@ func TestGrouperRoundTrip(t *testing.T) {
 
 func TestGrouperUngrouped(t *testing.T) {
 	tab := buildTestTable(t, 500, 62)
-	g, err := newGrouper(tab, nil)
+	cs := newColSet(tab)
+	g, err := newGrouper(tab, nil, cs)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -44,7 +59,8 @@ func TestGrouperUngrouped(t *testing.T) {
 	if g.keyOf(0) != "" {
 		t.Errorf("ungrouped key = %q", g.keyOf(0))
 	}
-	if g.groupOf(0) != 0 || g.groupOf(499) != 0 {
+	vs := cs.newViewSet()
+	if g.groupOf(vs, bindAt(t, tab, vs, 0)) != 0 || g.groupOf(vs, bindAt(t, tab, vs, 499)) != 0 {
 		t.Error("ungrouped groupOf != 0")
 	}
 	if len(g.codesOf(0)) != 0 {
@@ -54,14 +70,16 @@ func TestGrouperUngrouped(t *testing.T) {
 
 func TestGrouperGroupOfMatchesColumns(t *testing.T) {
 	tab := buildTestTable(t, 3000, 63)
-	g, err := newGrouper(tab, []string{"airline", "origin"})
+	cs := newColSet(tab)
+	g, err := newGrouper(tab, []string{"airline", "origin"}, cs)
 	if err != nil {
 		t.Fatal(err)
 	}
 	al, _ := tab.Cat("airline")
 	or, _ := tab.Cat("origin")
+	vs := cs.newViewSet()
 	for row := 0; row < tab.NumRows(); row += 17 {
-		id := g.groupOf(row)
+		id := g.groupOf(vs, bindAt(t, tab, vs, row))
 		codes := g.codesOf(id)
 		if codes[0] != al.Codes[row] || codes[1] != or.Codes[row] {
 			t.Fatalf("row %d: groupOf/codesOf disagree with columns", row)
@@ -71,15 +89,20 @@ func TestGrouperGroupOfMatchesColumns(t *testing.T) {
 
 func TestGrouperBlockContainsGroupConservative(t *testing.T) {
 	tab := buildTestTable(t, 3000, 64)
-	g, _ := newGrouper(tab, []string{"airline", "origin"})
+	cs := newColSet(tab)
+	g, _ := newGrouper(tab, []string{"airline", "origin"}, cs)
 	al, _ := tab.Cat("airline")
 	or, _ := tab.Cat("origin")
 	layout := tab.Layout()
+	vs := cs.newViewSet()
 	for blk := 0; blk < layout.NumBlocks(); blk += 7 {
 		s, e := layout.BlockBounds(blk)
+		if err := vs.bind(blk); err != nil {
+			t.Fatal(err)
+		}
 		present := map[int]bool{}
-		for row := s; row < e; row++ {
-			present[g.groupOf(row)] = true
+		for row := 0; row < e-s; row++ {
+			present[g.groupOf(vs, row)] = true
 		}
 		for id := range present {
 			if !g.blockContainsGroup(blk, g.codesOf(id)) {
@@ -104,18 +127,23 @@ func TestGrouperBlockContainsGroupConservative(t *testing.T) {
 
 func TestCompiledPredBlockMaskConsistent(t *testing.T) {
 	tab := buildTestTable(t, 5000, 65)
+	cs := newColSet(tab)
 	cp, err := compilePredicate(tab, query.Predicate{}.
 		AndCatEquals("airline", "CC").
-		AndCatIn("origin", "O0", "O3"))
+		AndCatIn("origin", "O0", "O3"), cs)
 	if err != nil {
 		t.Fatal(err)
 	}
 	layout := tab.Layout()
+	vs := cs.newViewSet()
 	for blk := 0; blk < layout.NumBlocks(); blk++ {
 		s, e := layout.BlockBounds(blk)
+		if err := vs.bind(blk); err != nil {
+			t.Fatal(err)
+		}
 		any := false
-		for row := s; row < e; row++ {
-			if cp.match(row) {
+		for row := 0; row < e-s; row++ {
+			if cp.match(vs, row) {
 				any = true
 				break
 			}

@@ -202,8 +202,22 @@ type Stats struct {
 	SessionError  float64        `json:"session_error"`
 	PlanCache     PlanCacheInfo  `json:"plan_cache"`
 	SharedScan    SharedScanInfo `json:"shared_scan"`
+	BufferPool    BufferPoolInfo `json:"buffer_pool"`
 	Usage         UsageStats     `json:"usage"`
 	Tenants       []TenantUsage  `json:"tenants"`
+}
+
+// BufferPoolInfo mirrors Engine.PoolStats: the block-cache counters of
+// the out-of-core tables, summed over distinct pools (all zero when
+// every table is resident).
+type BufferPoolInfo struct {
+	BudgetBytes int64 `json:"budget_bytes"`
+	UsedBytes   int64 `json:"used_bytes"`
+	Hits        int64 `json:"hits"`
+	Misses      int64 `json:"misses"`
+	Evictions   int64 `json:"evictions"`
+	Prefetched  int64 `json:"prefetched"`
+	BytesRead   int64 `json:"bytes_read"`
 }
 
 // SharedScanInfo mirrors Engine.SharedScanStats: the cooperative-scan
@@ -240,6 +254,7 @@ type UsageStats struct {
 func (s *Server) stats() Stats {
 	hits, misses, size := s.eng.PlanCacheStats()
 	shared := s.eng.SharedScanStats()
+	pool := s.eng.PoolStats()
 	global, recorded, dropped := s.acct.globalCounters()
 	st := Stats{
 		UptimeSeconds: time.Since(s.started).Seconds(),
@@ -252,6 +267,15 @@ func (s *Server) stats() Stats {
 			QueriesServed:  shared.QueriesServed,
 			BlocksFetched:  shared.BlocksFetched,
 			BlocksDemanded: shared.BlocksDemanded,
+		},
+		BufferPool: BufferPoolInfo{
+			BudgetBytes: pool.BudgetBytes,
+			UsedBytes:   pool.UsedBytes,
+			Hits:        pool.Hits,
+			Misses:      pool.Misses,
+			Evictions:   pool.Evictions,
+			Prefetched:  pool.Prefetched,
+			BytesRead:   pool.BytesRead,
 		},
 		Usage: UsageStats{
 			Queries:        global.Queries,

@@ -8,6 +8,7 @@ import (
 	"math"
 
 	"fastframe/internal/bitmap"
+	"fastframe/internal/blockstore"
 	"fastframe/internal/scramble"
 )
 
@@ -33,20 +34,32 @@ const (
 	persistMagic = "FFSC"
 	// persistVersionLegacy is the pre-zone-map format, readable forever.
 	persistVersionLegacy = 1
-	// persistVersion is the current written format (adds zone maps).
-	persistVersion = 2
+	// persistVersionZones added per-block zone maps after float values.
+	persistVersionZones = 2
+	// persistVersion is the current written format: the blockstore's v3
+	// layout with per-block compressed segments, header-resident
+	// metadata (zone maps, dictionaries, bitmap indexes) and a segment
+	// directory footer enabling out-of-core random access.
+	persistVersion = blockstore.Version
 )
 
-// WriteTo serializes the table in the current format version. The
-// returned byte count is approximate (bufio internally); errors are
-// from the underlying writer or format.
+// WriteTo serializes the table in the current format version (v3). The
+// returned byte count is exact; errors are from the underlying writer
+// or format. Out-of-core tables cannot be re-serialized — their data
+// already lives in a v3 file.
 func (t *Table) WriteTo(w io.Writer) (int64, error) {
 	return t.writeTo(w, persistVersion)
 }
 
-// writeTo serializes in a specific format version; version 1 omits the
-// zone maps (kept for the legacy-format compatibility tests).
+// writeTo serializes in a specific format version; versions 1 and 2 are
+// kept writable for the cross-version compatibility tests.
 func (t *Table) writeTo(w io.Writer, version uint32) (int64, error) {
+	if t.store != nil {
+		return 0, fmt.Errorf("table: cannot serialize an out-of-core table (its data is already on disk)")
+	}
+	if version == persistVersion {
+		return t.writeToV3(w)
+	}
 	bw := bufio.NewWriterSize(w, 1<<20)
 	cw := &countWriter{w: bw}
 
@@ -115,8 +128,90 @@ func (t *Table) writeTo(w io.Writer, version uint32) (int64, error) {
 	return cw.n, nil
 }
 
+// writeToV3 serializes through the blockstore writer: header metadata
+// first (schema, bounds, zone maps, dictionaries, bitmap index words),
+// then each column as per-block compressed segments, then the segment
+// directory footer.
+func (t *Table) writeToV3(w io.Writer) (int64, error) {
+	meta := &blockstore.Meta{BlockSize: t.layout.BlockSize, Rows: t.rows}
+	for i := 0; i < t.schema.NumColumns(); i++ {
+		spec := t.schema.Column(i)
+		switch spec.Kind {
+		case Float:
+			rb := t.catalog[spec.Name]
+			z := t.zones[spec.Name]
+			meta.Cols = append(meta.Cols, blockstore.ColumnMeta{
+				Name:     spec.Name,
+				Kind:     blockstore.KindFloat,
+				BoundsLo: rb.A,
+				BoundsHi: rb.B,
+				ZoneMin:  z.Min,
+				ZoneMax:  z.Max,
+			})
+		case Categorical:
+			col := t.cats[spec.Name]
+			ix := t.indexes[spec.Name]
+			words := make([][]uint64, len(col.Dict))
+			for c := range words {
+				words[c] = ix.Blocks(uint32(c)).Words()
+			}
+			meta.Cols = append(meta.Cols, blockstore.ColumnMeta{
+				Name:       spec.Name,
+				Kind:       blockstore.KindCat,
+				Dict:       col.Dict,
+				IndexWords: words,
+			})
+		}
+	}
+	bw, err := blockstore.NewWriter(w, meta)
+	if err != nil {
+		return 0, err
+	}
+	for i := 0; i < t.schema.NumColumns(); i++ {
+		spec := t.schema.Column(i)
+		switch spec.Kind {
+		case Float:
+			err = bw.WriteFloatColumn(i, t.floats[spec.Name].Values)
+		case Categorical:
+			err = bw.WriteCatColumn(i, t.cats[spec.Name].Codes)
+		}
+		if err != nil {
+			return 0, err
+		}
+	}
+	return bw.Finish()
+}
+
+// readTableV3 loads a v3 stream fully resident. The stream is
+// positioned after the magic and version fields.
+func readTableV3(r io.Reader) (*Table, error) {
+	m, floats, codes, err := blockstore.ReadSequential(r)
+	if err != nil {
+		return nil, err
+	}
+	t, err := fromStoreMeta(m)
+	if err != nil {
+		return nil, err
+	}
+	for ci, c := range m.Cols {
+		switch c.Kind {
+		case blockstore.KindFloat:
+			t.floats[c.Name].Values = floats[ci]
+		case blockstore.KindCat:
+			dictLen := uint32(len(c.Dict))
+			for _, code := range codes[ci] {
+				if code >= dictLen {
+					return nil, fmt.Errorf("table: code %d out of dictionary range %d", code, dictLen)
+				}
+			}
+			t.cats[c.Name].Codes = codes[ci]
+		}
+	}
+	return t, nil
+}
+
 // ReadTable deserializes a table written by WriteTo, rebuilding the
-// block bitmap indexes.
+// block bitmap indexes (v1/v2) or loading them from the header (v3).
 func ReadTable(r io.Reader) (*Table, error) {
 	br := bufio.NewReaderSize(r, 1<<20)
 	magic := make([]byte, 4)
@@ -131,7 +226,10 @@ func ReadTable(r io.Reader) (*Table, error) {
 	if err := binary.Read(br, binary.LittleEndian, &version); err != nil {
 		return nil, err
 	}
-	if version != persistVersionLegacy && version != persistVersion {
+	if version == persistVersion {
+		return readTableV3(br)
+	}
+	if version != persistVersionLegacy && version != persistVersionZones {
 		return nil, fmt.Errorf("table: unsupported format version %d", version)
 	}
 	if err := binary.Read(br, binary.LittleEndian, &blockSize); err != nil {

@@ -6,13 +6,15 @@ import (
 	"math/rand/v2"
 
 	"fastframe/internal/bitmap"
+	"fastframe/internal/blockstore"
 	"fastframe/internal/scramble"
 )
 
 // Table is an immutable FastFrame scramble: columnar data in randomly
 // permuted row order, per-categorical-column block bitmap indexes, and a
 // catalog of range bounds for continuous columns. Build one with a
-// Builder. A Table is safe for concurrent readers.
+// Builder, load one with ReadTable, or open a format-v3 file
+// out-of-core with OpenStore. A Table is safe for concurrent readers.
 type Table struct {
 	schema  *Schema
 	rows    int
@@ -22,6 +24,12 @@ type Table struct {
 	indexes map[string]*bitmap.BlockIndex
 	catalog map[string]RangeBounds
 	zones   map[string]*ZoneMap
+
+	// store and pool are set only for out-of-core tables (OpenStore):
+	// the column maps then hold metadata (dictionaries) with nil data
+	// slices, and blocks page through the pool. See outofcore.go.
+	store *blockstore.Store
+	pool  *blockstore.Pool
 }
 
 // Schema returns the table schema.
@@ -93,6 +101,7 @@ type Builder struct {
 	dicts     map[string]*dictBuilder
 	rows      int
 	widen     map[string]RangeBounds
+	spent     bool
 }
 
 type dictBuilder struct {
@@ -232,8 +241,15 @@ func (b *Builder) WidenBounds(column string, a, bd float64) {
 }
 
 // Build shuffles the accumulated rows into a scramble using rng and
-// returns the immutable Table.
+// returns the immutable Table. Build releases each accumulated source
+// column as soon as it has been permuted, so peak memory is the output
+// table plus one column — not twice the table, as copying all sources
+// at once would cost. The Builder is spent afterwards.
 func (b *Builder) Build(rng *rand.Rand) (*Table, error) {
+	if b.spent {
+		return nil, fmt.Errorf("table: Builder already built (source columns were released)")
+	}
+	b.spent = true
 	if b.rows == 0 {
 		return nil, fmt.Errorf("table: cannot build an empty table")
 	}
@@ -252,6 +268,7 @@ func (b *Builder) Build(rng *rand.Rand) (*Table, error) {
 		switch c.Kind {
 		case Float:
 			src := b.floatVals[c.Name]
+			b.floatVals[c.Name] = nil // release as soon as permuted
 			dst := make([]float64, b.rows)
 			lo, hi := src[0], src[0]
 			for i, p := range perm {
@@ -277,6 +294,7 @@ func (b *Builder) Build(rng *rand.Rand) (*Table, error) {
 			t.zones[c.Name] = ComputeZoneMap(dst, t.layout.BlockSize)
 		case Categorical:
 			src := b.catVals[c.Name]
+			b.catVals[c.Name] = nil // release as soon as permuted
 			dst := make([]uint32, b.rows)
 			for i, p := range perm {
 				dst[i] = src[p]

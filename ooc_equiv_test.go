@@ -1,0 +1,223 @@
+package fastframe
+
+import (
+	"context"
+	"os"
+	"path/filepath"
+	"reflect"
+	"sync"
+	"testing"
+)
+
+// writeTempTable persists tab to a temp file in the current (v3)
+// format and returns the path.
+func writeTempTable(t testing.TB, tab *Table) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "table.ff")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tab.WriteTo(f); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// TestOutOfCoreEquivalence is the paging-invariance property: a query
+// over a disk-backed table returns a byte-identical Result to the same
+// query over the fully resident table — across query shapes, scan
+// strategies, parallelism, and pool budgets down to a sliver of the
+// table (constant mid-scan eviction). The answer may never depend on
+// what happens to be cached.
+func TestOutOfCoreEquivalence(t *testing.T) {
+	tab := smallFlights(t)
+	path := writeTempTable(t, tab)
+	ctx := context.Background()
+	cases := []struct {
+		name string
+		q    QueryBuilder
+	}{
+		{"avg-relerr", Avg("DepDelay").Where("Origin", "ORD").StopAtRelError(0.05)},
+		{"sum-having", Sum("DepDelay").GroupBy("Airline").StopWhenThresholdDecided(2000)},
+		{"count-abswidth", CountRows().WhereGreater("DepTime", 1500).StopAtAbsError(3000)},
+		{"avg-grouped-topk", Avg("DepDelay").GroupBy("Origin").StopWhenTopKSeparated(3)},
+	}
+
+	type key struct {
+		st   Strategy
+		p    int
+		name string
+	}
+	resident := map[key]*Result{}
+	for _, st := range []Strategy{ScanStrategy, ActiveSyncStrategy, ActivePeekStrategy} {
+		for _, p := range []int{1, 4} {
+			for _, tc := range cases {
+				res, err := tab.Query(ctx, tc.q, sharedCommon(WithStrategy(st), WithParallelism(p))...)
+				if err != nil {
+					t.Fatalf("%s/%s/P=%d resident: %v", tc.name, st, p, err)
+				}
+				resident[key{st, p, tc.name}] = stripTimes(res)
+			}
+		}
+	}
+
+	// 16 KiB holds a handful of 25-row frames of a ~1.7 MB decoded
+	// table: every round evicts. 4 MiB holds everything after one pass.
+	for _, budget := range []int64{1 << 14, 4 << 20} {
+		pool := NewBufferPool(budget)
+		ooc, err := OpenTable(path, pool)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, st := range []Strategy{ScanStrategy, ActiveSyncStrategy, ActivePeekStrategy} {
+			for _, p := range []int{1, 4} {
+				for _, tc := range cases {
+					res, err := ooc.Query(ctx, tc.q, sharedCommon(WithStrategy(st), WithParallelism(p))...)
+					if err != nil {
+						t.Fatalf("%s/%s/P=%d budget=%d out-of-core: %v", tc.name, st, p, budget, err)
+					}
+					if want := resident[key{st, p, tc.name}]; !reflect.DeepEqual(stripTimes(res), want) {
+						t.Errorf("%s/%s/P=%d budget=%d: out-of-core differs from resident\nooc:      %+v\nresident: %+v",
+							tc.name, st, p, budget, res, want)
+					}
+				}
+			}
+		}
+		st := ooc.PoolStats()
+		if st.Misses == 0 || st.BytesRead == 0 {
+			t.Errorf("budget=%d: pool counters did not move: %+v", budget, st)
+		}
+		if budget == 1<<14 && st.Evictions == 0 {
+			t.Errorf("budget=%d: tiny pool saw no evictions: %+v", budget, st)
+		}
+		if err := ooc.Close(); err != nil {
+			t.Fatal(err)
+		}
+		pool.Close()
+	}
+}
+
+// TestOutOfCoreStreamEquivalence drains a streaming cursor over the
+// disk-backed table under a tiny pool and compares every per-round
+// Progress snapshot — not just the final Result — against the resident
+// stream. Paging must be invisible in the δ/interval trajectory too.
+func TestOutOfCoreStreamEquivalence(t *testing.T) {
+	tab := smallFlights(t)
+	path := writeTempTable(t, tab)
+	ctx := context.Background()
+	q := Avg("DepDelay").GroupBy("Airline").StopWhenThresholdDecided(2000)
+
+	drain := func(tb *Table) ([]Progress, *Result) {
+		rows, err := tb.Stream(ctx, q, sharedCommon()...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer rows.Close()
+		var snaps []Progress
+		for rows.Next() {
+			snaps = append(snaps, rows.Snapshot())
+		}
+		res, err := rows.Final()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return snaps, stripTimes(res)
+	}
+
+	resSnaps, resFinal := drain(tab)
+
+	pool := NewBufferPool(1 << 14)
+	defer pool.Close()
+	ooc, err := OpenTable(path, pool)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ooc.Close()
+	oocSnaps, oocFinal := drain(ooc)
+
+	if !reflect.DeepEqual(resFinal, oocFinal) {
+		t.Errorf("stream final result differs:\nresident: %+v\nooc:      %+v", resFinal, oocFinal)
+	}
+	if !reflect.DeepEqual(resSnaps, oocSnaps) {
+		t.Errorf("stream snapshots differ (%d vs %d rounds)", len(resSnaps), len(oocSnaps))
+	}
+}
+
+// TestOutOfCoreSharedScanCohort runs a concurrent SQL cohort against a
+// disk-backed table with cooperative shared scans and a pool far
+// smaller than the table — evictions land mid-circulation, under
+// contention — and checks every answer byte-identical to a solo replay
+// over the fully resident table from the recorded start block, with δ
+// accounting to match. Run with -race this doubles as the paging
+// concurrency check.
+func TestOutOfCoreSharedScanCohort(t *testing.T) {
+	tab := smallFlights(t)
+	path := writeTempTable(t, tab)
+	pool := NewBufferPool(1 << 14)
+	defer pool.Close()
+	ooc, err := OpenTable(path, pool)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ooc.Close()
+
+	eng := NewEngine(WithSessionBudget(1e-6, 100))
+	if err := eng.Register("flights", ooc); err != nil {
+		t.Fatal(err)
+	}
+	solo := NewEngine(WithSessionBudget(1e-6, 100))
+	if err := solo.Register("flights", tab); err != nil {
+		t.Fatal(err)
+	}
+
+	ctx := context.Background()
+	queries := []string{
+		"SELECT AVG(DepDelay) FROM flights WHERE Origin = 'ORD' WITHIN 5%",
+		"SELECT SUM(DepDelay) FROM flights GROUP BY Airline HAVING SUM(DepDelay) > 2000",
+		"SELECT COUNT(*) FROM flights WHERE DepTime > 1500 WITHIN ABS 3000",
+		"SELECT AVG(DepDelay) FROM flights GROUP BY Origin ORDER BY AVG(DepDelay) DESC LIMIT 3",
+	}
+
+	type outcome struct {
+		res *Result
+		err error
+	}
+	results := make([]outcome, len(queries))
+	var wg sync.WaitGroup
+	for i, sqlText := range queries {
+		wg.Add(1)
+		go func(i int, sqlText string) {
+			defer wg.Done()
+			res, err := eng.Query(ctx, sqlText, sharedCommon(WithSharedScan())...)
+			results[i] = outcome{res, err}
+		}(i, sqlText)
+	}
+	wg.Wait()
+
+	for i, sqlText := range queries {
+		if results[i].err != nil {
+			t.Fatalf("%s: %v", sqlText, results[i].err)
+		}
+		replay, err := solo.Query(ctx, sqlText, sharedCommon(WithStartBlock(results[i].res.StartBlock))...)
+		if err != nil {
+			t.Fatalf("%s replay: %v", sqlText, err)
+		}
+		if !reflect.DeepEqual(stripTimes(results[i].res), stripTimes(replay)) {
+			t.Errorf("%s: out-of-core shared run differs from resident solo replay at block %d",
+				sqlText, results[i].res.StartBlock)
+		}
+	}
+
+	// δ accounting is backing-independent: the cohort charged exactly
+	// what the resident replays charged.
+	if got, want := eng.SessionError(), solo.SessionError(); got != want {
+		t.Errorf("SessionError = %g over disk, %g resident", got, want)
+	}
+	if st := ooc.PoolStats(); st.Evictions == 0 || st.Misses == 0 {
+		t.Errorf("cohort did not stress the pool: %+v", st)
+	}
+}
