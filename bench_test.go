@@ -298,6 +298,74 @@ func BenchmarkSelectiveScan(b *testing.B) {
 	b.ReportMetric(float64(rows), "rows/op")
 }
 
+// BenchmarkMultiAggScan measures the tentpole economics of
+// multi-aggregate SELECT lists: one scan feeding N per-group aggregate
+// states versus N solo scans, at N ∈ {1, 2, 4, 8}. The stopping rule is
+// a fixed sample count so every arm covers the same rows; the multi arm
+// fetches each block once while the solo arm fetches it N times, so
+// blocks/op (and wall time, on I/O-bound tables) should scale ~1 vs ~N.
+func BenchmarkMultiAggScan(b *testing.B) {
+	t := getBenchTable(b)
+	allAggs := []query.Aggregate{
+		{Kind: query.Avg, Column: flights.ColDepDelay},
+		{Kind: query.Median, Column: flights.ColDepDelay},
+		{Kind: query.Var, Column: flights.ColDepDelay},
+		{Kind: query.CountDistinct, Column: flights.ColOrigin},
+		{Kind: query.Sum, Column: flights.ColDepDelay},
+		{Kind: query.Percentile, Column: flights.ColDepDelay, P: 0.9},
+		{Kind: query.Stddev, Column: flights.ColDepDelay},
+		{Kind: query.Count},
+	}
+	bounder := core.RangeTrim{Inner: ci.EmpiricalBernsteinSerfling{}}
+	opts := exec.Options{
+		Bounder:   bounder,
+		Strategy:  exec.Scan,
+		Delta:     exec.DefaultDelta,
+		RoundRows: 40_000,
+	}
+	const samples = 20_000 // per group; ~7 near-uniform DayOfWeek groups
+	for _, n := range []int{1, 2, 4, 8} {
+		aggs := allAggs[:n]
+		b.Run("multi/N="+itoa(int64(n)), func(b *testing.B) {
+			var blocks int
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				res, err := exec.Run(t, query.Query{
+					Name:    "multi",
+					Aggs:    aggs,
+					GroupBy: []string{flights.ColDayOfWeek},
+					Stop:    query.FixedSamples(samples),
+				}, opts)
+				if err != nil {
+					b.Fatal(err)
+				}
+				blocks = res.BlocksFetched
+			}
+			b.ReportMetric(float64(blocks), "blocks/op")
+		})
+		b.Run("solo/N="+itoa(int64(n)), func(b *testing.B) {
+			var blocks int
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				blocks = 0
+				for _, a := range aggs {
+					res, err := exec.Run(t, query.Query{
+						Name:    "solo",
+						Agg:     a,
+						GroupBy: []string{flights.ColDayOfWeek},
+						Stop:    query.FixedSamples(samples),
+					}, opts)
+					if err != nil {
+						b.Fatal(err)
+					}
+					blocks += res.BlocksFetched
+				}
+			}
+			b.ReportMetric(float64(blocks), "blocks/op")
+		})
+	}
+}
+
 // BenchmarkScrambleBuild measures the one-time cost the architecture
 // amortizes: synthesizing rows, shuffling them into a scramble, and
 // building dictionaries, catalogs and block bitmap indexes.

@@ -25,7 +25,10 @@
 //
 // The supported grammar (see the Engine documentation for details):
 //
-//	SELECT AVG(expr) | SUM(expr) | COUNT(*)
+//	SELECT agg [, agg ...]        agg: AVG(expr) | SUM(expr) | COUNT(*) |
+//	                                   MEDIAN(expr) | PERCENTILE(expr, p) |
+//	                                   VAR(expr) | STDDEV(expr) |
+//	                                   COUNT(DISTINCT col)
 //	FROM flights
 //	[WHERE pred AND ...]          pred: c = 'v' | c IN ('a','b') |
 //	                                    c > x | c >= x | c < x | c <= x |
@@ -180,7 +183,8 @@ func main() {
 
 // printResult renders the approximate result (and the optional exact
 // comparison) — shared by local and client mode, so the two render
-// identically.
+// identically. Multi-aggregate SELECT lists print one table section per
+// aggregate, in list order.
 func printResult(res *fastframe.Result, ex *fastframe.ExactResult) {
 	fmt.Printf("\napprox: %.3fs, %d blocks fetched, %d rows covered, %d rounds, stopped=%v exhausted=%v aborted=%v\n",
 		res.Duration.Seconds(), res.BlocksFetched, res.RowsCovered, res.Rounds, res.Stopped, res.Exhausted, res.Aborted)
@@ -189,36 +193,71 @@ func printResult(res *fastframe.Result, ex *fastframe.ExactResult) {
 			ex.Duration.Seconds(), ex.Duration.Seconds()/res.Duration.Seconds())
 	}
 
-	fmt.Printf("\n%-12s %12s %12s %12s %10s %12s\n", "group", "lo", "estimate", "hi", "samples", "exact")
-	for _, g := range res.Groups {
-		iv := g.Answer(res.Agg)
-		truth := "-"
-		if ex != nil {
-			if e := ex.Group(g.Key); e != nil {
-				truth = fmt.Sprintf("%.4f", e.Value(res.Agg))
+	aggs := res.Aggs
+	if len(aggs) == 0 {
+		aggs = []fastframe.Agg{res.Agg}
+	}
+	for k, a := range aggs {
+		if len(aggs) > 1 {
+			fmt.Printf("\n-- %s --", a)
+		}
+		fmt.Printf("\n%-12s %12s %12s %12s %10s %12s\n", "group", "lo", "estimate", "hi", "samples", "exact")
+		for _, g := range res.Groups {
+			iv := answerAt(g, res.Agg, k)
+			truth := "-"
+			if ex != nil {
+				if e := ex.Group(g.Key); e != nil {
+					if k < len(e.Stats) {
+						truth = fmt.Sprintf("%.4f", e.Stats[k])
+					} else {
+						truth = fmt.Sprintf("%.4f", e.Value(res.Agg))
+					}
+				}
 			}
+			key := g.Key
+			if key == "" {
+				key = "(all)"
+			}
+			fmt.Printf("%-12s %12.4f %12.4f %12.4f %10d %12s\n", key, iv.Lo, iv.Estimate, iv.Hi, g.Samples, truth)
 		}
-		key := g.Key
-		if key == "" {
-			key = "(all)"
-		}
-		fmt.Printf("%-12s %12.4f %12.4f %12.4f %10d %12s\n", key, iv.Lo, iv.Estimate, iv.Hi, g.Samples, truth)
 	}
 }
 
-// printProgress renders one per-round streaming line — shared by local
-// and client mode.
-func printProgress(p fastframe.Progress) {
-	// Track the interval that carries the query's guarantee (the
-	// one its stopping rule watches), not always the AVG view.
-	widest := 0.0
-	for _, g := range p.Groups {
-		if w := g.Answer(p.Agg).Width(); w > widest {
-			widest = w
-		}
+// answerAt picks the k-th SELECT-list interval, falling back to the
+// legacy triple for payloads that predate per-aggregate answers.
+func answerAt(g fastframe.GroupResult, legacy fastframe.Agg, k int) fastframe.Interval {
+	if k < len(g.Answers) {
+		return g.Answers[k]
 	}
-	fmt.Printf("round %3d: %9d rows, %7d blocks, %3d active groups, widest %s CI %.4f\n",
-		p.Round, p.RowsCovered, p.BlocksFetched, p.ActiveGroups, p.Agg, widest)
+	return g.Answer(legacy)
+}
+
+// printProgress renders one per-round streaming line — shared by local
+// and client mode. A multi-aggregate query prints one interval line per
+// SELECT-list aggregate under the round header, so each statistic's
+// convergence can be watched independently.
+func printProgress(p fastframe.Progress) {
+	widestAt := func(k int) float64 {
+		widest := 0.0
+		for _, g := range p.Groups {
+			if w := answerAt(g, p.Agg, k).Width(); w > widest {
+				widest = w
+			}
+		}
+		return widest
+	}
+	if len(p.Aggs) <= 1 {
+		// Track the interval that carries the query's guarantee (the
+		// one its stopping rule watches), not always the AVG view.
+		fmt.Printf("round %3d: %9d rows, %7d blocks, %3d active groups, widest %s CI %.4f\n",
+			p.Round, p.RowsCovered, p.BlocksFetched, p.ActiveGroups, p.Agg, widestAt(0))
+		return
+	}
+	fmt.Printf("round %3d: %9d rows, %7d blocks, %3d active groups\n",
+		p.Round, p.RowsCovered, p.BlocksFetched, p.ActiveGroups)
+	for k, a := range p.Aggs {
+		fmt.Printf("  [%d] %-16s widest CI %.4f\n", k+1, a, widestAt(k))
+	}
 }
 
 // streamQuery runs the query through the prepared-statement streaming

@@ -137,3 +137,91 @@ func TestStatisticalCoverage(t *testing.T) {
 		}
 	}
 }
+
+// buildWideCoverageTable synthesizes one trial's table with a skewed
+// categorical column alongside the continuous value, returning the true
+// median (the engine's order-statistic definition), the true population
+// variance, and the true distinct-category count.
+func buildWideCoverageTable(t *testing.T, d coverageDist, seed uint64) (tab *Table, median, variance float64, distinct int) {
+	t.Helper()
+	const rows = 2500
+	rng := rand.New(rand.NewPCG(seed, 0xdecaf))
+	tb, err := NewTableBuilder(Column{Name: "v", Kind: Float}, Column{Name: "c", Kind: Categorical})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var w stats.Welford
+	var ecdf stats.ECDF
+	seen := map[string]bool{}
+	for i := 0; i < rows; i++ {
+		v := d.gen(rng)
+		w.Add(v)
+		ecdf.Add(v)
+		// Zipf-ish categories: low codes dominate, the tail is rare
+		// enough that a cut-off scan usually has unseen categories.
+		c := fmt.Sprintf("c%d", int(rng.ExpFloat64()*3)%12)
+		seen[c] = true
+		if err := tb.AppendRow(map[string]float64{"v": v}, map[string]string{"c": c}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	tb.WidenBounds("v", d.lo, d.hi)
+	tab, err = tb.Build(seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tab, ecdf.Quantile(0.5), w.Variance(), len(seen)
+}
+
+// TestWideStatisticalCoverage extends the harness to the wider surface:
+// MEDIAN, VAR, and COUNT(DISTINCT) asked together on one scan, cut off
+// mid-stream. The per-aggregate Bonferroni split (δ_view/3) makes the
+// JOINT statement — all three intervals simultaneously cover their
+// truths — hold with probability ≥ 1−δ, so the joint miss rate is what
+// the harness checks (≥ 500 seeded trials per distribution; short
+// mode: 60).
+func TestWideStatisticalCoverage(t *testing.T) {
+	trials := 500
+	if testing.Short() {
+		trials = 60
+	}
+	const delta = 0.05
+	ctx := context.Background()
+	q := Select(Median("v"), Var("v"), CountDistinct("c"))
+	for _, d := range coverageDists() {
+		t.Run(d.name, func(t *testing.T) {
+			jointMiss := 0
+			perAgg := [3]int{}
+			for trial := 0; trial < trials; trial++ {
+				tab, median, variance, distinct := buildWideCoverageTable(t, d, uint64(trial)+1)
+				res, err := tab.Query(ctx, q,
+					WithDelta(delta),
+					WithRoundRows(150),
+					WithMaxRows(600), // stop mid-scan: partial-coverage CIs
+					WithSeed(uint64(trial)*37))
+				if err != nil {
+					t.Fatal(err)
+				}
+				if len(res.Groups) != 1 || len(res.Groups[0].Answers) != 3 {
+					t.Fatalf("trial %d: groups %d answers %d", trial, len(res.Groups), len(res.Groups[0].Answers))
+				}
+				g := res.Groups[0]
+				truths := [3]float64{median, variance, float64(distinct)}
+				miss := false
+				for k, truth := range truths {
+					if !g.Answers[k].Contains(truth) {
+						perAgg[k]++
+						miss = true
+					}
+				}
+				if miss {
+					jointMiss++
+				}
+			}
+			if maxMiss := (delta + coverageTolerance) * float64(trials); float64(jointMiss) > maxMiss {
+				t.Errorf("joint coverage %.3f below 1-δ (%d/%d misses; per-agg MEDIAN/VAR/DISTINCT = %v)",
+					1-float64(jointMiss)/float64(trials), jointMiss, trials, perAgg)
+			}
+		})
+	}
+}

@@ -19,8 +19,8 @@
 //	    "SELECT AVG(DepDelay) FROM flights JOIN airports ON flights.Origin = airports.key"+
 //	        " WHERE airports.region = ? GROUP BY DayOfWeek WITHIN 5%", "west")
 //
-// Each result row is one group of the approximate answer, with the
-// columns
+// Each result row is one group of the approximate answer. A
+// single-aggregate SELECT list keeps the classic columns
 //
 //	group_key  string   GROUP BY key ("" for ungrouped queries)
 //	estimate   float64  the point estimate of the query's aggregate
@@ -32,6 +32,13 @@
 //	                    MaxRows) before the stopping rule fired; the
 //	                    intervals are valid but may be wider than the
 //	                    query's WITHIN/HAVING target requested
+//
+// A multi-aggregate SELECT list ("SELECT AVG(x), MEDIAN(x), ...")
+// widens the row to one estimate/ci pair per SELECT-list position,
+// numbered 1-based in list order:
+//
+//	group_key, estimate_1, ci_lo_1, ci_hi_1, ..., estimate_N, ci_lo_N,
+//	ci_hi_N, samples, exact, aborted
 //
 // The driver is read-only: Exec and transactions are rejected.
 // database/sql's Prepare maps onto Engine.Prepare (compile once, bind
@@ -190,7 +197,12 @@ func runStmt(ctx context.Context, st *fastframe.Stmt, args []driver.NamedValue) 
 	if err != nil {
 		return nil, err
 	}
-	return &rows{agg: res.Agg, groups: res.Groups, aborted: res.Aborted}, nil
+	return &rows{
+		agg:     res.Agg,
+		n:       max(len(res.Aggs), 1),
+		groups:  res.Groups,
+		aborted: res.Aborted,
+	}, nil
 }
 
 var columns = []string{"group_key", "estimate", "ci_lo", "ci_hi", "samples", "exact", "aborted"}
@@ -198,13 +210,28 @@ var columns = []string{"group_key", "estimate", "ci_lo", "ci_hi", "samples", "ex
 // rows iterates the groups of one approximate Result.
 type rows struct {
 	agg     fastframe.Agg
+	n       int // SELECT-list length; 1 keeps the classic column set
 	groups  []fastframe.GroupResult
 	aborted bool
 	i       int
 }
 
-func (r *rows) Columns() []string { return append([]string(nil), columns...) }
-func (r *rows) Close() error      { return nil }
+func (r *rows) Columns() []string {
+	if r.n <= 1 {
+		return append([]string(nil), columns...)
+	}
+	cols := make([]string, 0, 4+3*r.n)
+	cols = append(cols, "group_key")
+	for k := 1; k <= r.n; k++ {
+		cols = append(cols,
+			fmt.Sprintf("estimate_%d", k),
+			fmt.Sprintf("ci_lo_%d", k),
+			fmt.Sprintf("ci_hi_%d", k))
+	}
+	return append(cols, "samples", "exact", "aborted")
+}
+
+func (r *rows) Close() error { return nil }
 
 func (r *rows) Next(dest []driver.Value) error {
 	if r.i >= len(r.groups) {
@@ -212,13 +239,23 @@ func (r *rows) Next(dest []driver.Value) error {
 	}
 	g := r.groups[r.i]
 	r.i++
-	iv := g.Answer(r.agg)
 	dest[0] = g.Key
-	dest[1] = iv.Estimate
-	dest[2] = iv.Lo
-	dest[3] = iv.Hi
-	dest[4] = int64(g.Samples)
-	dest[5] = g.Exact
-	dest[6] = r.aborted
+	d := 1
+	if r.n <= 1 {
+		iv := g.Answer(r.agg)
+		if len(g.Answers) == 1 {
+			iv = g.Answers[0] // carries MEDIAN/VAR/... the triple cannot
+		}
+		dest[1], dest[2], dest[3] = iv.Estimate, iv.Lo, iv.Hi
+		d = 4
+	} else {
+		for _, iv := range g.Answers {
+			dest[d], dest[d+1], dest[d+2] = iv.Estimate, iv.Lo, iv.Hi
+			d += 3
+		}
+	}
+	dest[d] = int64(g.Samples)
+	dest[d+1] = g.Exact
+	dest[d+2] = r.aborted
 	return nil
 }

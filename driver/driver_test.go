@@ -286,3 +286,114 @@ func TestDriverRejects(t *testing.T) {
 		t.Errorf("bind-type error = %v, want parameter 1 mention", err)
 	}
 }
+
+// TestMultiAggregateColumns: a multi-aggregate SELECT list widens the
+// row to per-position estimate/ci columns, matching the engine's
+// Answers on the same literal SQL.
+func TestMultiAggregateColumns(t *testing.T) {
+	eng := testEngine(t)
+	db := OpenDB(eng)
+	defer db.Close()
+
+	const q = "SELECT AVG(DepDelay), MEDIAN(DepDelay), VAR(DepDelay), COUNT(DISTINCT Origin) FROM flights GROUP BY Airline"
+	rows, err := db.Query(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rows.Close()
+
+	cols, err := rows.Columns()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"group_key",
+		"estimate_1", "ci_lo_1", "ci_hi_1",
+		"estimate_2", "ci_lo_2", "ci_hi_2",
+		"estimate_3", "ci_lo_3", "ci_hi_3",
+		"estimate_4", "ci_lo_4", "ci_hi_4",
+		"samples", "exact", "aborted"}
+	if strings.Join(cols, ",") != strings.Join(want, ",") {
+		t.Fatalf("columns = %v, want %v", cols, want)
+	}
+
+	ref, err := eng.Query(context.Background(), q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	i := 0
+	for rows.Next() {
+		var (
+			key            string
+			est, lo, hi    [4]float64
+			samples        int64
+			exact, aborted bool
+		)
+		if err := rows.Scan(&key,
+			&est[0], &lo[0], &hi[0], &est[1], &lo[1], &hi[1],
+			&est[2], &lo[2], &hi[2], &est[3], &lo[3], &hi[3],
+			&samples, &exact, &aborted); err != nil {
+			t.Fatal(err)
+		}
+		if i >= len(ref.Groups) {
+			t.Fatal("driver returned more groups than the engine")
+		}
+		g := ref.Groups[i]
+		i++
+		if key != g.Key || samples != int64(g.Samples) {
+			t.Fatalf("row %d: key/samples %q/%d vs engine %q/%d", i, key, samples, g.Key, g.Samples)
+		}
+		for k, iv := range g.Answers {
+			if est[k] != iv.Estimate || lo[k] != iv.Lo || hi[k] != iv.Hi {
+				t.Errorf("group %q agg %d: driver [%v, %v, %v] vs engine %v", key, k+1, lo[k], est[k], hi[k], iv)
+			}
+		}
+	}
+	if err := rows.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if i != len(ref.Groups) {
+		t.Fatalf("driver returned %d groups, engine %d", i, len(ref.Groups))
+	}
+}
+
+// TestSingleWideAggregateColumns: a single-aggregate MEDIAN query keeps
+// the classic column set, with the estimate carrying the median (which
+// the legacy AVG/COUNT/SUM triple cannot express).
+func TestSingleWideAggregateColumns(t *testing.T) {
+	eng := testEngine(t)
+	db := OpenDB(eng)
+	defer db.Close()
+
+	rows, err := db.Query("SELECT MEDIAN(DepDelay) FROM flights")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rows.Close()
+	cols, err := rows.Columns()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cols) != 7 || cols[1] != "estimate" {
+		t.Fatalf("columns = %v", cols)
+	}
+	if !rows.Next() {
+		t.Fatal("no rows")
+	}
+	var (
+		key            string
+		est, lo, hi    float64
+		samples        int64
+		exact, aborted bool
+	)
+	if err := rows.Scan(&key, &est, &lo, &hi, &samples, &exact, &aborted); err != nil {
+		t.Fatal(err)
+	}
+	ref, err := eng.Query(context.Background(), "SELECT MEDIAN(DepDelay) FROM flights")
+	if err != nil {
+		t.Fatal(err)
+	}
+	iv := ref.Groups[0].Answers[0]
+	if est != iv.Estimate || lo != iv.Lo || hi != iv.Hi {
+		t.Errorf("driver [%v, %v, %v] vs engine MEDIAN %v", lo, est, hi, iv)
+	}
+}

@@ -2,6 +2,7 @@ package exact
 
 import (
 	"context"
+	"math"
 	"runtime"
 	"sort"
 	"sync"
@@ -10,28 +11,80 @@ import (
 	"fastframe/internal/blockstore"
 	"fastframe/internal/expr"
 	"fastframe/internal/query"
+	"fastframe/internal/stats"
 	"fastframe/internal/table"
 )
 
+// aggAccum is one worker's per-group accumulator for one SELECT-list
+// aggregate: running sums for AVG/SUM, retained values in row order for
+// the quantile kinds, Welford moments for VAR/STDDEV, and a dense
+// seen-code bitmap for COUNT DISTINCT. Only the maps the aggregate's
+// kind touches ever gain entries.
+type aggAccum struct {
+	sums map[int]float64
+	vals map[int][]float64
+	wf   map[int]*stats.Welford
+	seen map[int][]bool
+}
+
+func newAggAccum() aggAccum {
+	return aggAccum{
+		sums: map[int]float64{},
+		vals: map[int][]float64{},
+		wf:   map[int]*stats.Welford{},
+		seen: map[int][]bool{},
+	}
+}
+
 // partial is one worker's per-group accumulator over a disjoint row
-// range. Counts and sums merge additively, so exact scans partition
-// trivially.
+// range. Counts and sums merge additively, retained quantile values
+// concatenate, Welford states merge with the Chan update, and seen
+// bitmaps union — so exact scans partition trivially for the whole
+// aggregate list.
 type partial struct {
 	counts map[int]int
-	sums   map[int]float64
-	err    error // first out-of-core read failure in this partition
+	accs   []aggAccum // one per SELECT-list aggregate
+	err    error      // first out-of-core read failure in this partition
 }
 
 // Merge folds another partition's accumulator into p. Merging is exact
-// for counts; sums combine in whatever partition order the caller
-// walks, so callers iterate partitions in row order to keep results
+// for counts and bitmaps; sums, value concatenation, and Welford
+// merges combine in whatever partition order the caller walks, so
+// callers iterate partitions in row order to keep results
 // deterministic for a fixed worker count.
 func (p *partial) Merge(o *partial) {
 	for id, c := range o.counts {
 		p.counts[id] += c
 	}
-	for id, s := range o.sums {
-		p.sums[id] += s
+	for k := range p.accs {
+		a, b := &p.accs[k], &o.accs[k]
+		for id, s := range b.sums {
+			a.sums[id] += s
+		}
+		for id, vs := range b.vals {
+			a.vals[id] = append(a.vals[id], vs...)
+		}
+		for id, w := range b.wf {
+			if mine := a.wf[id]; mine != nil {
+				mine.Merge(*w)
+			} else {
+				cp := *w
+				a.wf[id] = &cp
+			}
+		}
+		for id, s := range b.seen {
+			if mine := a.seen[id]; mine != nil {
+				for c, ok := range s {
+					if ok {
+						mine[c] = true
+					}
+				}
+			} else {
+				cp := make([]bool, len(s))
+				copy(cp, s)
+				a.seen[id] = cp
+			}
+		}
 	}
 }
 
@@ -66,11 +119,8 @@ func (e *evaluator) scanPartition(ctx context.Context, lo, hi int, p *partial) {
 			}
 			id := e.groupOf(bd, lr)
 			p.counts[id]++
-			switch {
-			case e.aggSlot >= 0:
-				p.sums[id] += bd.fvals[e.aggSlot][lr]
-			case e.aggKernel != nil:
-				p.sums[id] += e.aggKernel(bd.fvals, lr)
+			for k := range e.aggs {
+				e.aggs[k].observe(&p.accs[k], bd, id, lr)
 			}
 		}
 		bd.release()
@@ -119,7 +169,10 @@ func RunParallelContext(ctx context.Context, t *table.Table, q query.Query, work
 	for w := 0; w < workers; w++ {
 		lo := min(w*rowsPer, t.NumRows())
 		hi := min(lo+rowsPer, t.NumRows())
-		p := &partial{counts: map[int]int{}, sums: map[int]float64{}}
+		p := &partial{counts: map[int]int{}, accs: make([]aggAccum, len(eval.aggs))}
+		for k := range p.accs {
+			p.accs[k] = newAggAccum()
+		}
 		parts[w] = p
 		if lo >= hi {
 			continue
@@ -149,7 +202,15 @@ func RunParallelContext(ctx context.Context, t *table.Table, q query.Query, work
 
 	res := &Result{}
 	for id, c := range merged.counts {
-		gv := GroupValue{Key: keyOf(eval.groupCols, id), Count: c, Sum: merged.sums[id]}
+		gv := GroupValue{Key: keyOf(eval.groupCols, id), Count: c}
+		gv.Stats = make([]float64, len(eval.aggs))
+		for k := range eval.aggs {
+			gv.Stats[k] = eval.aggs[k].finalize(&merged.accs[k], id, c)
+		}
+		// The legacy triple reports the first aggregate's running sum
+		// and mean — the whole story for the classic kinds, zero (as
+		// before the list refactor left them) otherwise.
+		gv.Sum = merged.accs[0].sums[id]
 		if c > 0 {
 			gv.Avg = gv.Sum / float64(c)
 		}
@@ -167,10 +228,8 @@ func RunParallelContext(ctx context.Context, t *table.Table, q query.Query, work
 type evaluator struct {
 	t *table.Table
 
-	// Aggregate input: aggSlot ≥ 0 reads one float column's view;
-	// aggKernel evaluates a compiled expression; neither means COUNT.
-	aggSlot   int
-	aggKernel func(vars [][]float64, row int) float64
+	// aggs is the resolved SELECT list, in list order.
+	aggs []exAgg
 
 	catAtoms   []catAtom
 	inAtoms    []inAtom
@@ -290,22 +349,125 @@ func (bd *binder) release() {
 	}
 }
 
-func newEvaluator(t *table.Table, q query.Query) (*evaluator, error) {
-	e := &evaluator{t: t, aggSlot: -1}
-	if q.Agg.Kind != query.Count {
-		if q.Agg.Expr != nil {
-			kern, err := expr.CompileKernel(q.Agg.Expr, e.floatSlot)
-			if err != nil {
-				return nil, err
-			}
-			e.aggKernel = kern
-		} else {
-			slot, err := e.floatSlot(q.Agg.Column)
-			if err != nil {
-				return nil, err
-			}
-			e.aggSlot = slot
+// exAgg is one resolved SELECT-list aggregate: its kind, its input
+// (float slot, compiled kernel, or categorical slot for COUNT
+// DISTINCT), and the quantile target for MEDIAN/PERCENTILE.
+type exAgg struct {
+	kind     query.AggKind
+	slot     int // float input slot, -1 if none
+	kernel   func(vars [][]float64, row int) float64
+	catSlot  int // categorical input slot (COUNT DISTINCT), -1 if none
+	dictSize int
+	p        float64
+}
+
+// value reads the aggregate's float input for the bound block's row.
+func (a *exAgg) value(bd *binder, row int) float64 {
+	if a.slot >= 0 {
+		return bd.fvals[a.slot][row]
+	}
+	return a.kernel(bd.fvals, row)
+}
+
+// observe folds one matching row into the aggregate's accumulator.
+func (a *exAgg) observe(acc *aggAccum, bd *binder, id, row int) {
+	switch a.kind {
+	case query.Count:
+		// membership only; the shared counts map carries it
+	case query.CountDistinct:
+		s := acc.seen[id]
+		if s == nil {
+			s = make([]bool, a.dictSize)
+			acc.seen[id] = s
 		}
+		s[bd.cvals[a.catSlot][row]] = true
+	case query.Median, query.Percentile:
+		acc.vals[id] = append(acc.vals[id], a.value(bd, row))
+	case query.Var, query.Stddev:
+		w := acc.wf[id]
+		if w == nil {
+			w = &stats.Welford{}
+			acc.wf[id] = w
+		}
+		w.Add(a.value(bd, row))
+	default: // Avg, Sum
+		acc.sums[id] += a.value(bd, row)
+	}
+}
+
+// finalize turns the merged accumulator into the aggregate's exact
+// value for one group with c matching rows.
+func (a *exAgg) finalize(acc *aggAccum, id, c int) float64 {
+	switch a.kind {
+	case query.Count:
+		return float64(c)
+	case query.CountDistinct:
+		d := 0
+		for _, ok := range acc.seen[id] {
+			if ok {
+				d++
+			}
+		}
+		return float64(d)
+	case query.Median, query.Percentile:
+		// Same order statistic the online path's exact finalization
+		// reports, so the two exact layers agree on ties.
+		var ec stats.ECDF
+		ec.AddAll(acc.vals[id])
+		return ec.Quantile(a.p)
+	case query.Var, query.Stddev:
+		v := 0.0
+		if w := acc.wf[id]; w != nil {
+			v = w.Variance()
+		}
+		if a.kind == query.Stddev {
+			v = math.Sqrt(v)
+		}
+		return v
+	case query.Sum:
+		return acc.sums[id]
+	default: // Avg
+		if c > 0 {
+			return acc.sums[id] / float64(c)
+		}
+		return 0
+	}
+}
+
+func newEvaluator(t *table.Table, q query.Query) (*evaluator, error) {
+	e := &evaluator{t: t}
+	for _, a := range q.AggList() {
+		ag := exAgg{kind: a.Kind, slot: -1, catSlot: -1, p: a.Quantile()}
+		switch a.Kind {
+		case query.Count:
+			// no input
+		case query.CountDistinct:
+			col, err := t.Cat(a.Column)
+			if err != nil {
+				return nil, err
+			}
+			slot, err := e.catSlot(a.Column)
+			if err != nil {
+				return nil, err
+			}
+			ag.catSlot = slot
+			ag.dictSize = col.NumValues()
+		default:
+			if a.Expr != nil {
+				kern, err := expr.CompileKernel(a.Expr, e.floatSlot)
+				if err != nil {
+					return nil, err
+				}
+				ag.kernel = kern
+			} else {
+				slot, err := e.floatSlot(a.Column)
+				if err != nil {
+					return nil, err
+				}
+				ag.slot = slot
+			}
+		}
+		e.aggs = append(e.aggs, ag)
 	}
 	for _, atom := range q.Pred.CatEq {
 		col, err := t.Cat(atom.Column)

@@ -69,11 +69,14 @@ type engine struct {
 	opts Options
 	ctx  context.Context
 
-	// Aggregate input, resolved against the colSet: aggSlot ≥ 0 reads a
-	// single float column's view directly; aggKernel evaluates a compiled
-	// expression over the bound views; neither set means COUNT.
-	aggSlot   int
-	aggKernel func(vars [][]float64, row int) float64
+	// The SELECT list, resolved against the colSet: inputs is the
+	// deduplicated set of per-row values the scan gathers (each float
+	// column, expression kernel, categorical code stream, or derived
+	// square read/computed once per block regardless of how many
+	// aggregates consume it), and aggs describes each aggregate of the
+	// list — its kind, which inputs feed it, and its catalog bounds.
+	inputs []inputSpec
+	aggs   []aggSpec
 
 	pred *compiledPred
 	grp  *grouper
@@ -138,9 +141,10 @@ type engine struct {
 	// for every fetched block — nothing is allocated inside the scan
 	// loop. The parallel path gives each worker its own copies (in
 	// roundAccum); these belong to the sequential scan.
-	sel  []int32   // selection vector: matching row indices of a block
-	vals []float64 // gathered aggregate inputs of the selected rows
-	gids []int32   // per-selected-row dense group IDs
+	sel     []int32     // selection vector: matching row indices of a block
+	valsIn  [][]float64 // gathered input values of the selected rows, per input
+	gids    []int32     // per-selected-row dense group IDs
+	rowVals []float64   // scalar path: one row's input values
 
 	// vectorOK gates the columnar kernel: the selection vector holds row
 	// indices and group IDs in int32 (denser scratch, faster scans), so
@@ -157,8 +161,102 @@ type engine struct {
 // set it, before any engine runs.
 var scalarKernel = false
 
+// addInput appends an input to the deduplicated gather list, reusing an
+// existing entry when an identical one is already gathered (kernels are
+// never deduplicated — closures aren't comparable — but column, code,
+// constant, and square inputs are).
+func (e *engine) addInput(spec inputSpec) int {
+	if spec.kind != inKernel {
+		for i, s := range e.inputs {
+			if s.kind == spec.kind && s.slot == spec.slot && s.src == spec.src {
+				return i
+			}
+		}
+	}
+	e.inputs = append(e.inputs, spec)
+	return len(e.inputs) - 1
+}
+
+// squareBounds returns catalog bounds for x² given x ∈ [a, b].
+func squareBounds(a, b float64) (float64, float64) {
+	hi := math.Max(a*a, b*b)
+	if a <= 0 && b >= 0 {
+		return 0, hi
+	}
+	return math.Min(a*a, b*b), hi
+}
+
+// resolveAggs compiles the SELECT list: one aggSpec per aggregate,
+// referencing deduplicated gather inputs.
+func (e *engine) resolveAggs(t *table.Table, list []query.Aggregate) error {
+	for _, a := range list {
+		sp := aggSpec{kind: a.Kind, in2: -1, p: a.Quantile()}
+		switch a.Kind {
+		case query.Count:
+			sp.in = e.addInput(inputSpec{kind: inOne})
+			sp.a, sp.b = 0, 1 // selectivity bounds; AVG interval unused
+		case query.CountDistinct:
+			col, err := t.Cat(a.Column)
+			if err != nil {
+				return err
+			}
+			slot, err := e.cols.catSlot(a.Column)
+			if err != nil {
+				return err
+			}
+			sp.in = e.addInput(inputSpec{kind: inCatCode, slot: slot})
+			sp.dictSize = col.NumValues()
+			sp.a, sp.b = 0, math.Max(0, float64(sp.dictSize-1))
+		default:
+			if a.Expr != nil {
+				// Expression aggregate: compile a slot-indexed kernel and
+				// derive range bounds from the referenced columns' catalog
+				// bounds (Appendix B; always sound, corner-tight for
+				// monotone/convex).
+				kern, err := expr.CompileKernel(a.Expr, e.cols.floatSlot)
+				if err != nil {
+					return err
+				}
+				vars := map[string]bool{}
+				a.Expr.Vars(vars)
+				boxes := map[string]expr.Box{}
+				for name := range vars {
+					rb, err := t.Bounds(name)
+					if err != nil {
+						return err
+					}
+					boxes[name] = expr.Box{Lo: rb.A, Hi: rb.B}
+				}
+				box, err := expr.DeriveBounds(a.Expr, boxes)
+				if err != nil {
+					return err
+				}
+				sp.in = e.addInput(inputSpec{kind: inKernel, kernel: kern})
+				sp.a, sp.b = box.Lo, box.Hi
+			} else {
+				slot, err := e.cols.floatSlot(a.Column)
+				if err != nil {
+					return err
+				}
+				rb, err := t.Bounds(a.Column)
+				if err != nil {
+					return err
+				}
+				sp.in = e.addInput(inputSpec{kind: inColumn, slot: slot})
+				sp.a, sp.b = rb.A, rb.B
+			}
+			if a.Kind == query.Var || a.Kind == query.Stddev {
+				sp.in2 = e.addInput(inputSpec{kind: inSquare, src: sp.in})
+				sp.a2, sp.b2 = squareBounds(sp.a, sp.b)
+			}
+		}
+		e.aggs = append(e.aggs, sp)
+	}
+	return nil
+}
+
 func newEngine(t *table.Table, q query.Query, opts Options) (*engine, error) {
-	e := &engine{t: t, q: q, opts: opts, layout: t.Layout(), aggSlot: -1}
+	e := &engine{t: t, q: q, opts: opts, layout: t.Layout()}
 	e.cols = newColSet(t)
 	e.par = opts.Parallelism
 	if e.par < 1 {
@@ -170,44 +268,8 @@ func newEngine(t *table.Table, q query.Query, opts Options) (*engine, error) {
 		e.par = nb
 	}
 
-	switch {
-	case q.Agg.Kind == query.Count:
-		e.cfg.a, e.cfg.b = 0, 1 // selectivity bounds; AVG interval unused
-	case q.Agg.Expr != nil:
-		// Expression aggregate: compile a slot-indexed kernel and derive
-		// range bounds from the referenced columns' catalog bounds
-		// (Appendix B; always sound, corner-tight for monotone/convex).
-		kern, err := expr.CompileKernel(q.Agg.Expr, e.cols.floatSlot)
-		if err != nil {
-			return nil, err
-		}
-		vars := map[string]bool{}
-		q.Agg.Expr.Vars(vars)
-		boxes := map[string]expr.Box{}
-		for name := range vars {
-			rb, err := t.Bounds(name)
-			if err != nil {
-				return nil, err
-			}
-			boxes[name] = expr.Box{Lo: rb.A, Hi: rb.B}
-		}
-		box, err := expr.DeriveBounds(q.Agg.Expr, boxes)
-		if err != nil {
-			return nil, err
-		}
-		e.aggKernel = kern
-		e.cfg.a, e.cfg.b = box.Lo, box.Hi
-	default:
-		slot, err := e.cols.floatSlot(q.Agg.Column)
-		if err != nil {
-			return nil, err
-		}
-		e.aggSlot = slot
-		rb, err := t.Bounds(q.Agg.Column)
-		if err != nil {
-			return nil, err
-		}
-		e.cfg.a, e.cfg.b = rb.A, rb.B
+	if err := e.resolveAggs(t, q.AggList()); err != nil {
+		return nil, err
 	}
 
 	pred, err := compilePredicate(t, q.Pred, e.cols)
@@ -222,11 +284,11 @@ func newEngine(t *table.Table, q query.Query, opts Options) (*engine, error) {
 	}
 	e.grp = grp
 
+	e.cfg.specs = e.aggs
 	e.cfg.bigR = t.NumRows()
 	e.cfg.knownN = pred.matchAll() && len(q.GroupBy) == 0
 	e.cfg.alpha = opts.Alpha
 	e.cfg.deltaView = opts.Delta / float64(grp.numGroups())
-	e.cfg.isSum = q.Agg.Kind == query.Sum
 	e.cfg.exactCount = opts.ExactCountBounds
 
 	// Instantiate every potential view upfront: the single global view
@@ -239,7 +301,7 @@ func newEngine(t *table.Table, q query.Query, opts Options) (*engine, error) {
 	// with G the product of the GROUP BY dictionary sizes.
 	e.states = make([]*groupState, grp.numGroups())
 	for id := range e.states {
-		e.states[id] = newGroupState(id, grp.codesOf(id), opts.Bounder, e.cfg.a, e.cfg.b, e.cfg.bigR)
+		e.states[id] = newGroupState(id, grp.codesOf(id), opts.Bounder, e.aggs, e.cfg.bigR)
 	}
 	e.ordered = e.states
 
@@ -251,11 +313,15 @@ func newEngine(t *table.Table, q query.Query, opts Options) (*engine, error) {
 	e.vectorOK = t.NumRows() <= math.MaxInt32 && grp.total <= math.MaxInt32
 	if e.vectorOK {
 		e.sel = make([]int32, 0, bs)
-		e.vals = make([]float64, 0, bs)
+		e.valsIn = make([][]float64, len(e.inputs))
+		for k := range e.valsIn {
+			e.valsIn[k] = make([]float64, 0, bs)
+		}
 		if !grp.isGlobal() {
 			e.gids = make([]int32, bs)
 		}
 	}
+	e.rowVals = make([]float64, len(e.inputs))
 
 	startBlock := opts.StartBlock
 	if opts.Rng != nil && e.layout.NumBlocks() > 0 {
@@ -327,7 +393,7 @@ func (e *engine) run() {
 func (e *engine) finalizeExhausted() {
 	for _, gs := range e.ordered {
 		if gs.covered(e.coveredAll) == e.cfg.bigR {
-			gs.finalizeExact(e.cfg.bigR)
+			gs.finalizeExact(e.aggs, e.cfg.bigR)
 		}
 	}
 }
@@ -453,12 +519,11 @@ func (e *engine) fetchBound(n int) {
 	if len(sel) == 0 {
 		return
 	}
-	vals := e.gatherValsInto(e.views, sel, e.vals)
-	e.vals = vals
+	e.gatherInputsInto(e.views, sel, e.valsIn)
 	if e.grp.isGlobal() {
 		gs := e.states[0]
 		if !gs.exact {
-			gs.observeBatch(vals)
+			gs.observeRun(e.aggs, e.valsIn, 0, len(sel))
 		}
 		return
 	}
@@ -471,7 +536,7 @@ func (e *engine) fetchBound(n int) {
 		}
 		gs := e.states[gid]
 		if !gs.exact {
-			gs.observeBatch(vals[i:j])
+			gs.observeRun(e.aggs, e.valsIn, i, j)
 		}
 		i = j
 	}
@@ -491,38 +556,68 @@ func (e *engine) fetchScalar(n int) {
 		if gs.exact {
 			continue
 		}
-		switch {
-		case e.aggSlot >= 0:
-			gs.observe(vs.fvals[e.aggSlot][row])
-		case e.aggKernel != nil:
-			gs.observe(e.aggKernel(vs.fvals, row))
-		default:
-			gs.observe(1) // COUNT: only membership matters
-		}
+		e.evalRow(vs, row, e.rowVals)
+		gs.observeRow(e.aggs, e.rowVals)
 	}
 }
 
-// gatherValsInto fills dst (reusing its backing array) with the
-// aggregate input of each selected row: the aggregate column's bound
-// view, the compiled expression kernel's output, or 1 for COUNT.
-func (e *engine) gatherValsInto(vs *viewSet, sel []int32, dst []float64) []float64 {
-	dst = dst[:0]
-	switch {
-	case e.aggSlot >= 0:
-		src := vs.fvals[e.aggSlot]
-		for _, r := range sel {
-			dst = append(dst, src[r])
+// gatherInputsInto fills bufs[k] (reusing backing arrays) with input
+// k's value for each selected row: a float column's bound view, a
+// compiled expression kernel's output, 1 for COUNT, a categorical
+// column's dictionary codes, or the square of an already-gathered
+// input. Square inputs always follow their source in the list, so one
+// left-to-right pass resolves every dependency.
+func (e *engine) gatherInputsInto(vs *viewSet, sel []int32, bufs [][]float64) {
+	for k := range e.inputs {
+		in := &e.inputs[k]
+		dst := bufs[k][:0]
+		switch in.kind {
+		case inColumn:
+			src := vs.fvals[in.slot]
+			for _, r := range sel {
+				dst = append(dst, src[r])
+			}
+		case inKernel:
+			for _, r := range sel {
+				dst = append(dst, in.kernel(vs.fvals, int(r)))
+			}
+		case inOne:
+			for range sel {
+				dst = append(dst, 1)
+			}
+		case inCatCode:
+			src := vs.cvals[in.slot]
+			for _, r := range sel {
+				dst = append(dst, float64(src[r]))
+			}
+		case inSquare:
+			for _, v := range bufs[in.src] {
+				dst = append(dst, v*v)
+			}
 		}
-	case e.aggKernel != nil:
-		for _, r := range sel {
-			dst = append(dst, e.aggKernel(vs.fvals, int(r)))
-		}
-	default:
-		for range sel {
-			dst = append(dst, 1)
+		bufs[k] = dst
+	}
+}
+
+// evalRow computes every input's value for one row of the bound views
+// (the scalar counterpart of gatherInputsInto).
+func (e *engine) evalRow(vs *viewSet, row int, rowVals []float64) {
+	for k := range e.inputs {
+		in := &e.inputs[k]
+		switch in.kind {
+		case inColumn:
+			rowVals[k] = vs.fvals[in.slot][row]
+		case inKernel:
+			rowVals[k] = in.kernel(vs.fvals, row)
+		case inOne:
+			rowVals[k] = 1
+		case inCatCode:
+			rowVals[k] = float64(vs.cvals[in.slot][row])
+		case inSquare:
+			v := rowVals[in.src]
+			rowVals[k] = v * v
 		}
 	}
-	return dst
 }
 
 // gatherGidsInto computes the dense group ID of each selected row
@@ -642,7 +737,7 @@ func (e *engine) closeRound() {
 	e.round++
 	e.nextRoundAt += e.opts.RoundRows
 	e.closeGroups()
-	e.numActive = refreshActive(e.ordered, e.q.Stop, e.q.Agg.Kind, &e.stopScr)
+	e.numActive = refreshActive(e.ordered, e.q.Stop, e.aggs, &e.stopScr)
 	if e.numActive == 0 && e.q.Stop.Kind != query.StopExhaust {
 		e.stopped = true
 	}
@@ -671,6 +766,29 @@ func (e *engine) closeRound() {
 	}
 }
 
+// groupResult snapshots one group's current per-aggregate intervals.
+// The legacy Avg/Count/Sum triple reports the first aggregate, which is
+// the whole list for single-aggregate queries.
+func (e *engine) groupResult(gs *groupState) GroupResult {
+	first := &gs.aggs[0]
+	out := GroupResult{
+		Key:     e.grp.keyOf(gs.id),
+		Avg:     first.bestAvg,
+		Count:   first.bestCount,
+		Sum:     first.bestSum,
+		Samples: gs.mv,
+		Exact:   gs.exact,
+	}
+	out.Aggs = make([]AggAnswer, len(gs.aggs))
+	for i := range gs.aggs {
+		out.Aggs[i] = AggAnswer{
+			Kind:     e.aggs[i].kind,
+			Interval: gs.aggs[i].answer(&e.aggs[i]),
+		}
+	}
+	return out
+}
+
 // snapshotGroups copies the observed groups' current intervals.
 func (e *engine) snapshotGroups() []GroupResult {
 	var out []GroupResult
@@ -678,14 +796,7 @@ func (e *engine) snapshotGroups() []GroupResult {
 		if gs.mv == 0 {
 			continue
 		}
-		out = append(out, GroupResult{
-			Key:     e.grp.keyOf(gs.id),
-			Avg:     gs.bestAvg,
-			Count:   gs.bestCount,
-			Sum:     gs.bestSum,
-			Samples: gs.mv,
-			Exact:   gs.exact,
-		})
+		out = append(out, e.groupResult(gs))
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Key < out[j].Key })
 	return out
@@ -705,14 +816,7 @@ func (e *engine) result() *Result {
 		if gs.mv == 0 {
 			continue // views with no observed support are not reported
 		}
-		res.Groups = append(res.Groups, GroupResult{
-			Key:     e.grp.keyOf(gs.id),
-			Avg:     gs.bestAvg,
-			Count:   gs.bestCount,
-			Sum:     gs.bestSum,
-			Samples: gs.mv,
-			Exact:   gs.exact,
-		})
+		res.Groups = append(res.Groups, e.groupResult(gs))
 	}
 	sort.Slice(res.Groups, func(i, j int) bool { return res.Groups[i].Key < res.Groups[j].Key })
 	return res

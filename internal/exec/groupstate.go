@@ -5,71 +5,248 @@ import (
 
 	"fastframe/internal/ci"
 	"fastframe/internal/core"
+	"fastframe/internal/query"
 	"fastframe/internal/stats"
 )
 
-// groupState is the streaming state for one aggregate view: the error
-// bounder state over the view's sampled values, exact counters for
-// coverage accounting, and the running intersection of per-round
-// confidence intervals (Algorithm 5).
+// inputKind classifies one gathered scan input. The engine deduplicates
+// the SELECT list's inputs into one gather buffer per distinct input:
+// every aggregate references inputs by index, so a block is read once no
+// matter how many aggregates consume each column.
+type inputKind int
+
+const (
+	// inColumn reads one float column's bound view.
+	inColumn inputKind = iota
+	// inKernel evaluates a compiled expression over the bound views.
+	inKernel
+	// inOne yields the constant 1 (COUNT: only membership matters).
+	inOne
+	// inCatCode yields a categorical column's dictionary code as a
+	// float64 — exact for every uint32, which keeps all observation
+	// plumbing (gather buffers, parallel shards, replay) monotyped.
+	inCatCode
+	// inSquare yields the square of another input (the E[X²] track of
+	// VAR/STDDEV), derived from that input's already-gathered buffer.
+	inSquare
+)
+
+// inputSpec is one deduplicated scan input.
+type inputSpec struct {
+	kind   inputKind
+	slot   int // inColumn: float slot; inCatCode: cat slot
+	kernel func(vars [][]float64, row int) float64
+	src    int // inSquare: index of the input being squared
+}
+
+// aggSpec is the engine-wide (group-independent) description of one
+// SELECT-list aggregate: its kind, which gather inputs feed it, the
+// catalog range bounds of those inputs, and kind parameters.
+type aggSpec struct {
+	kind query.AggKind
+	in   int // primary input index
+	in2  int // squared input index (Var/Stddev), else -1
+
+	a, b   float64 // primary input catalog bounds
+	a2, b2 float64 // squared input bounds (Var/Stddev)
+
+	p        float64 // quantile (Median: 0.5, Percentile: Aggregate.P)
+	dictSize int     // CountDistinct: size of the candidate code space
+}
+
+// needsBounder reports whether the aggregate keeps a ci.State over its
+// primary input (classic mean-based kinds and the Var/Stddev X track).
+func (sp *aggSpec) needsBounder() bool {
+	switch sp.kind {
+	case query.Median, query.Percentile, query.CountDistinct:
+		return false
+	default:
+		return true
+	}
+}
+
+// varCap returns Popoviciu's bound (b−a)²/4 on the variance of a
+// [a,b]-valued dataset.
+func (sp *aggSpec) varCap() float64 {
+	d := sp.b - sp.a
+	return d * d / 4
+}
+
+// aggState is the per-(group, aggregate) streaming state. Classic kinds
+// (Avg/Sum/Count) carry exactly the fields the single-aggregate engine
+// kept per group, so a 1-element SELECT list runs the identical
+// arithmetic; the new kinds add their sketch alongside.
+type aggState struct {
+	state  ci.State // bounder over the primary input (nil for sketch-only kinds)
+	state2 ci.State // bounder over the squared input (Var/Stddev only)
+
+	sum, absSum   float64 // exact running sums of the primary input
+	sum2, absSum2 float64 // exact running sums of the squared input
+
+	ecdf     stats.ECDF // retained sample (Median/Percentile)
+	seen     []bool     // dense code-seen table (CountDistinct)
+	distinct int        // observed distinct codes (CountDistinct)
+
+	// Running interval intersections across rounds. The classic triple
+	// mirrors the single-aggregate engine; best carries the answer of
+	// the sketch kinds (quantile / variance / distinct-count space).
+	bestAvg   ci.Interval
+	bestCount ci.Interval
+	bestSum   ci.Interval
+	bestSq    ci.Interval // Var/Stddev: running E[X²] interval
+	best      ci.Interval
+}
+
+// answer returns this aggregate's answer interval. Stddev is stored in
+// variance space (intersections stay linear) and transformed here.
+func (as *aggState) answer(sp *aggSpec) ci.Interval {
+	switch sp.kind {
+	case query.Sum:
+		return as.bestSum
+	case query.Count:
+		return as.bestCount
+	case query.Avg:
+		return as.bestAvg
+	case query.Stddev:
+		return ci.Interval{
+			Lo:       math.Sqrt(math.Max(0, as.best.Lo)),
+			Hi:       math.Sqrt(math.Max(0, as.best.Hi)),
+			Estimate: math.Sqrt(math.Max(0, as.best.Estimate)),
+			Samples:  as.best.Samples,
+		}
+	default:
+		return as.best
+	}
+}
+
+// groupState is the streaming state for one aggregate view: per-
+// aggregate bounder/sketch states over the view's sampled rows, shared
+// exact coverage counters, and activeness (Algorithm 5). All aggregates
+// of the SELECT list share the view, so one row count (mv) serves every
+// per-aggregate count interval.
 type groupState struct {
 	id    int
 	codes []uint32
 
-	state  ci.State
-	mv     int     // view rows observed
-	sum    float64 // exact running sum of observed view values
-	absSum float64 // running sum of |value|, for float-error bounds
+	aggs []aggState
+	mv   int // view rows observed (shared by every aggregate)
 
 	// extra is the coverage this group earned from blocks skipped by
 	// active scanning while the group was active (such blocks provably
 	// contain none of its rows). Total coverage is coveredAll + extra.
 	extra int
 
-	// Running interval intersections across rounds.
-	bestAvg   ci.Interval
-	bestCount ci.Interval
-	bestSum   ci.Interval
-
 	active bool
 	exact  bool
 }
 
-func newGroupState(id int, codes []uint32, b ci.Bounder, a, bd float64, bigR int) *groupState {
-	return &groupState{
-		id:        id,
-		codes:     codes,
-		state:     b.NewState(),
-		bestAvg:   ci.Interval{Lo: a, Hi: bd},
-		bestCount: ci.Interval{Lo: 0, Hi: float64(bigR)},
-		bestSum: ci.Interval{
-			Lo: math.Min(math.Min(0, float64(bigR)*a), float64(bigR)*bd),
-			Hi: math.Max(math.Max(0, float64(bigR)*a), float64(bigR)*bd),
-		},
+func newGroupState(id int, codes []uint32, b ci.Bounder, specs []aggSpec, bigR int) *groupState {
+	gs := &groupState{
+		id:     id,
+		codes:  codes,
+		aggs:   make([]aggState, len(specs)),
 		active: true,
 	}
-}
-
-// observe incorporates one view row's value.
-func (gs *groupState) observe(v float64) {
-	gs.state.Update(v)
-	gs.mv++
-	gs.sum += v
-	gs.absSum += math.Abs(v)
-}
-
-// observeBatch incorporates a batch of view rows' values in order —
-// byte-identical to calling observe per value (the running sums
-// accumulate left-to-right and State.UpdateBatch is contractually the
-// same recurrence as repeated Update), with one bounder dispatch per
-// batch instead of per row.
-func (gs *groupState) observeBatch(vs []float64) {
-	gs.state.UpdateBatch(vs)
-	gs.mv += len(vs)
-	for _, v := range vs {
-		gs.sum += v
-		gs.absSum += math.Abs(v)
+	for i := range specs {
+		sp := &specs[i]
+		as := &gs.aggs[i]
+		if sp.needsBounder() {
+			as.state = b.NewState()
+		}
+		as.bestAvg = ci.Interval{Lo: sp.a, Hi: sp.b}
+		as.bestCount = ci.Interval{Lo: 0, Hi: float64(bigR)}
+		as.bestSum = ci.Interval{
+			Lo: math.Min(math.Min(0, float64(bigR)*sp.a), float64(bigR)*sp.b),
+			Hi: math.Max(math.Max(0, float64(bigR)*sp.a), float64(bigR)*sp.b),
+		}
+		switch sp.kind {
+		case query.Median, query.Percentile:
+			as.best = ci.Interval{Lo: sp.a, Hi: sp.b}
+		case query.Var, query.Stddev:
+			as.state2 = b.NewState()
+			as.bestSq = ci.Interval{Lo: sp.a2, Hi: sp.b2}
+			as.best = ci.Interval{Lo: 0, Hi: sp.varCap()}
+		case query.CountDistinct:
+			as.seen = make([]bool, sp.dictSize)
+			as.best = ci.Interval{Lo: 0, Hi: float64(sp.dictSize)}
+		}
 	}
+	return gs
+}
+
+// observeRow incorporates one view row, whose deduplicated input values
+// sit in rowVals (index-aligned with the engine's inputSpec list).
+func (gs *groupState) observeRow(specs []aggSpec, rowVals []float64) {
+	for i := range specs {
+		sp := &specs[i]
+		as := &gs.aggs[i]
+		v := rowVals[sp.in]
+		switch sp.kind {
+		case query.Median, query.Percentile:
+			as.ecdf.Add(v)
+		case query.CountDistinct:
+			if c := int(v); !as.seen[c] {
+				as.seen[c] = true
+				as.distinct++
+			}
+		case query.Var, query.Stddev:
+			as.state.Update(v)
+			as.sum += v
+			as.absSum += math.Abs(v)
+			v2 := rowVals[sp.in2]
+			as.state2.Update(v2)
+			as.sum2 += v2
+			as.absSum2 += math.Abs(v2)
+		default:
+			as.state.Update(v)
+			as.sum += v
+			as.absSum += math.Abs(v)
+		}
+	}
+	gs.mv++
+}
+
+// observeRun incorporates rows lo..hi (a consecutive same-group run) of
+// the gathered input buffers, in order — byte-identical to calling
+// observeRow per row (running sums accumulate left-to-right and
+// State.UpdateBatch is contractually the same recurrence as repeated
+// Update), with one bounder dispatch per run instead of per row.
+func (gs *groupState) observeRun(specs []aggSpec, in [][]float64, lo, hi int) {
+	for i := range specs {
+		sp := &specs[i]
+		as := &gs.aggs[i]
+		vs := in[sp.in][lo:hi]
+		switch sp.kind {
+		case query.Median, query.Percentile:
+			as.ecdf.AddAll(vs)
+		case query.CountDistinct:
+			for _, v := range vs {
+				if c := int(v); !as.seen[c] {
+					as.seen[c] = true
+					as.distinct++
+				}
+			}
+		case query.Var, query.Stddev:
+			as.state.UpdateBatch(vs)
+			for _, v := range vs {
+				as.sum += v
+				as.absSum += math.Abs(v)
+			}
+			vs2 := in[sp.in2][lo:hi]
+			as.state2.UpdateBatch(vs2)
+			for _, v := range vs2 {
+				as.sum2 += v
+				as.absSum2 += math.Abs(v)
+			}
+		default:
+			as.state.UpdateBatch(vs)
+			for _, v := range vs {
+				as.sum += v
+				as.absSum += math.Abs(v)
+			}
+		}
+	}
+	gs.mv += hi - lo
 }
 
 // covered returns the rows whose membership in this view is resolved.
@@ -91,33 +268,43 @@ func intersect(dst *ci.Interval, iv ci.Interval) {
 	dst.Samples = iv.Samples
 }
 
-// obs is one buffered view observation: the row's dense group ID and
-// its aggregate value (1 for COUNT). Workers buffer observations in
-// scan order instead of updating shared group states, which is what
+// shardBuf is one worker's buffered observations for one group shard,
+// in scan order: the rows' dense group IDs and, column-wise, each
+// deduplicated input's values (parallel arrays). Workers buffer
+// observations instead of updating shared group states, which is what
 // keeps the parallel path free of locks and bit-identical to the
-// sequential one.
-type obs struct {
-	gid int
-	val float64
+// sequential one; the struct-of-arrays layout lets the replay feed each
+// same-group run straight into observeRun without re-gathering.
+type shardBuf struct {
+	gids []int
+	vals [][]float64 // [input][row in shard]
 }
 
-// roundAccum is one worker's group-state accumulator for one round of
-// the partitioned scan: coverage counters plus the worker's
-// observations bucketed by group shard, each bucket in scan order.
-// Workers share nothing inside a round; accumulators meet only at the
-// round barrier via Merge and the sharded replay.
+func (sb *shardBuf) reset() {
+	sb.gids = sb.gids[:0]
+	for k := range sb.vals {
+		sb.vals[k] = sb.vals[k][:0]
+	}
+}
+
+// roundAccum is one worker's accumulator for one round of the
+// partitioned scan: coverage counters plus the worker's observations
+// bucketed by group shard, each bucket in scan order. Workers share
+// nothing inside a round; accumulators meet only at the round barrier
+// via Merge and the sharded replay.
 type roundAccum struct {
 	coveredAll int // rows resolved for every view (fetched + pruned)
 	fetched    int // blocks actually read
 	skipped    int // rows of active-scan-skipped blocks
-	shards     [][]obs
+	shards     []shardBuf
 
 	// Per-worker kernel scratch, allocated once with the accumulator
 	// and reused for every block of every round (the parallel
 	// counterpart of the engine's sequential scratch).
-	sel  []int32
-	vals []float64
-	gids []int32
+	sel     []int32
+	valsIn  [][]float64 // gathered inputs of the current block
+	gids    []int32
+	rowVals []float64 // scalar path: one row's input values
 
 	// views is this worker's bound per-block column views; err records
 	// the worker's first out-of-core read failure, collected by the
@@ -128,20 +315,37 @@ type roundAccum struct {
 
 // reset prepares the accumulator for a round with the given shard
 // count, retaining buffer capacity across rounds.
-func (a *roundAccum) reset(shards int) {
+func (a *roundAccum) reset(shards, numInputs int) {
 	a.coveredAll, a.fetched, a.skipped, a.err = 0, 0, 0, nil
 	if len(a.shards) != shards {
-		a.shards = make([][]obs, shards)
+		a.shards = make([]shardBuf, shards)
 	}
 	for i := range a.shards {
-		a.shards[i] = a.shards[i][:0]
+		if a.shards[i].vals == nil {
+			a.shards[i].vals = make([][]float64, numInputs)
+		}
+		a.shards[i].reset()
 	}
 }
 
-// add buckets one observation by its group shard.
-func (a *roundAccum) add(gid int, val float64) {
-	s := gid % len(a.shards)
-	a.shards[s] = append(a.shards[s], obs{gid: gid, val: val})
+// add buckets one observation by its group shard: the values of row i
+// of the worker's gathered input buffers.
+func (a *roundAccum) add(gid, i int) {
+	sb := &a.shards[gid%len(a.shards)]
+	sb.gids = append(sb.gids, gid)
+	for k := range sb.vals {
+		sb.vals[k] = append(sb.vals[k], a.valsIn[k][i])
+	}
+}
+
+// addRow buckets one scalar-path observation (rowVals holds the row's
+// input values, index-aligned with the input list).
+func (a *roundAccum) addRow(gid int, rowVals []float64) {
+	sb := &a.shards[gid%len(a.shards)]
+	sb.gids = append(sb.gids, gid)
+	for k := range sb.vals {
+		sb.vals[k] = append(sb.vals[k], rowVals[k])
+	}
 }
 
 // Merge folds another worker's counters into a at the round barrier.
@@ -161,17 +365,59 @@ func (a *roundAccum) Merge(o *roundAccum) {
 
 // roundConfig carries the per-round bound-computation context.
 type roundConfig struct {
-	a, b       float64 // catalog range bounds of the aggregate column
-	bigR       int     // scramble size
-	knownN     bool    // view is the whole table (trivial pred, no groups)
-	alpha      float64 // Theorem 3 split
-	deltaView  float64 // total budget for this view
-	isSum      bool    // SUM queries split budget between COUNT and AVG
-	exactCount bool    // hypergeometric N⁺ instead of Lemma 5
+	specs      []aggSpec // the SELECT list's resolved aggregates
+	bigR       int       // scramble size
+	knownN     bool      // view is the whole table (trivial pred, no groups)
+	alpha      float64   // Theorem 3 split
+	deltaView  float64   // total budget for this view, split across aggregates
+	exactCount bool      // hypergeometric N⁺ instead of Lemma 5
+}
+
+// avgTrack recomputes one mean-bounder track's interval at budget delta:
+// the known-N shortcut when the view is the whole scramble, otherwise
+// Theorem 3 — (1−α)·delta buys an upper bound N⁺ on the view size, the
+// interval itself runs at α·delta (δ/2 per side inside BoundInterval).
+// Dataset-size monotonicity (§3.3) makes the substitution safe.
+func avgTrack(state ci.State, a, b float64, mv, r int, cfg *roundConfig, delta float64) ci.Interval {
+	if cfg.knownN {
+		return ci.BoundInterval(state, ci.Params{A: a, B: b, N: cfg.bigR, Delta: delta})
+	}
+	var nUp int
+	if cfg.exactCount {
+		nUp = stats.HypergeomCountUpper(mv, cfg.bigR, r, (1-cfg.alpha)*delta)
+		if nUp < 1 {
+			nUp = 1
+		}
+	} else {
+		nUp = countUpper(r, cfg.bigR, mv, (1-cfg.alpha)*delta)
+	}
+	return ci.BoundInterval(state, ci.Params{A: a, B: b, N: nUp, Delta: cfg.alpha * delta})
+}
+
+// varFrom turns a mean interval and an E[X²] interval into a variance
+// interval via VAR = E[X²] − E[X]² interval arithmetic, clamped to
+// [0, (b−a)²/4] (Popoviciu). The two tracks each hold with probability
+// 1−δ/2, so the variance interval holds with probability 1−δ by the
+// union bound.
+func varFrom(mean, sq ci.Interval, cap float64) ci.Interval {
+	maxSq := math.Max(mean.Lo*mean.Lo, mean.Hi*mean.Hi)
+	minSq := 0.0
+	if mean.Lo > 0 || mean.Hi < 0 {
+		minSq = math.Min(mean.Lo*mean.Lo, mean.Hi*mean.Hi)
+	}
+	lo := stats.Clamp(sq.Lo-maxSq, 0, cap)
+	hi := stats.Clamp(sq.Hi-minSq, 0, cap)
+	est := stats.Clamp(sq.Estimate-mean.Estimate*mean.Estimate, lo, hi)
+	return ci.Interval{Lo: lo, Hi: hi, Estimate: est, Samples: mean.Samples}
 }
 
 // closeRound recomputes this view's intervals for optional-stopping
-// round k and intersects them into the running bests.
+// round k and intersects them into the running bests. The view budget
+// is Bonferroni-split evenly across the SELECT list (N aggregates each
+// run at δ_view/N), so the per-round joint guarantee over every
+// reported interval still telescopes to δ_view; a 1-element list spends
+// exactly the single-aggregate engine's budget and reproduces its
+// arithmetic bit for bit.
 func (gs *groupState) closeRound(k int, coveredAll int, cfg roundConfig) {
 	if gs.exact {
 		return
@@ -180,59 +426,131 @@ func (gs *groupState) closeRound(k int, coveredAll int, cfg roundConfig) {
 	if r <= 0 {
 		return
 	}
-	deltaRound := core.RoundDelta(cfg.deltaView, k)
-	avgDelta, countDelta := deltaRound, deltaRound
-	if cfg.isSum {
-		avgDelta, countDelta = deltaRound/2, deltaRound/2
+	deltaAgg := cfg.deltaView / float64(len(cfg.specs))
+	deltaRound := core.RoundDelta(deltaAgg, k)
+	for i := range cfg.specs {
+		gs.aggs[i].closeRound(&cfg.specs[i], gs.mv, r, &cfg, deltaRound)
 	}
-
-	if cfg.knownN {
-		// The view is the whole scramble: N is known exactly.
-		intersect(&gs.bestCount, ci.Interval{
-			Lo: float64(cfg.bigR), Hi: float64(cfg.bigR),
-			Estimate: float64(cfg.bigR), Samples: r,
-		})
-		iv := ci.BoundInterval(gs.state, ci.Params{A: cfg.a, B: cfg.b, N: cfg.bigR, Delta: avgDelta})
-		intersect(&gs.bestAvg, iv)
-	} else {
-		cIv := countInterval(r, cfg.bigR, gs.mv, countDelta)
-		intersect(&gs.bestCount, cIv)
-		// Theorem 3: (1−α) of the AVG budget buys an upper bound N⁺ on
-		// the view size; the interval itself runs at α·δ (δ/2 per side
-		// inside BoundInterval). Dataset-size monotonicity (§3.3) makes
-		// the substitution safe.
-		var nUp int
-		if cfg.exactCount {
-			nUp = stats.HypergeomCountUpper(gs.mv, cfg.bigR, r, (1-cfg.alpha)*avgDelta)
-			if nUp < 1 {
-				nUp = 1
-			}
-		} else {
-			nUp = countUpper(r, cfg.bigR, gs.mv, (1-cfg.alpha)*avgDelta)
-		}
-		iv := ci.BoundInterval(gs.state, ci.Params{A: cfg.a, B: cfg.b, N: nUp, Delta: cfg.alpha * avgDelta})
-		intersect(&gs.bestAvg, iv)
-	}
-	gs.bestSum = sumInterval(gs.bestCount, gs.bestAvg)
 }
 
-// finalizeExact collapses the intervals onto the exact answer once the
-// whole view has been observed (covered == R). The intervals keep a
-// tiny slack covering worst-case floating-point summation error —
-// (n−1)·u·Σ|x| for naive summation — so the mathematical truth is still
-// enclosed regardless of accumulation order.
-func (gs *groupState) finalizeExact(bigR int) {
+// closeRound recomputes one aggregate's intervals for the round.
+func (as *aggState) closeRound(sp *aggSpec, mv, r int, cfg *roundConfig, deltaRound float64) {
+	switch sp.kind {
+	case query.Avg, query.Sum, query.Count:
+		avgDelta, countDelta := deltaRound, deltaRound
+		if sp.kind == query.Sum {
+			// SUM needs both the COUNT and the AVG interval to hold
+			// jointly (§4.1): split the round budget between them.
+			avgDelta, countDelta = deltaRound/2, deltaRound/2
+		}
+		if cfg.knownN {
+			// The view is the whole scramble: N is known exactly.
+			intersect(&as.bestCount, ci.Interval{
+				Lo: float64(cfg.bigR), Hi: float64(cfg.bigR),
+				Estimate: float64(cfg.bigR), Samples: r,
+			})
+		} else {
+			intersect(&as.bestCount, countInterval(r, cfg.bigR, mv, countDelta))
+		}
+		intersect(&as.bestAvg, avgTrack(as.state, sp.a, sp.b, mv, r, cfg, avgDelta))
+		as.bestSum = sumInterval(as.bestCount, as.bestAvg)
+
+	case query.Median, query.Percentile:
+		intersect(&as.bestCount, viewCountInterval(mv, r, cfg, deltaRound))
+		if m := as.ecdf.Count(); m > 0 {
+			eps := stats.DKWEpsilon(m, deltaRound)
+			lo, hi := stats.QuantileCI(as.ecdf.Sorted(), sp.p, eps, sp.a, sp.b)
+			intersect(&as.best, ci.Interval{
+				Lo: lo, Hi: hi,
+				Estimate: as.ecdf.Quantile(sp.p), Samples: m,
+			})
+		}
+
+	case query.Var, query.Stddev:
+		intersect(&as.bestCount, viewCountInterval(mv, r, cfg, deltaRound))
+		// Half the aggregate's round budget per mean track; the
+		// variance interval below then holds at deltaRound jointly.
+		intersect(&as.bestAvg, avgTrack(as.state, sp.a, sp.b, mv, r, cfg, deltaRound/2))
+		intersect(&as.bestSq, avgTrack(as.state2, sp.a2, sp.b2, mv, r, cfg, deltaRound/2))
+		intersect(&as.best, varFrom(as.bestAvg, as.bestSq, sp.varCap()))
+		as.bestSum = sumInterval(as.bestCount, as.bestAvg)
+
+	case query.CountDistinct:
+		intersect(&as.bestCount, viewCountInterval(mv, r, cfg, deltaRound))
+		// Every observed code is certain: d is a deterministic lower
+		// bound. Unseen distinct values are capped both by the unseen
+		// codes of the dictionary and by the view rows not yet observed
+		// under the (1−δ′) view-size upper bound.
+		d := float64(as.distinct)
+		unseenRows := math.Max(0, math.Floor(as.bestCount.Hi)-float64(mv))
+		unseenCodes := float64(sp.dictSize) - d
+		intersect(&as.best, ci.Interval{
+			Lo:       d,
+			Hi:       d + math.Min(unseenRows, unseenCodes),
+			Estimate: d,
+			Samples:  mv,
+		})
+	}
+}
+
+// viewCountInterval is the per-round view-size interval shared by the
+// sketch aggregates (quantile, variance, distinct): exact when N is
+// known, Lemma 5 otherwise.
+func viewCountInterval(mv, r int, cfg *roundConfig, delta float64) ci.Interval {
+	if cfg.knownN {
+		return ci.Interval{
+			Lo: float64(cfg.bigR), Hi: float64(cfg.bigR),
+			Estimate: float64(cfg.bigR), Samples: r,
+		}
+	}
+	return countInterval(r, cfg.bigR, mv, delta)
+}
+
+// finalizeExact collapses the intervals onto the exact answers once the
+// whole view has been observed (covered == R). Mean-track intervals
+// keep a tiny slack covering worst-case floating-point summation error
+// — (n−1)·u·Σ|x| for naive summation — so the mathematical truth is
+// still enclosed regardless of accumulation order; order statistics and
+// distinct counts are exact integers/selections and collapse to points.
+func (gs *groupState) finalizeExact(specs []aggSpec, bigR int) {
 	gs.exact = true
 	cnt := float64(gs.mv)
-	gs.bestCount = ci.Interval{Lo: cnt, Hi: cnt, Estimate: cnt, Samples: bigR}
 	const ulp = 0x1p-52
-	sumSlack := cnt * ulp * gs.absSum
-	mean, meanSlack := 0.0, 0.0
-	if gs.mv > 0 {
-		mean = gs.sum / cnt
-		meanSlack = sumSlack / cnt
+	for i := range specs {
+		sp := &specs[i]
+		as := &gs.aggs[i]
+		as.bestCount = ci.Interval{Lo: cnt, Hi: cnt, Estimate: cnt, Samples: bigR}
+		switch sp.kind {
+		case query.Median, query.Percentile:
+			if gs.mv > 0 {
+				q := as.ecdf.Quantile(sp.p)
+				as.best = ci.Interval{Lo: q, Hi: q, Estimate: q, Samples: gs.mv}
+			} else {
+				as.best = ci.Interval{Samples: gs.mv}
+			}
+		case query.CountDistinct:
+			d := float64(as.distinct)
+			as.best = ci.Interval{Lo: d, Hi: d, Estimate: d, Samples: gs.mv}
+		case query.Var, query.Stddev:
+			as.bestAvg = exactMean(as.sum, as.absSum, gs.mv, cnt*ulp*as.absSum)
+			as.bestSq = exactMean(as.sum2, as.absSum2, gs.mv, cnt*ulp*as.absSum2)
+			as.best = varFrom(as.bestAvg, as.bestSq, sp.varCap())
+		default:
+			sumSlack := cnt * ulp * as.absSum
+			as.bestAvg = exactMean(as.sum, as.absSum, gs.mv, sumSlack)
+			as.bestSum = ci.Interval{Lo: as.sum - sumSlack, Hi: as.sum + sumSlack, Estimate: as.sum, Samples: gs.mv}
+		}
 	}
-	gs.bestAvg = ci.Interval{Lo: mean - meanSlack, Hi: mean + meanSlack, Estimate: mean, Samples: gs.mv}
-	gs.bestSum = ci.Interval{Lo: gs.sum - sumSlack, Hi: gs.sum + sumSlack, Estimate: gs.sum, Samples: gs.mv}
 	gs.active = false
+}
+
+// exactMean builds the collapsed-with-float-slack mean interval of a
+// fully observed view.
+func exactMean(sum, absSum float64, mv int, sumSlack float64) ci.Interval {
+	mean, meanSlack := 0.0, 0.0
+	if mv > 0 {
+		mean = sum / float64(mv)
+		meanSlack = sumSlack / float64(mv)
+	}
+	return ci.Interval{Lo: mean - meanSlack, Hi: mean + meanSlack, Estimate: mean, Samples: mv}
 }

@@ -43,10 +43,16 @@ func (e *engine) runParallel() {
 	accs := make([]*roundAccum, e.par)
 	bs := e.layout.BlockSize
 	for i := range accs {
-		accs[i] = &roundAccum{views: e.cols.newViewSet()}
+		accs[i] = &roundAccum{
+			views:   e.cols.newViewSet(),
+			rowVals: make([]float64, len(e.inputs)),
+		}
 		if e.vectorOK {
 			accs[i].sel = make([]int32, 0, bs)
-			accs[i].vals = make([]float64, 0, bs)
+			accs[i].valsIn = make([][]float64, len(e.inputs))
+			for k := range accs[i].valsIn {
+				accs[i].valsIn[k] = make([]float64, 0, bs)
+			}
 			if !e.grp.isGlobal() {
 				accs[i].gids = make([]int32, bs)
 			}
@@ -105,7 +111,7 @@ func (e *engine) scanRound(blocks []int, accs []*roundAccum) {
 	var wg sync.WaitGroup
 	for w := 0; w < p; w++ {
 		acc := accs[w]
-		acc.reset(p)
+		acc.reset(p, len(e.inputs))
 		lo := min(w*per, len(blocks))
 		hi := min(lo+per, len(blocks))
 		if lo >= hi {
@@ -149,28 +155,25 @@ func (e *engine) scanRound(blocks []int, accs []*roundAccum) {
 	// Step two: sharded replay. Worker s owns the group states of
 	// shard s and walks the partitions in scan order, so each state
 	// sees its observations in the sequential order. Consecutive
-	// observations of one group replay through a stack-buffered
-	// observeBatch — the same value sequence with one bounder dispatch
-	// per run instead of per observation.
+	// observations of one group replay as a single observeRun over the
+	// shard's columnar buffers — the same value sequence with one
+	// bounder dispatch per run instead of per observation.
 	var rg sync.WaitGroup
 	for s := 0; s < p; s++ {
 		rg.Add(1)
 		go func(s int) {
 			defer rg.Done()
-			var buf [256]float64
 			for _, acc := range accs {
-				shard := acc.shards[s]
-				for i := 0; i < len(shard); {
-					gid := shard[i].gid
-					k, j := 0, i
-					for j < len(shard) && shard[j].gid == gid && k < len(buf) {
-						buf[k] = shard[j].val
-						k++
+				sb := &acc.shards[s]
+				for i := 0; i < len(sb.gids); {
+					gid := sb.gids[i]
+					j := i + 1
+					for j < len(sb.gids) && sb.gids[j] == gid {
 						j++
 					}
 					gs := e.states[gid]
 					if !gs.exact {
-						gs.observeBatch(buf[:k])
+						gs.observeRun(e.aggs, sb.vals, i, j)
 					}
 					i = j
 				}
@@ -221,17 +224,16 @@ func (e *engine) scanBoundBlock(n int, acc *roundAccum) {
 	if len(sel) == 0 {
 		return
 	}
-	vals := e.gatherValsInto(acc.views, sel, acc.vals)
-	acc.vals = vals
+	e.gatherInputsInto(acc.views, sel, acc.valsIn)
 	if e.grp.isGlobal() {
-		for _, v := range vals {
-			acc.add(0, v)
+		for i := range sel {
+			acc.add(0, i)
 		}
 		return
 	}
 	gids := e.gatherGidsInto(acc.views, sel, acc.gids)
 	for i := range sel {
-		acc.add(int(gids[i]), vals[i])
+		acc.add(int(gids[i]), i)
 	}
 }
 
@@ -245,14 +247,8 @@ func (e *engine) scanBlockScalar(n int, acc *roundAccum) {
 			continue
 		}
 		gid := e.grp.groupOf(vs, row)
-		switch {
-		case e.aggSlot >= 0:
-			acc.add(gid, vs.fvals[e.aggSlot][row])
-		case e.aggKernel != nil:
-			acc.add(gid, e.aggKernel(vs.fvals, row))
-		default:
-			acc.add(gid, 1) // COUNT: only membership matters
-		}
+		e.evalRow(vs, row, acc.rowVals)
+		acc.addRow(gid, acc.rowVals)
 	}
 }
 

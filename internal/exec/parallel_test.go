@@ -235,13 +235,13 @@ func TestRoundAccumMerge(t *testing.T) {
 	if a.coveredAll != 17 || a.fetched != 3 || a.skipped != 5 {
 		t.Errorf("merge mismatch: %+v", a)
 	}
-	a.reset(4)
+	a.reset(4, 1)
 	if a.coveredAll != 0 || a.fetched != 0 || a.skipped != 0 || len(a.shards) != 4 {
 		t.Errorf("reset mismatch: %+v", a)
 	}
-	a.add(5, 1.5)
-	a.add(9, 2.5)
-	if len(a.shards[1]) != 2 { // 5%4 == 9%4 == 1
+	a.addRow(5, []float64{1.5})
+	a.addRow(9, []float64{2.5})
+	if len(a.shards[1].gids) != 2 || len(a.shards[1].vals[0]) != 2 { // 5%4 == 9%4 == 1
 		t.Errorf("shard bucketing mismatch: %+v", a.shards)
 	}
 }

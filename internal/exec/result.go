@@ -5,19 +5,36 @@ import (
 	"time"
 
 	"fastframe/internal/ci"
+	"fastframe/internal/query"
 )
+
+// AggAnswer is the interval for one aggregate of the SELECT list.
+type AggAnswer struct {
+	// Kind identifies which aggregate this answer belongs to, in SELECT
+	// list order.
+	Kind query.AggKind
+	// Interval is the (1−δ_view/N) confidence interval for the
+	// aggregate; the N-way Bonferroni split across the list keeps the
+	// joint view-level guarantee at 1−δ_view.
+	Interval ci.Interval
+}
 
 // GroupResult is the approximate answer for one aggregate view.
 type GroupResult struct {
 	// Key is the rendered GROUP BY key ("" for ungrouped queries).
 	Key string
-	// Avg is the confidence interval for AVG over the view.
+	// Avg is the confidence interval for AVG over the view's first
+	// aggregate input (the whole story for single-aggregate queries).
 	Avg ci.Interval
 	// Count is the confidence interval for the view's row count.
 	Count ci.Interval
 	// Sum is the confidence interval for SUM (Count × Avg corners);
 	// only meaningful when the query requests SUM.
 	Sum ci.Interval
+	// Aggs holds one answer per SELECT-list aggregate, in list order.
+	// For a single-aggregate query Aggs[0] repeats the legacy triple's
+	// requested interval.
+	Aggs []AggAnswer
 	// Samples is the number of view rows that contributed.
 	Samples int
 	// Exact is set when the scan covered the entire view, making the

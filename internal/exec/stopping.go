@@ -8,16 +8,9 @@ import (
 	"fastframe/internal/query"
 )
 
-// answerInterval returns the interval relevant to the query's aggregate.
-func answerInterval(gs *groupState, kind query.AggKind) ci.Interval {
-	switch kind {
-	case query.Sum:
-		return gs.bestSum
-	case query.Count:
-		return gs.bestCount
-	default:
-		return gs.bestAvg
-	}
+// answerInterval returns the interval of the group's i-th aggregate.
+func answerInterval(gs *groupState, specs []aggSpec, i int) ci.Interval {
+	return gs.aggs[i].answer(&specs[i])
 }
 
 // relativeError is stopping condition ③'s criterion:
@@ -56,7 +49,8 @@ type stopScratch struct {
 // therefore results — are unchanged.
 type estimateSorter struct {
 	order   []*groupState
-	kind    query.AggKind
+	specs   []aggSpec
+	idx     int
 	largest bool
 }
 
@@ -64,9 +58,9 @@ func (s *estimateSorter) Len() int      { return len(s.order) }
 func (s *estimateSorter) Swap(i, j int) { s.order[i], s.order[j] = s.order[j], s.order[i] }
 func (s *estimateSorter) Less(i, j int) bool {
 	if s.largest {
-		return answerInterval(s.order[i], s.kind).Estimate > answerInterval(s.order[j], s.kind).Estimate
+		return answerInterval(s.order[i], s.specs, s.idx).Estimate > answerInterval(s.order[j], s.specs, s.idx).Estimate
 	}
-	return answerInterval(s.order[i], s.kind).Estimate < answerInterval(s.order[j], s.kind).Estimate
+	return answerInterval(s.order[i], s.specs, s.idx).Estimate < answerInterval(s.order[j], s.specs, s.idx).Estimate
 }
 
 // loSorter orders interval indices by lower endpoint for the overlap
@@ -87,7 +81,14 @@ func (s *loSorter) Less(i, j int) bool { return s.ivs[s.idx[i]].Lo < s.ivs[s.idx
 // number of active groups; zero means the stopping condition holds and
 // the query can terminate. scr carries the reusable sort buffers; the
 // non-sorting rules never touch it.
-func refreshActive(groups []*groupState, stop query.Stop, kind query.AggKind, scr *stopScratch) int {
+//
+// Width rules (② and ③) apply to every aggregate in the SELECT list: a
+// group stays active while ANY of its intervals is still too wide, so
+// a multi-aggregate query keeps scanning until the whole list meets the
+// precision target. Value-comparing rules (④ ⑤ ⑥) watch the single
+// aggregate stop.AggIndex names — ordering groups needs one axis.
+func refreshActive(groups []*groupState, stop query.Stop, specs []aggSpec, scr *stopScratch) int {
+	w := stop.AggIndex // validated against the list by query.Validate
 	switch stop.Kind {
 	case query.StopFixedSamples:
 		for _, gs := range groups {
@@ -95,20 +96,34 @@ func refreshActive(groups []*groupState, stop query.Stop, kind query.AggKind, sc
 		}
 	case query.StopAbsWidth:
 		for _, gs := range groups {
-			gs.active = !gs.exact && answerInterval(gs, kind).Width() >= stop.Epsilon
+			active := false
+			for i := range specs {
+				if answerInterval(gs, specs, i).Width() >= stop.Epsilon {
+					active = true
+					break
+				}
+			}
+			gs.active = !gs.exact && active
 		}
 	case query.StopRelWidth:
 		for _, gs := range groups {
-			gs.active = !gs.exact && relativeError(answerInterval(gs, kind)) >= stop.Epsilon
+			active := false
+			for i := range specs {
+				if relativeError(answerInterval(gs, specs, i)) >= stop.Epsilon {
+					active = true
+					break
+				}
+			}
+			gs.active = !gs.exact && active
 		}
 	case query.StopThreshold:
 		for _, gs := range groups {
-			gs.active = !gs.exact && answerInterval(gs, kind).Contains(stop.Threshold)
+			gs.active = !gs.exact && answerInterval(gs, specs, w).Contains(stop.Threshold)
 		}
 	case query.StopTopK:
-		refreshTopK(groups, stop, kind, scr)
+		refreshTopK(groups, stop, specs, w, scr)
 	case query.StopOrdered:
-		refreshOrdered(groups, kind, scr)
+		refreshOrdered(groups, specs, w, scr)
 	case query.StopExhaust:
 		for _, gs := range groups {
 			gs.active = !gs.exact
@@ -127,7 +142,7 @@ func refreshActive(groups []*groupState, stop query.Stop, kind query.AggKind, sc
 // order groups by estimate; the midpoint between the K-th and (K+1)-th
 // estimates splits "in" from "out"; an in-group is active while its
 // bound on the out-side crosses the midpoint, and vice versa.
-func refreshTopK(groups []*groupState, stop query.Stop, kind query.AggKind, scr *stopScratch) {
+func refreshTopK(groups []*groupState, stop query.Stop, specs []aggSpec, w int, scr *stopScratch) {
 	if len(groups) <= stop.K {
 		for _, gs := range groups {
 			gs.active = false // trivially separated
@@ -140,14 +155,15 @@ func refreshTopK(groups []*groupState, stop query.Stop, kind query.AggKind, scr 
 	order := scr.est.order[:len(groups)]
 	copy(order, groups)
 	scr.est.order = order
-	scr.est.kind = kind
+	scr.est.specs = specs
+	scr.est.idx = w
 	scr.est.largest = stop.Largest
 	sort.Stable(&scr.est)
-	kth := answerInterval(order[stop.K-1], kind).Estimate
-	next := answerInterval(order[stop.K], kind).Estimate
+	kth := answerInterval(order[stop.K-1], specs, w).Estimate
+	next := answerInterval(order[stop.K], specs, w).Estimate
 	mid := (kth + next) / 2
 	for i, gs := range order {
-		iv := answerInterval(gs, kind)
+		iv := answerInterval(gs, specs, w)
 		if gs.exact {
 			gs.active = false
 			continue
@@ -172,7 +188,7 @@ func refreshTopK(groups []*groupState, stop query.Stop, kind query.AggKind, scr 
 // while its interval intersects any other group's interval. Exact groups
 // cannot tighten further and are never active, but they still
 // participate in the intersection tests of others.
-func refreshOrdered(groups []*groupState, kind query.AggKind, scr *stopScratch) {
+func refreshOrdered(groups []*groupState, specs []aggSpec, w int, scr *stopScratch) {
 	if cap(scr.lo.ivs) < len(groups) {
 		scr.lo.ivs = make([]ci.Interval, len(groups))
 		scr.lo.idx = make([]int, len(groups))
@@ -180,7 +196,7 @@ func refreshOrdered(groups []*groupState, kind query.AggKind, scr *stopScratch) 
 	}
 	ivs := scr.lo.ivs[:len(groups)]
 	for i, gs := range groups {
-		ivs[i] = answerInterval(gs, kind)
+		ivs[i] = answerInterval(gs, specs, w)
 	}
 	// Sort index order by Lo for an O(n log n) overlap sweep.
 	idx := scr.lo.idx[:len(groups)]

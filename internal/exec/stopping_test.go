@@ -8,15 +8,21 @@ import (
 	"fastframe/internal/query"
 )
 
+// avgSpecs is the one-aggregate AVG list the legacy stopping tests run
+// against; the answer dispatch reads only the kind.
+var avgSpecs = []aggSpec{{kind: query.Avg}}
+
 func mkGroup(lo, hi float64, mv int, exact bool) *groupState {
 	est := (lo + hi) / 2
 	return &groupState{
-		mv:        mv,
-		bestAvg:   ci.Interval{Lo: lo, Hi: hi, Estimate: est, Samples: mv},
-		bestCount: ci.Interval{Lo: float64(mv), Hi: float64(mv), Estimate: float64(mv)},
-		bestSum:   ci.Interval{Lo: lo * float64(mv), Hi: hi * float64(mv)},
-		exact:     exact,
-		active:    true,
+		mv: mv,
+		aggs: []aggState{{
+			bestAvg:   ci.Interval{Lo: lo, Hi: hi, Estimate: est, Samples: mv},
+			bestCount: ci.Interval{Lo: float64(mv), Hi: float64(mv), Estimate: float64(mv)},
+			bestSum:   ci.Interval{Lo: lo * float64(mv), Hi: hi * float64(mv)},
+		}},
+		exact:  exact,
+		active: true,
 	}
 }
 
@@ -51,7 +57,7 @@ func TestRelativeError(t *testing.T) {
 
 func TestRefreshActiveFixedSamples(t *testing.T) {
 	groups := []*groupState{mkGroup(0, 1, 50, false), mkGroup(0, 1, 150, false), mkGroup(0, 1, 10, true)}
-	n := refreshActive(groups, query.FixedSamples(100), query.Avg, &stopScratch{})
+	n := refreshActive(groups, query.FixedSamples(100), avgSpecs, &stopScratch{})
 	want := []bool{true, false, false}
 	for i, w := range want {
 		if groups[i].active != w {
@@ -65,7 +71,7 @@ func TestRefreshActiveFixedSamples(t *testing.T) {
 
 func TestRefreshActiveAbsWidth(t *testing.T) {
 	groups := []*groupState{mkGroup(0, 5, 10, false), mkGroup(0, 0.5, 10, false)}
-	refreshActive(groups, query.AbsWidth(1), query.Avg, &stopScratch{})
+	refreshActive(groups, query.AbsWidth(1), avgSpecs, &stopScratch{})
 	if !groups[0].active || groups[1].active {
 		t.Errorf("abs-width actives = %v", activeFlags(groups))
 	}
@@ -74,7 +80,7 @@ func TestRefreshActiveAbsWidth(t *testing.T) {
 func TestRefreshActiveRelWidth(t *testing.T) {
 	wide := mkGroup(5, 15, 10, false) // rel err 0.5 at Lo
 	tight := mkGroup(9.8, 10.2, 10, false)
-	refreshActive([]*groupState{wide, tight}, query.RelWidth(0.1), query.Avg, &stopScratch{})
+	refreshActive([]*groupState{wide, tight}, query.RelWidth(0.1), avgSpecs, &stopScratch{})
 	if !wide.active || tight.active {
 		t.Errorf("rel-width actives: wide=%v tight=%v", wide.active, tight.active)
 	}
@@ -84,7 +90,7 @@ func TestRefreshActiveThreshold(t *testing.T) {
 	straddles := mkGroup(-1, 3, 10, false)
 	above := mkGroup(2, 5, 10, false)
 	below := mkGroup(-4, -1, 10, false)
-	n := refreshActive([]*groupState{straddles, above, below}, query.Threshold(0), query.Avg, &stopScratch{})
+	n := refreshActive([]*groupState{straddles, above, below}, query.Threshold(0), avgSpecs, &stopScratch{})
 	if !straddles.active || above.active || below.active {
 		t.Error("threshold activeness wrong")
 	}
@@ -100,7 +106,7 @@ func TestRefreshActiveTopKLargest(t *testing.T) {
 	g3 := mkGroup(1, 5, 10, false)  // est 3, hi 5 < 5.5 → separated
 	g4 := mkGroup(0, 2, 10, false)  // est 1, hi 2 < 5.5 → separated
 	groups := []*groupState{g1, g2, g3, g4}
-	n := refreshActive(groups, query.TopK(2), query.Avg, &stopScratch{})
+	n := refreshActive(groups, query.TopK(2), avgSpecs, &stopScratch{})
 	if g1.active || !g2.active || g3.active || g4.active {
 		t.Errorf("top-k actives = %v", activeFlags(groups))
 	}
@@ -108,8 +114,8 @@ func TestRefreshActiveTopKLargest(t *testing.T) {
 		t.Errorf("numActive = %d", n)
 	}
 	// Bottom group whose upper bound crosses the midpoint is active.
-	g3.bestAvg.Hi = 6
-	refreshActive(groups, query.TopK(2), query.Avg, &stopScratch{})
+	g3.aggs[0].bestAvg.Hi = 6
+	refreshActive(groups, query.TopK(2), avgSpecs, &stopScratch{})
 	if !g3.active {
 		t.Error("bottom group crossing midpoint should be active")
 	}
@@ -119,11 +125,11 @@ func TestRefreshActiveBottomK(t *testing.T) {
 	// Estimates: 1, 3, 8, 10. BottomK(2) → midpoint between 3 and 8 = 5.5.
 	g1 := mkGroup(0, 2, 10, false) // est 1, hi 2 < 5.5 → separated
 	g2 := mkGroup(1, 6, 10, false) // est 3.5... set explicit
-	g2.bestAvg = ci.Interval{Lo: 1, Hi: 6, Estimate: 3}
+	g2.aggs[0].bestAvg = ci.Interval{Lo: 1, Hi: 6, Estimate: 3}
 	g3 := mkGroup(7, 9, 10, false)  // est 8, lo 7 > 5.5 → separated
 	g4 := mkGroup(9, 11, 10, false) // est 10 → separated
 	groups := []*groupState{g1, g2, g3, g4}
-	refreshActive(groups, query.BottomK(2), query.Avg, &stopScratch{})
+	refreshActive(groups, query.BottomK(2), avgSpecs, &stopScratch{})
 	if g1.active || !g2.active || g3.active || g4.active {
 		t.Errorf("bottom-k actives = %v", activeFlags(groups))
 	}
@@ -131,7 +137,7 @@ func TestRefreshActiveBottomK(t *testing.T) {
 
 func TestRefreshActiveTopKFewGroups(t *testing.T) {
 	groups := []*groupState{mkGroup(0, 10, 5, false), mkGroup(0, 10, 5, false)}
-	n := refreshActive(groups, query.TopK(2), query.Avg, &stopScratch{})
+	n := refreshActive(groups, query.TopK(2), avgSpecs, &stopScratch{})
 	if n != 0 {
 		t.Errorf("K >= #groups should be trivially separated; numActive = %d", n)
 	}
@@ -141,7 +147,7 @@ func TestRefreshActiveOrdered(t *testing.T) {
 	a := mkGroup(0, 2, 5, false)
 	b := mkGroup(1, 3, 5, false)   // overlaps a
 	c := mkGroup(10, 12, 5, false) // isolated
-	n := refreshActive([]*groupState{a, b, c}, query.Ordered(), query.Avg, &stopScratch{})
+	n := refreshActive([]*groupState{a, b, c}, query.Ordered(), avgSpecs, &stopScratch{})
 	if !a.active || !b.active || c.active {
 		t.Errorf("ordered actives = %v", activeFlags([]*groupState{a, b, c}))
 	}
@@ -150,7 +156,7 @@ func TestRefreshActiveOrdered(t *testing.T) {
 	}
 	// Exact groups never active but still break others' separation.
 	a.exact = true
-	refreshActive([]*groupState{a, b, c}, query.Ordered(), query.Avg, &stopScratch{})
+	refreshActive([]*groupState{a, b, c}, query.Ordered(), avgSpecs, &stopScratch{})
 	if a.active {
 		t.Error("exact group became active")
 	}
@@ -162,7 +168,7 @@ func TestRefreshActiveOrdered(t *testing.T) {
 func TestRefreshActiveExhaust(t *testing.T) {
 	g := mkGroup(0, 1, 5, false)
 	done := mkGroup(0, 1, 5, true)
-	n := refreshActive([]*groupState{g, done}, query.Exhaust(), query.Avg, &stopScratch{})
+	n := refreshActive([]*groupState{g, done}, query.Exhaust(), avgSpecs, &stopScratch{})
 	if !g.active || done.active || n != 1 {
 		t.Error("exhaust activeness wrong")
 	}
@@ -170,13 +176,13 @@ func TestRefreshActiveExhaust(t *testing.T) {
 
 func TestAnswerIntervalSelectsAggregate(t *testing.T) {
 	g := mkGroup(2, 4, 7, false)
-	if answerInterval(g, query.Avg) != g.bestAvg {
+	if answerInterval(g, avgSpecs, 0) != g.aggs[0].bestAvg {
 		t.Error("Avg selects wrong interval")
 	}
-	if answerInterval(g, query.Count) != g.bestCount {
+	if answerInterval(g, []aggSpec{{kind: query.Count}}, 0) != g.aggs[0].bestCount {
 		t.Error("Count selects wrong interval")
 	}
-	if answerInterval(g, query.Sum) != g.bestSum {
+	if answerInterval(g, []aggSpec{{kind: query.Sum}}, 0) != g.aggs[0].bestSum {
 		t.Error("Sum selects wrong interval")
 	}
 }

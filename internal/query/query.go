@@ -1,10 +1,11 @@
 // Package query defines the logical query model FastFrame executes:
-// a single aggregate (AVG, SUM, or COUNT) over one continuous column,
-// an optional conjunctive predicate, an optional GROUP BY over
-// categorical columns, and a stopping condition describing when the
-// approximate answer is good enough (§4.2 of the paper). The nine
-// Flights evaluation queries F-q1..F-q9 are expressed in this model by
-// package flights.
+// a SELECT list of aggregates (AVG, SUM, COUNT, MEDIAN, PERCENTILE,
+// VAR, STDDEV, COUNT DISTINCT) evaluated over one shared view in a
+// single physical scan, an optional conjunctive predicate, an optional
+// GROUP BY over categorical columns, and a stopping condition
+// describing when the approximate answer is good enough (§4.2 of the
+// paper). The nine Flights evaluation queries F-q1..F-q9 are expressed
+// in this model by package flights.
 package query
 
 import (
@@ -27,9 +28,27 @@ const (
 	// Count computes the number of view rows; its CI comes from the
 	// selectivity bound of Lemma 5.
 	Count
+	// Median computes the p=0.5 quantile of the aggregate input; its CI
+	// inverts a DKW band around the retained sample's empirical CDF.
+	Median
+	// Percentile computes the p-quantile for p = Aggregate.P ∈ (0,1),
+	// with the same DKW-band interval as Median.
+	Percentile
+	// Var computes the population variance VAR(D) = E[X²] − E[X]². Its
+	// CI combines a mean bounder over X and one over X² by interval
+	// arithmetic, clamped to Popoviciu's (b−a)²/4.
+	Var
+	// Stddev computes sqrt(VAR); its CI is the monotone square-root
+	// image of the Var interval.
+	Stddev
+	// CountDistinct computes the number of distinct values of a
+	// categorical column within the view. The lower bound is the
+	// distinct values already observed (deterministic); the upper bound
+	// caps the unseen ones by the view-size CI and the dictionary.
+	CountDistinct
 )
 
-// String returns AVG, SUM, or COUNT.
+// String names the aggregate function.
 func (k AggKind) String() string {
 	switch k {
 	case Avg:
@@ -38,25 +57,60 @@ func (k AggKind) String() string {
 		return "SUM"
 	case Count:
 		return "COUNT"
+	case Median:
+		return "MEDIAN"
+	case Percentile:
+		return "PERCENTILE"
+	case Var:
+		return "VAR"
+	case Stddev:
+		return "STDDEV"
+	case CountDistinct:
+		return "COUNT DISTINCT"
 	default:
 		return fmt.Sprintf("AggKind(%d)", int(k))
 	}
 }
 
-// Aggregate is the aggregate clause. For Avg and Sum the input is
-// either a single continuous column (Column) or an arbitrary expression
-// over continuous columns (Expr, taking precedence); range bounds for
-// expressions are derived from the catalog per Appendix B. Both are
-// ignored for Count.
+// Aggregate is one aggregate clause of the SELECT list. For the
+// continuous-input kinds (everything but Count and CountDistinct) the
+// input is either a single continuous column (Column) or an arbitrary
+// expression over continuous columns (Expr, taking precedence); range
+// bounds for expressions are derived from the catalog per Appendix B.
+// CountDistinct takes a categorical Column; Count takes no input.
 type Aggregate struct {
 	Kind   AggKind
 	Column string
 	Expr   expr.Expr
+	// P is the quantile for Percentile, in (0, 1). Ignored by every
+	// other kind (Median is fixed at 0.5).
+	P float64
+}
+
+// Quantile returns the quantile an order-statistic aggregate computes:
+// 0.5 for Median, P for Percentile, 0 otherwise.
+func (a Aggregate) Quantile() float64 {
+	switch a.Kind {
+	case Median:
+		return 0.5
+	case Percentile:
+		return a.P
+	default:
+		return 0
+	}
 }
 
 func (a Aggregate) String() string {
-	if a.Kind == Count {
+	switch a.Kind {
+	case Count:
 		return "COUNT(*)"
+	case CountDistinct:
+		return fmt.Sprintf("COUNT(DISTINCT %s)", a.Column)
+	case Percentile:
+		if a.Expr != nil {
+			return fmt.Sprintf("PERCENTILE(%s, %g)", a.Expr, a.P)
+		}
+		return fmt.Sprintf("PERCENTILE(%s, %g)", a.Column, a.P)
 	}
 	if a.Expr != nil {
 		return fmt.Sprintf("%s(%s)", a.Kind, a.Expr)
@@ -179,6 +233,11 @@ type Stop struct {
 	Threshold float64 // StopThreshold
 	K         int     // StopTopK
 	Largest   bool    // StopTopK: separate the K largest (else smallest)
+	// AggIndex is the SELECT-list position of the aggregate the
+	// threshold/top-k/ordered rules watch (HAVING / ORDER BY target).
+	// Width rules apply to every aggregate and ignore it. Single-
+	// aggregate queries leave it 0.
+	AggIndex int
 }
 
 // FixedSamples returns stopping condition ①.
@@ -205,19 +264,43 @@ func Ordered() Stop { return Stop{Kind: StopOrdered} }
 // Exhaust returns the no-early-stopping condition.
 func Exhaust() Stop { return Stop{Kind: StopExhaust} }
 
-// Query is one aggregate query.
+// Query is one approximate query: a SELECT list of aggregates over one
+// shared view, evaluated in a single physical scan.
 type Query struct {
-	Name    string // identifier used in benchmark output (e.g. "F-q1")
-	Agg     Aggregate
+	Name string // identifier used in benchmark output (e.g. "F-q1")
+	// Agg is the single-aggregate convenience field: when Aggs is
+	// empty, the SELECT list is exactly [Agg]. Every execution layer
+	// consumes AggList(), never the fields directly.
+	Agg Aggregate
+	// Aggs, when non-empty, is the full SELECT list and takes
+	// precedence over Agg. All aggregates share the view (Pred,
+	// GroupBy) and the scan; the query's δ budget is Bonferroni-split
+	// across them so the joint guarantee holds.
+	Aggs    []Aggregate
 	Pred    Predicate
 	GroupBy []string // categorical columns; empty means one global group
 	Stop    Stop
 }
 
+// AggList returns the query's SELECT list: Aggs when set, else the
+// one-element list holding Agg.
+func (q Query) AggList() []Aggregate {
+	if len(q.Aggs) > 0 {
+		return q.Aggs
+	}
+	return []Aggregate{q.Agg}
+}
+
 // String renders a compact SQL-ish description.
 func (q Query) String() string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "SELECT %s", q.Agg)
+	b.WriteString("SELECT ")
+	for i, a := range q.AggList() {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		fmt.Fprintf(&b, "%s", a)
+	}
 	if !q.Pred.IsTrivial() {
 		b.WriteString(" WHERE ")
 		first := true
@@ -265,8 +348,31 @@ func (q Query) String() string {
 
 // Validate performs structural checks that do not need a table.
 func (q Query) Validate() error {
-	if q.Agg.Kind != Count && q.Agg.Column == "" && q.Agg.Expr == nil {
-		return fmt.Errorf("query %s: %s aggregate needs a column or expression", q.Name, q.Agg.Kind)
+	aggs := q.AggList()
+	for _, a := range aggs {
+		switch a.Kind {
+		case Count:
+			// No input.
+		case CountDistinct:
+			if a.Column == "" {
+				return fmt.Errorf("query %s: COUNT(DISTINCT) needs a categorical column", q.Name)
+			}
+		case Percentile:
+			if a.Column == "" && a.Expr == nil {
+				return fmt.Errorf("query %s: %s aggregate needs a column or expression", q.Name, a.Kind)
+			}
+			if !(a.P > 0 && a.P < 1) {
+				return fmt.Errorf("query %s: PERCENTILE needs p in (0,1), got %v", q.Name, a.P)
+			}
+		default:
+			if a.Column == "" && a.Expr == nil {
+				return fmt.Errorf("query %s: %s aggregate needs a column or expression", q.Name, a.Kind)
+			}
+		}
+	}
+	if q.Stop.AggIndex < 0 || q.Stop.AggIndex >= len(aggs) {
+		return fmt.Errorf("query %s: stop rule watches aggregate #%d of a %d-aggregate SELECT list",
+			q.Name, q.Stop.AggIndex+1, len(aggs))
 	}
 	switch q.Stop.Kind {
 	case StopFixedSamples:

@@ -489,3 +489,78 @@ func TestAccountingAndStats(t *testing.T) {
 		t.Errorf("records = %+v", recs)
 	}
 }
+
+// TestMultiAggregateWire: a multi-aggregate SELECT list round-trips
+// through /v1/query (approximate and exact) and /v1/stream, carrying
+// the aggregate list and per-aggregate answers on every payload.
+func TestMultiAggregateWire(t *testing.T) {
+	_, ts, eng := newTestServer(t, Config{})
+	const q = "SELECT AVG(DepDelay), MEDIAN(DepDelay), VAR(DepDelay), COUNT(DISTINCT Origin) FROM flights GROUP BY Airline"
+	wantAggs := []string{"AVG", "MEDIAN", "VAR", "COUNT DISTINCT"}
+
+	out, errb := wireQuery(t, ts.URL, "", QueryRequest{SQL: q})
+	if errb != nil {
+		t.Fatal(errb)
+	}
+	if !reflect.DeepEqual(out.Result.Aggs, wantAggs) {
+		t.Fatalf("wire Aggs = %v", out.Result.Aggs)
+	}
+	for _, g := range out.Result.Groups {
+		if len(g.Answers) != len(wantAggs) {
+			t.Fatalf("group %q carries %d answers", g.Key, len(g.Answers))
+		}
+	}
+	// The wire result reconstructs the engine's in-process answer.
+	back, err := out.Result.ToResult()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := eng.Query(context.Background(), q, testOptions()...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back.Duration, ref.Duration = 0, 0
+	if !reflect.DeepEqual(back, ref) {
+		t.Error("wire round-trip differs from in-process result")
+	}
+
+	// Exact mode carries the per-aggregate Stats.
+	exOut, errb := wireQuery(t, ts.URL, "", QueryRequest{SQL: q, Exact: true})
+	if errb != nil {
+		t.Fatal(errb)
+	}
+	if !reflect.DeepEqual(exOut.Exact.Aggs, wantAggs) {
+		t.Fatalf("exact wire Aggs = %v", exOut.Exact.Aggs)
+	}
+	for _, g := range exOut.Exact.Groups {
+		if len(g.Stats) != len(wantAggs) {
+			t.Fatalf("exact group %q carries %d stats", g.Key, len(g.Stats))
+		}
+	}
+
+	// Streaming: every per-round line lists the aggregates and aligned
+	// answers; the terminal result matches the one-shot payload.
+	progress, terminal, errb := wireStream(t, ts.URL, "", QueryRequest{SQL: q})
+	if errb != nil {
+		t.Fatal(errb)
+	}
+	if len(progress) == 0 {
+		t.Fatal("no progress lines")
+	}
+	for _, p := range progress {
+		if !reflect.DeepEqual(p.Aggs, wantAggs) {
+			t.Fatalf("progress Aggs = %v", p.Aggs)
+		}
+		for _, g := range p.Groups {
+			if len(g.Answers) != len(wantAggs) {
+				t.Fatalf("progress group %q carries %d answers", g.Key, len(g.Answers))
+			}
+		}
+	}
+	if terminal.Result == nil {
+		t.Fatal("stream ended without a result line")
+	}
+	if !reflect.DeepEqual(terminal.Result.Aggs, wantAggs) {
+		t.Fatalf("terminal Aggs = %v", terminal.Result.Aggs)
+	}
+}

@@ -370,6 +370,18 @@ func TestStreamSSE(t *testing.T) {
 // than a round, so a missing keepalive fails the test the way a proxy
 // idle timeout would sever the stream. NDJSON responses must stay pure
 // JSON lines, never padded.
+// sseResultComplete reports that the terminal "event: result" frame
+// has fully arrived — the event line plus its data line's blank-line
+// terminator — so the reader never stops mid-payload.
+func sseResultComplete(b []byte) bool {
+	i := bytes.Index(b, []byte("event: result"))
+	if i < 0 {
+		return false
+	}
+	rest := b[i:]
+	return bytes.Contains(rest, []byte("\n\n")) || bytes.Contains(rest, []byte("\n\r\n"))
+}
+
 func TestStreamSSEKeepAlive(t *testing.T) {
 	_, ts, _ := newTestServer(t, Config{
 		StreamKeepAlive: 20 * time.Millisecond,
@@ -402,7 +414,7 @@ func TestStreamSSEKeepAlive(t *testing.T) {
 	// the 20 ms keepalive cadence can satisfy that.
 	var buf bytes.Buffer
 	tmp := make([]byte, 4096)
-	for !bytes.Contains(buf.Bytes(), []byte("event: result")) {
+	for !sseResultComplete(buf.Bytes()) {
 		conn.SetReadDeadline(time.Now().Add(125 * time.Millisecond))
 		n, err := conn.Read(tmp)
 		buf.Write(tmp[:n])

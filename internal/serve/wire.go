@@ -55,12 +55,16 @@ type Interval struct {
 
 // Group mirrors fastframe.GroupResult on the wire.
 type Group struct {
-	Key     string   `json:"key"`
-	Avg     Interval `json:"avg"`
-	Count   Interval `json:"count"`
-	Sum     Interval `json:"sum"`
-	Samples int      `json:"samples"`
-	Exact   bool     `json:"exact"`
+	Key   string   `json:"key"`
+	Avg   Interval `json:"avg"`
+	Count Interval `json:"count"`
+	Sum   Interval `json:"sum"`
+	// Answers carries one interval per SELECT-list aggregate, aligned
+	// with the enclosing Result/Progress Aggs list; omitted for legacy
+	// single-triple payloads.
+	Answers []Interval `json:"answers,omitempty"`
+	Samples int        `json:"samples"`
+	Exact   bool       `json:"exact"`
 }
 
 // Result mirrors fastframe.Result on the wire. Every field except the
@@ -68,8 +72,11 @@ type Group struct {
 // float64 with the shortest representation that parses back to the
 // identical bits), so ToResult(FromResult(r)) reproduces r exactly.
 type Result struct {
-	Agg           string  `json:"agg"` // AVG | SUM | COUNT
-	Groups        []Group `json:"groups"`
+	Agg string `json:"agg"` // AVG | SUM | COUNT | MEDIAN | PERCENTILE | VAR | STDDEV | COUNT DISTINCT
+	// Aggs lists every SELECT-list aggregate in order (group Answers
+	// align with it); omitted for legacy single-triple payloads.
+	Aggs          []string `json:"aggs,omitempty"`
+	Groups        []Group  `json:"groups"`
 	BlocksFetched int     `json:"blocks_fetched"`
 	RowsCovered   int     `json:"rows_covered"`
 	Rounds        int     `json:"rounds"`
@@ -83,8 +90,9 @@ type Result struct {
 // Progress mirrors fastframe.Progress on the wire: one per-round
 // snapshot of a streaming query.
 type Progress struct {
-	Agg           string  `json:"agg"`
-	Round         int     `json:"round"`
+	Agg           string   `json:"agg"`
+	Aggs          []string `json:"aggs,omitempty"`
+	Round         int      `json:"round"`
 	RowsCovered   int     `json:"rows_covered"`
 	BlocksFetched int     `json:"blocks_fetched"`
 	ActiveGroups  int     `json:"active_groups"`
@@ -97,11 +105,15 @@ type ExactGroup struct {
 	Count int     `json:"count"`
 	Sum   float64 `json:"sum"`
 	Avg   float64 `json:"avg"`
+	// Stats carries one exact value per SELECT-list aggregate, aligned
+	// with the enclosing ExactResult's Aggs list.
+	Stats []float64 `json:"stats,omitempty"`
 }
 
 // ExactResult mirrors fastframe.ExactResult on the wire.
 type ExactResult struct {
 	Agg        string       `json:"agg"`
+	Aggs       []string     `json:"aggs,omitempty"`
 	Groups     []ExactGroup `json:"groups"`
 	DurationNS int64        `json:"duration_ns"`
 }
@@ -178,7 +190,7 @@ func (iv Interval) toInterval() fastframe.Interval {
 }
 
 func fromGroup(g fastframe.GroupResult) Group {
-	return Group{
+	out := Group{
 		Key:     g.Key,
 		Avg:     fromInterval(g.Avg),
 		Count:   fromInterval(g.Count),
@@ -186,10 +198,14 @@ func fromGroup(g fastframe.GroupResult) Group {
 		Samples: g.Samples,
 		Exact:   g.Exact,
 	}
+	for _, iv := range g.Answers {
+		out.Answers = append(out.Answers, fromInterval(iv))
+	}
+	return out
 }
 
 func (g Group) toGroup() fastframe.GroupResult {
-	return fastframe.GroupResult{
+	out := fastframe.GroupResult{
 		Key:     g.Key,
 		Avg:     g.Avg.toInterval(),
 		Count:   g.Count.toInterval(),
@@ -197,12 +213,44 @@ func (g Group) toGroup() fastframe.GroupResult {
 		Samples: g.Samples,
 		Exact:   g.Exact,
 	}
+	for _, iv := range g.Answers {
+		out.Answers = append(out.Answers, iv.toInterval())
+	}
+	return out
+}
+
+// fromAggs and toAggs map the SELECT-list aggregate names.
+func fromAggs(aggs []fastframe.Agg) []string {
+	if len(aggs) == 0 {
+		return nil
+	}
+	out := make([]string, len(aggs))
+	for i, a := range aggs {
+		out[i] = a.String()
+	}
+	return out
+}
+
+func toAggs(names []string) ([]fastframe.Agg, error) {
+	if len(names) == 0 {
+		return nil, nil
+	}
+	out := make([]fastframe.Agg, len(names))
+	for i, s := range names {
+		a, err := ParseAgg(s)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = a
+	}
+	return out, nil
 }
 
 // FromResult maps a Result onto its wire form.
 func FromResult(r *fastframe.Result) *Result {
 	out := &Result{
 		Agg:           r.Agg.String(),
+		Aggs:          fromAggs(r.Aggs),
 		BlocksFetched: r.BlocksFetched,
 		RowsCovered:   r.RowsCovered,
 		Rounds:        r.Rounds,
@@ -225,8 +273,13 @@ func (r *Result) ToResult() (*fastframe.Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	aggs, err := toAggs(r.Aggs)
+	if err != nil {
+		return nil, err
+	}
 	out := &fastframe.Result{
 		Agg:           agg,
+		Aggs:          aggs,
 		BlocksFetched: r.BlocksFetched,
 		RowsCovered:   r.RowsCovered,
 		Rounds:        r.Rounds,
@@ -246,6 +299,7 @@ func (r *Result) ToResult() (*fastframe.Result, error) {
 func FromProgress(p fastframe.Progress) *Progress {
 	out := &Progress{
 		Agg:           p.Agg.String(),
+		Aggs:          fromAggs(p.Aggs),
 		Round:         p.Round,
 		RowsCovered:   p.RowsCovered,
 		BlocksFetched: p.BlocksFetched,
@@ -263,8 +317,13 @@ func (p *Progress) ToProgress() (fastframe.Progress, error) {
 	if err != nil {
 		return fastframe.Progress{}, err
 	}
+	aggs, err := toAggs(p.Aggs)
+	if err != nil {
+		return fastframe.Progress{}, err
+	}
 	out := fastframe.Progress{
 		Agg:           agg,
+		Aggs:          aggs,
 		Round:         p.Round,
 		RowsCovered:   p.RowsCovered,
 		BlocksFetched: p.BlocksFetched,
@@ -278,9 +337,12 @@ func (p *Progress) ToProgress() (fastframe.Progress, error) {
 
 // FromExactResult maps an ExactResult onto its wire form.
 func FromExactResult(r *fastframe.ExactResult) *ExactResult {
-	out := &ExactResult{Agg: r.Agg.String(), DurationNS: r.Duration.Nanoseconds()}
+	out := &ExactResult{Agg: r.Agg.String(), Aggs: fromAggs(r.Aggs), DurationNS: r.Duration.Nanoseconds()}
 	for _, g := range r.Groups {
-		out.Groups = append(out.Groups, ExactGroup{Key: g.Key, Count: g.Count, Sum: g.Sum, Avg: g.Avg})
+		out.Groups = append(out.Groups, ExactGroup{
+			Key: g.Key, Count: g.Count, Sum: g.Sum, Avg: g.Avg,
+			Stats: append([]float64(nil), g.Stats...),
+		})
 	}
 	return out
 }
@@ -291,9 +353,16 @@ func (r *ExactResult) ToExactResult() (*fastframe.ExactResult, error) {
 	if err != nil {
 		return nil, err
 	}
-	out := &fastframe.ExactResult{Agg: agg, Duration: time.Duration(r.DurationNS)}
+	aggs, err := toAggs(r.Aggs)
+	if err != nil {
+		return nil, err
+	}
+	out := &fastframe.ExactResult{Agg: agg, Aggs: aggs, Duration: time.Duration(r.DurationNS)}
 	for _, g := range r.Groups {
-		out.Groups = append(out.Groups, fastframe.ExactGroup{Key: g.Key, Count: g.Count, Sum: g.Sum, Avg: g.Avg})
+		out.Groups = append(out.Groups, fastframe.ExactGroup{
+			Key: g.Key, Count: g.Count, Sum: g.Sum, Avg: g.Avg,
+			Stats: append([]float64(nil), g.Stats...),
+		})
 	}
 	return out, nil
 }
@@ -307,6 +376,16 @@ func ParseAgg(s string) (fastframe.Agg, error) {
 		return fastframe.AggSum, nil
 	case "COUNT":
 		return fastframe.AggCount, nil
+	case "MEDIAN":
+		return fastframe.AggMedian, nil
+	case "PERCENTILE":
+		return fastframe.AggPercentile, nil
+	case "VAR":
+		return fastframe.AggVar, nil
+	case "STDDEV":
+		return fastframe.AggStddev, nil
+	case "COUNT DISTINCT":
+		return fastframe.AggCountDistinct, nil
 	default:
 		return 0, fmt.Errorf("serve: unknown aggregate %q", s)
 	}

@@ -24,7 +24,11 @@ func (c Compiled) Explain() string {
 
 func explainStatement(st *Statement, params []Param) string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "SELECT %s\n", renderAgg(st.Agg))
+	sel := make([]string, len(st.Aggs))
+	for i, a := range st.Aggs {
+		sel[i] = renderAgg(a)
+	}
+	fmt.Fprintf(&b, "SELECT %s\n", strings.Join(sel, ", "))
 	fmt.Fprintf(&b, "  FROM %s\n", st.Table)
 	for _, j := range st.Joins {
 		fmt.Fprintf(&b, "  JOIN %s ON %s.%s = %s.%s\n", j.Dim, j.Parent, j.ParentColumn, j.Dim, j.KeyColumn)
@@ -39,7 +43,23 @@ func explainStatement(st *Statement, params []Param) string {
 	if len(st.GroupBy) > 0 {
 		fmt.Fprintf(&b, "  GROUP BY %s\n", strings.Join(st.GroupBy, ", "))
 	}
-	fmt.Fprintf(&b, "  STOP %s\n", renderStop(st))
+	// One STOP-rule line per aggregate: width rules apply to every
+	// SELECT-list member (the scan runs until all are tight enough);
+	// value-comparing rules watch one member and the rest ride along on
+	// the same pass. A one-aggregate list keeps the bare legacy line.
+	if len(st.Aggs) == 1 {
+		fmt.Fprintf(&b, "  STOP %s\n", renderStop(st))
+	} else {
+		watched := stopWatches(st)
+		for i, a := range st.Aggs {
+			if watched < 0 || i == watched {
+				fmt.Fprintf(&b, "  STOP [%s] %s\n", renderAgg(a), renderStop(st))
+			} else {
+				fmt.Fprintf(&b, "  STOP [%s] rides along — observed on the same pass; scan stops with %s\n",
+					renderAgg(a), renderAgg(st.Aggs[watched]))
+			}
+		}
+	}
 	switch {
 	case st.ParallelParam > 0:
 		fmt.Fprintf(&b, "  PARALLEL $%d workers (hint; answers are identical across counts)\n", st.ParallelParam)
@@ -55,10 +75,38 @@ func explainStatement(st *Statement, params []Param) string {
 	return strings.TrimSuffix(b.String(), "\n")
 }
 
+// stopWatches returns the SELECT-list index the stopping rule watches,
+// or -1 when the rule applies to every aggregate (width and exhaust
+// rules).
+func stopWatches(st *Statement) int {
+	var watched AggExpr
+	switch {
+	case st.Having != nil:
+		watched = st.Having.Agg
+	case st.OrderBy != nil:
+		watched = st.OrderBy.Agg
+	default:
+		return -1
+	}
+	w := renderAgg(watched)
+	for i, a := range st.Aggs {
+		if renderAgg(a) == w {
+			return i
+		}
+	}
+	return 0
+}
+
 // renderAgg renders the aggregate clause from the parse tree.
 func renderAgg(a AggExpr) string {
 	if a.Star {
 		return "COUNT(*)"
+	}
+	if a.Distinct {
+		return fmt.Sprintf("COUNT(DISTINCT %s)", renderNode(a.Expr))
+	}
+	if a.Func == "PERCENTILE" {
+		return fmt.Sprintf("PERCENTILE(%s, %s)", renderNode(a.Expr), numOrParam(a.P, a.PParam))
 	}
 	return fmt.Sprintf("%s(%s)", a.Func, renderNode(a.Expr))
 }

@@ -24,10 +24,25 @@ func FuzzParse(f *testing.F) {
 		"SELECT COUNT(*) FROM ontime WHERE Origin = 'O''Hare'",
 		"SELECT AVG(x) FROM f WITHIN 5% PARALLEL 4",
 		"SELECT AVG(x) FROM f PARALLEL 0",
+		// The wider statistical surface and multi-aggregate SELECT
+		// lists — accepted grammar, not error seeds.
 		"SELECT MEDIAN(x) FROM f",
-		"SELECT AVG(x) FROM",
 		"SELECT AVG(x), SUM(y) FROM f",
+		"SELECT PERCENTILE(x, 0.99) FROM f",
+		"SELECT PERCENTILE(x, 0.5) FROM f GROUP BY g WITHIN ABS 2",
+		"SELECT VAR(x) FROM f",
+		"SELECT STDDEV(x) FROM f GROUP BY g",
+		"SELECT COUNT(DISTINCT x) FROM f",
+		"SELECT AVG(x), MEDIAN(x), VAR(x), COUNT(DISTINCT g) FROM f GROUP BY g",
+		"SELECT SUM(x), AVG(x) FROM f GROUP BY g ORDER BY SUM(x) DESC LIMIT 2",
+		"SELECT AVG(x), MEDIAN(x) FROM f GROUP BY g HAVING AVG(x) > 1",
+		// Error shapes around the new grammar.
+		"SELECT AVG(x) FROM",
 		"SELECT COUNT(x) FROM f",
+		"SELECT PERCENTILE(x) FROM f",
+		"SELECT PERCENTILE(x, 2) FROM f",
+		"SELECT COUNT(DISTINCT a + b) FROM f",
+		"SELECT MODE(x) FROM f",
 		"SELECT AVG(-(a+b)*3) FROM f WHERE c BETWEEN -1e308 AND 1e308",
 		"select avg(x) from f where g = 'quo''ted' having avg(x) < -2.5",
 		"SELECT AVG(x) FROM f WITHIN -5%",
@@ -96,6 +111,9 @@ func FuzzPrepareBind(f *testing.F) {
 		{"SELECT AVG(x) FROM f WHERE ? = 'v'", "bad", 1, 1, 2},
 		{"SELECT AVG(x) FROM f PARALLEL ?", "p", 1, -1, 0},
 		{"SELECT AVG(x) FROM f WITHIN ?%", "w", -10, 1, 1},
+		{"SELECT PERCENTILE(x, ?) FROM f", "p", 0.99, 1, 0},
+		{"SELECT AVG(x), PERCENTILE(x, ?) FROM f GROUP BY g WITHIN ABS ?", "p", 0.5, 1, 0},
+		{"SELECT PERCENTILE(x, ?) FROM f", "p", 1.5, 1, 0},
 		{"?", "?", 0, 0, 0},
 	}
 	for _, s := range seeds {
@@ -129,7 +147,7 @@ func FuzzPrepareBind(f *testing.F) {
 				switch p.Kind {
 				case ParamString:
 					args = append(args, sArg)
-				case ParamFloat:
+				case ParamFloat, ParamPercentile:
 					args = append(args, nArg)
 				default:
 					args = append(args, kArg)

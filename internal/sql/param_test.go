@@ -242,6 +242,42 @@ func TestBindErrors(t *testing.T) {
 	} else if c.Parallel != 8 {
 		t.Errorf("Parallel = %d, want 8", c.Parallel)
 	}
+
+	// PERCENTILE '?' targets must lie strictly between 0 and 1; NaN and
+	// ±Inf fall to the same finiteness guard as every numeric slot. The
+	// error names the slot and its byte offset.
+	src = "SELECT PERCENTILE(x, ?) FROM f"
+	tmpl = mustPrepare(src)
+	for _, v := range []float64{0, 1, 1.5, -0.25, math.NaN(), math.Inf(1), math.Inf(-1)} {
+		_, err := tmpl.Bind(v)
+		if err == nil {
+			t.Errorf("PERCENTILE target %v accepted", v)
+			continue
+		}
+		se, ok := err.(*Error)
+		if !ok {
+			t.Errorf("PERCENTILE target %v: error type %T, want *Error", v, err)
+			continue
+		}
+		if se.Pos != strings.IndexByte(src, '?') {
+			t.Errorf("PERCENTILE target %v: error Pos = %d, want %d", v, se.Pos, strings.IndexByte(src, '?'))
+		}
+		if !strings.Contains(se.Error(), "parameter 1") {
+			t.Errorf("PERCENTILE target %v: error %q missing slot identification", v, se.Error())
+		}
+	}
+	if c, err := tmpl.Bind(0.95); err != nil {
+		t.Errorf("PERCENTILE 0.95: %v", err)
+	} else if got := c.Query.AggList(); len(got) != 1 || got[0].Kind != query.Percentile || got[0].P != 0.95 {
+		t.Errorf("PERCENTILE 0.95 plans onto %+v", got)
+	}
+
+	// The same guard applies when the watched aggregate of a HAVING
+	// clause carries the slot.
+	tmpl = mustPrepare("SELECT PERCENTILE(x, ?) FROM f GROUP BY g HAVING PERCENTILE(x, ?) > 5")
+	if _, err := tmpl.Bind(0.5, 2.0); err == nil {
+		t.Error("HAVING PERCENTILE target 2.0 accepted")
+	}
 }
 
 // TestCompileRejectsParams: the one-step Compile path refuses

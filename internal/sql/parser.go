@@ -13,7 +13,7 @@ import (
 // by their 1-based parameter number; 0 always means "literal value
 // present". Template.Bind substitutes bound arguments before planning.
 type Statement struct {
-	Agg           AggExpr
+	Aggs          []AggExpr // SELECT list, in text order (≥ 1)
 	Table         string
 	Joins         []Join
 	Where         []Pred
@@ -31,12 +31,17 @@ type Statement struct {
 	bound bool
 }
 
-// AggExpr is an aggregate call: AVG(expr), SUM(expr), or COUNT(*).
+// AggExpr is an aggregate call: AVG(expr), SUM(expr), COUNT(*),
+// COUNT(DISTINCT col), MEDIAN(expr), PERCENTILE(expr, p), VAR(expr),
+// or STDDEV(expr).
 type AggExpr struct {
-	Func string // "AVG", "SUM", "COUNT" (upper-cased)
-	Star bool   // COUNT(*)
-	Expr Node   // AVG/SUM argument
-	Pos  int
+	Func     string  // upper-cased function name
+	Star     bool    // COUNT(*)
+	Distinct bool    // COUNT(DISTINCT col)
+	Expr     Node    // aggregate argument (nil for COUNT(*))
+	P        float64 // PERCENTILE target in (0, 1)
+	PParam   int     // 1-based parameter number of PERCENTILE(expr, ?); 0 = literal
+	Pos      int
 }
 
 // Node is an arithmetic expression node over continuous columns.
@@ -236,19 +241,25 @@ func (p *parser) parseSelect() (*Statement, error) {
 		return nil, err
 	}
 	st := &Statement{}
-	agg, err := p.parseAgg()
-	if err != nil {
-		return nil, err
+	for {
+		agg, err := p.parseAgg()
+		if err != nil {
+			return nil, err
+		}
+		st.Aggs = append(st.Aggs, agg)
+		if p.tok.kind != tokComma {
+			break
+		}
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
 	}
-	st.Agg = agg
 
 	if !p.isKeyword("FROM") {
-		if p.tok.kind == tokComma {
-			return nil, errf(p.tok.pos, "expected FROM, found ',' (exactly one aggregate per query)")
-		}
 		return nil, errf(p.tok.pos, "expected FROM, found %s", p.tok.describe())
 	}
-	if err := p.advance(); err != nil {
+	var err error
+	if err = p.advance(); err != nil {
 		return nil, err
 	}
 	tbl, err := p.expect(tokIdent, "table name")
@@ -452,15 +463,25 @@ func (st *Statement) joinable(name string) bool {
 	return false
 }
 
-// parseAgg parses AVG(expr), SUM(expr), or COUNT(*).
+// aggFuncs is the accepted aggregate-function vocabulary.
+var aggFuncs = map[string]bool{
+	"AVG": true, "SUM": true, "COUNT": true,
+	"MEDIAN": true, "PERCENTILE": true, "VAR": true, "STDDEV": true,
+}
+
+const aggFuncList = "AVG, SUM, COUNT, MEDIAN, PERCENTILE, VAR, or STDDEV"
+
+// parseAgg parses one aggregate call: AVG(expr), SUM(expr), COUNT(*),
+// COUNT(DISTINCT col), MEDIAN(expr), PERCENTILE(expr, p), VAR(expr),
+// or STDDEV(expr).
 func (p *parser) parseAgg() (AggExpr, error) {
 	if p.tok.kind != tokIdent {
-		return AggExpr{}, errf(p.tok.pos, "expected aggregate (AVG, SUM, or COUNT), found %s", p.tok.describe())
+		return AggExpr{}, errf(p.tok.pos, "expected aggregate (%s), found %s", aggFuncList, p.tok.describe())
 	}
 	fn := strings.ToUpper(p.tok.text)
 	pos := p.tok.pos
-	if fn != "AVG" && fn != "SUM" && fn != "COUNT" {
-		return AggExpr{}, errf(pos, "unsupported aggregate %q (want AVG, SUM, or COUNT)", p.tok.text)
+	if !aggFuncs[fn] {
+		return AggExpr{}, errf(pos, "unsupported aggregate %q (want %s)", p.tok.text, aggFuncList)
 	}
 	if err := p.advance(); err != nil {
 		return AggExpr{}, err
@@ -469,15 +490,52 @@ func (p *parser) parseAgg() (AggExpr, error) {
 		return AggExpr{}, err
 	}
 	agg := AggExpr{Func: fn, Pos: pos}
-	if fn == "COUNT" {
-		if p.tok.kind != tokStar {
-			return AggExpr{}, errf(p.tok.pos, "COUNT supports only COUNT(*), found %s", p.tok.describe())
+	switch fn {
+	case "COUNT":
+		switch {
+		case p.tok.kind == tokStar:
+			agg.Star = true
+			if err := p.advance(); err != nil {
+				return AggExpr{}, err
+			}
+		case p.isKeyword("DISTINCT"):
+			if err := p.advance(); err != nil {
+				return AggExpr{}, err
+			}
+			agg.Distinct = true
+			qual, name, cpos, err := p.maybeQualified("COUNT(DISTINCT column)")
+			if err != nil {
+				return AggExpr{}, err
+			}
+			agg.Expr = ColRef{Table: qual, Name: name, Pos: cpos}
+		default:
+			return AggExpr{}, errf(p.tok.pos, "COUNT supports COUNT(*) and COUNT(DISTINCT col), found %s", p.tok.describe())
 		}
-		agg.Star = true
-		if err := p.advance(); err != nil {
+	case "PERCENTILE":
+		e, err := p.parseExpr()
+		if err != nil {
 			return AggExpr{}, err
 		}
-	} else {
+		agg.Expr = e
+		if _, err := p.expect(tokComma, "',' (PERCENTILE wants a target: PERCENTILE(col, p))"); err != nil {
+			return AggExpr{}, err
+		}
+		if p.tok.kind == tokQuestion {
+			if agg.PParam, err = p.param(ParamPercentile, "PERCENTILE(…, ?)"); err != nil {
+				return AggExpr{}, err
+			}
+		} else {
+			ppos := p.tok.pos
+			v, err := p.parseNumber()
+			if err != nil {
+				return AggExpr{}, err
+			}
+			if !(v > 0 && v < 1) {
+				return AggExpr{}, errf(ppos, "PERCENTILE target must lie strictly between 0 and 1, found %g", v)
+			}
+			agg.P = v
+		}
+	default:
 		e, err := p.parseExpr()
 		if err != nil {
 			return AggExpr{}, err

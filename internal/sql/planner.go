@@ -92,11 +92,22 @@ func Plan(st *Statement, src string) (Compiled, error) {
 	q := query.Query{Name: strings.TrimSpace(src)}
 	resolve := resolver(st)
 
-	agg, err := planAgg(st.Agg, resolve)
-	if err != nil {
-		return Compiled{}, err
+	aggs := make([]query.Aggregate, 0, len(st.Aggs))
+	for _, a := range st.Aggs {
+		agg, err := planAgg(a, resolve)
+		if err != nil {
+			return Compiled{}, err
+		}
+		aggs = append(aggs, agg)
 	}
-	q.Agg = agg
+	// A one-aggregate SELECT keeps populating the scalar convenience
+	// field, so single-aggregate plans are structurally identical to the
+	// pre-list form; longer lists ride the canonical Aggs slice.
+	if len(aggs) == 1 {
+		q.Agg = aggs[0]
+	} else {
+		q.Aggs = aggs
+	}
 
 	var dimPreds []DimPred
 	for _, pr := range st.Where {
@@ -149,7 +160,7 @@ func Plan(st *Statement, src string) (Compiled, error) {
 		q.GroupBy = groupBy
 	}
 
-	stop, err := planStop(st, agg, resolve)
+	stop, err := planStop(st, aggs, resolve)
 	if err != nil {
 		return Compiled{}, err
 	}
@@ -182,27 +193,51 @@ func planDimPred(st *Statement, pr Pred) (DimPred, error) {
 // planAgg lowers an aggregate call. A bare column argument compiles to
 // the simple-column form (catalog bounds used directly); anything else
 // compiles to an expression aggregate with bounds derived per
-// Appendix B.
+// Appendix B. COUNT(DISTINCT col) requires a bare categorical column —
+// its input is the column dictionary, not a derived float.
 func planAgg(a AggExpr, resolve colResolver) (query.Aggregate, error) {
 	if a.Star {
 		return query.Aggregate{Kind: query.Count}, nil
 	}
-	kind := query.Avg
-	if a.Func == "SUM" {
+	if a.Distinct {
+		col, ok := a.Expr.(ColRef)
+		if !ok {
+			return query.Aggregate{}, errf(a.Pos, "COUNT(DISTINCT …) wants a bare categorical column")
+		}
+		name, err := resolve(col)
+		if err != nil {
+			return query.Aggregate{}, err
+		}
+		return query.Aggregate{Kind: query.CountDistinct, Column: name}, nil
+	}
+	var kind query.AggKind
+	var p float64
+	switch a.Func {
+	case "SUM":
 		kind = query.Sum
+	case "MEDIAN":
+		kind = query.Median
+	case "PERCENTILE":
+		kind, p = query.Percentile, a.P
+	case "VAR":
+		kind = query.Var
+	case "STDDEV":
+		kind = query.Stddev
+	default:
+		kind = query.Avg
 	}
 	if col, ok := a.Expr.(ColRef); ok {
 		name, err := resolve(col)
 		if err != nil {
 			return query.Aggregate{}, err
 		}
-		return query.Aggregate{Kind: kind, Column: name}, nil
+		return query.Aggregate{Kind: kind, Column: name, P: p}, nil
 	}
 	e, err := planExpr(a.Expr, resolve)
 	if err != nil {
 		return query.Aggregate{}, err
 	}
-	return query.Aggregate{Kind: kind, Expr: e}, nil
+	return query.Aggregate{Kind: kind, Expr: e, P: p}, nil
 }
 
 // planExpr lowers an arithmetic parse node onto package expr.
@@ -250,7 +285,7 @@ func planExpr(n Node, resolve colResolver) (expr.Expr, error) {
 // planStop maps the tail clauses onto a stopping condition. At most
 // one of HAVING, ORDER BY, WITHIN, and EXACT may appear: each fixes
 // the query's termination rule.
-func planStop(st *Statement, agg query.Aggregate, resolve colResolver) (query.Stop, error) {
+func planStop(st *Statement, aggs []query.Aggregate, resolve colResolver) (query.Stop, error) {
 	n := 0
 	for _, set := range []bool{st.Having != nil, st.OrderBy != nil, st.Within != nil, st.Exact} {
 		if set {
@@ -267,26 +302,34 @@ func planStop(st *Statement, agg query.Aggregate, resolve colResolver) (query.St
 		if len(st.GroupBy) == 0 {
 			return query.Stop{}, errf(h.Pos, "HAVING needs GROUP BY")
 		}
-		if err := requireSameAgg(h.Agg, agg, "HAVING", resolve); err != nil {
+		idx, err := findAggIndex(h.Agg, aggs, "HAVING", resolve)
+		if err != nil {
 			return query.Stop{}, err
 		}
-		return query.Threshold(h.Value), nil
+		stop := query.Threshold(h.Value)
+		stop.AggIndex = idx
+		return stop, nil
 	case st.OrderBy != nil:
 		ob := st.OrderBy
 		if len(st.GroupBy) == 0 {
 			return query.Stop{}, errf(ob.Pos, "ORDER BY needs GROUP BY")
 		}
-		if err := requireSameAgg(ob.Agg, agg, "ORDER BY", resolve); err != nil {
+		idx, err := findAggIndex(ob.Agg, aggs, "ORDER BY", resolve)
+		if err != nil {
 			return query.Stop{}, err
 		}
-		if ob.Limit == 0 {
+		var stop query.Stop
+		switch {
+		case ob.Limit == 0:
 			// Full ordering: stop once no two group CIs overlap (⑥).
-			return query.Ordered(), nil
+			stop = query.Ordered()
+		case ob.Desc:
+			stop = query.TopK(ob.Limit)
+		default:
+			stop = query.BottomK(ob.Limit)
 		}
-		if ob.Desc {
-			return query.TopK(ob.Limit), nil
-		}
-		return query.BottomK(ob.Limit), nil
+		stop.AggIndex = idx
+		return stop, nil
 	case st.Within != nil:
 		if st.Within.Relative {
 			return query.RelWidth(st.Within.Value), nil
@@ -299,16 +342,26 @@ func planStop(st *Statement, agg query.Aggregate, resolve colResolver) (query.St
 	}
 }
 
-// requireSameAgg checks that a HAVING / ORDER BY aggregate is the one
-// being selected — the engine maintains one aggregate view per group,
-// so the stopping condition must watch the selected aggregate.
-func requireSameAgg(got AggExpr, want query.Aggregate, clause string, resolve colResolver) error {
+// findAggIndex locates a HAVING / ORDER BY aggregate in the SELECT
+// list — the engine maintains one state per selected aggregate per
+// group, so the stopping condition must watch a selected aggregate —
+// and returns its list index for Stop.AggIndex.
+func findAggIndex(got AggExpr, aggs []query.Aggregate, clause string, resolve colResolver) (int, error) {
 	planned, err := planAgg(got, resolve)
 	if err != nil {
-		return err
+		return 0, err
 	}
-	if planned.Kind != want.Kind || planned.String() != want.String() {
-		return errf(got.Pos, "%s must use the selected aggregate %s, found %s", clause, want, planned)
+	for i, want := range aggs {
+		if planned.Kind == want.Kind && planned.String() == want.String() {
+			return i, nil
+		}
 	}
-	return nil
+	if len(aggs) == 1 {
+		return 0, errf(got.Pos, "%s must use the selected aggregate %s, found %s", clause, aggs[0], planned)
+	}
+	list := make([]string, len(aggs))
+	for i, a := range aggs {
+		list[i] = a.String()
+	}
+	return 0, errf(got.Pos, "%s must use one of the selected aggregates (%s), found %s", clause, strings.Join(list, ", "), planned)
 }

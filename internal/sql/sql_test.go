@@ -161,11 +161,16 @@ func TestCompileErrors(t *testing.T) {
 		wantSub string
 	}{
 		{"", "expected SELECT"},
-		{"SELECT MEDIAN(x) FROM f", `unsupported aggregate "MEDIAN"`},
+		{"SELECT MODE(x) FROM f", `unsupported aggregate "MODE"`},
 		{"SELECT AVG(x) FROM", "expected table name"},
-		{"SELECT AVG(x), SUM(y) FROM f", "exactly one aggregate"},
+		{"SELECT AVG(x), FROM f", "unsupported aggregate"},
 		{"SELECT AVG(x) FORM f", `expected FROM, found "FORM"`},
-		{"SELECT COUNT(x) FROM f", "COUNT supports only COUNT(*)"},
+		{"SELECT COUNT(x) FROM f", "COUNT supports COUNT(*) and COUNT(DISTINCT col)"},
+		{"SELECT COUNT(DISTINCT a + b) FROM f", "expected ')'"},
+		{"SELECT PERCENTILE(x) FROM f", "PERCENTILE wants a target"},
+		{"SELECT PERCENTILE(x, 0) FROM f", "strictly between 0 and 1"},
+		{"SELECT PERCENTILE(x, 1.5) FROM f", "strictly between 0 and 1"},
+		{"SELECT PERCENTILE(x, -0.5) FROM f", "strictly between 0 and 1"},
 		{"SELECT AVG(x) FROM f WHERE", "expected predicate column"},
 		{"SELECT AVG(x) FROM f WHERE c = 5", "quoted categorical value"},
 		{"SELECT AVG(x) FROM f WHERE c = 'v' OR d = 'w'", "unexpected"},

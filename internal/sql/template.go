@@ -19,6 +19,11 @@ const (
 	// ParamInt is a positive integer slot: LIMIT ? and PARALLEL ?.
 	// Binds any integer type.
 	ParamInt
+	// ParamPercentile is a PERCENTILE(expr, ?) target slot. Binds any
+	// numeric type; the value must lie strictly between 0 and 1 (NaN
+	// and ±Inf are rejected like every numeric slot — the same guard
+	// class as NaN HAVING thresholds).
+	ParamPercentile
 )
 
 // String names the kind as it appears in binding errors.
@@ -30,6 +35,8 @@ func (k ParamKind) String() string {
 		return "number"
 	case ParamInt:
 		return "integer"
+	case ParamPercentile:
+		return "percentile"
 	default:
 		return fmt.Sprintf("ParamKind(%d)", int(k))
 	}
@@ -118,6 +125,15 @@ func (t *Template) Bind(args ...any) (Compiled, error) {
 // been bound, so the statement (and its Explain rendering) presents
 // the bound values as ordinary literals.
 func (st *Statement) clearParamRefs() {
+	for i := range st.Aggs {
+		st.Aggs[i].PParam = 0
+	}
+	if st.Having != nil {
+		st.Having.Agg.PParam = 0
+	}
+	if st.OrderBy != nil {
+		st.OrderBy.Agg.PParam = 0
+	}
 	for i := range st.Where {
 		pr := &st.Where[i]
 		pr.StrParam, pr.LoParam, pr.HiParam = 0, 0, 0
@@ -141,6 +157,7 @@ func (st *Statement) clearParamRefs() {
 func (st *Statement) bindClone() *Statement {
 	c := *st
 	c.bound = true
+	c.Aggs = append([]AggExpr(nil), st.Aggs...)
 	c.Where = append([]Pred(nil), st.Where...)
 	for i := range c.Where {
 		if len(c.Where[i].SetParams) > 0 {
@@ -213,6 +230,30 @@ func (st *Statement) setParam(slot Param, arg any) error {
 				f /= 100 // WITHIN ?% binds the percentage, as written
 			}
 			st.Within.Value = f
+			return nil
+		}
+	case ParamPercentile:
+		f, err := bindFloat(slot, arg)
+		if err != nil {
+			return err
+		}
+		// Strict (0,1): a boundary target has a degenerate DKW band,
+		// and NaN (rejected by bindFloat already) would never stop.
+		if !(f > 0 && f < 1) {
+			return errf(slot.Pos, "parameter %d (%s): want a percentile strictly between 0 and 1, got %g", n, slot.Context, f)
+		}
+		for i := range st.Aggs {
+			if st.Aggs[i].PParam == n {
+				st.Aggs[i].P = f
+				return nil
+			}
+		}
+		if st.Having != nil && st.Having.Agg.PParam == n {
+			st.Having.Agg.P = f
+			return nil
+		}
+		if st.OrderBy != nil && st.OrderBy.Agg.PParam == n {
+			st.OrderBy.Agg.P = f
 			return nil
 		}
 	case ParamInt:

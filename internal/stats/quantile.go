@@ -1,0 +1,69 @@
+package stats
+
+import "math"
+
+// DKWEpsilon returns the two-sided Dvoretzky–Kiefer–Wolfowitz band
+// half-width for an m-observation empirical CDF at confidence 1−δ:
+//
+//	ε = sqrt( ln(2/δ) / (2m) )
+//
+// With probability ≥ 1−δ the true CDF lies within ±ε of the empirical
+// one uniformly over the whole real line. The bound is stated for iid
+// sampling; for uniform without-replacement samples from a finite
+// population (the scramble-prefix case) the empirical process
+// concentrates at least as fast, so the same ε stays valid — merely
+// conservative, like the with-replacement Hoeffding fallback elsewhere.
+// m ≤ 0 or δ ≥ 1 degrade to ε = 1 (the trivial band).
+func DKWEpsilon(m int, delta float64) float64 {
+	if m <= 0 {
+		return 1
+	}
+	eps := math.Sqrt(LogKOver(2, delta) / (2 * float64(m)))
+	if eps > 1 {
+		return 1
+	}
+	return eps
+}
+
+// QuantileCI inverts a ±eps CDF band around the sorted sample into a
+// confidence interval for the population p-quantile
+// Q = inf{x : F(x) ≥ p}, clamped to the a-priori range [a, b].
+//
+// On the band event, F(x) ≥ F̂(x) − eps everywhere, so the smallest
+// sample point with empirical mass ≥ p+eps is ≥ Q; and F(x) ≤ F̂(x) + eps,
+// so the largest sample point with empirical mass ≤ p−eps is ≤ Q. When
+// p±eps leaves (0, 1) the corresponding side degrades to the catalog
+// bound — still a valid (one-sided trivial) endpoint.
+func QuantileCI(sorted []float64, p, eps, a, b float64) (lo, hi float64) {
+	m := len(sorted)
+	lo, hi = a, b
+	if m == 0 {
+		return lo, hi
+	}
+	if lop := p - eps; lop > 0 {
+		// Largest index i with F̂(sorted[i]) = (i+1)/m ≤ p−eps.
+		i := int(math.Floor(lop*float64(m))) - 1
+		if i > m-1 {
+			i = m - 1
+		}
+		if i >= 0 {
+			lo = sorted[i]
+		}
+	}
+	if hip := p + eps; hip < 1 {
+		// Smallest index j with F̂(sorted[j]) = (j+1)/m ≥ p+eps.
+		j := int(math.Ceil(hip*float64(m))) - 1
+		if j < 0 {
+			j = 0
+		}
+		if j <= m-1 {
+			hi = sorted[j]
+		}
+	}
+	if lo > hi {
+		// Only possible through float slop in the rank arithmetic;
+		// collapse to the conservative ordering.
+		lo, hi = hi, lo
+	}
+	return lo, hi
+}

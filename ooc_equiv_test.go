@@ -45,6 +45,12 @@ func TestOutOfCoreEquivalence(t *testing.T) {
 		{"sum-having", Sum("DepDelay").GroupBy("Airline").StopWhenThresholdDecided(2000)},
 		{"count-abswidth", CountRows().WhereGreater("DepTime", 1500).StopAtAbsError(3000)},
 		{"avg-grouped-topk", Avg("DepDelay").GroupBy("Origin").StopWhenTopKSeparated(3)},
+		// Multi-aggregate GROUP BY: the sketch states (ECDF, Welford,
+		// distinct table) must also be paging-invariant — under the
+		// 16 KiB budget every round of this case evicts mid-scan.
+		{"multiagg-grouped",
+			Select(Avg("DepDelay"), Median("DepDelay"), Var("DepDelay"), CountDistinct("Origin")).
+				GroupBy("Airline").StopAtAbsError(5)},
 	}
 
 	type key struct {

@@ -1,6 +1,10 @@
 package fastframe
 
-import "fastframe/internal/query"
+import (
+	"fmt"
+
+	"fastframe/internal/query"
+)
 
 // QueryBuilder assembles one aggregate query fluently:
 //
@@ -39,6 +43,81 @@ func CountRows() QueryBuilder {
 	return QueryBuilder{q: query.Query{
 		Name: "COUNT(*)",
 		Agg:  query.Aggregate{Kind: query.Count},
+		Stop: query.Exhaust(),
+	}}
+}
+
+// Median starts a MEDIAN(column) query: the 0.5-quantile with a
+// DKW-band confidence interval.
+func Median(column string) QueryBuilder {
+	return QueryBuilder{q: query.Query{
+		Name: "MEDIAN(" + column + ")",
+		Agg:  query.Aggregate{Kind: query.Median, Column: column},
+		Stop: query.Exhaust(),
+	}}
+}
+
+// PercentileOf starts a PERCENTILE(column, p) query for p strictly
+// between 0 and 1 (validated when the query runs).
+func PercentileOf(column string, p float64) QueryBuilder {
+	return QueryBuilder{q: query.Query{
+		Name: fmt.Sprintf("PERCENTILE(%s, %g)", column, p),
+		Agg:  query.Aggregate{Kind: query.Percentile, Column: column, P: p},
+		Stop: query.Exhaust(),
+	}}
+}
+
+// Var starts a VAR(column) query (population variance).
+func Var(column string) QueryBuilder {
+	return QueryBuilder{q: query.Query{
+		Name: "VAR(" + column + ")",
+		Agg:  query.Aggregate{Kind: query.Var, Column: column},
+		Stop: query.Exhaust(),
+	}}
+}
+
+// Stddev starts a STDDEV(column) query (population standard
+// deviation).
+func Stddev(column string) QueryBuilder {
+	return QueryBuilder{q: query.Query{
+		Name: "STDDEV(" + column + ")",
+		Agg:  query.Aggregate{Kind: query.Stddev, Column: column},
+		Stop: query.Exhaust(),
+	}}
+}
+
+// CountDistinct starts a COUNT(DISTINCT column) query over a
+// categorical column.
+func CountDistinct(column string) QueryBuilder {
+	return QueryBuilder{q: query.Query{
+		Name: "COUNT(DISTINCT " + column + ")",
+		Agg:  query.Aggregate{Kind: query.CountDistinct, Column: column},
+		Stop: query.Exhaust(),
+	}}
+}
+
+// Select combines several aggregate builders into one multi-aggregate
+// query answered on a single scan: predicates, grouping, and the
+// stopping rule come from the combined builder's own method chain.
+// Each aggregate's interval holds with δ_view/N so the joint guarantee
+// over the whole list matches a single-aggregate query's.
+//
+//	fastframe.Select(fastframe.Avg("x"), fastframe.Median("x")).
+//		GroupBy("g").StopAtRelError(0.05)
+func Select(first QueryBuilder, rest ...QueryBuilder) QueryBuilder {
+	if len(rest) == 0 {
+		return first
+	}
+	aggs := make([]query.Aggregate, 0, 1+len(rest))
+	name := first.q.Name
+	aggs = append(aggs, first.q.Agg)
+	for _, qb := range rest {
+		aggs = append(aggs, qb.q.Agg)
+		name += ", " + qb.q.Name
+	}
+	return QueryBuilder{q: query.Query{
+		Name: name,
+		Aggs: aggs,
 		Stop: query.Exhaust(),
 	}}
 }

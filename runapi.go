@@ -147,9 +147,13 @@ type ExecOptions struct {
 // Progress is a mid-query snapshot delivered to WithProgress callbacks
 // and Rows cursors (and, for compatibility, ExecOptions.OnProgress).
 type Progress struct {
-	// Agg is the aggregate the query computes; each group's
-	// Answer(Agg) interval carries the query's full guarantee.
+	// Agg is the first (for single-aggregate queries, the only)
+	// aggregate the query computes; each group's Answer(Agg) interval
+	// carries the query's full guarantee.
 	Agg Agg
+	// Aggs lists every SELECT-list aggregate in order; group Answers
+	// align with it. Single-aggregate queries get a one-element list.
+	Aggs []Agg
 	// Round counts interval recomputations so far.
 	Round int
 	// RowsCovered and BlocksFetched are the cost so far.
@@ -193,15 +197,36 @@ const (
 	AggSum
 	// AggCount is COUNT(*).
 	AggCount
+	// AggMedian is MEDIAN(...), the 0.5-quantile.
+	AggMedian
+	// AggPercentile is PERCENTILE(..., p) for an arbitrary p ∈ (0,1).
+	AggPercentile
+	// AggVar is VAR(...), the population variance.
+	AggVar
+	// AggStddev is STDDEV(...), the population standard deviation.
+	AggStddev
+	// AggCountDistinct is COUNT(DISTINCT col) over a categorical column.
+	AggCountDistinct
 )
 
-// String returns AVG, SUM, or COUNT.
+// String returns the SQL spelling: AVG, SUM, COUNT, MEDIAN,
+// PERCENTILE, VAR, STDDEV, or COUNT DISTINCT.
 func (a Agg) String() string {
 	switch a {
 	case AggSum:
 		return "SUM"
 	case AggCount:
 		return "COUNT"
+	case AggMedian:
+		return "MEDIAN"
+	case AggPercentile:
+		return "PERCENTILE"
+	case AggVar:
+		return "VAR"
+	case AggStddev:
+		return "STDDEV"
+	case AggCountDistinct:
+		return "COUNT DISTINCT"
 	default:
 		return "AVG"
 	}
@@ -213,9 +238,29 @@ func aggOf(k query.AggKind) Agg {
 		return AggSum
 	case query.Count:
 		return AggCount
+	case query.Median:
+		return AggMedian
+	case query.Percentile:
+		return AggPercentile
+	case query.Var:
+		return AggVar
+	case query.Stddev:
+		return AggStddev
+	case query.CountDistinct:
+		return AggCountDistinct
 	default:
 		return AggAvg
 	}
+}
+
+// aggsOf maps the query's SELECT list onto public Agg identifiers.
+func aggsOf(q query.Query) []Agg {
+	list := q.AggList()
+	out := make([]Agg, len(list))
+	for i, a := range list {
+		out[i] = aggOf(a.Kind)
+	}
+	return out
 }
 
 // GroupResult is the approximate answer for one group (aggregate view).
@@ -229,15 +274,22 @@ type GroupResult struct {
 	Avg   Interval
 	Count Interval
 	Sum   Interval
+	// Answers holds one interval per SELECT-list aggregate, aligned
+	// with the Result's (or Progress's) Aggs list. Each interval holds
+	// with probability 1 − δ_view/len(Aggs) (Bonferroni split), so the
+	// joint statement over the whole list holds with 1 − δ_view.
+	Answers []Interval
 	// Samples is the number of view rows that contributed.
 	Samples int
 	// Exact reports that the whole view was observed (point answer).
 	Exact bool
 }
 
-// Answer returns the interval of the given aggregate — pass the
-// Result's Agg to get the interval carrying the query's full
-// guarantee.
+// Answer returns the interval of the given aggregate from the legacy
+// AVG/COUNT/SUM triple — pass the Result's Agg to get the interval
+// carrying the query's full guarantee. The wider statistics (MEDIAN,
+// PERCENTILE, VAR, STDDEV, COUNT DISTINCT) and multi-aggregate SELECT
+// lists live in Answers, aligned with the Result's Aggs.
 func (g GroupResult) Answer(a Agg) Interval {
 	switch a {
 	case AggSum:
@@ -251,9 +303,14 @@ func (g GroupResult) Answer(a Agg) Interval {
 
 // Result is the outcome of an approximate query.
 type Result struct {
-	// Agg is the aggregate the query computed; each group's
-	// Answer(Agg) interval carries the query's full guarantee.
+	// Agg is the first (for single-aggregate queries, the only)
+	// aggregate the query computed; each group's Answer(Agg) interval
+	// carries the query's full guarantee.
 	Agg Agg
+	// Aggs lists every SELECT-list aggregate in order; each group's
+	// Answers slice aligns with it. Single-aggregate queries get a
+	// one-element list.
+	Aggs []Agg
 	// Groups holds one entry per observed group, sorted by Key.
 	Groups []GroupResult
 	// BlocksFetched counts storage blocks actually read, the paper's
@@ -407,21 +464,15 @@ func (t *Table) runQuery(ctx context.Context, q query.Query, s runSettings) (*Re
 		cb := s.onProgress
 		execOpts.OnRound = func(s exec.RoundSnapshot) bool {
 			p := Progress{
-				Agg:           aggOf(q.Agg.Kind),
+				Agg:           aggOf(q.AggList()[0].Kind),
+				Aggs:          aggsOf(q),
 				Round:         s.Round,
 				RowsCovered:   s.RowsCovered,
 				BlocksFetched: s.BlocksFetched,
 				ActiveGroups:  s.NumActive,
 			}
 			for _, g := range s.Groups {
-				p.Groups = append(p.Groups, GroupResult{
-					Key:     g.Key,
-					Avg:     fromCI(g.Avg),
-					Count:   fromCI(g.Count),
-					Sum:     fromCI(g.Sum),
-					Samples: g.Samples,
-					Exact:   g.Exact,
-				})
+				p.Groups = append(p.Groups, groupFromExec(g))
 			}
 			return cb(p)
 		}
@@ -436,7 +487,8 @@ func (t *Table) runQuery(ctx context.Context, q query.Query, s runSettings) (*Re
 		return nil, err
 	}
 	out := &Result{
-		Agg:           aggOf(q.Agg.Kind),
+		Agg:           aggOf(q.AggList()[0].Kind),
+		Aggs:          aggsOf(q),
 		BlocksFetched: res.BlocksFetched,
 		RowsCovered:   res.RowsCovered,
 		Rounds:        res.Rounds,
@@ -447,16 +499,29 @@ func (t *Table) runQuery(ctx context.Context, q query.Query, s runSettings) (*Re
 		Duration:      res.Duration,
 	}
 	for _, g := range res.Groups {
-		out.Groups = append(out.Groups, GroupResult{
-			Key:     g.Key,
-			Avg:     fromCI(g.Avg),
-			Count:   fromCI(g.Count),
-			Sum:     fromCI(g.Sum),
-			Samples: g.Samples,
-			Exact:   g.Exact,
-		})
+		out.Groups = append(out.Groups, groupFromExec(g))
 	}
 	return out, nil
+}
+
+// groupFromExec converts one exec-layer group answer, carrying both the
+// legacy AVG/COUNT/SUM triple and the per-SELECT-list Answers.
+func groupFromExec(g exec.GroupResult) GroupResult {
+	out := GroupResult{
+		Key:     g.Key,
+		Avg:     fromCI(g.Avg),
+		Count:   fromCI(g.Count),
+		Sum:     fromCI(g.Sum),
+		Samples: g.Samples,
+		Exact:   g.Exact,
+	}
+	if len(g.Aggs) > 0 {
+		out.Answers = make([]Interval, len(g.Aggs))
+		for i, a := range g.Aggs {
+			out.Answers[i] = fromCI(a.Interval)
+		}
+	}
+	return out
 }
 
 // ExactGroup is one group's exact aggregate values.
@@ -465,9 +530,13 @@ type ExactGroup struct {
 	Count int
 	Sum   float64
 	Avg   float64
+	// Stats holds one exact value per SELECT-list aggregate, aligned
+	// with the ExactResult's Aggs list.
+	Stats []float64
 }
 
-// Value returns the given aggregate's exact value.
+// Value returns the given aggregate's exact value from the legacy
+// AVG/COUNT/SUM triple; use Stat for positional SELECT-list access.
 func (g ExactGroup) Value(a Agg) float64 {
 	switch a {
 	case AggSum:
@@ -479,10 +548,17 @@ func (g ExactGroup) Value(a Agg) float64 {
 	}
 }
 
+// Stat returns the exact value of the i-th SELECT-list aggregate.
+func (g ExactGroup) Stat(i int) float64 { return g.Stats[i] }
+
 // ExactResult is the exact evaluation of a query via a full scan.
 type ExactResult struct {
-	// Agg is the aggregate the query computed.
-	Agg      Agg
+	// Agg is the first (for single-aggregate queries, the only)
+	// aggregate the query computed.
+	Agg Agg
+	// Aggs lists every SELECT-list aggregate in order; each group's
+	// Stats slice aligns with it.
+	Aggs     []Agg
 	Groups   []ExactGroup
 	Duration time.Duration
 }
@@ -513,9 +589,12 @@ func (t *Table) QueryExact(ctx context.Context, q QueryBuilder, opts ...Option) 
 	if err != nil {
 		return nil, err
 	}
-	out := &ExactResult{Agg: aggOf(qq.Agg.Kind), Duration: res.Duration}
+	out := &ExactResult{Agg: aggOf(qq.AggList()[0].Kind), Aggs: aggsOf(qq), Duration: res.Duration}
 	for _, g := range res.Groups {
-		out.Groups = append(out.Groups, ExactGroup{Key: g.Key, Count: g.Count, Sum: g.Sum, Avg: g.Avg})
+		out.Groups = append(out.Groups, ExactGroup{
+			Key: g.Key, Count: g.Count, Sum: g.Sum, Avg: g.Avg,
+			Stats: append([]float64(nil), g.Stats...),
+		})
 	}
 	return out, nil
 }

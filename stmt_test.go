@@ -82,8 +82,16 @@ func TestStmtEquivalentToLiteralQuery(t *testing.T) {
 		t.Fatalf("exact group counts differ: %d vs %d", len(ex.Groups), len(exWant.Groups))
 	}
 	for i := range ex.Groups {
-		if ex.Groups[i] != exWant.Groups[i] {
-			t.Errorf("exact group %d: %+v vs %+v", i, ex.Groups[i], exWant.Groups[i])
+		g, w := ex.Groups[i], exWant.Groups[i]
+		if g.Key != w.Key || g.Count != w.Count || g.Sum != w.Sum || g.Avg != w.Avg ||
+			len(g.Stats) != len(w.Stats) {
+			t.Errorf("exact group %d: %+v vs %+v", i, g, w)
+			continue
+		}
+		for k := range g.Stats {
+			if g.Stats[k] != w.Stats[k] {
+				t.Errorf("exact group %d stat %d: %v vs %v", i, k, g.Stats[k], w.Stats[k])
+			}
 		}
 	}
 }
