@@ -1,0 +1,315 @@
+package fastframe
+
+import (
+	"context"
+	"errors"
+	"math/rand/v2"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+
+	"fastframe/internal/blockstore"
+)
+
+// silentRetries installs a retry policy whose backoff is recorded on a
+// no-op clock, so chaos runs retry and quarantine at full speed.
+func silentRetries(pool *BufferPool) {
+	pool.p.SetRetryPolicy(blockstore.RetryPolicy{
+		MaxAttempts: 3,
+		BaseDelay:   time.Millisecond,
+		MaxDelay:    2 * time.Millisecond,
+		Sleep:       func(time.Duration) {},
+	})
+}
+
+// colIndex resolves a column name to its store column index.
+func colIndex(t *testing.T, tab *Table, name string) int {
+	t.Helper()
+	sch := tab.t.Schema()
+	for i := 0; i < sch.NumColumns(); i++ {
+		if sch.Column(i).Name == name {
+			return i
+		}
+	}
+	t.Fatalf("no column %q", name)
+	return -1
+}
+
+// TestChaosTransientFaultsHealByteIdentical injects transient faults
+// (every third segment fails its first read attempt) under a tiny pool
+// that re-reads constantly: the retry loop must absorb every fault and
+// the Results must stay byte-identical to the fully resident runs —
+// a healed transient is invisible, not silently degrading.
+func TestChaosTransientFaultsHealByteIdentical(t *testing.T) {
+	tab := smallFlights(t)
+	path := writeTempTable(t, tab)
+	ctx := context.Background()
+	cases := []struct {
+		name string
+		q    QueryBuilder
+	}{
+		{"avg-relerr", Avg("DepDelay").Where("Origin", "ORD").StopAtRelError(0.05)},
+		{"sum-grouped", Sum("DepDelay").GroupBy("Airline").StopWhenThresholdDecided(2000)},
+		{"count", CountRows().WhereGreater("DepTime", 1500).StopAtAbsError(3000)},
+	}
+
+	pool := NewBufferPool(1 << 14) // evicts constantly: faults recur across rounds
+	defer pool.Close()
+	silentRetries(pool)
+	ooc, err := OpenTable(path, pool)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ooc.Close()
+	ooc.InjectStorageFault(func(col, block, attempt int) error {
+		if (col+block)%3 == 0 && attempt == 0 {
+			return errors.New("injected transient fault")
+		}
+		return nil
+	})
+
+	for _, p := range []int{1, 4} {
+		for _, tc := range cases {
+			want, err := tab.Query(ctx, tc.q, sharedCommon(WithParallelism(p))...)
+			if err != nil {
+				t.Fatalf("%s/P=%d resident: %v", tc.name, p, err)
+			}
+			got, err := ooc.Query(ctx, tc.q, sharedCommon(WithParallelism(p))...)
+			if err != nil {
+				t.Fatalf("%s/P=%d faulted: %v", tc.name, p, err)
+			}
+			if got.Degraded || got.QuarantinedBlocks != 0 {
+				t.Errorf("%s/P=%d: healed run reports degraded=%v quarantined=%d",
+					tc.name, p, got.Degraded, got.QuarantinedBlocks)
+			}
+			if !reflect.DeepEqual(stripTimes(got), stripTimes(want)) {
+				t.Errorf("%s/P=%d: faulted out-of-core run differs from resident", tc.name, p)
+			}
+		}
+	}
+
+	fs := ooc.t.Store().FaultStats()
+	if fs.Retries == 0 || fs.IOErrors == 0 {
+		t.Errorf("chaos did not bite: %+v", fs)
+	}
+	if fs.QuarantinedBlocks != 0 {
+		t.Errorf("transient faults quarantined %d blocks", fs.QuarantinedBlocks)
+	}
+}
+
+// TestChaosPermanentFaultDefaultError makes one column permanently
+// unreadable. Default mode: a query touching it fails at a round
+// boundary with a classified *blockstore.BlockError carrying the
+// registered table name — while a concurrent shared-scan cohort on
+// healthy columns is untouched, each answer still byte-identical to a
+// solo resident replay.
+func TestChaosPermanentFaultDefaultError(t *testing.T) {
+	tab := smallFlights(t)
+	path := writeTempTable(t, tab)
+	pool := NewBufferPool(1 << 20)
+	defer pool.Close()
+	silentRetries(pool)
+	ooc, err := OpenTable(path, pool)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ooc.Close()
+
+	eng := NewEngine(WithSessionBudget(1e-6, 100))
+	if err := eng.Register("flights", ooc); err != nil {
+		t.Fatal(err)
+	}
+	solo := NewEngine(WithSessionBudget(1e-6, 100))
+	if err := solo.Register("flights", tab); err != nil {
+		t.Fatal(err)
+	}
+
+	depTime := colIndex(t, tab, "DepTime")
+	ooc.InjectStorageFault(func(col, block, attempt int) error {
+		if col == depTime {
+			return errors.New("injected permanent fault")
+		}
+		return nil
+	})
+
+	ctx := context.Background()
+	healthy := []string{
+		"SELECT AVG(DepDelay) FROM flights WHERE Origin = 'ORD' WITHIN 5%",
+		"SELECT SUM(DepDelay) FROM flights GROUP BY Airline HAVING SUM(DepDelay) > 2000",
+		"SELECT AVG(DepDelay) FROM flights GROUP BY Origin ORDER BY AVG(DepDelay) DESC LIMIT 3",
+	}
+	poisoned := "SELECT AVG(DepTime) FROM flights WITHIN 5%"
+
+	type outcome struct {
+		res *Result
+		err error
+	}
+	results := make([]outcome, len(healthy))
+	var wg sync.WaitGroup
+	var poisonErr error
+	for i, sqlText := range healthy {
+		wg.Add(1)
+		go func(i int, sqlText string) {
+			defer wg.Done()
+			res, err := eng.Query(ctx, sqlText, sharedCommon(WithSharedScan())...)
+			results[i] = outcome{res, err}
+		}(i, sqlText)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		_, poisonErr = eng.Query(ctx, poisoned, sharedCommon(WithSharedScan())...)
+	}()
+	wg.Wait()
+
+	if poisonErr == nil {
+		t.Fatal("query over the unreadable column succeeded")
+	}
+	table, col, _, kind, ok := StorageFault(poisonErr)
+	if !ok {
+		t.Fatalf("poisoned query error is not a storage fault: %v", poisonErr)
+	}
+	if table != "flights" || col != depTime || kind != "io" {
+		t.Errorf("fault identity: table=%q col=%d kind=%q", table, col, kind)
+	}
+
+	for i, sqlText := range healthy {
+		if results[i].err != nil {
+			t.Fatalf("cohort member %s failed alongside the poisoned query: %v", sqlText, results[i].err)
+		}
+		replay, err := solo.Query(ctx, sqlText, sharedCommon(WithStartBlock(results[i].res.StartBlock))...)
+		if err != nil {
+			t.Fatalf("%s replay: %v", sqlText, err)
+		}
+		if !reflect.DeepEqual(stripTimes(results[i].res), stripTimes(replay)) {
+			t.Errorf("%s: cohort answer disturbed by the poisoned member", sqlText)
+		}
+	}
+
+	// The engine stays serviceable after the failure.
+	if _, err := eng.Query(ctx, healthy[0], sharedCommon()...); err != nil {
+		t.Fatalf("engine wedged after storage failure: %v", err)
+	}
+}
+
+// TestChaosDegradedReadsConservative is the Monte-Carlo validity check:
+// random subsets of one column's blocks fail permanently, and queries
+// opted into WithDegradedReads must skip them, mark the Result
+// Degraded, and still return intervals containing the exact resident
+// answer — across sequential, parallel, and shared-scan execution.
+func TestChaosDegradedReadsConservative(t *testing.T) {
+	tab := smallFlights(t)
+	path := writeTempTable(t, tab)
+	ctx := context.Background()
+	depDelay := colIndex(t, tab, "DepDelay")
+
+	q := Avg("DepDelay").GroupBy("Airline").StopAtAbsError(1.0)
+	exact, err := tab.QueryExact(ctx, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exactAvg := map[string]float64{}
+	exactCount := map[string]int{}
+	for _, g := range exact.Groups {
+		exactAvg[g.Key] = g.Avg
+		exactCount[g.Key] = g.Count
+	}
+
+	for trial := 0; trial < 5; trial++ {
+		rng := rand.New(rand.NewPCG(uint64(trial), 1234))
+		bad := map[int]bool{}
+		for b := 0; b < tab.NumBlocks(); b++ {
+			if rng.IntN(10) == 0 { // ~10% of blocks unreadable
+				bad[b] = true
+			}
+		}
+
+		pool := NewBufferPool(1 << 20)
+		silentRetries(pool)
+		ooc, err := OpenTable(path, pool)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ooc.InjectStorageFault(func(col, block, attempt int) error {
+			if col == depDelay && bad[block] {
+				return errors.New("injected permanent fault")
+			}
+			return nil
+		})
+
+		modes := []struct {
+			name string
+			opts []Option
+		}{
+			{"seq", sharedCommon(WithDegradedReads(), WithParallelism(1))},
+			{"par4", sharedCommon(WithDegradedReads(), WithParallelism(4))},
+			{"shared", sharedCommon(WithDegradedReads(), WithSharedScan())},
+		}
+		for _, m := range modes {
+			res, err := ooc.Query(ctx, q, m.opts...)
+			if err != nil {
+				t.Fatalf("trial %d/%s: degraded query failed: %v", trial, m.name, err)
+			}
+			if len(bad) > 0 {
+				if !res.Degraded || res.QuarantinedBlocks == 0 {
+					t.Fatalf("trial %d/%s: %d bad blocks but Degraded=%v quarantined=%d",
+						trial, m.name, len(bad), res.Degraded, res.QuarantinedBlocks)
+				}
+			}
+			for _, g := range res.Groups {
+				want, okAvg := exactAvg[g.Key]
+				if !okAvg {
+					t.Fatalf("trial %d/%s: unexpected group %q", trial, m.name, g.Key)
+				}
+				if g.Avg.Lo > want || want > g.Avg.Hi {
+					t.Errorf("trial %d/%s group %q: AVG interval [%v, %v] misses exact %v",
+						trial, m.name, g.Key, g.Avg.Lo, g.Avg.Hi, want)
+				}
+				wc := float64(exactCount[g.Key])
+				if g.Count.Lo > wc || wc > g.Count.Hi {
+					t.Errorf("trial %d/%s group %q: COUNT interval [%v, %v] misses exact %v",
+						trial, m.name, g.Key, g.Count.Lo, g.Count.Hi, wc)
+				}
+			}
+		}
+
+		if err := ooc.Close(); err != nil {
+			t.Fatal(err)
+		}
+		pool.Close()
+	}
+}
+
+// TestChaosDefaultModeNoDegradedResult pins down the default contract:
+// without WithDegradedReads a permanently unreadable block yields an
+// error — never a silently narrowed Result.
+func TestChaosDefaultModeNoDegradedResult(t *testing.T) {
+	tab := smallFlights(t)
+	path := writeTempTable(t, tab)
+	pool := NewBufferPool(1 << 20)
+	defer pool.Close()
+	silentRetries(pool)
+	ooc, err := OpenTable(path, pool)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ooc.Close()
+	depDelay := colIndex(t, tab, "DepDelay")
+	ooc.InjectStorageFault(func(col, block, attempt int) error {
+		if col == depDelay && block == 7 {
+			return errors.New("injected permanent fault")
+		}
+		return nil
+	})
+
+	// Exhaustive stop guarantees the scan reaches block 7.
+	q := Avg("DepDelay").StopAtAbsError(0.0001)
+	res, err := ooc.Query(context.Background(), q, sharedCommon()...)
+	if err == nil {
+		t.Fatalf("default mode returned a Result (%+v) over an unreadable block", res)
+	}
+	if _, _, block, _, ok := StorageFault(err); !ok || block != 7 {
+		t.Fatalf("error does not identify the damaged block: %v", err)
+	}
+}

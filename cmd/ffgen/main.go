@@ -12,6 +12,13 @@
 // amortizes across daemon restarts:
 //
 //	ffgen -rows 1000000 -table /tmp/flights.ff
+//
+// With -verify the tool instead checks an existing table file's
+// integrity offline — header, footer and (format v4) every segment
+// checksum, plus a full decode of every block — and exits nonzero if
+// anything is damaged:
+//
+//	ffgen -verify /tmp/flights.ff
 package main
 
 import (
@@ -23,6 +30,7 @@ import (
 	"sort"
 	"strconv"
 
+	"fastframe"
 	"fastframe/internal/exact"
 	"fastframe/internal/flights"
 	"fastframe/internal/query"
@@ -37,8 +45,16 @@ func main() {
 		summary = flag.Bool("summary", true, "print aggregate summary")
 		csvPath = flag.String("csv", "", "write rows to this CSV file")
 		tabPath = flag.String("table", "", "persist the scrambled table (binary format, for ffserved -table / ReadTable)")
+		verify  = flag.String("verify", "", "verify this table file's integrity (checksums + full decode) instead of generating; exit 1 on damage")
 	)
 	flag.Parse()
+
+	if *verify != "" {
+		if err := verifyTable(*verify); err != nil {
+			fatal(err)
+		}
+		return
+	}
 
 	tab, err := flights.Generate(flights.Config{Rows: *rows, Seed: *seed, BlockSize: *block})
 	if err != nil {
@@ -68,6 +84,31 @@ func main() {
 		}
 		fmt.Printf("wrote %s\n", *tabPath)
 	}
+}
+
+// verifyTable runs the offline integrity check and renders the report.
+func verifyTable(path string) error {
+	rep, err := fastframe.VerifyTable(path)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%s: format v%d, %d rows, %d blocks of %d rows, %d columns\n",
+		rep.Path, rep.Version, rep.Rows, rep.NumBlocks, rep.BlockSize, len(rep.Cols))
+	for _, c := range rep.Cols {
+		if c.BadBlocks == 0 {
+			fmt.Printf("  %-12s %d/%d blocks ok\n", c.Name, c.Blocks, c.Blocks)
+			continue
+		}
+		fmt.Printf("  %-12s %d/%d blocks DAMAGED (blocks %v)\n", c.Name, c.BadBlocks, c.Blocks, c.BadBlockIDs)
+		for _, e := range c.BadBlockErrors {
+			fmt.Printf("    %s\n", e)
+		}
+	}
+	if !rep.OK() {
+		return fmt.Errorf("%s: %d damaged blocks", path, rep.BadBlocks)
+	}
+	fmt.Printf("%s: OK\n", path)
+	return nil
 }
 
 // writeTable persists the scramble in the binary table format.

@@ -58,7 +58,8 @@ func main() {
 		keepAlive    = flag.Duration("stream-keepalive", serve.DefaultStreamKeepAlive, "SSE keepalive comment interval for /v1/stream (negative = none)")
 		usageLog     = flag.String("usage-log", "", "append usage records (JSONL) to this file")
 		drainWait    = flag.Duration("drain-timeout", 10*time.Second, "graceful-shutdown deadline")
-		poolBytes    = flag.Int64("pool-bytes", 0, "open format-v3 tables out-of-core, paging blocks through a shared buffer pool with this decoded-byte budget (0 = load everything resident)")
+		poolBytes    = flag.Int64("pool-bytes", 0, "open persisted tables out-of-core, paging blocks through a shared buffer pool with this decoded-byte budget (0 = load everything resident)")
+		degraded     = flag.Bool("degraded-reads", false, "keep answering past permanently quarantined storage blocks: their rows stay unobserved and are charged at catalog worst case, so intervals remain conservatively valid (responses are marked degraded); default is to fail such queries with a structured storage_error")
 		tables       cliload.Specs
 		csvTables    cliload.Specs
 		dims         cliload.Specs
@@ -101,6 +102,7 @@ func main() {
 		QueryTimeout:    *queryTimeout,
 		MaxBody:         *maxBody,
 		NoSharedScan:    *noShared,
+		DegradedReads:   *degraded,
 		StreamKeepAlive: *keepAlive,
 	}
 	if cfg.Tenants, err = tenantConfigs(tokens, *tokenFile); err != nil {

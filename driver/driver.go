@@ -32,13 +32,16 @@
 //	                    MaxRows) before the stopping rule fired; the
 //	                    intervals are valid but may be wider than the
 //	                    query's WITHIN/HAVING target requested
+//	degraded   bool     quarantined storage blocks were skipped under
+//	                    degraded reads; the intervals remain valid but
+//	                    charge the unread rows at their worst case
 //
 // A multi-aggregate SELECT list ("SELECT AVG(x), MEDIAN(x), ...")
 // widens the row to one estimate/ci pair per SELECT-list position,
 // numbered 1-based in list order:
 //
 //	group_key, estimate_1, ci_lo_1, ci_hi_1, ..., estimate_N, ci_lo_N,
-//	ci_hi_N, samples, exact, aborted
+//	ci_hi_N, samples, exact, aborted, degraded
 //
 // The driver is read-only: Exec and transactions are rejected.
 // database/sql's Prepare maps onto Engine.Prepare (compile once, bind
@@ -198,22 +201,24 @@ func runStmt(ctx context.Context, st *fastframe.Stmt, args []driver.NamedValue) 
 		return nil, err
 	}
 	return &rows{
-		agg:     res.Agg,
-		n:       max(len(res.Aggs), 1),
-		groups:  res.Groups,
-		aborted: res.Aborted,
+		agg:      res.Agg,
+		n:        max(len(res.Aggs), 1),
+		groups:   res.Groups,
+		aborted:  res.Aborted,
+		degraded: res.Degraded,
 	}, nil
 }
 
-var columns = []string{"group_key", "estimate", "ci_lo", "ci_hi", "samples", "exact", "aborted"}
+var columns = []string{"group_key", "estimate", "ci_lo", "ci_hi", "samples", "exact", "aborted", "degraded"}
 
 // rows iterates the groups of one approximate Result.
 type rows struct {
-	agg     fastframe.Agg
-	n       int // SELECT-list length; 1 keeps the classic column set
-	groups  []fastframe.GroupResult
-	aborted bool
-	i       int
+	agg      fastframe.Agg
+	n        int // SELECT-list length; 1 keeps the classic column set
+	groups   []fastframe.GroupResult
+	aborted  bool
+	degraded bool
+	i        int
 }
 
 func (r *rows) Columns() []string {
@@ -228,7 +233,7 @@ func (r *rows) Columns() []string {
 			fmt.Sprintf("ci_lo_%d", k),
 			fmt.Sprintf("ci_hi_%d", k))
 	}
-	return append(cols, "samples", "exact", "aborted")
+	return append(cols, "samples", "exact", "aborted", "degraded")
 }
 
 func (r *rows) Close() error { return nil }
@@ -257,5 +262,6 @@ func (r *rows) Next(dest []driver.Value) error {
 	dest[d] = int64(g.Samples)
 	dest[d+1] = g.Exact
 	dest[d+2] = r.aborted
+	dest[d+3] = r.degraded
 	return nil
 }

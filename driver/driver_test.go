@@ -43,7 +43,7 @@ func TestParameterizedGroupByEndToEnd(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	want := []string{"group_key", "estimate", "ci_lo", "ci_hi", "samples", "exact", "aborted"}
+	want := []string{"group_key", "estimate", "ci_lo", "ci_hi", "samples", "exact", "aborted", "degraded"}
 	if strings.Join(cols, ",") != strings.Join(want, ",") {
 		t.Fatalf("columns = %v, want %v", cols, want)
 	}
@@ -55,12 +55,12 @@ func TestParameterizedGroupByEndToEnd(t *testing.T) {
 	got := map[string]row{}
 	for rows.Next() {
 		var (
-			key            string
-			est, lo, hi    float64
-			samples        int64
-			exact, aborted bool
+			key                      string
+			est, lo, hi              float64
+			samples                  int64
+			exact, aborted, degraded bool
 		)
-		if err := rows.Scan(&key, &est, &lo, &hi, &samples, &exact, &aborted); err != nil {
+		if err := rows.Scan(&key, &est, &lo, &hi, &samples, &exact, &aborted, &degraded); err != nil {
 			t.Fatal(err)
 		}
 		if aborted {
@@ -150,12 +150,12 @@ func TestParameterizedJoinGroupByEndToEnd(t *testing.T) {
 	got := map[string]row{}
 	for rows.Next() {
 		var (
-			key            string
-			est, lo, hi    float64
-			samples        int64
-			exact, aborted bool
+			key                      string
+			est, lo, hi              float64
+			samples                  int64
+			exact, aborted, degraded bool
 		)
-		if err := rows.Scan(&key, &est, &lo, &hi, &samples, &exact, &aborted); err != nil {
+		if err := rows.Scan(&key, &est, &lo, &hi, &samples, &exact, &aborted, &degraded); err != nil {
 			t.Fatal(err)
 		}
 		got[key] = row{lo: lo, est: est, hi: hi, samples: samples}
@@ -204,12 +204,12 @@ func TestPreparedReuse(t *testing.T) {
 	total := 0.0
 	for _, origin := range []string{"ORD", "LAX", "ATL"} {
 		var (
-			key            string
-			est, lo, hi    float64
-			samples        int64
-			exact, aborted bool
+			key                      string
+			est, lo, hi              float64
+			samples                  int64
+			exact, aborted, degraded bool
 		)
-		if err := stmt.QueryRow(origin).Scan(&key, &est, &lo, &hi, &samples, &exact, &aborted); err != nil {
+		if err := stmt.QueryRow(origin).Scan(&key, &est, &lo, &hi, &samples, &exact, &aborted, &degraded); err != nil {
 			t.Fatalf("origin %s: %v", origin, err)
 		}
 		if !exact || lo != hi || est <= 0 {
@@ -235,13 +235,13 @@ func TestRegistryOpen(t *testing.T) {
 	}
 
 	var (
-		key            string
-		est, lo, hi    float64
-		samples        int64
-		exact, aborted bool
+		key                      string
+		est, lo, hi              float64
+		samples                  int64
+		exact, aborted, degraded bool
 	)
 	err = db.QueryRow("SELECT AVG(DepDelay) FROM flights WITHIN 20%").
-		Scan(&key, &est, &lo, &hi, &samples, &exact, &aborted)
+		Scan(&key, &est, &lo, &hi, &samples, &exact, &aborted, &degraded)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -311,7 +311,7 @@ func TestMultiAggregateColumns(t *testing.T) {
 		"estimate_2", "ci_lo_2", "ci_hi_2",
 		"estimate_3", "ci_lo_3", "ci_hi_3",
 		"estimate_4", "ci_lo_4", "ci_hi_4",
-		"samples", "exact", "aborted"}
+		"samples", "exact", "aborted", "degraded"}
 	if strings.Join(cols, ",") != strings.Join(want, ",") {
 		t.Fatalf("columns = %v, want %v", cols, want)
 	}
@@ -323,15 +323,15 @@ func TestMultiAggregateColumns(t *testing.T) {
 	i := 0
 	for rows.Next() {
 		var (
-			key            string
-			est, lo, hi    [4]float64
-			samples        int64
-			exact, aborted bool
+			key                      string
+			est, lo, hi              [4]float64
+			samples                  int64
+			exact, aborted, degraded bool
 		)
 		if err := rows.Scan(&key,
 			&est[0], &lo[0], &hi[0], &est[1], &lo[1], &hi[1],
 			&est[2], &lo[2], &hi[2], &est[3], &lo[3], &hi[3],
-			&samples, &exact, &aborted); err != nil {
+			&samples, &exact, &aborted, &degraded); err != nil {
 			t.Fatal(err)
 		}
 		if i >= len(ref.Groups) {
@@ -373,19 +373,19 @@ func TestSingleWideAggregateColumns(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(cols) != 7 || cols[1] != "estimate" {
+	if len(cols) != 8 || cols[1] != "estimate" {
 		t.Fatalf("columns = %v", cols)
 	}
 	if !rows.Next() {
 		t.Fatal("no rows")
 	}
 	var (
-		key            string
-		est, lo, hi    float64
-		samples        int64
-		exact, aborted bool
+		key                      string
+		est, lo, hi              float64
+		samples                  int64
+		exact, aborted, degraded bool
 	)
-	if err := rows.Scan(&key, &est, &lo, &hi, &samples, &exact, &aborted); err != nil {
+	if err := rows.Scan(&key, &est, &lo, &hi, &samples, &exact, &aborted, &degraded); err != nil {
 		t.Fatal(err)
 	}
 	ref, err := eng.Query(context.Background(), "SELECT MEDIAN(DepDelay) FROM flights")

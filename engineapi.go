@@ -172,7 +172,10 @@ func WithPlanCacheSize(n int) EngineOption {
 }
 
 // Register adds a table to the engine under a name usable in FROM
-// clauses. Registering an existing name replaces the table.
+// clauses. Registering an existing name replaces the table. For
+// out-of-core tables the registered name becomes the store's label, so
+// storage errors and fault stats identify the table as queries know it
+// rather than by file path.
 func (e *Engine) Register(name string, t *Table) error {
 	if name == "" {
 		return fmt.Errorf("fastframe: table name must be non-empty")
@@ -180,6 +183,7 @@ func (e *Engine) Register(name string, t *Table) error {
 	if t == nil {
 		return fmt.Errorf("fastframe: table %q is nil", name)
 	}
+	t.t.SetLabel(name)
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	e.tables[name] = t
@@ -699,6 +703,43 @@ func (e *Engine) PoolStats() PoolStats {
 		out.Evictions += s.Evictions
 		out.Prefetched += s.Prefetched
 		out.BytesRead += s.BytesRead
+		out.IOErrors += s.IOErrors
+		out.ChecksumFailures += s.ChecksumFailures
+		out.Retries += s.Retries
+		out.QuarantinedBlocks += s.QuarantinedBlocks
+	}
+	return out
+}
+
+// StorageStats reports the per-table storage fault counters of every
+// registered out-of-core table, sorted by table name. Resident tables
+// have no storage to fail and are omitted; tables registered under
+// several names report once per name (the label carries the most
+// recently registered name).
+func (e *Engine) StorageStats() []TableStorageStats {
+	e.mu.RLock()
+	names := e.namesLocked()
+	tabs := make([]*Table, len(names))
+	for i, n := range names {
+		tabs[i] = e.tables[n]
+	}
+	e.mu.RUnlock()
+	var out []TableStorageStats
+	for i, t := range tabs {
+		s := t.t.Store()
+		if s == nil {
+			continue
+		}
+		fs := s.FaultStats()
+		out = append(out, TableStorageStats{
+			Table:             names[i],
+			Version:           s.Version(),
+			IOErrors:          fs.IOErrors,
+			ChecksumFailures:  fs.ChecksumFailures,
+			Retries:           fs.Retries,
+			QuarantinedBlocks: fs.QuarantinedBlocks,
+			LastFaultUnixNano: fs.LastFaultUnixNano,
+		})
 	}
 	return out
 }

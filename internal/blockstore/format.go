@@ -4,44 +4,79 @@ import (
 	"bufio"
 	"encoding/binary"
 	"fmt"
+	"hash/crc32"
 	"io"
 	"math"
 )
 
-// Format v3 (little-endian). The header carries everything query
+// Format v4 (little-endian). The header carries everything query
 // compilation needs — schema, catalog bounds, zone maps, dictionaries
 // and block bitmap indexes — so predicate pruning and active-scan
 // skipping never read a data segment. Data segments follow
 // column-major, each independently addressable and compressed; the
 // footer is the segment directory enabling random block access:
 //
-//	magic "FFSC" | u32 version=3 | u32 blockSize | u64 rows | u32 numCols
+//	magic "FFSC" | u32 version=4 | u32 blockSize | u64 rows | u32 numCols
 //	per column: u8 kind | u16 nameLen | name
 //	  Float (kind 0): f64 boundsLo | f64 boundsHi
 //	                  | nb × f64 zoneMin | nb × f64 zoneMax
 //	  Cat   (kind 1): u32 dictLen | dict entries (u16 len | bytes)
 //	                  | per code: ceil(nb/64) × u64 index bitset words
-//	per column, per block: u32 segLen | segment (see encode.go)
+//	u32 headerCRC  (v4: CRC32C of the bytes after magic+version)
+//	per column, per block: u32 segLen | segment (see encode.go) | u32 segCRC (v4)
 //	footer: per column: nb × u64 offsets | nb × u32 lengths
-//	u64 footerOffset | magic "FF3E"
+//	u32 footerCRC (v4) | u64 footerOffset | magic "FF4E"
 //
-// Segments are self-describing and written in a fixed order, so the
-// whole file also reads sequentially without the footer — that is the
-// resident ReadTable load path; the footer serves out-of-core opens.
+// All checksums are CRC32C (Castagnoli). Version 3 is the same layout
+// without any of the three checksum fields and with trailing magic
+// "FF3E"; v3 files still open and read, unverified. Segments are
+// self-describing and written in a fixed order, so the whole file also
+// reads sequentially without the footer — that is the resident
+// ReadTable load path; the footer serves out-of-core opens.
 
 const (
 	// Magic is the leading file magic shared by every scramble format
-	// version; Version is the blockstore format introduced here.
-	Magic   = "FFSC"
-	Version = 3
-	// footerMagic trails the file, after the footer offset.
-	footerMagic = "FF3E"
+	// version; Version is the current written format. VersionV3 is the
+	// previous block-segmented format, identical except that it carries
+	// no checksums; it remains both readable and writable (for
+	// cross-version tests and gradual fleet upgrades).
+	Magic     = "FFSC"
+	Version   = 4
+	VersionV3 = 3
+	// footerMagicV3/V4 trail the file, after the footer offset.
+	footerMagicV3 = "FF3E"
+	footerMagicV4 = "FF4E"
 
 	// KindFloat and KindCat are the column kind bytes (matching
 	// table.Float and table.Categorical).
 	KindFloat = 0
 	KindCat   = 1
+
+	// Hard caps on header-declared sizes, enforced before any
+	// allocation sized by them: a bit-flipped or truncated header must
+	// yield a clean error, not a multi-gigabyte make() or a panic.
+	maxBlockSize = 1 << 28
+	maxRows      = 1 << 42
+	maxCols      = 1 << 16
+	maxDictLen   = 1 << 22
 )
+
+// castagnoli is the CRC32C table shared by every checksum site.
+// crc32.Checksum against a prebuilt table is allocation-free, which
+// keeps per-round segment verification out of the allocation budget.
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+func footerMagicFor(version uint32) string {
+	if version >= Version {
+		return footerMagicV4
+	}
+	return footerMagicV3
+}
+
+// maxSegLen bounds a segment's on-disk length for a block of n rows:
+// the widest encoding is bounded by ~10 bytes per value (uvarint of a
+// 64-bit delta) plus a small header. Anything larger is corruption.
+func maxSegLen(n int) int { return 16 + 10*n }
 
 // ColumnMeta is the header metadata of one column.
 type ColumnMeta struct {
@@ -58,7 +93,7 @@ type ColumnMeta struct {
 	IndexWords [][]uint64
 }
 
-// Meta is the header of a v3 file.
+// Meta is the header of a v3/v4 file.
 type Meta struct {
 	BlockSize int
 	Rows      int
@@ -83,25 +118,41 @@ func (m *Meta) BlockRows(b int) int {
 	return end - start
 }
 
-// Writer emits a v3 file to a streaming destination: header at
+// Writer emits a v3 or v4 file to a streaming destination: header at
 // construction, then every column's blocks in schema order, then the
 // footer. The destination needs no seeking — offsets are tracked as
 // bytes are written.
 type Writer struct {
 	w       *bufio.Writer
 	off     int64
+	version uint32
 	meta    *Meta
 	nextCol int
 	offs    [][]int64
 	lens    [][]int32
 	scratch []byte
 	err     error
+
+	// crc accumulates CRC32C over written bytes while crcOn (header and
+	// footer-directory checksum regions of v4 files).
+	crc   uint32
+	crcOn bool
 }
 
-// NewWriter writes the v3 header and returns a Writer expecting each
-// column's data in schema order.
+// NewWriter writes the current-version (v4) header and returns a
+// Writer expecting each column's data in schema order.
 func NewWriter(dst io.Writer, meta *Meta) (*Writer, error) {
-	w := &Writer{w: bufio.NewWriterSize(dst, 1<<20), meta: meta}
+	return NewWriterVersion(dst, meta, Version)
+}
+
+// NewWriterVersion writes a specific format version (VersionV3 or
+// Version); v3 output is bit-identical to what the v3 writer produced,
+// for cross-version compatibility tests and mixed-fleet rollouts.
+func NewWriterVersion(dst io.Writer, meta *Meta, version uint32) (*Writer, error) {
+	if version != Version && version != VersionV3 {
+		return nil, fmt.Errorf("blockstore: unwritable format version %d", version)
+	}
+	w := &Writer{w: bufio.NewWriterSize(dst, 1<<20), meta: meta, version: version}
 	if meta.BlockSize <= 0 || meta.Rows <= 0 {
 		return nil, fmt.Errorf("blockstore: bad meta (blockSize=%d rows=%d)", meta.BlockSize, meta.Rows)
 	}
@@ -114,7 +165,10 @@ func NewWriter(dst io.Writer, meta *Meta) (*Writer, error) {
 	}
 
 	w.writeBytes([]byte(Magic))
-	w.writeU32(Version)
+	w.writeU32(version)
+	// The header checksum covers everything after magic+version, which
+	// the reader re-accumulates through ReadMeta.
+	w.crc, w.crcOn = 0, version >= Version
 	w.writeU32(uint32(meta.BlockSize))
 	w.writeU64(uint64(meta.Rows))
 	w.writeU32(uint32(len(meta.Cols)))
@@ -148,6 +202,10 @@ func NewWriter(dst io.Writer, meta *Meta) (*Writer, error) {
 		default:
 			return nil, fmt.Errorf("blockstore: unknown column kind %d", c.Kind)
 		}
+	}
+	if w.crcOn {
+		w.crcOn = false
+		w.writeU32(w.crc)
 	}
 	return w, w.err
 }
@@ -195,6 +253,7 @@ func (w *Writer) Finish() (int64, error) {
 		return w.off, fmt.Errorf("blockstore: Finish after %d of %d columns", w.nextCol, len(w.meta.Cols))
 	}
 	footerOff := w.off
+	w.crc, w.crcOn = 0, w.version >= Version
 	for ci := range w.meta.Cols {
 		for _, o := range w.offs[ci] {
 			w.writeU64(uint64(o))
@@ -203,8 +262,12 @@ func (w *Writer) Finish() (int64, error) {
 			w.writeU32(uint32(l))
 		}
 	}
+	if w.crcOn {
+		w.crcOn = false
+		w.writeU32(w.crc)
+	}
 	w.writeU64(uint64(footerOff))
-	w.writeBytes([]byte(footerMagic))
+	w.writeBytes([]byte(footerMagicFor(w.version)))
 	if w.err == nil {
 		w.err = w.w.Flush()
 	}
@@ -227,12 +290,18 @@ func (w *Writer) checkCol(ci int, kind uint8, n int) error {
 	return nil
 }
 
-// writeSegment frames w.scratch as the next segment of (ci, b).
+// writeSegment frames w.scratch as the next segment of (ci, b). The
+// directory offset points at the payload (not the length prefix), and
+// the v4 trailing CRC is excluded from the recorded length, so v3 and
+// v4 directories address payload bytes identically.
 func (w *Writer) writeSegment(ci, b int) {
 	w.writeU32(uint32(len(w.scratch)))
 	w.offs[ci][b] = w.off
 	w.lens[ci][b] = int32(len(w.scratch))
 	w.writeBytes(w.scratch)
+	if w.version >= Version {
+		w.writeU32(crc32.Checksum(w.scratch, castagnoli))
+	}
 }
 
 func (w *Writer) writeBytes(p []byte) {
@@ -241,6 +310,9 @@ func (w *Writer) writeBytes(p []byte) {
 	}
 	n, err := w.w.Write(p)
 	w.off += int64(n)
+	if w.crcOn {
+		w.crc = crc32.Update(w.crc, castagnoli, p[:n])
+	}
 	w.err = err
 }
 
@@ -287,9 +359,46 @@ func (w *Writer) writeString16(s string) {
 	w.writeBytes([]byte(s))
 }
 
-// ReadMeta parses the v3 header from a stream positioned immediately
+// crcReader accumulates CRC32C over everything read through it, so a
+// header parse can be verified against the stored checksum without
+// buffering the header.
+type crcReader struct {
+	r   io.Reader
+	crc uint32
+}
+
+func (c *crcReader) Read(p []byte) (int, error) {
+	n, err := c.r.Read(p)
+	if n > 0 {
+		c.crc = crc32.Update(c.crc, castagnoli, p[:n])
+	}
+	return n, err
+}
+
+// ReadMeta parses the header from a stream positioned immediately
 // after the magic and version fields (the caller dispatches on those).
-func ReadMeta(r io.Reader) (*Meta, error) {
+// For v4 streams the stored header checksum is consumed and verified;
+// v3 headers parse unverified.
+func ReadMeta(r io.Reader, version uint32) (*Meta, error) {
+	if version < Version {
+		return readMetaBody(r)
+	}
+	cr := &crcReader{r: r}
+	m, err := readMetaBody(cr)
+	if err != nil {
+		return nil, err
+	}
+	var stored uint32
+	if err := binary.Read(r, binary.LittleEndian, &stored); err != nil {
+		return nil, fmt.Errorf("blockstore: header checksum: %w", err)
+	}
+	if stored != cr.crc {
+		return nil, fmt.Errorf("blockstore: header checksum mismatch (stored %08x, computed %08x)", stored, cr.crc)
+	}
+	return m, nil
+}
+
+func readMetaBody(r io.Reader) (*Meta, error) {
 	var blockSize, numCols uint32
 	var rows uint64
 	if err := binary.Read(r, binary.LittleEndian, &blockSize); err != nil {
@@ -303,6 +412,11 @@ func ReadMeta(r io.Reader) (*Meta, error) {
 	}
 	if blockSize == 0 || rows == 0 {
 		return nil, fmt.Errorf("blockstore: corrupt header (blockSize=%d rows=%d)", blockSize, rows)
+	}
+	// Size fields bound every allocation below; reject implausible
+	// values before make() can be asked for gigabytes.
+	if blockSize > maxBlockSize || rows > maxRows || numCols > maxCols {
+		return nil, fmt.Errorf("blockstore: implausible header (blockSize=%d rows=%d cols=%d)", blockSize, rows, numCols)
 	}
 	m := &Meta{BlockSize: int(blockSize), Rows: int(rows), Cols: make([]ColumnMeta, numCols)}
 	nb := m.NumBlocks()
@@ -340,6 +454,9 @@ func ReadMeta(r io.Reader) (*Meta, error) {
 			if err := binary.Read(r, binary.LittleEndian, &dictLen); err != nil {
 				return nil, err
 			}
+			if dictLen > maxDictLen {
+				return nil, fmt.Errorf("blockstore: implausible dictionary size %d", dictLen)
+			}
 			c.Dict = make([]string, dictLen)
 			for d := range c.Dict {
 				if c.Dict[d], err = readString16(r); err != nil {
@@ -360,13 +477,14 @@ func ReadMeta(r io.Reader) (*Meta, error) {
 	return m, nil
 }
 
-// ReadSequential decodes every data segment of a v3 stream positioned
-// after the magic and version fields into fully resident column
-// slices: floats[ci] for float columns, codes[ci] for categorical
-// columns (the other slot is nil). The footer is consumed and
-// validated. This is the resident ReadTable load path.
-func ReadSequential(r io.Reader) (m *Meta, floats [][]float64, codes [][]uint32, err error) {
-	m, err = ReadMeta(r)
+// ReadSequential decodes every data segment of a v3/v4 stream
+// positioned after the magic and version fields into fully resident
+// column slices: floats[ci] for float columns, codes[ci] for
+// categorical columns (the other slot is nil). v4 segment checksums
+// are verified before decoding. The footer is consumed and validated.
+// This is the resident ReadTable load path.
+func ReadSequential(r io.Reader, version uint32) (m *Meta, floats [][]float64, codes [][]uint32, err error) {
+	m, err = ReadMeta(r, version)
 	if err != nil {
 		return nil, nil, nil, err
 	}
@@ -388,6 +506,10 @@ func ReadSequential(r io.Reader) (m *Meta, floats [][]float64, codes [][]uint32,
 			if err := binary.Read(r, binary.LittleEndian, &segLen); err != nil {
 				return nil, nil, nil, fmt.Errorf("blockstore: column %d block %d: %w", ci, b, err)
 			}
+			n := m.BlockRows(b)
+			if int(segLen) > maxSegLen(n) {
+				return nil, nil, nil, fmt.Errorf("blockstore: column %d block %d: implausible segment length %d", ci, b, segLen)
+			}
 			if cap(seg) < int(segLen) {
 				seg = make([]byte, segLen)
 			}
@@ -395,7 +517,15 @@ func ReadSequential(r io.Reader) (m *Meta, floats [][]float64, codes [][]uint32,
 			if _, err := io.ReadFull(r, seg); err != nil {
 				return nil, nil, nil, fmt.Errorf("blockstore: column %d block %d: %w", ci, b, err)
 			}
-			n := m.BlockRows(b)
+			if version >= Version {
+				var stored uint32
+				if err := binary.Read(r, binary.LittleEndian, &stored); err != nil {
+					return nil, nil, nil, fmt.Errorf("blockstore: column %d block %d checksum: %w", ci, b, err)
+				}
+				if got := crc32.Checksum(seg, castagnoli); got != stored {
+					return nil, nil, nil, fmt.Errorf("blockstore: column %d block %d: checksum mismatch (stored %08x, computed %08x)", ci, b, stored, got)
+				}
+			}
 			if isFloat {
 				fblock, err = DecodeFloatBlock(seg, fblock, n)
 				if err != nil {
@@ -411,20 +541,33 @@ func ReadSequential(r io.Reader) (m *Meta, floats [][]float64, codes [][]uint32,
 			}
 		}
 	}
-	// Drain and validate the footer so the stream is left at EOF.
-	footer := int64(0)
-	for ci := range m.Cols {
-		footer += int64(nb) * 12
-		_ = ci
+	// Drain and validate the footer so the stream is left at EOF: the
+	// directory (verified against its checksum on v4), then the
+	// trailing offset+magic.
+	dirBytes := int64(len(m.Cols)) * int64(nb) * 12
+	dr := io.Reader(r)
+	var dcr *crcReader
+	if version >= Version {
+		dcr = &crcReader{r: r}
+		dr = dcr
 	}
-	if _, err := io.CopyN(io.Discard, r, footer); err != nil {
+	if _, err := io.CopyN(io.Discard, dr, dirBytes); err != nil {
 		return nil, nil, nil, fmt.Errorf("blockstore: footer: %w", err)
+	}
+	if version >= Version {
+		var stored uint32
+		if err := binary.Read(r, binary.LittleEndian, &stored); err != nil {
+			return nil, nil, nil, fmt.Errorf("blockstore: footer checksum: %w", err)
+		}
+		if stored != dcr.crc {
+			return nil, nil, nil, fmt.Errorf("blockstore: footer checksum mismatch (stored %08x, computed %08x)", stored, dcr.crc)
+		}
 	}
 	var tail [12]byte
 	if _, err := io.ReadFull(r, tail[:]); err != nil {
 		return nil, nil, nil, fmt.Errorf("blockstore: footer tail: %w", err)
 	}
-	if string(tail[8:]) != footerMagic {
+	if string(tail[8:]) != footerMagicFor(version) {
 		return nil, nil, nil, fmt.Errorf("blockstore: bad footer magic %q", tail[8:])
 	}
 	return m, floats, codes, nil

@@ -103,7 +103,7 @@ func TestWriteReadSequential(t *testing.T) {
 		}
 		var ver [4]byte
 		r.Read(ver[:])
-		got, gf, gc, err := ReadSequential(r)
+		got, gf, gc, err := ReadSequential(r, Version)
 		if err != nil {
 			t.Fatalf("rows=%d: ReadSequential: %v", rows, err)
 		}

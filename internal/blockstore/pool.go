@@ -1,7 +1,9 @@
 package blockstore
 
 import (
+	"errors"
 	"sync"
+	"time"
 )
 
 // Pool is a shared buffer pool of decoded column blocks: queries pin
@@ -37,6 +39,18 @@ type Pool struct {
 
 	hits, misses, evictions, prefetched int64
 	bytesRead                           int64
+
+	ioErrors, checksumFailures int64
+	retries                    int64
+
+	// quarantine holds blocks whose loads failed permanently (retries
+	// exhausted, or deterministic corruption): later pins fail fast with
+	// the recorded error instead of re-reading a known-bad segment.
+	// Quarantined blocks are never in the frame map, so the check rides
+	// the miss path — the warm pin path is untouched.
+	quarantine map[frameKey]*BlockError
+
+	retry RetryPolicy
 
 	prefetchCh   chan prefetchReq
 	prefetchOnce sync.Once
@@ -86,6 +100,44 @@ type prefetchReq struct {
 // 64 MiB of decoded blocks.
 const DefaultPoolBytes = 64 << 20
 
+// RetryPolicy governs how the pool handles a failed block load.
+// Transient failures (ErrIO, ErrChecksum — a torn read may verify clean
+// on the next attempt) are retried with capped exponential backoff;
+// ErrDecode is deterministic and never retried. When attempts are
+// exhausted the block is quarantined.
+type RetryPolicy struct {
+	// MaxAttempts is the total number of read attempts per load (≥ 1).
+	MaxAttempts int
+	// BaseDelay is the backoff before the first retry; each further
+	// retry doubles it, capped at MaxDelay.
+	BaseDelay, MaxDelay time.Duration
+	// Sleep is the clock seam: tests inject a recorder, production uses
+	// time.Sleep (the default when nil).
+	Sleep func(time.Duration)
+}
+
+// DefaultRetryPolicy is the policy installed by NewPool: three attempts
+// with 1ms → 2ms backoff, 50ms cap.
+func DefaultRetryPolicy() RetryPolicy {
+	return RetryPolicy{MaxAttempts: 3, BaseDelay: time.Millisecond, MaxDelay: 50 * time.Millisecond}
+}
+
+// delay returns the backoff before retry attempt n (the n'th retry,
+// 1-based).
+func (rp RetryPolicy) delay(n int) time.Duration {
+	d := rp.BaseDelay
+	for i := 1; i < n; i++ {
+		d *= 2
+		if d >= rp.MaxDelay {
+			return rp.MaxDelay
+		}
+	}
+	if d > rp.MaxDelay {
+		d = rp.MaxDelay
+	}
+	return d
+}
+
 // NewPool returns a pool with the given decoded-byte budget
 // (DefaultPoolBytes if budget ≤ 0). The budget is a target, not a hard
 // cap: pinned frames are never evicted, so a working set larger than
@@ -95,12 +147,41 @@ func NewPool(budget int64) *Pool {
 		budget = DefaultPoolBytes
 	}
 	p := &Pool{
-		budget: budget,
-		frames: map[frameKey]*Frame{},
-		closed: make(chan struct{}),
+		budget:     budget,
+		frames:     map[frameKey]*Frame{},
+		quarantine: map[frameKey]*BlockError{},
+		closed:     make(chan struct{}),
+		retry:      DefaultRetryPolicy(),
 	}
 	p.cond = sync.NewCond(&p.mu)
 	return p
+}
+
+// SetRetryPolicy replaces the pool's retry policy (MaxAttempts is
+// clamped to ≥ 1). Safe to call concurrently with pins; in-flight loads
+// keep the policy they started with.
+func (p *Pool) SetRetryPolicy(rp RetryPolicy) {
+	if rp.MaxAttempts < 1 {
+		rp.MaxAttempts = 1
+	}
+	p.mu.Lock()
+	p.retry = rp
+	p.mu.Unlock()
+}
+
+// ClearQuarantine drops every quarantine entry for store s (all stores
+// if s is nil), so later pins attempt fresh reads — for operators after
+// replacing a damaged file, and for tests.
+func (p *Pool) ClearQuarantine(s *Store) (removed int) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for k := range p.quarantine {
+		if s == nil || k.store == s {
+			delete(p.quarantine, k)
+			removed++
+		}
+	}
+	return removed
 }
 
 // Close stops the prefetcher. Frames become unusable; the caller must
@@ -127,6 +208,13 @@ type Stats struct {
 	Hits, Misses, Evictions, Prefetched int64
 	// BytesRead is the compressed segment bytes physically read.
 	BytesRead int64
+	// IOErrors and ChecksumFailures count failed load attempts by kind
+	// (decode failures count as checksum failures: both are integrity
+	// losses); Retries counts backoff retries issued; QuarantinedBlocks
+	// counts blocks currently quarantined after permanent failure.
+	IOErrors, ChecksumFailures int64
+	Retries                    int64
+	QuarantinedBlocks          int64
 }
 
 // Stats returns a snapshot of the counters.
@@ -134,13 +222,17 @@ func (p *Pool) Stats() Stats {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	return Stats{
-		BudgetBytes: p.budget,
-		UsedBytes:   p.used,
-		Hits:        p.hits,
-		Misses:      p.misses,
-		Evictions:   p.evictions,
-		Prefetched:  p.prefetched,
-		BytesRead:   p.bytesRead,
+		BudgetBytes:       p.budget,
+		UsedBytes:         p.used,
+		Hits:              p.hits,
+		Misses:            p.misses,
+		Evictions:         p.evictions,
+		Prefetched:        p.prefetched,
+		BytesRead:         p.bytesRead,
+		IOErrors:          p.ioErrors,
+		ChecksumFailures:  p.checksumFailures,
+		Retries:           p.retries,
+		QuarantinedBlocks: int64(len(p.quarantine)),
 	}
 }
 
@@ -185,8 +277,19 @@ func (p *Pool) pin(s *Store, ci, b int, isFloat, prefetch bool) (*Frame, error) 
 		return f, nil
 	}
 
-	// Miss: claim the key with a loading frame, then read outside the
-	// lock.
+	// Miss: a quarantined block fails fast with its recorded error —
+	// no further physical reads of a known-bad segment. Prefetches of
+	// quarantined blocks drop silently.
+	if qerr, bad := p.quarantine[key]; bad {
+		p.mu.Unlock()
+		if prefetch {
+			return nil, nil
+		}
+		return nil, qerr
+	}
+
+	// Claim the key with a loading frame, then read outside the lock.
+	rp := p.retry
 	f := p.allocFrame(isFloat)
 	f.key = key
 	f.isFloat = isFloat
@@ -210,18 +313,64 @@ func (p *Pool) pin(s *Store, ci, b int, isFloat, prefetch bool) (*Frame, error) 
 	p.evictLocked()
 	p.mu.Unlock()
 
+	// Load with retry: transient failures (I/O, checksum — a torn read
+	// may verify clean next time) back off and re-read while the frame
+	// stays in loading state, so concurrent pinners of the same block
+	// keep waiting on the one load rather than racing their own reads.
+	// Deterministic decode corruption is never retried. A load that
+	// succeeds after retries is indistinguishable from a clean one —
+	// same decoded bytes, so query results are byte-identical.
 	var err error
-	if isFloat {
-		f.floats, f.scratch, err = s.ReadFloatBlock(ci, b, f.floats, f.scratch)
-	} else {
-		f.codes, f.scratch, err = s.ReadCatBlock(ci, b, f.codes, f.scratch)
+	var nIO, nChecksum, nRetries int64
+	attempt := 0
+	for {
+		if isFloat {
+			f.floats, f.scratch, err = s.readFloatBlock(ci, b, f.floats, f.scratch, attempt)
+		} else {
+			f.codes, f.scratch, err = s.readCatBlock(ci, b, f.codes, f.scratch, attempt)
+		}
+		if err == nil {
+			break
+		}
+		kind := ErrIO
+		var be *BlockError
+		if errors.As(err, &be) {
+			kind = be.Kind
+		}
+		if kind == ErrIO {
+			nIO++
+		} else {
+			nChecksum++
+		}
+		s.noteFault(time.Now().UnixNano())
+		if kind == ErrDecode || attempt+1 >= rp.MaxAttempts {
+			break
+		}
+		attempt++
+		nRetries++
+		s.noteRetry()
+		sleep := rp.Sleep
+		if sleep == nil {
+			sleep = time.Sleep
+		}
+		sleep(rp.delay(attempt))
 	}
 
 	p.mu.Lock()
 	f.loading = false
+	p.ioErrors += nIO
+	p.checksumFailures += nChecksum
+	p.retries += nRetries
 	if err != nil {
-		// Failed loads are not cached: remove the frame so a later pin
-		// retries the read, and recycle the buffers.
+		// Permanent failure: quarantine the block so later pins fail
+		// fast, remove the frame, and recycle the buffers.
+		var be *BlockError
+		if errors.As(err, &be) {
+			if _, dup := p.quarantine[key]; !dup {
+				p.quarantine[key] = be
+				s.noteQuarantine()
+			}
+		}
 		f.pins = 0
 		delete(p.frames, key)
 		p.used -= f.bytes

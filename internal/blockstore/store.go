@@ -4,20 +4,25 @@ import (
 	"bufio"
 	"encoding/binary"
 	"fmt"
+	"hash/crc32"
 	"io"
 	"os"
 	"sync/atomic"
 )
 
-// Store is an open v3 file ready for random block access: header and
+// Store is an open v3/v4 file ready for random block access: header and
 // segment directory resident, data segments read on demand (pread by
-// default, or zero-copy out of an mmap'd region). A Store is safe for
-// concurrent readers and is normally accessed through a Pool, which
-// adds caching, pinning and eviction.
+// default, or zero-copy out of an mmap'd region). v4 segments are
+// CRC32C-verified on every physical read, before decode; v3 files open
+// and read unverified. A Store is safe for concurrent readers and is
+// normally accessed through a Pool, which adds caching, pinning,
+// eviction, and retry/quarantine of failing blocks.
 type Store struct {
-	f    *os.File
-	mm   []byte // non-nil when the file is memory-mapped
-	meta *Meta
+	f       *os.File
+	mm      []byte // non-nil when the file is memory-mapped
+	meta    *Meta
+	version uint32
+	label   string
 
 	// dir is the segment directory: dir[ci].offs[b] / lens[b] locate
 	// column ci's block b in the file.
@@ -27,6 +32,19 @@ type Store struct {
 	// and mmap paths), for the pool counters.
 	bytesRead  atomic.Int64
 	blocksRead atomic.Int64
+
+	// Fault counters, reported per table via FaultStats. ioErrors and
+	// checksumFailures are incremented here on every failed physical
+	// read; retries and quarantined are incremented by the pool, which
+	// owns that policy, so one snapshot carries the whole story.
+	ioErrors         atomic.Int64
+	checksumFailures atomic.Int64
+	retries          atomic.Int64
+	quarantined      atomic.Int64
+	lastFaultNano    atomic.Int64
+
+	// fault holds the injected FaultFunc (test seam); see SetFault.
+	fault atomic.Value
 }
 
 type colDir struct {
@@ -42,7 +60,7 @@ type OpenOptions struct {
 	Mmap bool
 }
 
-// Open opens a v3 file for random block access. Files in older
+// Open opens a v3/v4 file for random block access. Files in older
 // formats (v1/v2) have no segment directory and return an error —
 // load those resident via the table reader.
 func Open(path string, opts OpenOptions) (*Store, error) {
@@ -55,6 +73,7 @@ func Open(path string, opts OpenOptions) (*Store, error) {
 		f.Close()
 		return nil, err
 	}
+	s.label = path
 	return s, nil
 }
 
@@ -65,7 +84,8 @@ func newStore(f *os.File, opts OpenOptions) (*Store, error) {
 	}
 	size := fi.Size()
 
-	// Header: magic, version, then the shared meta parser.
+	// Header: magic, version, then the shared meta parser (which on v4
+	// verifies the header checksum).
 	br := bufio.NewReaderSize(io.NewSectionReader(f, 0, size), 1<<16)
 	magic := make([]byte, 4)
 	if _, err := io.ReadFull(br, magic); err != nil {
@@ -78,15 +98,20 @@ func newStore(f *os.File, opts OpenOptions) (*Store, error) {
 	if err := binary.Read(br, binary.LittleEndian, &version); err != nil {
 		return nil, err
 	}
-	if version != Version {
-		return nil, fmt.Errorf("blockstore: format v%d has no segment directory (out-of-core needs v%d; load resident instead)", version, Version)
+	if version != Version && version != VersionV3 {
+		return nil, fmt.Errorf("blockstore: format v%d has no segment directory (out-of-core needs v%d or v%d; load resident instead)", version, VersionV3, Version)
 	}
-	meta, err := ReadMeta(br)
+	meta, err := ReadMeta(br, version)
 	if err != nil {
 		return nil, err
 	}
 
-	// Footer: the trailing 12 bytes locate the directory.
+	// Footer: the trailing 12 bytes locate the directory. Everything the
+	// directory declares — its own extent, then every segment's offset
+	// and length — is validated against the file size before any
+	// allocation or slice is derived from it, so a truncated or
+	// bit-flipped footer yields a clean error rather than a huge make()
+	// or an out-of-range panic.
 	var tail [12]byte
 	if size < int64(len(tail)) {
 		return nil, fmt.Errorf("blockstore: file too small (%d bytes)", size)
@@ -94,16 +119,40 @@ func newStore(f *os.File, opts OpenOptions) (*Store, error) {
 	if _, err := f.ReadAt(tail[:], size-12); err != nil {
 		return nil, err
 	}
-	if string(tail[8:]) != footerMagic {
+	if string(tail[8:]) != footerMagicFor(version) {
 		return nil, fmt.Errorf("blockstore: bad footer magic %q", tail[8:])
 	}
 	footerOff := int64(binary.LittleEndian.Uint64(tail[:8]))
 	nb := meta.NumBlocks()
-	footerLen := int64(len(meta.Cols)) * int64(nb) * 12
+	dirLen := int64(len(meta.Cols)) * int64(nb) * 12
+	footerLen := dirLen
+	if version >= Version {
+		footerLen += 4 // trailing directory CRC
+	}
 	if footerOff < 0 || footerOff+footerLen != size-12 {
 		return nil, fmt.Errorf("blockstore: corrupt footer offset %d", footerOff)
 	}
-	fr := bufio.NewReaderSize(io.NewSectionReader(f, footerOff, footerLen), 1<<16)
+	if version >= Version {
+		var crcBuf [4]byte
+		if _, err := f.ReadAt(crcBuf[:], footerOff+dirLen); err != nil {
+			return nil, err
+		}
+		stored := binary.LittleEndian.Uint32(crcBuf[:])
+		got, err := crcOfRange(f, footerOff, dirLen)
+		if err != nil {
+			return nil, err
+		}
+		if got != stored {
+			return nil, fmt.Errorf("blockstore: footer checksum mismatch (stored %08x, computed %08x)", stored, got)
+		}
+	}
+	// v4 segments carry a 4-byte trailing CRC not counted in the
+	// directory length; segment bounds must account for it.
+	segPad := int64(0)
+	if version >= Version {
+		segPad = 4
+	}
+	fr := bufio.NewReaderSize(io.NewSectionReader(f, footerOff, dirLen), 1<<16)
 	dir := make([]colDir, len(meta.Cols))
 	for ci := range dir {
 		offs := make([]int64, nb)
@@ -122,14 +171,17 @@ func newStore(f *os.File, opts OpenOptions) (*Store, error) {
 			lens[b] = int32(binary.LittleEndian.Uint32(buf[4*b:]))
 		}
 		for b := range offs {
-			if offs[b] < 0 || offs[b]+int64(lens[b]) > footerOff {
+			if lens[b] < 0 || int(lens[b]) > maxSegLen(meta.BlockRows(b)) {
+				return nil, fmt.Errorf("blockstore: segment (%d,%d) has implausible length %d", ci, b, lens[b])
+			}
+			if offs[b] < 0 || offs[b]+int64(lens[b])+segPad > footerOff {
 				return nil, fmt.Errorf("blockstore: segment (%d,%d) out of bounds", ci, b)
 			}
 		}
 		dir[ci] = colDir{offs: offs, lens: lens}
 	}
 
-	s := &Store{f: f, meta: meta, dir: dir}
+	s := &Store{f: f, meta: meta, version: version, dir: dir}
 	if opts.Mmap {
 		mm, err := mmapFile(f, size)
 		if err != nil {
@@ -140,8 +192,84 @@ func newStore(f *os.File, opts OpenOptions) (*Store, error) {
 	return s, nil
 }
 
+// crcOfRange computes CRC32C over n bytes of f starting at off.
+func crcOfRange(f *os.File, off, n int64) (uint32, error) {
+	var crc uint32
+	buf := make([]byte, 1<<16)
+	for n > 0 {
+		chunk := int64(len(buf))
+		if chunk > n {
+			chunk = n
+		}
+		if _, err := f.ReadAt(buf[:chunk], off); err != nil {
+			return 0, err
+		}
+		crc = crc32.Update(crc, castagnoli, buf[:chunk])
+		off += chunk
+		n -= chunk
+	}
+	return crc, nil
+}
+
 // Meta returns the file header.
 func (s *Store) Meta() *Meta { return s.meta }
+
+// Version returns the on-disk format version (VersionV3 or Version).
+func (s *Store) Version() uint32 { return s.version }
+
+// Label returns the store's human-readable identity, used in
+// BlockError.Table. It defaults to the file path; Register overrides it
+// with the registered table name via SetLabel.
+func (s *Store) Label() string { return s.label }
+
+// SetLabel sets the label reported in block errors and fault stats.
+func (s *Store) SetLabel(l string) { s.label = l }
+
+// SetFault installs (or, with nil, clears) a fault-injection hook
+// consulted before every physical segment read. Test seam: production
+// code never calls this. Safe to call concurrently with reads.
+func (s *Store) SetFault(fn FaultFunc) { s.fault.Store(fn) }
+
+// FaultStats is a snapshot of a store's fault counters.
+type FaultStats struct {
+	IOErrors          int64
+	ChecksumFailures  int64
+	Retries           int64
+	QuarantinedBlocks int64
+	// LastFaultUnixNano is the wall-clock time of the most recent fault,
+	// 0 if none; the serving layer's circuit breaker ages on it.
+	LastFaultUnixNano int64
+}
+
+// FaultStats returns a snapshot of the store's fault counters.
+func (s *Store) FaultStats() FaultStats {
+	return FaultStats{
+		IOErrors:          s.ioErrors.Load(),
+		ChecksumFailures:  s.checksumFailures.Load(),
+		Retries:           s.retries.Load(),
+		QuarantinedBlocks: s.quarantined.Load(),
+		LastFaultUnixNano: s.lastFaultNano.Load(),
+	}
+}
+
+// noteRetry and noteQuarantine record pool retry/quarantine decisions
+// against the store they concern, so per-table stats are complete.
+func (s *Store) noteRetry()      { s.retries.Add(1) }
+func (s *Store) noteQuarantine() { s.quarantined.Add(1) }
+
+func (s *Store) noteFault(now int64) { s.lastFaultNano.Store(now) }
+
+// blockErr wraps err as a classified BlockError and bumps the matching
+// counter.
+func (s *Store) blockErr(ci, b int, kind ErrKind, err error) *BlockError {
+	switch kind {
+	case ErrChecksum, ErrDecode:
+		s.checksumFailures.Add(1)
+	default:
+		s.ioErrors.Add(1)
+	}
+	return &BlockError{Table: s.label, Col: ci, Block: b, Kind: kind, Err: err}
+}
 
 // Close unmaps and closes the underlying file. The caller must ensure
 // no pinned frames of this store remain in any pool.
@@ -161,43 +289,93 @@ func (s *Store) BlocksRead() int64 { return s.blocksRead.Load() }
 
 // segment returns the raw bytes of segment (ci, b), reading into
 // scratch on the pread path or slicing the mapping on the mmap path.
-// The returned scratch slice must be passed back on the next call to
-// reuse its backing array.
-func (s *Store) segment(ci, b int, scratch []byte) (seg, newScratch []byte, err error) {
+// On v4 stores the segment's CRC32C is verified before the bytes are
+// returned. attempt numbers the pool's retries of one logical load
+// (0 for first try) and is passed to the fault hook. The returned
+// scratch slice must be passed back on the next call to reuse its
+// backing array.
+func (s *Store) segment(ci, b int, scratch []byte, attempt int) (seg, newScratch []byte, err error) {
+	if v := s.fault.Load(); v != nil {
+		if fn, _ := v.(FaultFunc); fn != nil {
+			if ferr := fn(ci, b, attempt); ferr != nil {
+				return nil, scratch, s.blockErr(ci, b, ErrIO, ferr)
+			}
+		}
+	}
 	off, ln := s.dir[ci].offs[b], int(s.dir[ci].lens[b])
 	s.bytesRead.Add(int64(ln))
 	s.blocksRead.Add(1)
+	verified := s.version >= Version
 	if s.mm != nil {
-		return s.mm[off : off+int64(ln)], scratch, nil
+		seg = s.mm[off : off+int64(ln)]
+		if verified {
+			stored := binary.LittleEndian.Uint32(s.mm[off+int64(ln):])
+			if got := crc32.Checksum(seg, castagnoli); got != stored {
+				return nil, scratch, s.blockErr(ci, b, ErrChecksum,
+					fmt.Errorf("stored %08x, computed %08x", stored, got))
+			}
+		}
+		return seg, scratch, nil
 	}
-	if cap(scratch) < ln {
-		scratch = make([]byte, ln)
+	want := ln
+	if verified {
+		want += 4
 	}
-	scratch = scratch[:ln]
+	if cap(scratch) < want {
+		scratch = make([]byte, want)
+	}
+	scratch = scratch[:want]
 	if _, err := s.f.ReadAt(scratch, off); err != nil {
-		return nil, scratch, fmt.Errorf("blockstore: reading segment (%d,%d): %w", ci, b, err)
+		return nil, scratch, s.blockErr(ci, b, ErrIO, err)
 	}
-	return scratch, scratch, nil
+	seg = scratch[:ln]
+	if verified {
+		stored := binary.LittleEndian.Uint32(scratch[ln:])
+		if got := crc32.Checksum(seg, castagnoli); got != stored {
+			return nil, scratch, s.blockErr(ci, b, ErrChecksum,
+				fmt.Errorf("stored %08x, computed %08x", stored, got))
+		}
+	}
+	return seg, scratch, nil
+}
+
+// readFloatBlock decodes block b of float column ci into dst (reusing
+// its backing array), verifying the segment checksum on v4 stores.
+// attempt numbers the pool's retries of one logical load. Decode
+// failures are classified ErrDecode (deterministic, never retried).
+func (s *Store) readFloatBlock(ci, b int, dst []float64, scratch []byte, attempt int) ([]float64, []byte, error) {
+	seg, scratch, err := s.segment(ci, b, scratch, attempt)
+	if err != nil {
+		return dst[:0], scratch, err
+	}
+	dst, err = DecodeFloatBlock(seg, dst, s.meta.BlockRows(b))
+	if err != nil {
+		return dst[:0], scratch, s.blockErr(ci, b, ErrDecode, err)
+	}
+	return dst, scratch, nil
+}
+
+// readCatBlock decodes block b of categorical column ci into dst.
+func (s *Store) readCatBlock(ci, b int, dst []uint32, scratch []byte, attempt int) ([]uint32, []byte, error) {
+	seg, scratch, err := s.segment(ci, b, scratch, attempt)
+	if err != nil {
+		return dst[:0], scratch, err
+	}
+	dst, err = DecodeCatBlock(seg, dst, s.meta.BlockRows(b))
+	if err != nil {
+		return dst[:0], scratch, s.blockErr(ci, b, ErrDecode, err)
+	}
+	return dst, scratch, nil
 }
 
 // ReadFloatBlock decodes block b of float column ci into dst (reusing
 // its backing array). scratch is the caller's read buffer, returned
 // possibly regrown.
 func (s *Store) ReadFloatBlock(ci, b int, dst []float64, scratch []byte) ([]float64, []byte, error) {
-	seg, scratch, err := s.segment(ci, b, scratch)
-	if err != nil {
-		return dst[:0], scratch, err
-	}
-	dst, err = DecodeFloatBlock(seg, dst, s.meta.BlockRows(b))
-	return dst, scratch, err
+	return s.readFloatBlock(ci, b, dst, scratch, 0)
 }
 
 // ReadCatBlock decodes block b of categorical column ci into dst.
 func (s *Store) ReadCatBlock(ci, b int, dst []uint32, scratch []byte) ([]uint32, []byte, error) {
-	seg, scratch, err := s.segment(ci, b, scratch)
-	if err != nil {
-		return dst[:0], scratch, err
-	}
-	dst, err = DecodeCatBlock(seg, dst, s.meta.BlockRows(b))
-	return dst, scratch, err
+	return s.readCatBlock(ci, b, dst, scratch, 0)
 }

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"fastframe/internal/bitmap"
+	"fastframe/internal/blockstore"
 	"fastframe/internal/expr"
 	"fastframe/internal/query"
 	"fastframe/internal/scramble"
@@ -87,10 +88,15 @@ type engine struct {
 	// is the sequential scan's bound per-block views (parallel workers
 	// own their own viewSets in roundAccum). ioErr records the first
 	// out-of-core read failure; the scan aborts on it and RunContext
-	// surfaces it instead of a Result.
-	cols  *colSet
-	views *viewSet
-	ioErr error
+	// surfaces it instead of a Result — unless Options.DegradedReads is
+	// set, in which case quarantined blocks are skipped with their rows
+	// left unobserved (degraded/quarantined track that) and only
+	// non-block errors abort.
+	cols        *colSet
+	views       *viewSet
+	ioErr       error
+	degraded    bool
+	quarantined int
 
 	// prefetchedThrough is the cursor visit count through which buffer-
 	// pool prefetch requests have been issued (out-of-core scans only).
@@ -466,8 +472,9 @@ func (e *engine) step(b int) {
 		return
 	}
 
-	e.fetch(b, s, end)
-	e.coveredAll += n
+	if e.fetch(b, s, end) {
+		e.coveredAll += n
+	}
 	e.totalCovered += n
 }
 
@@ -498,14 +505,37 @@ func (e *engine) prefetchAhead() {
 // same-group runs are fed to the bounder states through one
 // observeBatch dispatch per run — the same sequential recurrence as the
 // row-at-a-time reference, hence byte-identical intervals.
-func (e *engine) fetch(b, start, end int) {
-	e.cursor.Fetch(b)
+//
+// The return value reports whether the block's rows were observed: a
+// bind failure on a quarantined block under DegradedReads skips the
+// block (false), leaving its rows unobserved. The caller then advances
+// only totalCovered, never coveredAll or any group's extra credit, so
+// the existing unknown-view-size machinery (N⁺ bounds, varCap
+// worst-case contribution) keeps every interval conservatively valid —
+// the skipped rows are accounted exactly like rows the scan has not
+// reached yet, and exact finalization can never fire over them.
+func (e *engine) fetch(b, start, end int) bool {
 	if err := e.views.bind(b); err != nil {
+		if e.opts.DegradedReads && isBlockError(err) {
+			e.degraded = true
+			e.quarantined++
+			return false
+		}
 		e.ioErr = err
-		return
+		return false
 	}
+	e.cursor.Fetch(b)
 	e.fetchBound(end - start)
 	e.views.release()
+	return true
+}
+
+// isBlockError reports whether err is a classified storage-block
+// failure — the only kind degraded reads may skip (anything else is a
+// logic error that must abort).
+func isBlockError(err error) bool {
+	var be *blockstore.BlockError
+	return errors.As(err, &be)
 }
 
 // fetchBound processes the bound block's n local rows.
@@ -743,11 +773,13 @@ func (e *engine) closeRound() {
 	}
 	if e.opts.OnRound != nil {
 		snap := RoundSnapshot{
-			Round:         e.round,
-			RowsCovered:   e.totalCovered,
-			BlocksFetched: e.cursor.BlocksFetched(),
-			NumActive:     e.numActive,
-			Groups:        e.snapshotGroups(),
+			Round:             e.round,
+			RowsCovered:       e.totalCovered,
+			BlocksFetched:     e.cursor.BlocksFetched(),
+			NumActive:         e.numActive,
+			Degraded:          e.degraded,
+			QuarantinedBlocks: e.quarantined,
+			Groups:            e.snapshotGroups(),
 		}
 		if !e.opts.OnRound(snap) {
 			e.aborted = true
@@ -804,13 +836,15 @@ func (e *engine) snapshotGroups() []GroupResult {
 
 func (e *engine) result() *Result {
 	res := &Result{
-		BlocksFetched: e.cursor.BlocksFetched(),
-		RowsCovered:   e.totalCovered,
-		Rounds:        e.round,
-		StartBlock:    e.cursor.Start(),
-		Exhausted:     e.cursor.Exhausted(),
-		Stopped:       e.stopped,
-		Aborted:       e.aborted,
+		BlocksFetched:     e.cursor.BlocksFetched(),
+		RowsCovered:       e.totalCovered,
+		Rounds:            e.round,
+		StartBlock:        e.cursor.Start(),
+		Exhausted:         e.cursor.Exhausted(),
+		Stopped:           e.stopped,
+		Aborted:           e.aborted,
+		Degraded:          e.degraded,
+		QuarantinedBlocks: e.quarantined,
 	}
 	for _, gs := range e.ordered {
 		if gs.mv == 0 {

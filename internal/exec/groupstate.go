@@ -293,10 +293,11 @@ func (sb *shardBuf) reset() {
 // nothing inside a round; accumulators meet only at the round barrier
 // via Merge and the sharded replay.
 type roundAccum struct {
-	coveredAll int // rows resolved for every view (fetched + pruned)
-	fetched    int // blocks actually read
-	skipped    int // rows of active-scan-skipped blocks
-	shards     []shardBuf
+	coveredAll  int // rows resolved for every view (fetched + pruned)
+	fetched     int // blocks actually read
+	skipped     int // rows of active-scan-skipped blocks
+	quarantined int // blocks skipped as damaged (DegradedReads)
+	shards      []shardBuf
 
 	// Per-worker kernel scratch, allocated once with the accumulator
 	// and reused for every block of every round (the parallel
@@ -316,7 +317,7 @@ type roundAccum struct {
 // reset prepares the accumulator for a round with the given shard
 // count, retaining buffer capacity across rounds.
 func (a *roundAccum) reset(shards, numInputs int) {
-	a.coveredAll, a.fetched, a.skipped, a.err = 0, 0, 0, nil
+	a.coveredAll, a.fetched, a.skipped, a.quarantined, a.err = 0, 0, 0, 0, nil
 	if len(a.shards) != shards {
 		a.shards = make([]shardBuf, shards)
 	}
@@ -361,6 +362,7 @@ func (a *roundAccum) Merge(o *roundAccum) {
 	a.coveredAll += o.coveredAll
 	a.fetched += o.fetched
 	a.skipped += o.skipped
+	a.quarantined += o.quarantined
 }
 
 // roundConfig carries the per-round bound-computation context.

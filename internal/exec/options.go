@@ -97,6 +97,15 @@ type Options struct {
 	// lookahead's batch timing is inherently scan-order-dependent and
 	// would break determinism across worker counts.
 	Parallelism int
+	// DegradedReads lets a scan continue past permanently quarantined
+	// blocks instead of failing the query: the skipped rows stay
+	// unobserved (they are never credited to coverage), so the
+	// unknown-view-size machinery charges them at their catalog-bound
+	// worst case and every reported interval remains a conservatively
+	// valid (1−δ) CI. Result.Degraded/QuarantinedBlocks report the loss.
+	// Off by default: an unreadable block fails the query at the round
+	// boundary with the classified *blockstore.BlockError.
+	DegradedReads bool
 	// OnRound, if set, is called after every bound recomputation with a
 	// snapshot of the current intervals — the paper's "explicit use of
 	// downstream CIs" (§2.1): online-aggregation interfaces display the
@@ -117,6 +126,10 @@ type RoundSnapshot struct {
 	BlocksFetched int
 	// NumActive is the number of groups still driving the scan.
 	NumActive int
+	// Degraded and QuarantinedBlocks report blocks skipped past storage
+	// faults under Options.DegradedReads (see Result).
+	Degraded          bool
+	QuarantinedBlocks int
 	// Groups holds the current per-view intervals (views with observed
 	// support only), sorted by key. The slice is freshly allocated per
 	// round and safe to retain.

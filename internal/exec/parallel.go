@@ -142,6 +142,10 @@ func (e *engine) scanRound(blocks []int, accs []*roundAccum) {
 	}
 	e.coveredAll += m.coveredAll
 	e.cursor.AddFetched(m.fetched)
+	if m.quarantined > 0 {
+		e.degraded = true
+		e.quarantined += m.quarantined
+	}
 	if m.skipped > 0 {
 		// Blocks skipped by active scanning resolve membership only for
 		// the groups that were active, exactly as the sequential step.
@@ -202,12 +206,20 @@ func (e *engine) scanPartition(seg []int, acc *roundAccum) {
 			acc.skipped += n
 			continue
 		}
-		acc.fetched++
-		acc.coveredAll += n
+		// Bind before crediting coverage: a quarantined block under
+		// DegradedReads is skipped with its rows left unobserved (neither
+		// coveredAll nor any group's skip credit), mirroring the
+		// sequential fetch.
 		if err := acc.views.bind(b); err != nil {
+			if e.opts.DegradedReads && isBlockError(err) {
+				acc.quarantined++
+				continue
+			}
 			acc.err = err
 			return
 		}
+		acc.fetched++
+		acc.coveredAll += n
 		e.scanBoundBlock(n, acc)
 		acc.views.release()
 	}

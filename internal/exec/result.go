@@ -81,6 +81,14 @@ type Result struct {
 	// Aborted is set when an OnRound callback ended the scan early; the
 	// reported intervals remain valid (1-δ) CIs.
 	Aborted bool
+	// Degraded is set when Options.DegradedReads let the scan skip
+	// quarantined blocks: the intervals are still valid (1−δ) CIs — the
+	// skipped rows are charged at catalog-bound worst case, exactly like
+	// unscanned rows — but they can no longer tighten past that loss and
+	// no view over the damaged region can finalize exact.
+	Degraded bool
+	// QuarantinedBlocks counts the blocks the scan skipped as damaged.
+	QuarantinedBlocks int
 	// Duration is the wall-clock execution time.
 	Duration time.Duration
 }

@@ -1,0 +1,267 @@
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"testing"
+	"time"
+
+	"fastframe"
+)
+
+// newFaultServer mounts a Server over an out-of-core copy of the test
+// table (written to a temp file, reopened through a buffer pool), so
+// storage faults can be injected underneath the HTTP surface.
+func newFaultServer(t *testing.T, cfg Config) (*Server, *httptest.Server, *fastframe.Table) {
+	t.Helper()
+	tab, err := testTable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := t.TempDir() + "/flights.ff"
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tab.WriteTo(f); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	pool := fastframe.NewBufferPool(1 << 22)
+	t.Cleanup(func() { pool.Close() })
+	ooc, err := fastframe.OpenTable(path, pool)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ooc.Close() })
+
+	eng := fastframe.NewEngine()
+	if err := eng.Register("flights", ooc); err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Tenants == nil {
+		cfg.Tenants = []TenantConfig{{Name: "anonymous"}}
+	}
+	if cfg.Options == nil {
+		cfg.Options = testOptions()
+	}
+	if cfg.FlushEvery == 0 {
+		cfg.FlushEvery = 10 * time.Millisecond
+	}
+	srv, err := New(eng, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv)
+	t.Cleanup(ts.Close)
+	return srv, ts, ooc
+}
+
+// TestPanicRecovery drives a panicking handler through the recovery
+// middleware: the client gets a structured 500, the tenant's admission
+// slot is released during unwinding, and the daemon keeps serving.
+func TestPanicRecovery(t *testing.T) {
+	srv, ts, _ := newTestServer(t, Config{
+		Tenants: []TenantConfig{{Name: "anonymous", MaxConcurrent: 1}},
+	})
+	// A synthetic route with the real handler prologue (admission +
+	// deferred slot release) that dies mid-flight.
+	srv.mux.HandleFunc("POST /v1/panictest", func(w http.ResponseWriter, r *http.Request) {
+		_, _, release, ok := srv.admitRequest(w, r)
+		if !ok {
+			return
+		}
+		defer func() { release(false) }()
+		panic("synthetic handler failure")
+	})
+	// And one that panics after the response has started: recovery must
+	// not inject an error body into a half-written response.
+	srv.mux.HandleFunc("GET /v1/panicpartial", func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusOK)
+		_, _ = w.Write([]byte("partial"))
+		panic("late failure")
+	})
+
+	// With a concurrency cap of 1, a leaked slot would wedge the server
+	// after the first panic; three rounds prove release ran each time.
+	for i := 0; i < 3; i++ {
+		resp := postJSON(t, ts.URL, "/v1/panictest", "", QueryRequest{SQL: "SELECT COUNT(*) FROM flights WITHIN 10%"})
+		var e ErrorResponse
+		if err := json.NewDecoder(resp.Body).Decode(&e); err != nil {
+			t.Fatalf("round %d: undecodable panic response: %v", i, err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusInternalServerError || e.Error.Code != "internal" {
+			t.Fatalf("round %d: status %d code %q, want 500 internal", i, resp.StatusCode, e.Error.Code)
+		}
+	}
+	if res, errb := wireQuery(t, ts.URL, "", QueryRequest{SQL: "SELECT AVG(DepDelay) FROM flights WITHIN 5%"}); errb != nil || res.Result == nil {
+		t.Fatalf("query after panics failed: %+v", errb)
+	}
+
+	resp, err := http.Get(ts.URL + "/v1/panicpartial")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatalf("reading half-written response: %v", err)
+	}
+	if resp.StatusCode != http.StatusOK || string(body) != "partial" {
+		t.Fatalf("late panic corrupted the response: status %d body %q", resp.StatusCode, body)
+	}
+	// Liveness after both panic shapes.
+	if resp, err := http.Get(ts.URL + "/healthz"); err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz after panics: %v (%v)", resp, err)
+	} else {
+		resp.Body.Close()
+	}
+}
+
+// TestBreakerClassify pins the per-table breaker's state machine on an
+// injectable clock.
+func TestBreakerClassify(t *testing.T) {
+	base := time.Unix(1_700_000_000, 0)
+	clock := base
+	b := storageBreaker{now: func() time.Time { return clock }}
+
+	if got := b.classify(fastframe.TableStorageStats{}); got != "ok" {
+		t.Errorf("clean table: %q", got)
+	}
+	// A single healed hiccup stays ok.
+	one := fastframe.TableStorageStats{IOErrors: 1, Retries: 1, LastFaultUnixNano: base.UnixNano()}
+	if got := b.classify(one); got != "ok" {
+		t.Errorf("one transient fault: %q", got)
+	}
+	// A burst of faults trips the breaker...
+	burst := fastframe.TableStorageStats{IOErrors: breakerTripFaults, LastFaultUnixNano: base.UnixNano()}
+	if got := b.classify(burst); got != "degraded" {
+		t.Errorf("fault burst: %q", got)
+	}
+	// ...and it re-closes after the cooldown with no new faults.
+	clock = base.Add(breakerCooldown + time.Second)
+	if got := b.classify(burst); got != "ok" {
+		t.Errorf("after cooldown: %q", got)
+	}
+	// Quarantined blocks read degraded regardless of age.
+	q := fastframe.TableStorageStats{QuarantinedBlocks: 1, LastFaultUnixNano: base.UnixNano()}
+	if got := b.classify(q); got != "degraded" {
+		t.Errorf("quarantine after cooldown: %q", got)
+	}
+}
+
+// TestFaultStorageErrorSurfaces injects a permanent storage fault under
+// a default-mode server: the query fails with a structured
+// storage_error, /v1/stats grows a storage section with the fault
+// ledger and an open breaker, and /healthz reports degraded naming the
+// table.
+func TestFaultStorageErrorSurfaces(t *testing.T) {
+	_, ts, ooc := newFaultServer(t, Config{})
+	ooc.InjectStorageFault(func(col, block, attempt int) error {
+		if col == 0 {
+			return errors.New("injected permanent fault")
+		}
+		return nil
+	})
+
+	res, errb := wireQuery(t, ts.URL, "", QueryRequest{SQL: "SELECT AVG(DepDelay) FROM flights WITHIN 5%"})
+	if errb == nil {
+		t.Fatalf("query over unreadable column returned %+v", res)
+	}
+	if errb.Code != "storage_error" {
+		t.Fatalf("error code %q, want storage_error (%s)", errb.Code, errb.Message)
+	}
+
+	resp, err := http.Get(ts.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st Stats
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if len(st.Storage) != 1 {
+		t.Fatalf("storage section: %+v", st.Storage)
+	}
+	sg := st.Storage[0]
+	if sg.Table != "flights" || sg.IOErrors == 0 || sg.Retries == 0 ||
+		sg.QuarantinedBlocks == 0 || sg.BreakerState != "degraded" {
+		t.Fatalf("fault ledger: %+v", sg)
+	}
+	if st.BufferPool.IOErrors == 0 || st.BufferPool.QuarantinedBlocks == 0 {
+		t.Fatalf("pool counters missing faults: %+v", st.BufferPool)
+	}
+
+	resp, err = http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var hz struct {
+		Status         string   `json:"status"`
+		DegradedTables []string `json:"degraded_tables"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&hz); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if hz.Status != "degraded" || len(hz.DegradedTables) != 1 || hz.DegradedTables[0] != "flights" {
+		t.Fatalf("healthz: %+v", hz)
+	}
+}
+
+// TestDegradedReadsWire runs the opt-in path end to end: with
+// Config.DegradedReads the same permanent faults produce 200 answers
+// flagged degraded with the quarantined-block count, one-shot and
+// streamed alike.
+func TestDegradedReadsWire(t *testing.T) {
+	_, ts, ooc := newFaultServer(t, Config{DegradedReads: true})
+	ooc.InjectStorageFault(func(col, block, attempt int) error {
+		if col == 0 && block%2 == 1 {
+			return errors.New("injected permanent fault")
+		}
+		return nil
+	})
+
+	// A stopping target the surviving half of the rows cannot meet
+	// forces a full pass through every (quarantined) block.
+	req := QueryRequest{SQL: "SELECT AVG(DepDelay) FROM flights WITHIN 0.01%"}
+	res, errb := wireQuery(t, ts.URL, "", req)
+	if errb != nil {
+		t.Fatalf("degraded-mode query failed: %+v", errb)
+	}
+	if res.Result == nil || !res.Result.Degraded || res.Result.QuarantinedBlocks == 0 {
+		t.Fatalf("degraded run not flagged: %+v", res.Result)
+	}
+
+	_, terminal, errb := wireStream(t, ts.URL, "", req)
+	if errb != nil {
+		t.Fatalf("degraded-mode stream failed: %+v", errb)
+	}
+	if terminal.Result == nil || !terminal.Result.Degraded || terminal.Result.QuarantinedBlocks == 0 {
+		t.Fatalf("streamed degraded run not flagged: %+v", terminal.Result)
+	}
+
+	// Degradation also shows on /healthz even though queries succeed.
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var hz struct {
+		Status string `json:"status"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&hz); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if hz.Status != "degraded" {
+		t.Fatalf("healthz status %q, want degraded", hz.Status)
+	}
+}

@@ -33,6 +33,10 @@ func statusOf(code string) int {
 		return http.StatusServiceUnavailable
 	case "bad_request", "sql_error":
 		return http.StatusBadRequest
+	case "storage_error":
+		// The data under the query is damaged; retrying the same request
+		// cannot help, but it is the server's fault, not the client's.
+		return http.StatusInternalServerError
 	default:
 		return http.StatusInternalServerError
 	}
@@ -171,14 +175,25 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	s.acct.record(rec)
 }
 
+// errorCode classifies a failed run's error for the structured body:
+// storage faults (a *blockstore.BlockError anywhere in the chain, i.e.
+// a quarantined or unreadable block) are storage_error; cancellation
+// before any round completed is bad_request; everything else is the
+// statement's own fault.
+func errorCode(err error) string {
+	if _, _, _, _, ok := fastframe.StorageFault(err); ok {
+		return "storage_error"
+	}
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return "bad_request" // cancelled before any round completed
+	}
+	return "sql_error"
+}
+
 // finishError reports a run that produced no result: nothing is
 // charged (the deferred release refunds the reservation).
 func (s *Server) finishError(w http.ResponseWriter, t *tenant, kind, sql string, start time.Time, err error) {
-	code := "sql_error"
-	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
-		code = "bad_request" // cancelled before any round completed
-	}
-	writeError(w, &ErrorBody{Code: code, Message: err.Error(), Tenant: t.cfg.Name})
+	writeError(w, &ErrorBody{Code: errorCode(err), Message: err.Error(), Tenant: t.cfg.Name})
 	s.acct.record(UsageRecord{
 		Time: start.UTC(), Tenant: t.cfg.Name, Kind: kind, SQL: sql,
 		OK: false, Error: err.Error(), MS: time.Since(start).Seconds() * 1e3,
@@ -331,7 +346,7 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 		Rounds: rounds, MS: time.Since(start).Seconds() * 1e3,
 	}
 	if err != nil {
-		lw.write("error", StreamLine{Error: &ErrorBody{Code: "sql_error", Message: err.Error(), Tenant: t.cfg.Name}})
+		lw.write("error", StreamLine{Error: &ErrorBody{Code: errorCode(err), Message: err.Error(), Tenant: t.cfg.Name}})
 		rec.OK, rec.Error = false, err.Error()
 		s.acct.record(rec)
 		return
@@ -378,14 +393,27 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, s.stats())
 }
 
-// handleHealthz is GET /healthz — unauthenticated liveness.
+// handleHealthz is GET /healthz — unauthenticated liveness and storage
+// health. Status is "ok", "degraded" (some table's storage breaker is
+// open — quarantined blocks or a recent fault burst; degraded_tables
+// lists them) or "draining" (shutdown in progress, which outranks
+// degradation). Always 200: the process is alive either way, and
+// orchestrators should read the status string, not the HTTP code.
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	status := "ok"
+	degraded := s.degradedTables()
+	if len(degraded) > 0 {
+		status = "degraded"
+	}
 	if s.draining.Load() {
 		status = "draining"
 	}
-	writeJSON(w, http.StatusOK, map[string]any{
+	body := map[string]any{
 		"status": status,
 		"tables": s.eng.Tables(),
-	})
+	}
+	if len(degraded) > 0 {
+		body["degraded_tables"] = degraded
+	}
+	writeJSON(w, http.StatusOK, body)
 }

@@ -31,6 +31,13 @@ type Config struct {
 	// circulating scan — answers stay byte-identical to solo runs, only
 	// the physical block reads are shared.
 	NoSharedScan bool
+	// DegradedReads runs every query with fastframe.WithDegradedReads():
+	// scans skip permanently quarantined storage blocks instead of
+	// failing, keeping intervals conservatively valid (the skipped rows
+	// are charged at their catalog worst case) and marking responses
+	// Degraded. Off by default — an unreadable block then fails the
+	// query with a structured storage_error naming the damaged block.
+	DegradedReads bool
 	// StreamKeepAlive is the interval between SSE keepalive comment
 	// lines (": keepalive") written while a round is in flight, so
 	// proxies and idle-timeout middleboxes don't sever slow streams
@@ -76,6 +83,10 @@ type Server struct {
 	draining atomic.Bool
 	inflight sync.WaitGroup
 	started  time.Time
+
+	// brk classifies per-table storage health for /healthz and
+	// /v1/stats from the engine's fault counters.
+	brk storageBreaker
 }
 
 // New validates the configuration and returns a ready Server. The
@@ -105,6 +116,13 @@ func New(eng *fastframe.Engine, cfg Config) (*Server, error) {
 		// options after these.
 		cfg.Options = append([]fastframe.Option{fastframe.WithSharedScan()}, cfg.Options...)
 	}
+	if cfg.DegradedReads {
+		cfg.Options = append([]fastframe.Option{fastframe.WithDegradedReads()}, cfg.Options...)
+	}
+	now := cfg.now
+	if now == nil {
+		now = time.Now
+	}
 	ctx, cancel := context.WithCancel(context.Background())
 	s := &Server{
 		eng:     eng,
@@ -115,14 +133,54 @@ func New(eng *fastframe.Engine, cfg Config) (*Server, error) {
 		stopCtx: ctx,
 		stop:    cancel,
 		started: time.Now(),
+		brk:     storageBreaker{now: now},
 	}
 	s.routes()
 	return s, nil
 }
 
-// ServeHTTP dispatches to the v1 API.
+// ServeHTTP dispatches to the v1 API. A panicking handler is isolated
+// to its own request: the panic is recovered here, the client gets a
+// structured 500 internal error (when the response header has not gone
+// out yet — a mid-stream panic can only truncate), and the tenant's
+// admission slot and the in-flight count are released by the handlers'
+// own defers as the stack unwinds, so one poisoned request never wedges
+// the server or leaks capacity.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
-	s.mux.ServeHTTP(w, r)
+	rw := &recoveringWriter{ResponseWriter: w}
+	defer func() {
+		if p := recover(); p != nil {
+			if !rw.wrote {
+				writeError(rw, &ErrorBody{Code: "internal", Message: fmt.Sprintf("internal error: %v", p)})
+			}
+		}
+	}()
+	s.mux.ServeHTTP(rw, r)
+}
+
+// recoveringWriter tracks whether the response has started, so panic
+// recovery knows whether a structured error body can still be written.
+type recoveringWriter struct {
+	http.ResponseWriter
+	wrote bool
+}
+
+func (rw *recoveringWriter) WriteHeader(code int) {
+	rw.wrote = true
+	rw.ResponseWriter.WriteHeader(code)
+}
+
+func (rw *recoveringWriter) Write(b []byte) (int, error) {
+	rw.wrote = true
+	return rw.ResponseWriter.Write(b)
+}
+
+// Flush keeps the stream endpoints' flush-per-line pacing working
+// through the wrapper.
+func (rw *recoveringWriter) Flush() {
+	if f, ok := rw.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
 }
 
 // Shutdown gracefully stops the server: admission stops immediately
@@ -203,8 +261,12 @@ type Stats struct {
 	PlanCache     PlanCacheInfo  `json:"plan_cache"`
 	SharedScan    SharedScanInfo `json:"shared_scan"`
 	BufferPool    BufferPoolInfo `json:"buffer_pool"`
-	Usage         UsageStats     `json:"usage"`
-	Tenants       []TenantUsage  `json:"tenants"`
+	// Storage is the per-table fault ledger of the out-of-core tables —
+	// counters plus the circuit breaker's verdict; omitted when every
+	// table is resident.
+	Storage []TableStorage `json:"storage,omitempty"`
+	Usage   UsageStats     `json:"usage"`
+	Tenants []TenantUsage  `json:"tenants"`
 }
 
 // BufferPoolInfo mirrors Engine.PoolStats: the block-cache counters of
@@ -218,6 +280,11 @@ type BufferPoolInfo struct {
 	Evictions   int64 `json:"evictions"`
 	Prefetched  int64 `json:"prefetched"`
 	BytesRead   int64 `json:"bytes_read"`
+	// Fault counters (see Storage for the per-table split).
+	IOErrors          int64 `json:"io_errors,omitempty"`
+	ChecksumFailures  int64 `json:"checksum_failures,omitempty"`
+	Retries           int64 `json:"retries,omitempty"`
+	QuarantinedBlocks int64 `json:"quarantined_blocks,omitempty"`
 }
 
 // SharedScanInfo mirrors Engine.SharedScanStats: the cooperative-scan
@@ -276,7 +343,13 @@ func (s *Server) stats() Stats {
 			Evictions:   pool.Evictions,
 			Prefetched:  pool.Prefetched,
 			BytesRead:   pool.BytesRead,
+
+			IOErrors:          pool.IOErrors,
+			ChecksumFailures:  pool.ChecksumFailures,
+			Retries:           pool.Retries,
+			QuarantinedBlocks: pool.QuarantinedBlocks,
 		},
+		Storage: s.storage(),
 		Usage: UsageStats{
 			Queries:        global.Queries,
 			Streams:        global.Streams,

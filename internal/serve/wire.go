@@ -77,26 +77,33 @@ type Result struct {
 	// align with it); omitted for legacy single-triple payloads.
 	Aggs          []string `json:"aggs,omitempty"`
 	Groups        []Group  `json:"groups"`
-	BlocksFetched int     `json:"blocks_fetched"`
-	RowsCovered   int     `json:"rows_covered"`
-	Rounds        int     `json:"rounds"`
-	StartBlock    int     `json:"start_block"`
-	Stopped       bool    `json:"stopped"`
-	Exhausted     bool    `json:"exhausted"`
-	Aborted       bool    `json:"aborted"`
-	DurationNS    int64   `json:"duration_ns"`
+	BlocksFetched int      `json:"blocks_fetched"`
+	RowsCovered   int      `json:"rows_covered"`
+	Rounds        int      `json:"rounds"`
+	StartBlock    int      `json:"start_block"`
+	Stopped       bool     `json:"stopped"`
+	Exhausted     bool     `json:"exhausted"`
+	Aborted       bool     `json:"aborted"`
+	// Degraded and QuarantinedBlocks report storage loss under degraded
+	// reads: quarantined blocks the scan skipped, charged at worst case
+	// so the intervals stay conservatively valid.
+	Degraded          bool  `json:"degraded,omitempty"`
+	QuarantinedBlocks int   `json:"quarantined_blocks,omitempty"`
+	DurationNS        int64 `json:"duration_ns"`
 }
 
 // Progress mirrors fastframe.Progress on the wire: one per-round
 // snapshot of a streaming query.
 type Progress struct {
-	Agg           string   `json:"agg"`
-	Aggs          []string `json:"aggs,omitempty"`
-	Round         int      `json:"round"`
-	RowsCovered   int     `json:"rows_covered"`
-	BlocksFetched int     `json:"blocks_fetched"`
-	ActiveGroups  int     `json:"active_groups"`
-	Groups        []Group `json:"groups"`
+	Agg               string   `json:"agg"`
+	Aggs              []string `json:"aggs,omitempty"`
+	Round             int      `json:"round"`
+	RowsCovered       int      `json:"rows_covered"`
+	BlocksFetched     int      `json:"blocks_fetched"`
+	ActiveGroups      int      `json:"active_groups"`
+	Degraded          bool     `json:"degraded,omitempty"`
+	QuarantinedBlocks int      `json:"quarantined_blocks,omitempty"`
+	Groups            []Group  `json:"groups"`
 }
 
 // ExactGroup mirrors fastframe.ExactGroup on the wire.
@@ -153,7 +160,7 @@ type StreamLine struct {
 type ErrorBody struct {
 	// Code is a stable machine-readable cause: unauthorized,
 	// bad_request, sql_error, rate_limited, budget_exhausted,
-	// concurrency_exceeded, shutting_down, internal.
+	// concurrency_exceeded, shutting_down, storage_error, internal.
 	Code    string `json:"code"`
 	Message string `json:"message"`
 	Tenant  string `json:"tenant,omitempty"`
@@ -258,7 +265,10 @@ func FromResult(r *fastframe.Result) *Result {
 		Stopped:       r.Stopped,
 		Exhausted:     r.Exhausted,
 		Aborted:       r.Aborted,
-		DurationNS:    r.Duration.Nanoseconds(),
+
+		Degraded:          r.Degraded,
+		QuarantinedBlocks: r.QuarantinedBlocks,
+		DurationNS:        r.Duration.Nanoseconds(),
 	}
 	for _, g := range r.Groups {
 		out.Groups = append(out.Groups, fromGroup(g))
@@ -287,7 +297,10 @@ func (r *Result) ToResult() (*fastframe.Result, error) {
 		Stopped:       r.Stopped,
 		Exhausted:     r.Exhausted,
 		Aborted:       r.Aborted,
-		Duration:      time.Duration(r.DurationNS),
+
+		Degraded:          r.Degraded,
+		QuarantinedBlocks: r.QuarantinedBlocks,
+		Duration:          time.Duration(r.DurationNS),
 	}
 	for _, g := range r.Groups {
 		out.Groups = append(out.Groups, g.toGroup())
@@ -304,6 +317,9 @@ func FromProgress(p fastframe.Progress) *Progress {
 		RowsCovered:   p.RowsCovered,
 		BlocksFetched: p.BlocksFetched,
 		ActiveGroups:  p.ActiveGroups,
+
+		Degraded:          p.Degraded,
+		QuarantinedBlocks: p.QuarantinedBlocks,
 	}
 	for _, g := range p.Groups {
 		out.Groups = append(out.Groups, fromGroup(g))
@@ -328,6 +344,9 @@ func (p *Progress) ToProgress() (fastframe.Progress, error) {
 		RowsCovered:   p.RowsCovered,
 		BlocksFetched: p.BlocksFetched,
 		ActiveGroups:  p.ActiveGroups,
+
+		Degraded:          p.Degraded,
+		QuarantinedBlocks: p.QuarantinedBlocks,
 	}
 	for _, g := range p.Groups {
 		out.Groups = append(out.Groups, g.toGroup())

@@ -133,9 +133,9 @@ func assertTablesEqual(t *testing.T, orig, got *Table) {
 
 // TestCrossVersionRoundTrip is the format-compatibility property: for
 // randomized tables across block sizes and ragged row counts, every
-// writable version (v1 legacy, v2 zones, v3 blockstore) round-trips
-// bit-exactly through ReadTable, and serialization is deterministic
-// (same table → same bytes).
+// writable version (v1 legacy, v2 zones, v3 blockstore, v4 checksummed)
+// round-trips bit-exactly through ReadTable, and serialization is
+// deterministic (same table → same bytes).
 func TestCrossVersionRoundTrip(t *testing.T) {
 	configs := []struct{ rows, blockSize int }{
 		{1, 25},
@@ -148,7 +148,7 @@ func TestCrossVersionRoundTrip(t *testing.T) {
 	for ci, cfg := range configs {
 		rng := rand.New(rand.NewPCG(uint64(ci), 99))
 		orig := genTable(t, rng, cfg.rows, cfg.blockSize)
-		for _, version := range []uint32{persistVersionLegacy, persistVersionZones, persistVersion} {
+		for _, version := range []uint32{persistVersionLegacy, persistVersionZones, persistVersionBlocks, persistVersion} {
 			t.Run(fmt.Sprintf("rows=%d/bs=%d/v%d", cfg.rows, cfg.blockSize, version), func(t *testing.T) {
 				var buf, buf2 bytes.Buffer
 				if _, err := orig.writeTo(&buf, version); err != nil {
@@ -254,6 +254,71 @@ func TestOpenStoreMatchesResident(t *testing.T) {
 	}
 	if st.Hits+st.Misses == 0 || st.BytesRead == 0 {
 		t.Errorf("pool counters did not move: %+v", st)
+	}
+}
+
+// TestCrossVersionOpenStore writes the same table as v3 (pre-checksum)
+// and v4 (checksummed) and opens both out-of-core: the v3 file must
+// keep opening — unverified — and every pinned block of either version
+// must match the resident original bit for bit.
+func TestCrossVersionOpenStore(t *testing.T) {
+	rng := rand.New(rand.NewPCG(11, 11))
+	orig := genTable(t, rng, 500, 25)
+	pool := blockstore.NewPool(1 << 20)
+	defer pool.Close()
+	for _, version := range []uint32{persistVersionBlocks, persistVersion} {
+		var buf bytes.Buffer
+		if _, err := orig.writeTo(&buf, version); err != nil {
+			t.Fatal(err)
+		}
+		path := filepath.Join(t.TempDir(), fmt.Sprintf("v%d.ff", version))
+		if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		got, err := OpenStore(path, pool, blockstore.OpenOptions{})
+		if err != nil {
+			t.Fatalf("OpenStore v%d: %v", version, err)
+		}
+		if v := got.Store().Version(); v != version {
+			t.Errorf("store version = %d, want %d", v, version)
+		}
+		nb := orig.Layout().NumBlocks()
+		ov, _ := orig.Float("f_rand")
+		fb, err := got.FloatBlocks("f_rand")
+		if err != nil {
+			t.Fatal(err)
+		}
+		oc, _ := orig.Cat("c_hi")
+		cb, err := got.CatBlocks("c_hi")
+		if err != nil {
+			t.Fatal(err)
+		}
+		for b := 0; b < nb; b++ {
+			s, _ := orig.Layout().BlockBounds(b)
+			vals, fr, err := fb.Pin(b)
+			if err != nil {
+				t.Fatalf("v%d f_rand block %d: %v", version, b, err)
+			}
+			for r := range vals {
+				if math.Float64bits(vals[r]) != math.Float64bits(ov.Values[s+r]) {
+					t.Fatalf("v%d f_rand block %d row %d differs", version, b, r)
+				}
+			}
+			fb.Unpin(fr)
+			codes, cfr, err := cb.Pin(b)
+			if err != nil {
+				t.Fatalf("v%d c_hi block %d: %v", version, b, err)
+			}
+			for r := range codes {
+				if codes[r] != oc.Codes[s+r] {
+					t.Fatalf("v%d c_hi block %d row %d differs", version, b, r)
+				}
+			}
+			cb.Unpin(cfr)
+		}
+		if err := got.Close(); err != nil {
+			t.Fatal(err)
+		}
 	}
 }
 

@@ -91,6 +91,14 @@ func (t *Table) Pool() *blockstore.Pool { return t.pool }
 // Store returns the block store of an out-of-core table, or nil.
 func (t *Table) Store() *blockstore.Store { return t.store }
 
+// SetLabel names the backing store in block errors and fault stats
+// (typically the registered table name). No-op for resident tables.
+func (t *Table) SetLabel(l string) {
+	if t.store != nil {
+		t.store.SetLabel(l)
+	}
+}
+
 // Close releases the block store of an out-of-core table. The caller
 // must ensure no pinned frames of this table remain. Resident tables
 // have nothing to close.

@@ -36,29 +36,34 @@ const (
 	persistVersionLegacy = 1
 	// persistVersionZones added per-block zone maps after float values.
 	persistVersionZones = 2
-	// persistVersion is the current written format: the blockstore's v3
-	// layout with per-block compressed segments, header-resident
-	// metadata (zone maps, dictionaries, bitmap indexes) and a segment
-	// directory footer enabling out-of-core random access.
+	// persistVersionBlocks is the blockstore's v3 layout: per-block
+	// compressed segments, header-resident metadata (zone maps,
+	// dictionaries, bitmap indexes) and a segment directory footer
+	// enabling out-of-core random access. Still written for
+	// cross-version tests and mixed fleets.
+	persistVersionBlocks = blockstore.VersionV3
+	// persistVersion is the current written format: v3's layout plus
+	// CRC32C integrity — a header checksum, one per data segment
+	// (verified before decode) and one over the directory footer.
 	persistVersion = blockstore.Version
 )
 
-// WriteTo serializes the table in the current format version (v3). The
+// WriteTo serializes the table in the current format version (v4). The
 // returned byte count is exact; errors are from the underlying writer
 // or format. Out-of-core tables cannot be re-serialized — their data
-// already lives in a v3 file.
+// already lives in a block file.
 func (t *Table) WriteTo(w io.Writer) (int64, error) {
 	return t.writeTo(w, persistVersion)
 }
 
-// writeTo serializes in a specific format version; versions 1 and 2 are
+// writeTo serializes in a specific format version; versions 1–3 are
 // kept writable for the cross-version compatibility tests.
 func (t *Table) writeTo(w io.Writer, version uint32) (int64, error) {
 	if t.store != nil {
 		return 0, fmt.Errorf("table: cannot serialize an out-of-core table (its data is already on disk)")
 	}
-	if version == persistVersion {
-		return t.writeToV3(w)
+	if version == persistVersion || version == persistVersionBlocks {
+		return t.writeToBlocks(w, version)
 	}
 	bw := bufio.NewWriterSize(w, 1<<20)
 	cw := &countWriter{w: bw}
@@ -128,11 +133,11 @@ func (t *Table) writeTo(w io.Writer, version uint32) (int64, error) {
 	return cw.n, nil
 }
 
-// writeToV3 serializes through the blockstore writer: header metadata
-// first (schema, bounds, zone maps, dictionaries, bitmap index words),
-// then each column as per-block compressed segments, then the segment
-// directory footer.
-func (t *Table) writeToV3(w io.Writer) (int64, error) {
+// writeToBlocks serializes through the blockstore writer (v3 or v4):
+// header metadata first (schema, bounds, zone maps, dictionaries,
+// bitmap index words), then each column as per-block compressed
+// segments, then the segment directory footer.
+func (t *Table) writeToBlocks(w io.Writer, version uint32) (int64, error) {
 	meta := &blockstore.Meta{BlockSize: t.layout.BlockSize, Rows: t.rows}
 	for i := 0; i < t.schema.NumColumns(); i++ {
 		spec := t.schema.Column(i)
@@ -163,7 +168,7 @@ func (t *Table) writeToV3(w io.Writer) (int64, error) {
 			})
 		}
 	}
-	bw, err := blockstore.NewWriter(w, meta)
+	bw, err := blockstore.NewWriterVersion(w, meta, version)
 	if err != nil {
 		return 0, err
 	}
@@ -182,10 +187,11 @@ func (t *Table) writeToV3(w io.Writer) (int64, error) {
 	return bw.Finish()
 }
 
-// readTableV3 loads a v3 stream fully resident. The stream is
-// positioned after the magic and version fields.
-func readTableV3(r io.Reader) (*Table, error) {
-	m, floats, codes, err := blockstore.ReadSequential(r)
+// readTableBlocks loads a v3/v4 stream fully resident. The stream is
+// positioned after the magic and version fields; v4 checksums are
+// verified as segments decode.
+func readTableBlocks(r io.Reader, version uint32) (*Table, error) {
+	m, floats, codes, err := blockstore.ReadSequential(r, version)
 	if err != nil {
 		return nil, err
 	}
@@ -226,8 +232,8 @@ func ReadTable(r io.Reader) (*Table, error) {
 	if err := binary.Read(br, binary.LittleEndian, &version); err != nil {
 		return nil, err
 	}
-	if version == persistVersion {
-		return readTableV3(br)
+	if version == persistVersion || version == persistVersionBlocks {
+		return readTableBlocks(br, version)
 	}
 	if version != persistVersionLegacy && version != persistVersionZones {
 		return nil, fmt.Errorf("table: unsupported format version %d", version)

@@ -18,6 +18,7 @@ type runSettings struct {
 	parallelism      int
 	exactCountBounds bool
 	sharedScan       bool
+	degradedReads    bool
 	startBlock       int
 	haveStartBlock   bool
 	onProgress       func(Progress) bool
@@ -108,6 +109,21 @@ func WithSharedScan() Option {
 // whose batch timing would make fetched-block sets depend on n.
 func WithParallelism(n int) Option {
 	return func(s *runSettings) { s.parallelism = n }
+}
+
+// WithDegradedReads lets a query on an out-of-core table keep scanning
+// past permanently quarantined blocks (storage faults that survived the
+// buffer pool's retries) instead of failing: the damaged blocks' rows
+// stay unobserved and are charged at their catalog-bound worst case by
+// the same unknown-view-size machinery that covers unscanned rows, so
+// every reported interval remains a conservatively valid (1−δ) CI —
+// wider than a clean run's, never wrong. Result.Degraded and
+// Result.QuarantinedBlocks (mirrored on Progress and the serve wire
+// types) report the loss. Without this option an unreadable block fails
+// the query with a *blockstore.BlockError naming the table, column and
+// block (see StorageFault).
+func WithDegradedReads() Option {
+	return func(s *runSettings) { s.degradedReads = true }
 }
 
 // WithExactCountBounds switches the unknown-view-size bound to the

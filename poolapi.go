@@ -43,24 +43,39 @@ type PoolStats struct {
 	Hits, Misses, Evictions, Prefetched int64
 	// BytesRead is the compressed segment bytes physically read.
 	BytesRead int64
+	// IOErrors and ChecksumFailures count failed block-load attempts by
+	// kind; Retries counts backoff retries of transient failures;
+	// QuarantinedBlocks counts blocks currently quarantined after
+	// permanent failure (pins of those fail fast — or are skipped under
+	// WithDegradedReads).
+	IOErrors, ChecksumFailures int64
+	Retries                    int64
+	QuarantinedBlocks          int64
+}
+
+func poolStatsFrom(s blockstore.Stats) PoolStats {
+	return PoolStats{
+		BudgetBytes:       s.BudgetBytes,
+		UsedBytes:         s.UsedBytes,
+		Hits:              s.Hits,
+		Misses:            s.Misses,
+		Evictions:         s.Evictions,
+		Prefetched:        s.Prefetched,
+		BytesRead:         s.BytesRead,
+		IOErrors:          s.IOErrors,
+		ChecksumFailures:  s.ChecksumFailures,
+		Retries:           s.Retries,
+		QuarantinedBlocks: s.QuarantinedBlocks,
+	}
 }
 
 // Stats returns a snapshot of the pool counters.
 func (bp *BufferPool) Stats() PoolStats {
-	s := bp.p.Stats()
-	return PoolStats{
-		BudgetBytes: s.BudgetBytes,
-		UsedBytes:   s.UsedBytes,
-		Hits:        s.Hits,
-		Misses:      s.Misses,
-		Evictions:   s.Evictions,
-		Prefetched:  s.Prefetched,
-		BytesRead:   s.BytesRead,
-	}
+	return poolStatsFrom(bp.p.Stats())
 }
 
-// OpenTable opens a table file written in format v3 (Table.WriteTo or
-// ffgen -table) out-of-core: header metadata — schema, dictionaries,
+// OpenTable opens a table file written in format v3 or v4 (Table.WriteTo
+// or ffgen -table) out-of-core: header metadata — schema, dictionaries,
 // catalog bounds, zone maps, bitmap indexes — loads resident, so
 // planning and block pruning work exactly as for in-memory tables,
 // while data blocks page through the pool on demand. Queries against an
@@ -93,14 +108,5 @@ func (t *Table) PoolStats() PoolStats {
 	if p == nil {
 		return PoolStats{}
 	}
-	s := p.Stats()
-	return PoolStats{
-		BudgetBytes: s.BudgetBytes,
-		UsedBytes:   s.UsedBytes,
-		Hits:        s.Hits,
-		Misses:      s.Misses,
-		Evictions:   s.Evictions,
-		Prefetched:  s.Prefetched,
-		BytesRead:   s.BytesRead,
-	}
+	return poolStatsFrom(p.Stats())
 }

@@ -161,6 +161,10 @@ type Progress struct {
 	BlocksFetched int
 	// ActiveGroups is the number of groups still driving the scan.
 	ActiveGroups int
+	// Degraded and QuarantinedBlocks report blocks skipped past storage
+	// faults under WithDegradedReads (see Result).
+	Degraded          bool
+	QuarantinedBlocks int
 	// Groups holds the current per-view intervals, sorted by key.
 	Groups []GroupResult
 }
@@ -330,6 +334,14 @@ type Result struct {
 	// Exhausted reports a complete scan; Aborted reports that an
 	// OnProgress callback ended the scan (intervals remain valid).
 	Stopped, Exhausted, Aborted bool
+	// Degraded reports that WithDegradedReads let the scan skip
+	// quarantined (permanently unreadable) blocks: the intervals are
+	// still valid (1−δ) CIs — the damaged rows are charged at their
+	// catalog-bound worst case, exactly like unscanned rows — but they
+	// cannot tighten past that loss. QuarantinedBlocks counts the blocks
+	// skipped.
+	Degraded          bool
+	QuarantinedBlocks int
 	// Duration is the wall-clock execution time.
 	Duration time.Duration
 }
@@ -456,6 +468,7 @@ func (t *Table) runQuery(ctx context.Context, q query.Query, s runSettings) (*Re
 		MaxRows:          s.maxRows,
 		ExactCountBounds: s.exactCountBounds,
 		Parallelism:      s.resolveParallelism(),
+		DegradedReads:    s.degradedReads,
 	}
 	if s.haveStartBlock {
 		execOpts.StartBlock, execOpts.Rng = s.startBlock, nil
@@ -464,12 +477,14 @@ func (t *Table) runQuery(ctx context.Context, q query.Query, s runSettings) (*Re
 		cb := s.onProgress
 		execOpts.OnRound = func(s exec.RoundSnapshot) bool {
 			p := Progress{
-				Agg:           aggOf(q.AggList()[0].Kind),
-				Aggs:          aggsOf(q),
-				Round:         s.Round,
-				RowsCovered:   s.RowsCovered,
-				BlocksFetched: s.BlocksFetched,
-				ActiveGroups:  s.NumActive,
+				Agg:               aggOf(q.AggList()[0].Kind),
+				Aggs:              aggsOf(q),
+				Round:             s.Round,
+				RowsCovered:       s.RowsCovered,
+				BlocksFetched:     s.BlocksFetched,
+				ActiveGroups:      s.NumActive,
+				Degraded:          s.Degraded,
+				QuarantinedBlocks: s.QuarantinedBlocks,
 			}
 			for _, g := range s.Groups {
 				p.Groups = append(p.Groups, groupFromExec(g))
@@ -487,16 +502,18 @@ func (t *Table) runQuery(ctx context.Context, q query.Query, s runSettings) (*Re
 		return nil, err
 	}
 	out := &Result{
-		Agg:           aggOf(q.AggList()[0].Kind),
-		Aggs:          aggsOf(q),
-		BlocksFetched: res.BlocksFetched,
-		RowsCovered:   res.RowsCovered,
-		Rounds:        res.Rounds,
-		StartBlock:    res.StartBlock,
-		Stopped:       res.Stopped,
-		Exhausted:     res.Exhausted,
-		Aborted:       res.Aborted,
-		Duration:      res.Duration,
+		Agg:               aggOf(q.AggList()[0].Kind),
+		Aggs:              aggsOf(q),
+		BlocksFetched:     res.BlocksFetched,
+		RowsCovered:       res.RowsCovered,
+		Rounds:            res.Rounds,
+		StartBlock:        res.StartBlock,
+		Stopped:           res.Stopped,
+		Exhausted:         res.Exhausted,
+		Aborted:           res.Aborted,
+		Degraded:          res.Degraded,
+		QuarantinedBlocks: res.QuarantinedBlocks,
+		Duration:          res.Duration,
 	}
 	for _, g := range res.Groups {
 		out.Groups = append(out.Groups, groupFromExec(g))

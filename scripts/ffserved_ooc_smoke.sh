@@ -18,6 +18,9 @@ echo "== generate (2M rows, ~56 MB decoded) =="
 "$workdir/ffgen" -rows 2000000 -summary=false -table "$workdir/flights.ff"
 ls -l "$workdir/flights.ff"
 
+echo "== offline integrity check =="
+"$workdir/ffgen" -verify "$workdir/flights.ff"
+
 echo "== start daemon out-of-core under GOMEMLIMIT =="
 addr="127.0.0.1:18081"
 GOMEMLIMIT=40MiB "$workdir/ffserved" -addr "$addr" \
